@@ -1,0 +1,30 @@
+//! Criterion wrappers around quick-scale versions of every figure.
+//!
+//! `cargo bench` runs each figure's kernel at `Scale::Quick` so
+//! regressions in the harness and the simulated pipeline are caught;
+//! the real reproduction (CSV + tables at mid/paper scale) is
+//! `cargo run -p pvfs-bench --release --bin figures`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use pvfs_bench::figures::{ext_datatype, ext_hybrid};
+use pvfs_bench::{fig10, fig11, fig12, fig15, fig17, fig9, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_quick");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("fig9_cyclic_read", |b| b.iter(|| fig9(Scale::Quick)));
+    g.bench_function("fig10_cyclic_write", |b| b.iter(|| fig10(Scale::Quick)));
+    g.bench_function("fig11_blockblock_read", |b| b.iter(|| fig11(Scale::Quick)));
+    g.bench_function("fig12_blockblock_write", |b| b.iter(|| fig12(Scale::Quick)));
+    g.bench_function("fig15_flash_write", |b| b.iter(|| fig15(Scale::Quick)));
+    g.bench_function("fig17_tiled_read", |b| b.iter(|| fig17(Scale::Quick)));
+    g.bench_function("ext_datatype", |b| b.iter(|| ext_datatype(Scale::Quick)));
+    g.bench_function("ext_hybrid", |b| b.iter(|| ext_hybrid(Scale::Quick)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

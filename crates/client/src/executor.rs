@@ -1,0 +1,107 @@
+//! The live plan executor.
+//!
+//! Pulls steps from an [`AccessPlan`] and runs them against a
+//! [`ClusterClient`]: rounds fan out as parallel RPCs, copies run at
+//! memcpy speed, and serial sections take the cluster-wide
+//! [`SerialGate`](pvfs_net::SerialGate) (data sieving writes). The scatter/gather semantics
+//! live in `pvfs_core::exec`, shared with the simulator.
+
+use pvfs_core::exec::{alloc_temps, apply_copies, copy_bytes, scatter_response, wire_request, Buffers};
+use pvfs_core::{AccessPlan, Step};
+use pvfs_net::ClusterClient;
+use pvfs_proto::Response;
+use pvfs_types::{PvfsError, PvfsResult};
+
+/// What actually happened while executing a plan — the measured
+/// counterpart of [`pvfs_core::PlanStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Wire requests issued.
+    pub requests: u64,
+    /// Bytes sent with write requests.
+    pub bytes_sent: u64,
+    /// Bytes received in read responses.
+    pub bytes_received: u64,
+    /// Client-side copy traffic.
+    pub copy_bytes: u64,
+    /// Serial sections entered.
+    pub serial_sections: u64,
+}
+
+/// Execute a plan to completion against the live cluster.
+///
+/// `user` is the caller's buffer (destination for reads, source for
+/// writes). Returns the measured execution report.
+pub fn execute_plan(
+    mut plan: AccessPlan,
+    user: &mut [u8],
+    client: &ClusterClient,
+) -> PvfsResult<ExecReport> {
+    let mut temps = alloc_temps(&plan.temp_sizes);
+    let mut bufs = Buffers {
+        user,
+        temps: &mut temps,
+    };
+    let mut report = ExecReport::default();
+    let mut holding_gate = false;
+    let result = (|| -> PvfsResult<()> {
+        while let Some(step) = plan.next_step() {
+            match step {
+                Step::Round(ops) => {
+                    report.rounds += 1;
+                    report.requests += ops.len() as u64;
+                    let requests: Vec<_> = ops
+                        .iter()
+                        .map(|wire| {
+                            let req = wire_request(wire, plan.handle, &plan.layout, &bufs);
+                            report.bytes_sent += req.bulk_len();
+                            (wire.server, req)
+                        })
+                        .collect();
+                    let responses = client.round(requests)?;
+                    for (wire, response) in ops.iter().zip(responses) {
+                        match response {
+                            Response::Data { data } => {
+                                report.bytes_received += data.len() as u64;
+                                scatter_response(
+                                    &wire.op,
+                                    &plan.layout,
+                                    wire.server,
+                                    &data,
+                                    &mut bufs,
+                                )?;
+                            }
+                            Response::Written { .. } => {}
+                            other => {
+                                return Err(PvfsError::protocol(format!(
+                                    "unexpected response to {:?}: {other:?}",
+                                    wire.op
+                                )))
+                            }
+                        }
+                    }
+                }
+                Step::Copy(pairs) => {
+                    report.copy_bytes += copy_bytes(&pairs);
+                    apply_copies(&pairs, &mut bufs);
+                }
+                Step::SerialBegin => {
+                    client.gate().acquire();
+                    holding_gate = true;
+                    report.serial_sections += 1;
+                }
+                Step::SerialEnd => {
+                    client.gate().release();
+                    holding_gate = false;
+                }
+            }
+        }
+        Ok(())
+    })();
+    if holding_gate {
+        client.gate().release();
+    }
+    result.map(|()| report)
+}

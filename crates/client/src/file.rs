@@ -1,0 +1,279 @@
+//! `PvfsFile`: the user-facing file handle.
+
+use crate::executor::{execute_plan, ExecReport};
+use pvfs_core::{IoKind, ListRequest, Method, MethodConfig};
+use pvfs_net::{ClusterClient, RpcTarget};
+use pvfs_proto::{Request, Response};
+use pvfs_types::{FileHandle, PvfsError, PvfsResult, RegionList, StripeLayout};
+
+/// An open PVFS file.
+///
+/// Metadata operations talk to the manager; data operations compile to
+/// access plans and run directly against the I/O daemons — the manager
+/// is never on the data path, as in PVFS.
+pub struct PvfsFile {
+    client: ClusterClient,
+    path: String,
+    handle: FileHandle,
+    layout: StripeLayout,
+    config: MethodConfig,
+}
+
+impl PvfsFile {
+    /// Create a new file with user-controlled striping (Fig. 2: base
+    /// node, pcount, stripe size).
+    pub fn create(client: &ClusterClient, path: &str, layout: StripeLayout) -> PvfsResult<PvfsFile> {
+        layout.validate()?;
+        if layout.base + layout.pcount > client.n_servers() {
+            return Err(PvfsError::invalid(format!(
+                "layout needs servers {}..{} but the cluster has {}",
+                layout.base,
+                layout.base + layout.pcount,
+                client.n_servers()
+            )));
+        }
+        match client.call(
+            RpcTarget::Manager,
+            Request::Create {
+                path: path.into(),
+                layout,
+            },
+        )? {
+            Response::Created { handle } => Ok(PvfsFile {
+                client: client.clone(),
+                path: path.into(),
+                handle,
+                layout,
+                config: MethodConfig::paper_default(),
+            }),
+            other => Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// Open an existing file; the manager reports the handle and the
+    /// striping parameters.
+    pub fn open(client: &ClusterClient, path: &str) -> PvfsResult<PvfsFile> {
+        match client.call(RpcTarget::Manager, Request::Open { path: path.into() })? {
+            Response::Opened { handle, layout } => Ok(PvfsFile {
+                client: client.clone(),
+                path: path.into(),
+                handle,
+                layout,
+                config: MethodConfig::paper_default(),
+            }),
+            other => Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// Close the handle at the manager.
+    pub fn close(self) -> PvfsResult<()> {
+        match self
+            .client
+            .call(RpcTarget::Manager, Request::Close { handle: self.handle })?
+        {
+            Response::Closed => Ok(()),
+            other => Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// List every path in the cluster namespace.
+    pub fn list(client: &ClusterClient) -> PvfsResult<Vec<String>> {
+        match client.call(RpcTarget::Manager, Request::ListDir)? {
+            Response::Listing { paths } => Ok(paths),
+            other => Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// Remove a file from the namespace.
+    pub fn remove(client: &ClusterClient, path: &str) -> PvfsResult<()> {
+        match client.call(RpcTarget::Manager, Request::Remove { path: path.into() })? {
+            Response::Removed => Ok(()),
+            other => Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// The file's path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The file handle.
+    pub fn handle(&self) -> FileHandle {
+        self.handle
+    }
+
+    /// The striping parameters.
+    pub fn layout(&self) -> StripeLayout {
+        self.layout
+    }
+
+    /// Tune the noncontiguous method parameters (sieve buffer size,
+    /// trailing-data limit, ...).
+    pub fn set_method_config(&mut self, config: MethodConfig) {
+        self.config = config;
+    }
+
+    /// The logical file size, computed from the I/O daemons' local file
+    /// sizes — the manager stays off the data path.
+    pub fn size(&self) -> PvfsResult<u64> {
+        let mut size = 0u64;
+        for slot in 0..self.layout.pcount {
+            let server = self.layout.server_at_slot(slot);
+            match self
+                .client
+                .call(RpcTarget::Server(server), Request::GetLocalSize { handle: self.handle })?
+            {
+                Response::LocalSize { size: local } => {
+                    if local > 0 {
+                        size = size.max(self.layout.to_logical(slot, local - 1) + 1);
+                    }
+                }
+                other => return Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+            }
+        }
+        Ok(size)
+    }
+
+    /// Contiguous write at `offset`.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> PvfsResult<ExecReport> {
+        if data.is_empty() {
+            return Ok(ExecReport::default());
+        }
+        let request = ListRequest::contiguous(0, offset, data.len() as u64);
+        let plan = pvfs_core::plan(
+            Method::Multiple,
+            IoKind::Write,
+            &request,
+            self.handle,
+            self.layout,
+            &self.config,
+        )?;
+        let mut user = data.to_vec();
+        execute_plan(plan, &mut user, &self.client)
+    }
+
+    /// Contiguous read at `offset` into `buf`.
+    pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> PvfsResult<ExecReport> {
+        if buf.is_empty() {
+            return Ok(ExecReport::default());
+        }
+        let request = ListRequest::contiguous(0, offset, buf.len() as u64);
+        let plan = pvfs_core::plan(
+            Method::Multiple,
+            IoKind::Read,
+            &request,
+            self.handle,
+            self.layout,
+            &self.config,
+        )?;
+        execute_plan(plan, buf, &self.client)
+    }
+
+    /// Noncontiguous read — the paper's `pvfs_read_list`. `mem` regions
+    /// index into `buf`; `file` regions are logical file offsets; the
+    /// two must cover equal totals.
+    pub fn read_list(
+        &mut self,
+        mem: &RegionList,
+        file: &RegionList,
+        buf: &mut [u8],
+        method: Method,
+    ) -> PvfsResult<ExecReport> {
+        let request = ListRequest::new(mem.clone(), file.clone())?;
+        self.check_buffer(&request, buf.len())?;
+        let plan = pvfs_core::plan(
+            method,
+            IoKind::Read,
+            &request,
+            self.handle,
+            self.layout,
+            &self.config,
+        )?;
+        execute_plan(plan, buf, &self.client)
+    }
+
+    /// Noncontiguous write — the paper's `pvfs_write_list`.
+    pub fn write_list(
+        &mut self,
+        mem: &RegionList,
+        file: &RegionList,
+        buf: &[u8],
+        method: Method,
+    ) -> PvfsResult<ExecReport> {
+        let request = ListRequest::new(mem.clone(), file.clone())?;
+        self.check_buffer(&request, buf.len())?;
+        let plan = pvfs_core::plan(
+            method,
+            IoKind::Write,
+            &request,
+            self.handle,
+            self.layout,
+            &self.config,
+        )?;
+        // Write plans only read the user buffer, but data sieving also
+        // stages through temps; a mutable borrow keeps one executor.
+        let mut user = buf.to_vec();
+        execute_plan(plan, &mut user, &self.client)
+    }
+
+    /// Noncontiguous read described by MPI-like datatypes (§5 future
+    /// work): flatten `mem_type`/`file_type` at the given base offsets
+    /// and read under `method`.
+    pub fn read_typed(
+        &mut self,
+        mem_type: &pvfs_types::Datatype,
+        mem_base: u64,
+        file_type: &pvfs_types::Datatype,
+        file_base: u64,
+        buf: &mut [u8],
+        method: Method,
+    ) -> PvfsResult<ExecReport> {
+        let request = ListRequest::from_datatypes(mem_type, mem_base, file_type, file_base)?;
+        self.check_buffer(&request, buf.len())?;
+        let plan = pvfs_core::plan(
+            method,
+            IoKind::Read,
+            &request,
+            self.handle,
+            self.layout,
+            &self.config,
+        )?;
+        execute_plan(plan, buf, &self.client)
+    }
+
+    /// Noncontiguous write described by MPI-like datatypes.
+    pub fn write_typed(
+        &mut self,
+        mem_type: &pvfs_types::Datatype,
+        mem_base: u64,
+        file_type: &pvfs_types::Datatype,
+        file_base: u64,
+        buf: &[u8],
+        method: Method,
+    ) -> PvfsResult<ExecReport> {
+        let request = ListRequest::from_datatypes(mem_type, mem_base, file_type, file_base)?;
+        self.check_buffer(&request, buf.len())?;
+        let plan = pvfs_core::plan(
+            method,
+            IoKind::Write,
+            &request,
+            self.handle,
+            self.layout,
+            &self.config,
+        )?;
+        let mut user = buf.to_vec();
+        execute_plan(plan, &mut user, &self.client)
+    }
+
+    fn check_buffer(&self, request: &ListRequest, buf_len: usize) -> PvfsResult<()> {
+        if let Some(extent) = request.mem.extent() {
+            if extent.end() > buf_len as u64 {
+                return Err(PvfsError::invalid(format!(
+                    "memory list reaches offset {} but the buffer is {buf_len} bytes",
+                    extent.end()
+                )));
+            }
+        }
+        Ok(())
+    }
+}

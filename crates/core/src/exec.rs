@@ -1,0 +1,479 @@
+//! Shared execution semantics for access plans.
+//!
+//! Both executors — the live threaded cluster and the discrete-event
+//! simulator — move bytes through these functions, so the data-movement
+//! convention is defined in exactly one place and matches the I/O
+//! daemon's: *for each file region in request order, for each stripe
+//! segment owned by the addressed server in logical order*, bytes are
+//! consumed from (writes) or delivered to (reads) the op's
+//! [`Target`].
+//!
+//! The planners guarantee a wire op is only addressed to servers that
+//! own at least one byte of it; these helpers tolerate zero-share ops
+//! anyway (they produce empty payloads).
+
+use crate::plan::{CopyPair, MemSlice, OpKind, Space, Target, WireOp};
+use bytes::Bytes;
+use pvfs_types::{FileHandle, PvfsError, PvfsResult, Region, ServerId, StripeLayout};
+
+/// The client-side buffers a plan operates on: the caller's buffer and
+/// the plan's temporary buffers (allocated from
+/// [`crate::AccessPlan::temp_sizes`]).
+pub struct Buffers<'a> {
+    /// The user buffer (read destination / write source).
+    pub user: &'a mut [u8],
+    /// Plan-owned temporaries, e.g. the data sieving buffer.
+    pub temps: &'a mut [Vec<u8>],
+}
+
+impl Buffers<'_> {
+    fn slice(&self, s: MemSlice) -> &[u8] {
+        let (off, len) = (s.offset as usize, s.len as usize);
+        match s.space {
+            Space::User => &self.user[off..off + len],
+            Space::Temp(i) => &self.temps[i][off..off + len],
+        }
+    }
+
+    fn slice_mut(&mut self, s: MemSlice) -> &mut [u8] {
+        let (off, len) = (s.offset as usize, s.len as usize);
+        match s.space {
+            Space::User => &mut self.user[off..off + len],
+            Space::Temp(i) => &mut self.temps[i][off..off + len],
+        }
+    }
+}
+
+/// Allocate the temp buffers a plan asks for.
+pub fn alloc_temps(sizes: &[u64]) -> Vec<Vec<u8>> {
+    sizes.iter().map(|&n| vec![0u8; n as usize]).collect()
+}
+
+/// The file regions a wire op names, in request order.
+fn op_regions<'a>(op: &'a OpKind) -> Box<dyn Iterator<Item = Region> + 'a> {
+    match op {
+        OpKind::Read { region, .. } | OpKind::Write { region, .. } => {
+            Box::new(std::iter::once(*region))
+        }
+        OpKind::ReadList { regions, .. } | OpKind::WriteList { regions, .. } => {
+            Box::new(regions.iter().copied())
+        }
+        OpKind::ReadVectors { runs, .. } | OpKind::WriteVectors { runs, .. } => {
+            Box::new(runs.iter().flat_map(|r| r.regions()))
+        }
+    }
+}
+
+fn op_target(op: &OpKind) -> &Target {
+    match op {
+        OpKind::Read { dest, .. }
+        | OpKind::ReadList { dest, .. }
+        | OpKind::ReadVectors { dest, .. } => dest,
+        OpKind::Write { src, .. }
+        | OpKind::WriteList { src, .. }
+        | OpKind::WriteVectors { src, .. } => src,
+    }
+}
+
+/// Memory slices backing file subregion `file` under `target`, appended
+/// to `out` in file order.
+fn target_slices(target: &Target, file: Region, out: &mut Vec<MemSlice>) {
+    match target {
+        Target::Pieces(map) => map.slices_for(file, out),
+        Target::Window { temp, base } => out.push(MemSlice {
+            space: Space::Temp(*temp),
+            offset: file.offset - base,
+            len: file.len,
+        }),
+    }
+}
+
+/// Bytes of this op stored on `server`.
+pub fn server_share(op: &OpKind, layout: &StripeLayout, server: ServerId) -> u64 {
+    if server.0 < layout.base || server.0 >= layout.base + layout.pcount {
+        return 0;
+    }
+    let slot = server.0 - layout.base;
+    op_regions(op)
+        .map(|r| layout.bytes_on_slot(r, slot))
+        .sum()
+}
+
+/// Build the wire request for a wire op (gathering the write payload
+/// from `bufs` when the op is a write).
+pub fn wire_request(
+    wire: &WireOp,
+    handle: FileHandle,
+    layout: &StripeLayout,
+    bufs: &Buffers<'_>,
+) -> pvfs_proto::Request {
+    use pvfs_proto::Request;
+    match &wire.op {
+        OpKind::Read { region, .. } => Request::Read {
+            handle,
+            layout: *layout,
+            region: *region,
+        },
+        OpKind::ReadList { regions, .. } => Request::ReadList {
+            handle,
+            layout: *layout,
+            regions: regions.clone(),
+        },
+        OpKind::ReadVectors { runs, .. } => Request::ReadVectors {
+            handle,
+            layout: *layout,
+            runs: runs.clone(),
+        },
+        OpKind::Write { region, .. } => Request::Write {
+            handle,
+            layout: *layout,
+            region: *region,
+            data: gather_payload(&wire.op, layout, wire.server, bufs),
+        },
+        OpKind::WriteList { regions, .. } => Request::WriteList {
+            handle,
+            layout: *layout,
+            regions: regions.clone(),
+            data: gather_payload(&wire.op, layout, wire.server, bufs),
+        },
+        OpKind::WriteVectors { runs, .. } => Request::WriteVectors {
+            handle,
+            layout: *layout,
+            runs: runs.clone(),
+            data: gather_payload(&wire.op, layout, wire.server, bufs),
+        },
+    }
+}
+
+/// Gather the write payload for `server`: its share of every region in
+/// request order, pulled from the op's source target.
+pub fn gather_payload(op: &OpKind, layout: &StripeLayout, server: ServerId, bufs: &Buffers<'_>) -> Bytes {
+    gather_payload_counted(op, layout, server, bufs).0
+}
+
+/// [`gather_payload`], also reporting how many contiguous memory
+/// fragments were touched — the unit the client cost model charges
+/// per-fragment processing for.
+pub fn gather_payload_counted(
+    op: &OpKind,
+    layout: &StripeLayout,
+    server: ServerId,
+    bufs: &Buffers<'_>,
+) -> (Bytes, u64) {
+    debug_assert!(op.is_write());
+    let slot = server.0 - layout.base;
+    let mut payload = Vec::with_capacity(server_share(op, layout, server) as usize);
+    let target = op_target(op);
+    let mut slices = Vec::with_capacity(4);
+    let mut fragments = 0u64;
+    for region in op_regions(op) {
+        for seg in layout.segments(region) {
+            if seg.slot != slot {
+                continue;
+            }
+            slices.clear();
+            target_slices(target, seg.logical, &mut slices);
+            fragments += fragment_increment(target, &slices);
+            for s in &slices {
+                payload.extend_from_slice(bufs.slice(*s));
+            }
+        }
+    }
+    if matches!(target, Target::Window { .. }) && !payload.is_empty() {
+        fragments = 1; // windows stream contiguously: one fragment per op
+    }
+    (Bytes::from(payload), fragments)
+}
+
+/// Pieces targets pay per memory slice; window targets are counted as a
+/// single fragment by their caller.
+fn fragment_increment(target: &Target, slices: &[MemSlice]) -> u64 {
+    match target {
+        Target::Window { .. } => 0,
+        Target::Pieces(_) => slices.len() as u64,
+    }
+}
+
+/// Scatter a read response from `server` into the op's destination
+/// target, returning the number of contiguous memory fragments touched
+/// (the client cost model's per-fragment unit). Errors if the server
+/// returned the wrong number of bytes.
+pub fn scatter_response(
+    op: &OpKind,
+    layout: &StripeLayout,
+    server: ServerId,
+    data: &[u8],
+    bufs: &mut Buffers<'_>,
+) -> PvfsResult<u64> {
+    debug_assert!(!op.is_write());
+    let expected = server_share(op, layout, server);
+    if data.len() as u64 != expected {
+        return Err(PvfsError::protocol(format!(
+            "server {server} returned {} bytes, expected {expected}",
+            data.len()
+        )));
+    }
+    let slot = server.0 - layout.base;
+    let target = op_target(op);
+    let mut consumed = 0usize;
+    let mut fragments = 0u64;
+    let mut slices = Vec::with_capacity(4);
+    for region in op_regions(op) {
+        for seg in layout.segments(region) {
+            if seg.slot != slot {
+                continue;
+            }
+            slices.clear();
+            target_slices(target, seg.logical, &mut slices);
+            fragments += fragment_increment(target, &slices);
+            for s in &slices {
+                let n = s.len as usize;
+                bufs.slice_mut(*s)
+                    .copy_from_slice(&data[consumed..consumed + n]);
+                consumed += n;
+            }
+        }
+    }
+    if matches!(target, Target::Window { .. }) && !data.is_empty() {
+        fragments = 1;
+    }
+    debug_assert_eq!(consumed, data.len());
+    Ok(fragments)
+}
+
+/// Apply a copy step (`src` → `dst` for each pair).
+pub fn apply_copies(pairs: &[CopyPair], bufs: &mut Buffers<'_>) {
+    for p in pairs {
+        debug_assert_eq!(p.src.len, p.dst.len);
+        if p.src.space == p.dst.space {
+            // Same buffer: go through a scratch copy to satisfy borrow
+            // rules; plans only do this in degenerate cases.
+            let tmp = bufs.slice(p.src).to_vec();
+            bufs.slice_mut(p.dst).copy_from_slice(&tmp);
+        } else {
+            // Distinct buffers: split the borrow by space.
+            let (src_ptr, dst_slice): (Vec<u8>, &mut [u8]) = {
+                let src = bufs.slice(p.src).to_vec();
+                (src, bufs.slice_mut(p.dst))
+            };
+            dst_slice.copy_from_slice(&src_ptr);
+        }
+    }
+}
+
+/// Total bytes a copy step moves (for measured stats).
+pub fn copy_bytes(pairs: &[CopyPair]) -> u64 {
+    pairs.iter().map(|p| p.src.len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PieceMap;
+    use std::sync::Arc;
+
+    fn layout() -> StripeLayout {
+        StripeLayout::new(0, 4, 10).unwrap()
+    }
+
+    fn pieces_target(pieces: Vec<(Region, Region)>) -> Target {
+        Target::Pieces(Arc::new(PieceMap::new(pieces)))
+    }
+
+    #[test]
+    fn alloc_temps_sizes() {
+        let temps = alloc_temps(&[4, 0, 8]);
+        assert_eq!(temps.len(), 3);
+        assert_eq!(temps[0].len(), 4);
+        assert_eq!(temps[1].len(), 0);
+        assert_eq!(temps[2].len(), 8);
+    }
+
+    #[test]
+    fn server_share_matches_proto_convention() {
+        let l = layout();
+        let op = OpKind::Read {
+            region: Region::new(5, 20),
+            dest: pieces_target(vec![(Region::new(0, 20), Region::new(5, 20))]),
+        };
+        assert_eq!(server_share(&op, &l, ServerId(0)), 5);
+        assert_eq!(server_share(&op, &l, ServerId(1)), 10);
+        assert_eq!(server_share(&op, &l, ServerId(2)), 5);
+        assert_eq!(server_share(&op, &l, ServerId(3)), 0);
+        assert_eq!(server_share(&op, &l, ServerId(99)), 0);
+    }
+
+    #[test]
+    fn gather_pulls_user_bytes_in_daemon_order() {
+        let l = layout();
+        // Write [5, 25): server 1 owns [10, 20). Memory maps 1:1 with
+        // offset −5.
+        let mut user: Vec<u8> = (0..30u8).collect();
+        let mut temps = vec![];
+        let bufs = Buffers {
+            user: &mut user,
+            temps: &mut temps,
+        };
+        let op = OpKind::Write {
+            region: Region::new(5, 20),
+            src: pieces_target(vec![(Region::new(0, 20), Region::new(5, 20))]),
+        };
+        let payload = gather_payload(&op, &l, ServerId(1), &bufs);
+        // Server 1's bytes are file [10,20) => mem [5,15) => values 5..15.
+        assert_eq!(payload.as_ref(), &(5..15u8).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn scatter_places_server_bytes() {
+        let l = layout();
+        let mut user = vec![0u8; 20];
+        let mut temps = vec![];
+        let mut bufs = Buffers {
+            user: &mut user,
+            temps: &mut temps,
+        };
+        let op = OpKind::Read {
+            region: Region::new(5, 20),
+            dest: pieces_target(vec![(Region::new(0, 20), Region::new(5, 20))]),
+        };
+        // Server 1 returns its 10 bytes (file [10, 20)).
+        scatter_response(&op, &l, ServerId(1), &[9u8; 10], &mut bufs).unwrap();
+        assert_eq!(&user[0..5], &[0u8; 5]); // file [5,10) untouched
+        assert_eq!(&user[5..15], &[9u8; 10]);
+        assert_eq!(&user[15..20], &[0u8; 5]);
+    }
+
+    #[test]
+    fn scatter_rejects_wrong_length() {
+        let l = layout();
+        let mut user = vec![0u8; 20];
+        let mut temps = vec![];
+        let mut bufs = Buffers {
+            user: &mut user,
+            temps: &mut temps,
+        };
+        let op = OpKind::Read {
+            region: Region::new(5, 20),
+            dest: pieces_target(vec![(Region::new(0, 20), Region::new(5, 20))]),
+        };
+        assert!(scatter_response(&op, &l, ServerId(1), &[9u8; 3], &mut bufs).is_err());
+    }
+
+    #[test]
+    fn window_target_maps_into_temp() {
+        let l = layout();
+        let mut user = vec![];
+        let mut temps = vec![vec![0u8; 40]];
+        let mut bufs = Buffers {
+            user: &mut user,
+            temps: &mut temps,
+        };
+        let op = OpKind::Read {
+            region: Region::new(100, 40),
+            dest: Target::Window { temp: 0, base: 100 },
+        };
+        // Server 0 owns stripes 10 ([100,110)) — wait, stripe index of
+        // 100 with ssize 10 is 10, slot 10 % 4 = 2. Use server 2.
+        let share = server_share(&op, &l, ServerId(2));
+        scatter_response(&op, &l, ServerId(2), &vec![7u8; share as usize], &mut bufs).unwrap();
+        // Its bytes land at temp offsets matching logical − 100.
+        assert_eq!(&temps[0][0..10], &[7u8; 10]);
+    }
+
+    #[test]
+    fn copies_move_between_spaces() {
+        let mut user = vec![1u8, 2, 3, 4];
+        let mut temps = vec![vec![0u8; 4]];
+        let mut bufs = Buffers {
+            user: &mut user,
+            temps: &mut temps,
+        };
+        let pairs = vec![CopyPair {
+            dst: MemSlice {
+                space: Space::Temp(0),
+                offset: 1,
+                len: 3,
+            },
+            src: MemSlice {
+                space: Space::User,
+                offset: 0,
+                len: 3,
+            },
+        }];
+        apply_copies(&pairs, &mut bufs);
+        assert_eq!(temps[0], vec![0, 1, 2, 3]);
+        assert_eq!(copy_bytes(&pairs), 3);
+    }
+
+    #[test]
+    fn list_op_roundtrip_through_gather_scatter() {
+        // Write then read a two-region list against a single daemon's
+        // convention (both regions on server 0).
+        let l = layout();
+        let regions = pvfs_types::RegionList::from_pairs([(0, 5), (40, 5)]).unwrap();
+        let map = pieces_target(vec![
+            (Region::new(0, 5), Region::new(0, 5)),
+            (Region::new(5, 5), Region::new(40, 5)),
+        ]);
+        let mut user: Vec<u8> = (10..20u8).collect();
+        let mut temps = vec![];
+        let bufs = Buffers {
+            user: &mut user,
+            temps: &mut temps,
+        };
+        let wop = OpKind::WriteList {
+            regions: regions.clone(),
+            src: map.clone(),
+        };
+        let payload = gather_payload(&wop, &l, ServerId(0), &bufs);
+        assert_eq!(payload.as_ref(), &(10..20u8).collect::<Vec<_>>()[..]);
+
+        let mut user2 = vec![0u8; 10];
+        let mut temps2 = vec![];
+        let mut bufs2 = Buffers {
+            user: &mut user2,
+            temps: &mut temps2,
+        };
+        let rop = OpKind::ReadList {
+            regions,
+            dest: map,
+        };
+        scatter_response(&rop, &l, ServerId(0), &payload, &mut bufs2).unwrap();
+        assert_eq!(user2, (10..20u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vector_op_share_and_gather() {
+        let l = layout();
+        let runs = vec![pvfs_proto::VectorRun {
+            base: 0,
+            blocklen: 2,
+            stride: 10,
+            count: 4,
+        }];
+        // Regions [0,2) [10,12) [20,22) [30,32): one per server.
+        let map = pieces_target(vec![
+            (Region::new(0, 2), Region::new(0, 2)),
+            (Region::new(2, 2), Region::new(10, 2)),
+            (Region::new(4, 2), Region::new(20, 2)),
+            (Region::new(6, 2), Region::new(30, 2)),
+        ]);
+        let op = OpKind::WriteVectors {
+            runs,
+            src: map,
+        };
+        for s in 0..4 {
+            assert_eq!(server_share(&op, &l, ServerId(s)), 2);
+        }
+        let mut user: Vec<u8> = (0..8u8).collect();
+        let mut temps = vec![];
+        let bufs = Buffers {
+            user: &mut user,
+            temps: &mut temps,
+        };
+        assert_eq!(
+            gather_payload(&op, &l, ServerId(2), &bufs).as_ref(),
+            &[4u8, 5]
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Multiple I/O (§3.1): one contiguous request per contiguous piece.
+//!
+//! This is the baseline every parallel file system supports: a
+//! traditional `read`/`write` takes *one* buffer pointer and *one* file
+//! range, so each access must be contiguous in **both** memory and
+//! file. The planner therefore walks the request's aligned
+//! (memory, file) pieces — for FLASH I/O that is 983 040 accesses per
+//! processor even though the file has only 1920 contiguous regions,
+//! exactly the count §4.3.1 quotes. Each piece becomes one round: a
+//! single request usually, a small fan-out when the piece straddles
+//! stripe boundaries. Request count grows linearly with the number of
+//! pieces, which is the overhead the paper's figures show dominating.
+
+use crate::method::MethodConfig;
+use crate::plan::{AccessPlan, IoKind, OpKind, PieceMap, PlanStats, Step, Target, WireOp};
+use crate::planutil::{servers_for, touched_count};
+use crate::request::ListRequest;
+use pvfs_types::{FileHandle, PvfsResult, StripeLayout};
+use std::sync::Arc;
+
+/// Compile a multiple-I/O plan.
+pub fn plan(
+    kind: IoKind,
+    request: &ListRequest,
+    handle: FileHandle,
+    layout: StripeLayout,
+    _config: &MethodConfig,
+) -> PvfsResult<AccessPlan> {
+    let pieces = request.pieces()?;
+    let piece_map = Arc::new(PieceMap::new(pieces.clone()));
+    let total = request.total_len();
+
+    let mut stats = PlanStats {
+        rounds: pieces.len() as u64,
+        useful_bytes: total,
+        ..PlanStats::default()
+    };
+    for (_, file) in &pieces {
+        stats.requests += touched_count(&layout, *file);
+    }
+    stats.contig_requests = stats.requests;
+
+    let steps = pieces.into_iter().map(move |(_, region)| {
+        let ops = servers_for(&layout, [region])
+            .into_iter()
+            .map(|server| WireOp {
+                server,
+                op: match kind {
+                    IoKind::Read => OpKind::Read {
+                        region,
+                        dest: Target::Pieces(piece_map.clone()),
+                    },
+                    IoKind::Write => OpKind::Write {
+                        region,
+                        src: Target::Pieces(piece_map.clone()),
+                    },
+                },
+            })
+            .collect();
+        Step::Round(ops)
+    });
+
+    Ok(AccessPlan::new(handle, layout, kind, vec![], stats, steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvfs_types::RegionList;
+
+    fn layout() -> StripeLayout {
+        StripeLayout::new(0, 4, 10).unwrap()
+    }
+
+    fn req(pairs: &[(u64, u64)]) -> ListRequest {
+        ListRequest::gather(RegionList::from_pairs(pairs.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn one_round_per_piece_with_contiguous_memory() {
+        // Contiguous memory: pieces == file regions.
+        let r = req(&[(0, 4), (20, 4), (40, 4)]);
+        let plan = plan(IoKind::Read, &r, FileHandle(1), layout(), &MethodConfig::default())
+            .unwrap();
+        assert_eq!(plan.stats.rounds, 3);
+        assert_eq!(plan.stats.requests, 3); // each region on one server
+        assert_eq!(plan.stats.contig_requests, 3);
+        assert_eq!(plan.stats.list_requests, 0);
+        assert_eq!(plan.stats.waste_bytes, 0);
+        assert_eq!(plan.stats.useful_bytes, 12);
+        let steps = plan.collect_steps();
+        assert_eq!(steps.len(), 3);
+        for s in &steps {
+            match s {
+                Step::Round(ops) => assert_eq!(ops.len(), 1),
+                other => panic!("unexpected step {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fragmented_memory_multiplies_accesses() {
+        // FLASH-like: one 32-byte file region fed from four 8-byte
+        // memory fragments => four accesses, not one.
+        let mem = RegionList::from_pairs((0..4u64).map(|i| (i * 192, 8))).unwrap();
+        let file = RegionList::from_pairs([(1000, 32)]).unwrap();
+        let r = ListRequest::new(mem, file).unwrap();
+        let p = plan(IoKind::Write, &r, FileHandle(1), layout(), &MethodConfig::default())
+            .unwrap();
+        assert_eq!(p.stats.rounds, 4);
+        // Pieces straddling the 10-byte stripes fan out further.
+        assert!(p.stats.requests >= 4);
+    }
+
+    #[test]
+    fn straddling_region_fans_out() {
+        let r = req(&[(5, 20)]); // servers 0, 1, 2
+        let plan = plan(IoKind::Read, &r, FileHandle(1), layout(), &MethodConfig::default())
+            .unwrap();
+        assert_eq!(plan.stats.requests, 3);
+        let steps = plan.collect_steps();
+        match &steps[0] {
+            Step::Round(ops) => {
+                assert_eq!(ops.len(), 3);
+                let servers: Vec<u32> = ops.iter().map(|o| o.server.0).collect();
+                assert_eq!(servers, vec![0, 1, 2]);
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_plans_use_write_ops() {
+        let r = req(&[(0, 4)]);
+        let plan = plan(IoKind::Write, &r, FileHandle(1), layout(), &MethodConfig::default())
+            .unwrap();
+        let steps = plan.collect_steps();
+        match &steps[0] {
+            Step::Round(ops) => assert!(ops[0].op.is_write()),
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_temps_no_serialization() {
+        let r = req(&[(0, 4), (100, 4)]);
+        let plan = plan(IoKind::Write, &r, FileHandle(1), layout(), &MethodConfig::default())
+            .unwrap();
+        assert!(plan.temp_sizes.is_empty());
+        assert_eq!(plan.stats.serial_sections, 0);
+        assert_eq!(plan.stats.copy_bytes, 0);
+    }
+
+    #[test]
+    fn request_count_scales_with_regions() {
+        // The paper's core observation: multiple I/O cost is linear in
+        // the number of accesses.
+        let small = req(&(0..10).map(|i| (i * 100, 4u64)).collect::<Vec<_>>());
+        let big = req(&(0..1000).map(|i| (i * 100, 4u64)).collect::<Vec<_>>());
+        let cfg = MethodConfig::default();
+        let ps = plan(IoKind::Read, &small, FileHandle(1), layout(), &cfg).unwrap();
+        let pb = plan(IoKind::Read, &big, FileHandle(1), layout(), &cfg).unwrap();
+        assert_eq!(pb.stats.requests, 100 * ps.stats.requests);
+    }
+
+    #[test]
+    fn flash_piece_count_matches_paper_formula() {
+        // 2 file chunks of 32 bytes, memory fragmented into 8-byte
+        // doubles at 192-byte spacing: accesses = mem fragments.
+        let mem = RegionList::from_pairs((0..8u64).map(|i| (i * 192, 8))).unwrap();
+        let file = RegionList::from_pairs([(0, 32), (4096, 32)]).unwrap();
+        let r = ListRequest::new(mem, file).unwrap();
+        let p = plan(IoKind::Write, &r, FileHandle(1), layout(), &MethodConfig::default())
+            .unwrap();
+        assert_eq!(p.stats.rounds, 8);
+    }
+}

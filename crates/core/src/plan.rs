@@ -1,0 +1,400 @@
+//! The access-plan intermediate representation.
+//!
+//! Every access method compiles a [`crate::ListRequest`] into an
+//! [`AccessPlan`]: a lazy sequence of [`Step`]s that two executors can
+//! run — the live threaded cluster with real wall-clock time, and the
+//! discrete-event simulator with virtual time. Keeping strategy logic in
+//! *one* place (the planners) and execution semantics in *one* place
+//! ([`crate::exec`]) is what makes the timed figures trustworthy: the
+//! bytes they move are the bytes the correctness tests verify.
+//!
+//! Plans are lazy (steps are generated on demand) because a 1M-access
+//! multiple-I/O plan would otherwise materialize a million rounds up
+//! front; the planners instead stream steps from compact state.
+
+use pvfs_types::{FileHandle, Region, RegionList, ServerId, StripeLayout};
+use std::fmt;
+use std::sync::Arc;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// File → memory.
+    Read,
+    /// Memory → file.
+    Write,
+}
+
+/// Which buffer a memory slice lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// The caller's buffer.
+    User,
+    /// Plan-owned temporary buffer `n` (e.g. the data sieving buffer).
+    Temp(usize),
+}
+
+/// A contiguous slice of client memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSlice {
+    /// Which buffer.
+    pub space: Space,
+    /// Byte offset within that buffer.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// One client-side copy: `src` → `dst` (equal lengths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyPair {
+    /// Destination slice.
+    pub dst: MemSlice,
+    /// Source slice.
+    pub src: MemSlice,
+}
+
+/// The scatter/gather map of one request: aligned (memory, file) pieces
+/// sorted by file offset, supporting O(log n) lookup of the memory
+/// slices backing any file subregion.
+///
+/// Built once per [`crate::ListRequest`] and shared (`Arc`) by every
+/// wire op of the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PieceMap {
+    /// (memory slice in user space, file region), sorted by file offset,
+    /// file-disjoint.
+    pieces: Vec<(Region, Region)>,
+}
+
+impl PieceMap {
+    /// Build from aligned pieces (as produced by
+    /// [`crate::ListRequest::pieces`]). Sorts by file offset.
+    pub fn new(mut pieces: Vec<(Region, Region)>) -> PieceMap {
+        pieces.sort_unstable_by_key(|(_, f)| f.offset);
+        debug_assert!(
+            pieces.windows(2).all(|w| w[0].1.end() <= w[1].1.offset),
+            "file pieces must be disjoint"
+        );
+        PieceMap { pieces }
+    }
+
+    /// Number of aligned pieces.
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// True when the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// The user-space memory slices backing file region `file`, in file
+    /// order. `file` must be fully covered by mapped pieces (planners
+    /// only ask about regions they derived from the same request).
+    pub fn slices_for(&self, file: Region, out: &mut Vec<MemSlice>) {
+        if file.is_empty() {
+            return;
+        }
+        // First piece whose file end is beyond file.offset.
+        let mut idx = self
+            .pieces
+            .partition_point(|(_, f)| f.end() <= file.offset);
+        let mut covered = 0;
+        while idx < self.pieces.len() && covered < file.len {
+            let (mem, f) = self.pieces[idx];
+            let Some(overlap) = f.intersect(file) else { break };
+            let delta = overlap.offset - f.offset;
+            out.push(MemSlice {
+                space: Space::User,
+                offset: mem.offset + delta,
+                len: overlap.len,
+            });
+            covered += overlap.len;
+            idx += 1;
+        }
+        debug_assert_eq!(covered, file.len, "file region {file} not fully mapped");
+    }
+}
+
+/// Where the byte stream of a wire op comes from / goes to on the
+/// client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Scatter/gather through the request's aligned pieces (user
+    /// buffer).
+    Pieces(Arc<PieceMap>),
+    /// A contiguous window in temp buffer `temp`: file offset `x` maps
+    /// to temp offset `x - base`. Used by data sieving.
+    Window { temp: usize, base: u64 },
+}
+
+/// One wire operation addressed to one I/O daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireOp {
+    /// Destination server.
+    pub server: ServerId,
+    /// The operation.
+    pub op: OpKind,
+}
+
+/// The operation kinds a plan can issue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Contiguous read of `region`; the server's share lands in `dest`.
+    Read { region: Region, dest: Target },
+    /// Contiguous write of `region`; the server's share is gathered from
+    /// `src`.
+    Write { region: Region, src: Target },
+    /// List read (≤64 regions of trailing data).
+    ReadList { regions: RegionList, dest: Target },
+    /// List write.
+    WriteList { regions: RegionList, src: Target },
+    /// Datatype (vector-run) read; `regions` is the pre-expanded region
+    /// list shared with the scatter map.
+    ReadVectors {
+        runs: Vec<pvfs_proto::VectorRun>,
+        dest: Target,
+    },
+    /// Datatype write.
+    WriteVectors {
+        runs: Vec<pvfs_proto::VectorRun>,
+        src: Target,
+    },
+}
+
+impl OpKind {
+    /// True for write ops.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Write { .. } | OpKind::WriteList { .. } | OpKind::WriteVectors { .. }
+        )
+    }
+}
+
+/// One step of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Issue all ops in parallel (fan-out to distinct servers) and wait
+    /// for every response before the next step.
+    Round(Vec<WireOp>),
+    /// Client-side memory copies (sieve buffer ⇄ user buffer).
+    Copy(Vec<CopyPair>),
+    /// Begin a section that must execute exclusively, in client-rank
+    /// order — the plan-level encoding of the paper's
+    /// `MPI_Barrier`-serialized data sieving writes.
+    SerialBegin,
+    /// End the exclusive section.
+    SerialEnd,
+}
+
+impl Step {
+    /// Short label for traces.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Step::Round(_) => "round",
+            Step::Copy(_) => "copy",
+            Step::SerialBegin => "serial_begin",
+            Step::SerialEnd => "serial_end",
+        }
+    }
+}
+
+/// Analytic plan statistics, computed by the planner before execution.
+/// The executors produce matching measured numbers; tests assert they
+/// agree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Round steps (sequential request waves).
+    pub rounds: u64,
+    /// Total wire requests across all rounds.
+    pub requests: u64,
+    /// Of which list/vector requests.
+    pub list_requests: u64,
+    /// Of which contiguous requests.
+    pub contig_requests: u64,
+    /// Bytes of requested (useful) data moved over the wire.
+    pub useful_bytes: u64,
+    /// Bytes moved over the wire that the caller never asked for — data
+    /// sieving's "impertinent data".
+    pub waste_bytes: u64,
+    /// Client-side copy traffic (sieve buffer ⇄ user buffer).
+    pub copy_bytes: u64,
+    /// Serialized (exclusive) sections, ≥1 iff the method needs
+    /// cross-client write serialization.
+    pub serial_sections: u64,
+}
+
+impl PlanStats {
+    /// Total bytes crossing the network (useful + waste).
+    pub fn wire_bytes(&self) -> u64 {
+        self.useful_bytes + self.waste_bytes
+    }
+}
+
+/// A compiled access plan: lazy steps plus everything an executor needs
+/// to run them.
+pub struct AccessPlan {
+    /// The file being accessed.
+    pub handle: FileHandle,
+    /// Its striping.
+    pub layout: StripeLayout,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Sizes of the temp buffers the executor must allocate (index =
+    /// [`Space::Temp`] id).
+    pub temp_sizes: Vec<u64>,
+    /// Analytic statistics.
+    pub stats: PlanStats,
+    steps: Box<dyn Iterator<Item = Step> + Send>,
+}
+
+impl AccessPlan {
+    /// Assemble a plan from parts.
+    pub fn new(
+        handle: FileHandle,
+        layout: StripeLayout,
+        kind: IoKind,
+        temp_sizes: Vec<u64>,
+        stats: PlanStats,
+        steps: impl Iterator<Item = Step> + Send + 'static,
+    ) -> AccessPlan {
+        AccessPlan {
+            handle,
+            layout,
+            kind,
+            temp_sizes,
+            stats,
+            steps: Box::new(steps),
+        }
+    }
+
+    /// Pull the next step; `None` when the plan is complete.
+    pub fn next_step(&mut self) -> Option<Step> {
+        self.steps.next()
+    }
+
+    /// Drain all steps into a vector (tests and small plans only).
+    pub fn collect_steps(mut self) -> Vec<Step> {
+        let mut v = Vec::new();
+        while let Some(s) = self.next_step() {
+            v.push(s);
+        }
+        v
+    }
+}
+
+impl fmt::Debug for AccessPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AccessPlan")
+            .field("handle", &self.handle)
+            .field("kind", &self.kind)
+            .field("temp_sizes", &self.temp_sizes)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type PiecePair = ((u64, u64), (u64, u64));
+
+    fn pm(pieces: &[PiecePair]) -> PieceMap {
+        PieceMap::new(
+            pieces
+                .iter()
+                .map(|((mo, ml), (fo, fl))| (Region::new(*mo, *ml), Region::new(*fo, *fl)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn piecemap_lookup_exact_piece() {
+        let map = pm(&[((0, 10), (100, 10)), ((10, 10), (200, 10))]);
+        let mut out = Vec::new();
+        map.slices_for(Region::new(200, 10), &mut out);
+        assert_eq!(
+            out,
+            vec![MemSlice {
+                space: Space::User,
+                offset: 10,
+                len: 10
+            }]
+        );
+    }
+
+    #[test]
+    fn piecemap_lookup_partial_and_spanning() {
+        let map = pm(&[((0, 10), (100, 10)), ((10, 10), (110, 10))]);
+        let mut out = Vec::new();
+        map.slices_for(Region::new(105, 10), &mut out);
+        assert_eq!(
+            out,
+            vec![
+                MemSlice {
+                    space: Space::User,
+                    offset: 5,
+                    len: 5
+                },
+                MemSlice {
+                    space: Space::User,
+                    offset: 10,
+                    len: 5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn piecemap_sorts_input() {
+        let map = pm(&[((10, 10), (200, 10)), ((0, 10), (100, 10))]);
+        let mut out = Vec::new();
+        map.slices_for(Region::new(100, 5), &mut out);
+        assert_eq!(out[0].offset, 0);
+    }
+
+    #[test]
+    fn piecemap_empty_region_lookup() {
+        let map = pm(&[((0, 10), (100, 10))]);
+        let mut out = Vec::new();
+        map.slices_for(Region::new(100, 0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn plan_streams_steps() {
+        let steps = vec![Step::SerialBegin, Step::SerialEnd];
+        let mut plan = AccessPlan::new(
+            FileHandle(1),
+            StripeLayout::paper_default(4),
+            IoKind::Write,
+            vec![],
+            PlanStats::default(),
+            steps.into_iter(),
+        );
+        assert_eq!(plan.next_step(), Some(Step::SerialBegin));
+        assert_eq!(plan.next_step(), Some(Step::SerialEnd));
+        assert_eq!(plan.next_step(), None);
+        assert_eq!(plan.next_step(), None);
+    }
+
+    #[test]
+    fn stats_wire_bytes() {
+        let s = PlanStats {
+            useful_bytes: 10,
+            waste_bytes: 5,
+            ..PlanStats::default()
+        };
+        assert_eq!(s.wire_bytes(), 15);
+    }
+
+    #[test]
+    fn step_kind_names() {
+        assert_eq!(Step::Round(vec![]).kind_name(), "round");
+        assert_eq!(Step::Copy(vec![]).kind_name(), "copy");
+        assert_eq!(Step::SerialBegin.kind_name(), "serial_begin");
+    }
+}

@@ -1,0 +1,98 @@
+//! Small helpers shared by the planners.
+
+use pvfs_types::{Region, ServerId, StripeLayout};
+
+/// The distinct servers touched by a set of regions, in slot order.
+/// Uses a per-slot mark array, so cost is O(regions + pcount) regardless
+/// of how many stripes each region spans.
+pub fn servers_for<I: IntoIterator<Item = Region>>(
+    layout: &StripeLayout,
+    regions: I,
+) -> Vec<ServerId> {
+    let pcount = layout.pcount as usize;
+    let mut marked = vec![false; pcount];
+    let mut found = 0usize;
+    for r in regions {
+        if r.is_empty() {
+            continue;
+        }
+        let first = layout.stripe_index(r.offset);
+        let last = layout.stripe_index(r.end() - 1);
+        let stripes = last - first + 1;
+        if stripes >= pcount as u64 {
+            // Touches everything.
+            return layout.servers().collect();
+        }
+        for g in first..=last {
+            let slot = (g % layout.pcount as u64) as usize;
+            if !marked[slot] {
+                marked[slot] = true;
+                found += 1;
+                if found == pcount {
+                    return layout.servers().collect();
+                }
+            }
+        }
+    }
+    marked
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| **m)
+        .map(|(slot, _)| layout.server_at_slot(slot as u32))
+        .collect()
+}
+
+/// How many distinct servers one region touches (cheap, no allocation).
+pub fn touched_count(layout: &StripeLayout, region: Region) -> u64 {
+    if region.is_empty() {
+        return 0;
+    }
+    let stripes =
+        layout.stripe_index(region.end() - 1) - layout.stripe_index(region.offset) + 1;
+    stripes.min(layout.pcount as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> StripeLayout {
+        StripeLayout::new(0, 4, 10).unwrap()
+    }
+
+    #[test]
+    fn servers_for_matches_servers_touched() {
+        let l = layout();
+        for (off, len) in [(0u64, 5u64), (5, 10), (0, 40), (30, 20), (95, 3)] {
+            let r = Region::new(off, len);
+            assert_eq!(servers_for(&l, [r]), l.servers_touched(r), "region {r}");
+        }
+    }
+
+    #[test]
+    fn servers_for_unions_regions() {
+        let l = layout();
+        let regions = [Region::new(0, 5), Region::new(30, 5)]; // slots 0 and 3
+        assert_eq!(servers_for(&l, regions), vec![ServerId(0), ServerId(3)]);
+    }
+
+    #[test]
+    fn servers_for_big_region_short_circuits() {
+        let l = layout();
+        assert_eq!(servers_for(&l, [Region::new(0, 1000)]).len(), 4);
+    }
+
+    #[test]
+    fn touched_count_matches_list_len() {
+        let l = layout();
+        for (off, len) in [(0u64, 1u64), (5, 10), (0, 40), (30, 20), (9, 2)] {
+            let r = Region::new(off, len);
+            assert_eq!(
+                touched_count(&l, r),
+                l.servers_touched(r).len() as u64,
+                "region {r}"
+            );
+        }
+        assert_eq!(touched_count(&l, Region::new(3, 0)), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Simulated local storage under each PVFS I/O daemon.
+//!
+//! PVFS is "built on the local file system, which allows the Linux buffer
+//! cache to reduce the cost of individual local disk operations on the
+//! I/O servers" (§2). Each I/O daemon in this reproduction therefore owns
+//! one [`LocalFile`] per open handle, which combines:
+//!
+//! * [`SparseStore`] — the functional byte content (chunked, sparse,
+//!   zero-filled holes), playing the role of platter + page contents;
+//! * [`BufferCache`] — an LRU block cache *residency model*: it tracks
+//!   which blocks would be memory-resident and which accesses would go
+//!   to disk, without duplicating the data;
+//! * [`DiskModel`] — a seek + rotational + transfer cost model for the
+//!   accesses that miss the cache (calibrated to the paper's 9 GB
+//!   Quantum Atlas IV SCSI disks).
+//!
+//! Reads and writes always succeed functionally; alongside the data they
+//! return a [`CostReport`] that the discrete-event simulator converts to
+//! virtual time. The live threaded cluster simply ignores the report.
+
+pub mod cache;
+pub mod localfile;
+pub mod model;
+pub mod store;
+
+pub use cache::{BufferCache, CacheConfig, CacheOutcome, CachePolicy};
+pub use localfile::{CostReport, LocalFile};
+pub use model::DiskModel;
+pub use store::SparseStore;

@@ -1,0 +1,254 @@
+//! Sparse in-memory byte store.
+//!
+//! Holds the functional content of one I/O daemon's local file. Storage
+//! is chunked so that a 1 GiB logical file striped across 8 servers
+//! costs only the chunks actually written; unwritten holes read back as
+//! zeros, like a sparse Unix file.
+
+use std::collections::BTreeMap;
+
+/// Chunk granularity. 64 KiB balances per-chunk overhead against
+/// allocation waste for scattered small writes.
+pub const CHUNK_SIZE: usize = 64 * 1024;
+
+/// A sparse, growable byte store addressed by `u64` offsets.
+#[derive(Debug, Default, Clone)]
+pub struct SparseStore {
+    chunks: BTreeMap<u64, Box<[u8; CHUNK_SIZE]>>,
+    /// One past the highest byte ever written.
+    size: u64,
+}
+
+impl SparseStore {
+    /// An empty store.
+    pub fn new() -> SparseStore {
+        SparseStore::default()
+    }
+
+    /// One past the highest byte ever written (the local file size).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of chunks currently materialized (for memory accounting).
+    pub fn resident_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Resident memory in bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.chunks.len() * CHUNK_SIZE) as u64
+    }
+
+    /// Read `buf.len()` bytes starting at `offset`. Holes and bytes past
+    /// the end read as zero.
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let abs = offset + pos as u64;
+            let chunk_idx = abs / CHUNK_SIZE as u64;
+            let within = (abs % CHUNK_SIZE as u64) as usize;
+            let n = (CHUNK_SIZE - within).min(buf.len() - pos);
+            match self.chunks.get(&chunk_idx) {
+                Some(chunk) => buf[pos..pos + n].copy_from_slice(&chunk[within..within + n]),
+                None => buf[pos..pos + n].fill(0),
+            }
+            pos += n;
+        }
+    }
+
+    /// Convenience: read `len` bytes at `offset` into a fresh vector.
+    pub fn read_vec(&self, offset: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.read_at(offset, &mut buf);
+        buf
+    }
+
+    /// Write `data` at `offset`, materializing chunks as needed and
+    /// growing the file size.
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos as u64;
+            let chunk_idx = abs / CHUNK_SIZE as u64;
+            let within = (abs % CHUNK_SIZE as u64) as usize;
+            let n = (CHUNK_SIZE - within).min(data.len() - pos);
+            let chunk = self
+                .chunks
+                .entry(chunk_idx)
+                .or_insert_with(|| Box::new([0u8; CHUNK_SIZE]));
+            chunk[within..within + n].copy_from_slice(&data[pos..pos + n]);
+            pos += n;
+        }
+        self.size = self.size.max(offset + data.len() as u64);
+    }
+
+    /// Truncate to `size` bytes, dropping whole chunks past the end and
+    /// zeroing the partial tail chunk.
+    pub fn truncate(&mut self, size: u64) {
+        if size >= self.size {
+            return;
+        }
+        let keep_full = size / CHUNK_SIZE as u64;
+        let within = (size % CHUNK_SIZE as u64) as usize;
+        let cut_from = if within == 0 { keep_full } else { keep_full + 1 };
+        self.chunks.retain(|&idx, _| idx < cut_from);
+        if within != 0 {
+            if let Some(chunk) = self.chunks.get_mut(&keep_full) {
+                chunk[within..].fill(0);
+            }
+        }
+        self.size = size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store_reads_zero() {
+        let s = SparseStore::new();
+        assert_eq!(s.size(), 0);
+        assert_eq!(s.read_vec(0, 8), vec![0u8; 8]);
+        assert_eq!(s.read_vec(1 << 40, 4), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let mut s = SparseStore::new();
+        s.write_at(10, b"hello");
+        assert_eq!(s.read_vec(10, 5), b"hello");
+        assert_eq!(s.size(), 15);
+        // Surrounding bytes are zero.
+        assert_eq!(s.read_vec(8, 9), b"\0\0hello\0\0");
+    }
+
+    #[test]
+    fn write_spanning_chunk_boundary() {
+        let mut s = SparseStore::new();
+        let off = CHUNK_SIZE as u64 - 3;
+        s.write_at(off, b"abcdef");
+        assert_eq!(s.read_vec(off, 6), b"abcdef");
+        assert_eq!(s.resident_chunks(), 2);
+    }
+
+    #[test]
+    fn sparse_writes_only_materialize_touched_chunks() {
+        let mut s = SparseStore::new();
+        s.write_at(0, b"x");
+        s.write_at(100 * CHUNK_SIZE as u64, b"y");
+        assert_eq!(s.resident_chunks(), 2);
+        assert_eq!(s.size(), 100 * CHUNK_SIZE as u64 + 1);
+        // The hole between reads as zero.
+        assert_eq!(s.read_vec(50 * CHUNK_SIZE as u64, 4), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes() {
+        let mut s = SparseStore::new();
+        s.write_at(0, b"aaaaaa");
+        s.write_at(2, b"bb");
+        assert_eq!(s.read_vec(0, 6), b"aabbaa");
+        assert_eq!(s.size(), 6);
+    }
+
+    #[test]
+    fn empty_write_is_noop() {
+        let mut s = SparseStore::new();
+        s.write_at(100, b"");
+        assert_eq!(s.size(), 0);
+        assert_eq!(s.resident_chunks(), 0);
+    }
+
+    #[test]
+    fn truncate_drops_tail() {
+        let mut s = SparseStore::new();
+        s.write_at(0, &vec![7u8; 3 * CHUNK_SIZE]);
+        s.truncate(CHUNK_SIZE as u64 + 10);
+        assert_eq!(s.size(), CHUNK_SIZE as u64 + 10);
+        assert_eq!(s.resident_chunks(), 2);
+        // Tail of the partial chunk was zeroed.
+        assert_eq!(s.read_vec(CHUNK_SIZE as u64 + 10, 4), vec![0u8; 4]);
+        assert_eq!(s.read_vec(CHUNK_SIZE as u64 + 8, 2), vec![7u8; 2]);
+        // Growing truncate is a no-op.
+        s.truncate(1 << 30);
+        assert_eq!(s.size(), CHUNK_SIZE as u64 + 10);
+    }
+
+    #[test]
+    fn truncate_to_zero() {
+        let mut s = SparseStore::new();
+        s.write_at(0, b"data");
+        s.truncate(0);
+        assert_eq!(s.size(), 0);
+        assert_eq!(s.resident_chunks(), 0);
+        assert_eq!(s.read_vec(0, 4), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn resident_bytes_accounting() {
+        let mut s = SparseStore::new();
+        s.write_at(0, b"x");
+        assert_eq!(s.resident_bytes(), CHUNK_SIZE as u64);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The store behaves exactly like a flat zero-initialized array.
+        #[test]
+        fn matches_flat_array_oracle(
+            ops in proptest::collection::vec(
+                (0u64..200_000, proptest::collection::vec(any::<u8>(), 1..512)),
+                1..40,
+            )
+        ) {
+            let mut store = SparseStore::new();
+            let mut oracle = vec![0u8; 300_000];
+            let mut size = 0u64;
+            for (off, data) in &ops {
+                store.write_at(*off, data);
+                oracle[*off as usize..*off as usize + data.len()].copy_from_slice(data);
+                size = size.max(off + data.len() as u64);
+            }
+            prop_assert_eq!(store.size(), size);
+            // Probe a few windows.
+            for probe in [0u64, 1000, 65_535, 131_072, 199_999] {
+                let got = store.read_vec(probe, 600);
+                let mut want = vec![0u8; 600];
+                let upto = (probe as usize + 600).min(oracle.len());
+                if (probe as usize) < oracle.len() {
+                    want[..upto - probe as usize]
+                        .copy_from_slice(&oracle[probe as usize..upto]);
+                }
+                prop_assert_eq!(got, want);
+            }
+        }
+
+        #[test]
+        fn truncate_matches_oracle(
+            len in 1usize..100_000,
+            cut in 0u64..120_000,
+        ) {
+            let mut store = SparseStore::new();
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            store.write_at(0, &data);
+            store.truncate(cut);
+            let expect_size = cut.min(len as u64);
+            prop_assert_eq!(store.size(), expect_size);
+            let got = store.read_vec(0, len + 16);
+            for (i, b) in got.iter().enumerate() {
+                let want = if (i as u64) < expect_size { (i % 251) as u8 } else { 0 };
+                prop_assert_eq!(*b, want, "byte {}", i);
+            }
+        }
+    }
+}

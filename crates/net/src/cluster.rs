@@ -1,0 +1,446 @@
+//! Threaded cluster and its RPC transport.
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
+use pvfs_proto::{
+    decode_message, decode_response, encode_message, encode_response, Message, Request, Response,
+};
+use pvfs_server::{IoDaemon, IodConfig, Manager, ServerStats};
+use pvfs_types::{ClientId, PvfsError, PvfsResult, RequestId, ServerId};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::gate::SerialGate;
+
+/// Where an RPC is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcTarget {
+    /// The manager daemon (metadata).
+    Manager,
+    /// An I/O daemon (data).
+    Server(ServerId),
+}
+
+enum NodeMsg {
+    /// An encoded request frame and the channel for the encoded reply.
+    Rpc(Bytes, Sender<Bytes>),
+    Shutdown,
+}
+
+/// A live in-process PVFS cluster: N I/O daemon threads + 1 manager
+/// thread. Dropping the cluster shuts the threads down.
+pub struct LiveCluster {
+    server_txs: Vec<Sender<NodeMsg>>,
+    mgr_tx: Sender<NodeMsg>,
+    daemons: Vec<Arc<Mutex<IoDaemon>>>,
+    threads: Vec<JoinHandle<()>>,
+    next_client: AtomicU32,
+    gate: Arc<SerialGate>,
+}
+
+impl LiveCluster {
+    /// Spawn a cluster with `n_servers` I/O daemons (ids `0..n`) using
+    /// paper-default disk and cache models.
+    pub fn spawn(n_servers: u32) -> LiveCluster {
+        LiveCluster::spawn_with(n_servers, IodConfig::default())
+    }
+
+    /// Spawn with explicit daemon configuration.
+    pub fn spawn_with(n_servers: u32, config: IodConfig) -> LiveCluster {
+        assert!(n_servers > 0, "need at least one I/O server");
+        let mut server_txs = Vec::new();
+        let mut daemons = Vec::new();
+        let mut threads = Vec::new();
+        for i in 0..n_servers {
+            let daemon = Arc::new(Mutex::new(IoDaemon::new(ServerId(i), config)));
+            let (tx, rx) = unbounded::<NodeMsg>();
+            let thread_daemon = daemon.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("iod{i}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                NodeMsg::Rpc(frame, reply) => {
+                                    let (id, response) = serve_frame(frame, |req| {
+                                        thread_daemon.lock().handle(req).0
+                                    });
+                                    let _ = reply.send(encode_response(id, &response));
+                                }
+                                NodeMsg::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("spawn iod thread"),
+            );
+            server_txs.push(tx);
+            daemons.push(daemon);
+        }
+        let (mgr_tx, mgr_rx) = unbounded::<NodeMsg>();
+        threads.push(
+            std::thread::Builder::new()
+                .name("pvfs-mgr".into())
+                .spawn(move || {
+                    let mut manager = Manager::new();
+                    while let Ok(msg) = mgr_rx.recv() {
+                        match msg {
+                            NodeMsg::Rpc(frame, reply) => {
+                                let (id, response) =
+                                    serve_frame(frame, |req| manager.handle(req));
+                                let _ = reply.send(encode_response(id, &response));
+                            }
+                            NodeMsg::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn manager thread"),
+        );
+        LiveCluster {
+            server_txs,
+            mgr_tx,
+            daemons,
+            threads,
+            next_client: AtomicU32::new(0),
+            gate: Arc::new(SerialGate::new()),
+        }
+    }
+
+    /// Number of I/O servers.
+    pub fn n_servers(&self) -> u32 {
+        self.server_txs.len() as u32
+    }
+
+    /// A new client endpoint (unique client id; cheap to create, cheap
+    /// to clone).
+    pub fn client(&self) -> ClusterClient {
+        ClusterClient {
+            id: ClientId(self.next_client.fetch_add(1, Ordering::Relaxed)),
+            server_txs: self.server_txs.clone(),
+            mgr_tx: self.mgr_tx.clone(),
+            next_request: Arc::new(AtomicU64::new(0)),
+            gate: self.gate.clone(),
+        }
+    }
+
+    /// Statistics snapshot of one I/O daemon.
+    pub fn server_stats(&self, server: ServerId) -> Option<ServerStats> {
+        self.daemons
+            .get(server.index())
+            .map(|d| d.lock().stats())
+    }
+
+    /// The cluster-wide serialization gate (data sieving writes).
+    pub fn gate(&self) -> Arc<SerialGate> {
+        self.gate.clone()
+    }
+}
+
+impl Drop for LiveCluster {
+    fn drop(&mut self) {
+        for tx in &self.server_txs {
+            let _ = tx.send(NodeMsg::Shutdown);
+        }
+        let _ = self.mgr_tx.send(NodeMsg::Shutdown);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Decode a frame, serve it, and return the id + response (protocol
+/// errors become error responses with the echoed id when parsable).
+fn serve_frame(frame: Bytes, serve: impl FnOnce(&Request) -> Response) -> (RequestId, Response) {
+    match decode_message(frame) {
+        Ok(Message { id, request, .. }) => (id, serve(&request)),
+        Err(e) => (RequestId(0), Response::Error(e)),
+    }
+}
+
+/// A client endpoint of a [`LiveCluster`].
+#[derive(Clone)]
+pub struct ClusterClient {
+    id: ClientId,
+    server_txs: Vec<Sender<NodeMsg>>,
+    mgr_tx: Sender<NodeMsg>,
+    next_request: Arc<AtomicU64>,
+    gate: Arc<SerialGate>,
+}
+
+impl ClusterClient {
+    /// This endpoint's client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Number of I/O servers reachable.
+    pub fn n_servers(&self) -> u32 {
+        self.server_txs.len() as u32
+    }
+
+    /// The cluster's serialization gate.
+    pub fn gate(&self) -> &SerialGate {
+        &self.gate
+    }
+
+    fn tx_for(&self, target: RpcTarget) -> PvfsResult<&Sender<NodeMsg>> {
+        match target {
+            RpcTarget::Manager => Ok(&self.mgr_tx),
+            RpcTarget::Server(s) => self
+                .server_txs
+                .get(s.index())
+                .ok_or(PvfsError::NoSuchServer(s.0)),
+        }
+    }
+
+    fn encode(&self, request: Request) -> PvfsResult<(RequestId, Bytes)> {
+        let id = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
+        let frame = encode_message(&Message {
+            client: self.id,
+            id,
+            request,
+        })?;
+        Ok((id, frame))
+    }
+
+    /// One synchronous RPC. Errors returned by the server come back as
+    /// `Err`.
+    pub fn call(&self, target: RpcTarget, request: Request) -> PvfsResult<Response> {
+        let (id, frame) = self.encode(request)?;
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx_for(target)?
+            .send(NodeMsg::Rpc(frame, reply_tx))
+            .map_err(|_| PvfsError::Transport("server thread gone".into()))?;
+        let raw = reply_rx
+            .recv()
+            .map_err(|_| PvfsError::Transport("server dropped reply".into()))?;
+        let (rid, response) = decode_response(raw)?;
+        if rid != id && rid != RequestId(0) {
+            return Err(PvfsError::protocol(format!(
+                "response id {rid} does not match request id {id}"
+            )));
+        }
+        response.into_result()
+    }
+
+    /// Issue several requests in parallel (the fan-out of one plan
+    /// round) and collect responses in request order.
+    pub fn round(&self, requests: Vec<(ServerId, Request)>) -> PvfsResult<Vec<Response>> {
+        let mut pending = Vec::with_capacity(requests.len());
+        for (server, request) in requests {
+            let (id, frame) = self.encode(request)?;
+            let (reply_tx, reply_rx) = bounded(1);
+            self.tx_for(RpcTarget::Server(server))?
+                .send(NodeMsg::Rpc(frame, reply_tx))
+                .map_err(|_| PvfsError::Transport("server thread gone".into()))?;
+            pending.push((id, reply_rx));
+        }
+        let mut responses = Vec::with_capacity(pending.len());
+        for (id, rx) in pending {
+            let raw = rx
+                .recv()
+                .map_err(|_| PvfsError::Transport("server dropped reply".into()))?;
+            let (rid, response) = decode_response(raw)?;
+            if rid != id && rid != RequestId(0) {
+                return Err(PvfsError::protocol("response id mismatch in round"));
+            }
+            responses.push(response.into_result()?);
+        }
+        Ok(responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvfs_types::{FileHandle, Region, StripeLayout};
+
+    fn layout(n: u32) -> StripeLayout {
+        StripeLayout::new(0, n, 16).unwrap()
+    }
+
+    #[test]
+    fn create_open_close_through_manager() {
+        let cluster = LiveCluster::spawn(2);
+        let c = cluster.client();
+        let resp = c
+            .call(
+                RpcTarget::Manager,
+                Request::Create {
+                    path: "/pvfs/x".into(),
+                    layout: layout(2),
+                },
+            )
+            .unwrap();
+        let handle = match resp {
+            Response::Created { handle } => handle,
+            other => panic!("unexpected {other:?}"),
+        };
+        match c
+            .call(RpcTarget::Manager, Request::Open { path: "/pvfs/x".into() })
+            .unwrap()
+        {
+            Response::Opened { handle: h, .. } => assert_eq!(h, handle),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            c.call(RpcTarget::Manager, Request::Close { handle }).unwrap(),
+            Response::Closed
+        );
+    }
+
+    #[test]
+    fn server_errors_surface_as_err() {
+        let cluster = LiveCluster::spawn(1);
+        let c = cluster.client();
+        let err = c
+            .call(
+                RpcTarget::Manager,
+                Request::Open {
+                    path: "/missing".into(),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PvfsError::NoSuchFile(_)));
+    }
+
+    #[test]
+    fn data_write_read_through_threads() {
+        let cluster = LiveCluster::spawn(4);
+        let c = cluster.client();
+        let l = layout(4);
+        let fh = FileHandle(9);
+        // Write 16 bytes entirely on server 0 (first stripe).
+        let resp = c
+            .call(
+                RpcTarget::Server(ServerId(0)),
+                Request::Write {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(0, 16),
+                    data: Bytes::from(vec![5u8; 16]),
+                },
+            )
+            .unwrap();
+        assert_eq!(resp, Response::Written { bytes: 16 });
+        match c
+            .call(
+                RpcTarget::Server(ServerId(0)),
+                Request::Read {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(0, 16),
+                },
+            )
+            .unwrap()
+        {
+            Response::Data { data } => assert_eq!(data.as_ref(), &[5u8; 16][..]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_fans_out_to_all_servers() {
+        let cluster = LiveCluster::spawn(4);
+        let c = cluster.client();
+        let l = layout(4);
+        let fh = FileHandle(3);
+        let requests: Vec<(ServerId, Request)> = (0..4)
+            .map(|i| {
+                (
+                    ServerId(i),
+                    Request::Read {
+                        handle: fh,
+                        layout: l,
+                        region: Region::new(0, 64),
+                    },
+                )
+            })
+            .collect();
+        let responses = c.round(requests).unwrap();
+        assert_eq!(responses.len(), 4);
+        for r in responses {
+            match r {
+                Response::Data { data } => assert_eq!(data.len(), 16),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_server_is_an_error() {
+        let cluster = LiveCluster::spawn(2);
+        let c = cluster.client();
+        let err = c
+            .call(
+                RpcTarget::Server(ServerId(7)),
+                Request::GetLocalSize { handle: FileHandle(1) },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PvfsError::NoSuchServer(7)));
+    }
+
+    #[test]
+    fn clients_have_unique_ids() {
+        let cluster = LiveCluster::spawn(1);
+        let a = cluster.client();
+        let b = cluster.client();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn concurrent_clients_do_not_interfere() {
+        let cluster = LiveCluster::spawn(4);
+        let l = layout(4);
+        let mut handles = Vec::new();
+        for k in 0..8u64 {
+            let c = cluster.client();
+            handles.push(std::thread::spawn(move || {
+                let fh = FileHandle(100 + k);
+                let payload = vec![k as u8; 16];
+                c.call(
+                    RpcTarget::Server(ServerId(0)),
+                    Request::Write {
+                        handle: fh,
+                        layout: l,
+                        region: Region::new(0, 16),
+                        data: Bytes::from(payload.clone()),
+                    },
+                )
+                .unwrap();
+                match c
+                    .call(
+                        RpcTarget::Server(ServerId(0)),
+                        Request::Read {
+                            handle: fh,
+                            layout: l,
+                            region: Region::new(0, 16),
+                        },
+                    )
+                    .unwrap()
+                {
+                    Response::Data { data } => assert_eq!(data.as_ref(), &payload[..]),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn stats_are_observable() {
+        let cluster = LiveCluster::spawn(1);
+        let c = cluster.client();
+        c.call(
+            RpcTarget::Server(ServerId(0)),
+            Request::GetLocalSize { handle: FileHandle(1) },
+        )
+        .unwrap();
+        let stats = cluster.server_stats(ServerId(0)).unwrap();
+        assert_eq!(stats.requests, 1);
+        assert!(cluster.server_stats(ServerId(5)).is_none());
+    }
+}

@@ -1,0 +1,19 @@
+//! The live in-process PVFS cluster.
+//!
+//! [`LiveCluster::spawn`] starts one thread per I/O daemon plus a
+//! manager thread, mirroring the PVFS deployment of §2 (daemons on I/O
+//! nodes, one manager, clients talking to both directly). Transport is a
+//! channel-based RPC that carries **encoded wire frames** — requests and
+//! responses pass through the real `pvfs-proto` codec, so the MTU and
+//! trailing-data limits are enforced on the live path exactly as they
+//! would be on a socket.
+//!
+//! The cluster also hosts the [`SerialGate`] clients use to serialize
+//! data-sieving writes (PVFS has no file locking; the paper used an
+//! `MPI_Barrier` loop).
+
+pub mod cluster;
+pub mod gate;
+
+pub use cluster::{ClusterClient, LiveCluster, RpcTarget};
+pub use gate::SerialGate;

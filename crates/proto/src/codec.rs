@@ -1,0 +1,1084 @@
+//! Binary codec for the wire protocol.
+//!
+//! Frames are length-independent (self-describing); all integers are
+//! little-endian. A request frame is:
+//!
+//! ```text
+//! magic (2B, 0x5056 "PV") | version (1B) | opcode (1B)
+//! client id (4B) | request id (8B) | opcode-specific body
+//! ```
+//!
+//! List I/O requests put their region list *after* the fixed header as
+//! trailing data — `count (4B)` then `count × (offset 8B, len 8B)` —
+//! reproducing the paper's "variable sized trailing data" extension of
+//! the PVFS I/O request structure. [`encode_message`] enforces the
+//! [`MAX_LIST_REGIONS`] and single-frame limits;
+//! bulk data (write payload / read response data) is *not* part of the
+//! request frame — it streams behind it, and is appended after the frame
+//! here.
+//!
+//! The simulator charges network time for exactly `encode_message(m).len()`
+//! bytes, so frame layout is load-bearing for the reproduced figures.
+
+use crate::limits::{list_request_fits_frame, MAX_LIST_REGIONS, MAX_VECTOR_RUNS};
+
+use crate::message::{Message, Request, Response, VectorRun};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pvfs_types::{
+    ClientId, FileHandle, PvfsError, PvfsResult, Region, RegionList, RequestId, StripeLayout,
+};
+
+const MAGIC: u16 = 0x5056; // "PV"
+const VERSION: u8 = 1;
+
+// Request opcodes.
+const OP_CREATE: u8 = 1;
+const OP_OPEN: u8 = 2;
+const OP_CLOSE: u8 = 3;
+const OP_REMOVE: u8 = 4;
+const OP_GET_LOCAL_SIZE: u8 = 5;
+const OP_READ: u8 = 6;
+const OP_WRITE: u8 = 7;
+const OP_READ_LIST: u8 = 8;
+const OP_WRITE_LIST: u8 = 9;
+const OP_READ_VECTORS: u8 = 10;
+const OP_WRITE_VECTORS: u8 = 11;
+const OP_LIST_DIR: u8 = 12;
+
+// Response opcodes.
+const RESP_CREATED: u8 = 1;
+const RESP_OPENED: u8 = 2;
+const RESP_CLOSED: u8 = 3;
+const RESP_REMOVED: u8 = 4;
+const RESP_LOCAL_SIZE: u8 = 5;
+const RESP_DATA: u8 = 6;
+const RESP_WRITTEN: u8 = 7;
+const RESP_ERROR: u8 = 8;
+const RESP_LISTING: u8 = 9;
+
+// Error variant tags.
+const ERR_INVALID_ARGUMENT: u8 = 1;
+const ERR_NO_SUCH_FILE: u8 = 2;
+const ERR_ALREADY_EXISTS: u8 = 3;
+const ERR_BAD_HANDLE: u8 = 4;
+const ERR_PROTOCOL: u8 = 5;
+const ERR_STORAGE: u8 = 6;
+const ERR_TRANSPORT: u8 = 7;
+const ERR_NO_SUCH_SERVER: u8 = 8;
+
+/// Encode a request message to its wire frame (header + trailing data +
+/// bulk payload).
+pub fn encode_message(m: &Message) -> PvfsResult<Bytes> {
+    let mut buf = BytesMut::with_capacity(64 + m.request.bulk_len() as usize);
+    buf.put_u16_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(opcode(&m.request));
+    buf.put_u32_le(m.client.0);
+    buf.put_u64_le(m.id.0);
+    match &m.request {
+        Request::Create { path, layout } => {
+            put_string(&mut buf, path);
+            put_layout(&mut buf, layout);
+        }
+        Request::Open { path } => put_string(&mut buf, path),
+        Request::Close { handle } => buf.put_u64_le(handle.0),
+        Request::Remove { path } => put_string(&mut buf, path),
+        Request::ListDir => {}
+        Request::GetLocalSize { handle } => buf.put_u64_le(handle.0),
+        Request::Read {
+            handle,
+            layout,
+            region,
+        } => {
+            buf.put_u64_le(handle.0);
+            put_layout(&mut buf, layout);
+            put_region(&mut buf, *region);
+        }
+        Request::Write {
+            handle,
+            layout,
+            region,
+            data,
+        } => {
+            buf.put_u64_le(handle.0);
+            put_layout(&mut buf, layout);
+            put_region(&mut buf, *region);
+            buf.put_u64_le(data.len() as u64);
+            buf.put_slice(data);
+        }
+        Request::ReadList {
+            handle,
+            layout,
+            regions,
+        } => {
+            check_list(regions)?;
+            buf.put_u64_le(handle.0);
+            put_layout(&mut buf, layout);
+            put_trailing(&mut buf, regions);
+        }
+        Request::WriteList {
+            handle,
+            layout,
+            regions,
+            data,
+        } => {
+            check_list(regions)?;
+            buf.put_u64_le(handle.0);
+            put_layout(&mut buf, layout);
+            put_trailing(&mut buf, regions);
+            buf.put_u64_le(data.len() as u64);
+            buf.put_slice(data);
+        }
+        Request::ReadVectors {
+            handle,
+            layout,
+            runs,
+        } => {
+            check_runs(runs)?;
+            buf.put_u64_le(handle.0);
+            put_layout(&mut buf, layout);
+            put_runs(&mut buf, runs);
+        }
+        Request::WriteVectors {
+            handle,
+            layout,
+            runs,
+            data,
+        } => {
+            check_runs(runs)?;
+            buf.put_u64_le(handle.0);
+            put_layout(&mut buf, layout);
+            put_runs(&mut buf, runs);
+            buf.put_u64_le(data.len() as u64);
+            buf.put_slice(data);
+        }
+    }
+    Ok(buf.freeze())
+}
+
+/// Decode a request frame produced by [`encode_message`].
+pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
+    let magic = get_u16(&mut buf)?;
+    if magic != MAGIC {
+        return Err(PvfsError::protocol(format!("bad magic {magic:#06x}")));
+    }
+    let version = get_u8(&mut buf)?;
+    if version != VERSION {
+        return Err(PvfsError::protocol(format!("unsupported version {version}")));
+    }
+    let op = get_u8(&mut buf)?;
+    let client = ClientId(get_u32(&mut buf)?);
+    let id = RequestId(get_u64(&mut buf)?);
+    let request = match op {
+        OP_CREATE => {
+            let path = get_string(&mut buf)?;
+            let layout = get_layout(&mut buf)?;
+            Request::Create { path, layout }
+        }
+        OP_OPEN => Request::Open {
+            path: get_string(&mut buf)?,
+        },
+        OP_CLOSE => Request::Close {
+            handle: FileHandle(get_u64(&mut buf)?),
+        },
+        OP_REMOVE => Request::Remove {
+            path: get_string(&mut buf)?,
+        },
+        OP_LIST_DIR => Request::ListDir,
+        OP_GET_LOCAL_SIZE => Request::GetLocalSize {
+            handle: FileHandle(get_u64(&mut buf)?),
+        },
+        OP_READ => Request::Read {
+            handle: FileHandle(get_u64(&mut buf)?),
+            layout: get_layout(&mut buf)?,
+            region: get_region(&mut buf)?,
+        },
+        OP_WRITE => {
+            let handle = FileHandle(get_u64(&mut buf)?);
+            let layout = get_layout(&mut buf)?;
+            let region = get_region(&mut buf)?;
+            let data = get_bulk(&mut buf)?;
+            Request::Write {
+                handle,
+                layout,
+                region,
+                data,
+            }
+        }
+        OP_READ_LIST => {
+            let handle = FileHandle(get_u64(&mut buf)?);
+            let layout = get_layout(&mut buf)?;
+            let regions = get_trailing(&mut buf)?;
+            Request::ReadList {
+                handle,
+                layout,
+                regions,
+            }
+        }
+        OP_WRITE_LIST => {
+            let handle = FileHandle(get_u64(&mut buf)?);
+            let layout = get_layout(&mut buf)?;
+            let regions = get_trailing(&mut buf)?;
+            let data = get_bulk(&mut buf)?;
+            Request::WriteList {
+                handle,
+                layout,
+                regions,
+                data,
+            }
+        }
+        OP_READ_VECTORS => Request::ReadVectors {
+            handle: FileHandle(get_u64(&mut buf)?),
+            layout: get_layout(&mut buf)?,
+            runs: get_runs(&mut buf)?,
+        },
+        OP_WRITE_VECTORS => {
+            let handle = FileHandle(get_u64(&mut buf)?);
+            let layout = get_layout(&mut buf)?;
+            let runs = get_runs(&mut buf)?;
+            let data = get_bulk(&mut buf)?;
+            Request::WriteVectors {
+                handle,
+                layout,
+                runs,
+                data,
+            }
+        }
+        other => return Err(PvfsError::protocol(format!("unknown opcode {other}"))),
+    };
+    if buf.has_remaining() {
+        return Err(PvfsError::protocol(format!(
+            "{} bytes of garbage after frame",
+            buf.remaining()
+        )));
+    }
+    Ok(Message { client, id, request })
+}
+
+/// Encode a response frame (echoing the request id).
+pub fn encode_response(id: RequestId, resp: &Response) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + resp.bulk_len() as usize);
+    buf.put_u16_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(id.0);
+    match resp {
+        Response::Created { handle } => {
+            buf.put_u8(RESP_CREATED);
+            buf.put_u64_le(handle.0);
+        }
+        Response::Opened { handle, layout } => {
+            buf.put_u8(RESP_OPENED);
+            buf.put_u64_le(handle.0);
+            put_layout(&mut buf, layout);
+        }
+        Response::Closed => buf.put_u8(RESP_CLOSED),
+        Response::Removed => buf.put_u8(RESP_REMOVED),
+        Response::Listing { paths } => {
+            buf.put_u8(RESP_LISTING);
+            buf.put_u32_le(paths.len() as u32);
+            for p in paths {
+                put_string_mut(&mut buf, p);
+            }
+        }
+        Response::LocalSize { size } => {
+            buf.put_u8(RESP_LOCAL_SIZE);
+            buf.put_u64_le(*size);
+        }
+        Response::Data { data } => {
+            buf.put_u8(RESP_DATA);
+            buf.put_u64_le(data.len() as u64);
+            buf.put_slice(data);
+        }
+        Response::Written { bytes } => {
+            buf.put_u8(RESP_WRITTEN);
+            buf.put_u64_le(*bytes);
+        }
+        Response::Error(e) => {
+            buf.put_u8(RESP_ERROR);
+            put_error(&mut buf, e);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a response frame, returning the echoed request id and the
+/// response.
+pub fn decode_response(mut buf: Bytes) -> PvfsResult<(RequestId, Response)> {
+    let magic = get_u16(&mut buf)?;
+    if magic != MAGIC {
+        return Err(PvfsError::protocol(format!("bad magic {magic:#06x}")));
+    }
+    let version = get_u8(&mut buf)?;
+    if version != VERSION {
+        return Err(PvfsError::protocol(format!("unsupported version {version}")));
+    }
+    let id = RequestId(get_u64(&mut buf)?);
+    let tag = get_u8(&mut buf)?;
+    let resp = match tag {
+        RESP_CREATED => Response::Created {
+            handle: FileHandle(get_u64(&mut buf)?),
+        },
+        RESP_OPENED => Response::Opened {
+            handle: FileHandle(get_u64(&mut buf)?),
+            layout: get_layout(&mut buf)?,
+        },
+        RESP_CLOSED => Response::Closed,
+        RESP_REMOVED => Response::Removed,
+        RESP_LISTING => {
+            let n = get_u32(&mut buf)? as usize;
+            if n > 1_000_000 {
+                return Err(PvfsError::protocol("absurd listing length"));
+            }
+            let mut paths = Vec::with_capacity(n);
+            for _ in 0..n {
+                paths.push(get_string(&mut buf)?);
+            }
+            Response::Listing { paths }
+        }
+        RESP_LOCAL_SIZE => Response::LocalSize {
+            size: get_u64(&mut buf)?,
+        },
+        RESP_DATA => Response::Data {
+            data: get_bulk(&mut buf)?,
+        },
+        RESP_WRITTEN => Response::Written {
+            bytes: get_u64(&mut buf)?,
+        },
+        RESP_ERROR => Response::Error(get_error(&mut buf)?),
+        other => return Err(PvfsError::protocol(format!("unknown response tag {other}"))),
+    };
+    if buf.has_remaining() {
+        return Err(PvfsError::protocol(format!(
+            "{} bytes of garbage after response",
+            buf.remaining()
+        )));
+    }
+    Ok((id, resp))
+}
+
+/// Frame size split for cost accounting: `(control bytes, bulk bytes)`.
+/// Control = header + trailing data; bulk = streamed payload.
+pub fn frame_sizes(m: &Message) -> PvfsResult<(u64, u64)> {
+    let total = encode_message(m)?.len() as u64;
+    let bulk = m.request.bulk_len();
+    // Write frames carry an 8-byte bulk length prefix counted as control.
+    Ok((total - bulk, bulk))
+}
+
+fn check_runs(runs: &[VectorRun]) -> PvfsResult<()> {
+    if runs.is_empty() {
+        return Err(PvfsError::protocol("vector request with no runs"));
+    }
+    if runs.len() > MAX_VECTOR_RUNS {
+        return Err(PvfsError::protocol(format!(
+            "vector request with {} runs exceeds the {MAX_VECTOR_RUNS}-run frame limit",
+            runs.len()
+        )));
+    }
+    for run in runs {
+        run.validate()
+            .map_err(|e| PvfsError::protocol(format!("invalid vector run: {e}")))?;
+    }
+    Ok(())
+}
+
+fn put_runs(buf: &mut BytesMut, runs: &[VectorRun]) {
+    buf.put_u32_le(runs.len() as u32);
+    for run in runs {
+        buf.put_u64_le(run.base);
+        buf.put_u64_le(run.blocklen);
+        buf.put_u64_le(run.stride);
+        buf.put_u64_le(run.count);
+    }
+}
+
+fn get_runs(buf: &mut Bytes) -> PvfsResult<Vec<VectorRun>> {
+    let count = get_u32(buf)? as usize;
+    if count == 0 || count > MAX_VECTOR_RUNS {
+        return Err(PvfsError::protocol(format!(
+            "vector run count {count} out of range 1..={MAX_VECTOR_RUNS}"
+        )));
+    }
+    let mut runs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let run = VectorRun {
+            base: get_u64(buf)?,
+            blocklen: get_u64(buf)?,
+            stride: get_u64(buf)?,
+            count: get_u64(buf)?,
+        };
+        run.validate()
+            .map_err(|e| PvfsError::protocol(format!("invalid vector run on wire: {e}")))?;
+        runs.push(run);
+    }
+    Ok(runs)
+}
+
+fn opcode(r: &Request) -> u8 {
+    match r {
+        Request::Create { .. } => OP_CREATE,
+        Request::Open { .. } => OP_OPEN,
+        Request::Close { .. } => OP_CLOSE,
+        Request::Remove { .. } => OP_REMOVE,
+        Request::ListDir => OP_LIST_DIR,
+        Request::GetLocalSize { .. } => OP_GET_LOCAL_SIZE,
+        Request::Read { .. } => OP_READ,
+        Request::Write { .. } => OP_WRITE,
+        Request::ReadList { .. } => OP_READ_LIST,
+        Request::WriteList { .. } => OP_WRITE_LIST,
+        Request::ReadVectors { .. } => OP_READ_VECTORS,
+        Request::WriteVectors { .. } => OP_WRITE_VECTORS,
+    }
+}
+
+fn check_list(regions: &RegionList) -> PvfsResult<()> {
+    if regions.is_empty() {
+        return Err(PvfsError::protocol("list request with no regions"));
+    }
+    if regions.count() > MAX_LIST_REGIONS {
+        return Err(PvfsError::protocol(format!(
+            "list request with {} regions exceeds the {MAX_LIST_REGIONS}-region trailing-data limit",
+            regions.count()
+        )));
+    }
+    if !list_request_fits_frame(regions.count()) {
+        return Err(PvfsError::protocol(
+            "list request does not fit one Ethernet frame",
+        ));
+    }
+    Ok(())
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> PvfsResult<String> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(PvfsError::protocol("short frame reading string"));
+    }
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| PvfsError::protocol("invalid utf-8 in string"))
+}
+
+fn put_layout(buf: &mut BytesMut, l: &StripeLayout) {
+    buf.put_u32_le(l.base);
+    buf.put_u32_le(l.pcount);
+    buf.put_u64_le(l.ssize);
+}
+
+fn get_layout(buf: &mut Bytes) -> PvfsResult<StripeLayout> {
+    let base = get_u32(buf)?;
+    let pcount = get_u32(buf)?;
+    let ssize = get_u64(buf)?;
+    StripeLayout::new(base, pcount, ssize)
+        .map_err(|e| PvfsError::protocol(format!("invalid stripe layout on wire: {e}")))
+}
+
+fn put_region(buf: &mut BytesMut, r: Region) {
+    buf.put_u64_le(r.offset);
+    buf.put_u64_le(r.len);
+}
+
+fn get_region(buf: &mut Bytes) -> PvfsResult<Region> {
+    Ok(Region::new(get_u64(buf)?, get_u64(buf)?))
+}
+
+fn put_trailing(buf: &mut BytesMut, regions: &RegionList) {
+    buf.put_u32_le(regions.count() as u32);
+    for r in regions {
+        put_region(buf, *r);
+    }
+}
+
+fn get_trailing(buf: &mut Bytes) -> PvfsResult<RegionList> {
+    let count = get_u32(buf)? as usize;
+    if count == 0 || count > MAX_LIST_REGIONS {
+        return Err(PvfsError::protocol(format!(
+            "trailing data region count {count} out of range 1..={MAX_LIST_REGIONS}"
+        )));
+    }
+    let mut regions = Vec::with_capacity(count);
+    for _ in 0..count {
+        regions.push(get_region(buf)?);
+    }
+    RegionList::from_regions(regions)
+        .map_err(|e| PvfsError::protocol(format!("invalid trailing data: {e}")))
+}
+
+fn get_bulk(buf: &mut Bytes) -> PvfsResult<Bytes> {
+    let len = get_u64(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(PvfsError::protocol("short frame reading bulk data"));
+    }
+    Ok(buf.split_to(len))
+}
+
+fn put_error(buf: &mut BytesMut, e: &PvfsError) {
+    match e {
+        PvfsError::InvalidArgument(m) => {
+            buf.put_u8(ERR_INVALID_ARGUMENT);
+            put_string_mut(buf, m);
+        }
+        PvfsError::NoSuchFile(m) => {
+            buf.put_u8(ERR_NO_SUCH_FILE);
+            put_string_mut(buf, m);
+        }
+        PvfsError::AlreadyExists(m) => {
+            buf.put_u8(ERR_ALREADY_EXISTS);
+            put_string_mut(buf, m);
+        }
+        PvfsError::BadHandle(h) => {
+            buf.put_u8(ERR_BAD_HANDLE);
+            buf.put_u64_le(*h);
+        }
+        PvfsError::Protocol(m) => {
+            buf.put_u8(ERR_PROTOCOL);
+            put_string_mut(buf, m);
+        }
+        PvfsError::Storage(m) => {
+            buf.put_u8(ERR_STORAGE);
+            put_string_mut(buf, m);
+        }
+        PvfsError::Transport(m) => {
+            buf.put_u8(ERR_TRANSPORT);
+            put_string_mut(buf, m);
+        }
+        PvfsError::NoSuchServer(s) => {
+            buf.put_u8(ERR_NO_SUCH_SERVER);
+            buf.put_u32_le(*s);
+        }
+    }
+}
+
+fn put_string_mut(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_error(buf: &mut Bytes) -> PvfsResult<PvfsError> {
+    let tag = get_u8(buf)?;
+    Ok(match tag {
+        ERR_INVALID_ARGUMENT => PvfsError::InvalidArgument(get_string(buf)?),
+        ERR_NO_SUCH_FILE => PvfsError::NoSuchFile(get_string(buf)?),
+        ERR_ALREADY_EXISTS => PvfsError::AlreadyExists(get_string(buf)?),
+        ERR_BAD_HANDLE => PvfsError::BadHandle(get_u64(buf)?),
+        ERR_PROTOCOL => PvfsError::Protocol(get_string(buf)?),
+        ERR_STORAGE => PvfsError::Storage(get_string(buf)?),
+        ERR_TRANSPORT => PvfsError::Transport(get_string(buf)?),
+        ERR_NO_SUCH_SERVER => PvfsError::NoSuchServer(get_u32(buf)?),
+        other => return Err(PvfsError::protocol(format!("unknown error tag {other}"))),
+    })
+}
+
+fn get_u8(buf: &mut Bytes) -> PvfsResult<u8> {
+    if buf.remaining() < 1 {
+        return Err(PvfsError::protocol("short frame"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut Bytes) -> PvfsResult<u16> {
+    if buf.remaining() < 2 {
+        return Err(PvfsError::protocol("short frame"));
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut Bytes) -> PvfsResult<u32> {
+    if buf.remaining() < 4 {
+        return Err(PvfsError::protocol("short frame"));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> PvfsResult<u64> {
+    if buf.remaining() < 8 {
+        return Err(PvfsError::protocol("short frame"));
+    }
+    Ok(buf.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limits::{ETHERNET_MTU, LIST_HEADER_SIZE};
+
+    fn layout() -> StripeLayout {
+        StripeLayout::new(0, 8, 16384).unwrap()
+    }
+
+    fn msg(request: Request) -> Message {
+        Message {
+            client: ClientId(5),
+            id: RequestId(77),
+            request,
+        }
+    }
+
+    fn roundtrip(request: Request) {
+        let m = msg(request);
+        let encoded = encode_message(&m).unwrap();
+        let decoded = decode_message(encoded).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn roundtrip_metadata_ops() {
+        roundtrip(Request::Create {
+            path: "/pvfs/data.bin".into(),
+            layout: layout(),
+        });
+        roundtrip(Request::Open {
+            path: "/pvfs/data.bin".into(),
+        });
+        roundtrip(Request::Close {
+            handle: FileHandle(42),
+        });
+        roundtrip(Request::Remove {
+            path: "/pvfs/data.bin".into(),
+        });
+        roundtrip(Request::GetLocalSize {
+            handle: FileHandle(42),
+        });
+        roundtrip(Request::ListDir);
+    }
+
+    #[test]
+    fn roundtrip_contiguous_io() {
+        roundtrip(Request::Read {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(1000, 5000),
+        });
+        roundtrip(Request::Write {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(0, 5),
+            data: Bytes::from(vec![1, 2, 3, 4, 5]),
+        });
+    }
+
+    #[test]
+    fn roundtrip_list_io() {
+        let regions = RegionList::from_pairs((0..64).map(|i| (i * 100, 10u64))).unwrap();
+        roundtrip(Request::ReadList {
+            handle: FileHandle(1),
+            layout: layout(),
+            regions: regions.clone(),
+        });
+        roundtrip(Request::WriteList {
+            handle: FileHandle(1),
+            layout: layout(),
+            regions,
+            data: Bytes::from(vec![9u8; 640]),
+        });
+    }
+
+    #[test]
+    fn roundtrip_vector_io() {
+        let runs = vec![
+            VectorRun {
+                base: 0,
+                blocklen: 128,
+                stride: 1024,
+                count: 1_000_000,
+            },
+            VectorRun {
+                base: 1 << 32,
+                blocklen: 8,
+                stride: 8,
+                count: 1,
+            },
+        ];
+        roundtrip(Request::ReadVectors {
+            handle: FileHandle(1),
+            layout: layout(),
+            runs: runs.clone(),
+        });
+        roundtrip(Request::WriteVectors {
+            handle: FileHandle(1),
+            layout: layout(),
+            runs,
+            data: Bytes::from(vec![3u8; 64]),
+        });
+    }
+
+    #[test]
+    fn vector_request_limits_enforced() {
+        let too_many: Vec<VectorRun> = (0..MAX_VECTOR_RUNS as u64 + 1)
+            .map(|i| VectorRun {
+                base: i * 1000,
+                blocklen: 1,
+                stride: 10,
+                count: 2,
+            })
+            .collect();
+        let m = msg(Request::ReadVectors {
+            handle: FileHandle(1),
+            layout: layout(),
+            runs: too_many,
+        });
+        assert!(encode_message(&m).is_err());
+        // Overlapping run rejected.
+        let m = msg(Request::ReadVectors {
+            handle: FileHandle(1),
+            layout: layout(),
+            runs: vec![VectorRun {
+                base: 0,
+                blocklen: 10,
+                stride: 5,
+                count: 3,
+            }],
+        });
+        assert!(encode_message(&m).is_err());
+        // Empty rejected.
+        let m = msg(Request::ReadVectors {
+            handle: FileHandle(1),
+            layout: layout(),
+            runs: vec![],
+        });
+        assert!(encode_message(&m).is_err());
+    }
+
+    #[test]
+    fn vector_frame_fits_mtu_at_limit() {
+        let runs: Vec<VectorRun> = (0..MAX_VECTOR_RUNS as u64)
+            .map(|i| VectorRun {
+                base: i * 100_000,
+                blocklen: 8,
+                stride: 64,
+                count: 1000,
+            })
+            .collect();
+        let m = msg(Request::ReadVectors {
+            handle: FileHandle(1),
+            layout: layout(),
+            runs,
+        });
+        let encoded = encode_message(&m).unwrap();
+        assert!(encoded.len() <= ETHERNET_MTU, "frame is {} bytes", encoded.len());
+    }
+
+    #[test]
+    fn vector_run_expansion_helpers() {
+        let run = VectorRun {
+            base: 100,
+            blocklen: 4,
+            stride: 10,
+            count: 3,
+        };
+        assert_eq!(run.total_len(), 12);
+        let regions: Vec<Region> = run.regions().collect();
+        assert_eq!(
+            regions,
+            vec![
+                Region::new(100, 4),
+                Region::new(110, 4),
+                Region::new(120, 4)
+            ]
+        );
+        let single = VectorRun::contiguous(Region::new(5, 7));
+        assert_eq!(single.regions().collect::<Vec<_>>(), vec![Region::new(5, 7)]);
+    }
+
+    #[test]
+    fn list_request_frame_fits_mtu_at_64_regions() {
+        let regions = RegionList::from_pairs((0..64).map(|i| (i * 100, 10u64))).unwrap();
+        let m = msg(Request::ReadList {
+            handle: FileHandle(1),
+            layout: layout(),
+            regions,
+        });
+        let encoded = encode_message(&m).unwrap();
+        assert!(encoded.len() <= ETHERNET_MTU, "frame is {} bytes", encoded.len());
+        // Header layout constant matches the actual codec.
+        assert_eq!(encoded.len(), LIST_HEADER_SIZE + 64 * 16);
+    }
+
+    #[test]
+    fn oversized_list_is_rejected_at_encode() {
+        let regions = RegionList::from_pairs((0..65).map(|i| (i * 100, 10u64))).unwrap();
+        let m = msg(Request::ReadList {
+            handle: FileHandle(1),
+            layout: layout(),
+            regions,
+        });
+        assert!(matches!(encode_message(&m), Err(PvfsError::Protocol(_))));
+    }
+
+    #[test]
+    fn empty_list_is_rejected_at_encode() {
+        let m = msg(Request::ReadList {
+            handle: FileHandle(1),
+            layout: layout(),
+            regions: RegionList::new(),
+        });
+        assert!(encode_message(&m).is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = vec![
+            Response::Created {
+                handle: FileHandle(7),
+            },
+            Response::Opened {
+                handle: FileHandle(7),
+                layout: layout(),
+            },
+            Response::Closed,
+            Response::Removed,
+            Response::LocalSize { size: 123456 },
+            Response::Data {
+                data: Bytes::from(vec![0xab; 300]),
+            },
+            Response::Written { bytes: 300 },
+            Response::Error(PvfsError::BadHandle(9)),
+            Response::Error(PvfsError::NoSuchFile("/x".into())),
+            Response::Error(PvfsError::NoSuchServer(3)),
+            Response::Error(PvfsError::Storage("disk on fire".into())),
+            Response::Listing {
+                paths: vec!["/pvfs/a".into(), "/pvfs/b".into()],
+            },
+            Response::Listing { paths: vec![] },
+        ];
+        for resp in cases {
+            let encoded = encode_response(RequestId(11), &resp);
+            let (id, decoded) = decode_response(encoded).unwrap();
+            assert_eq!(id, RequestId(11));
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut raw = encode_message(&msg(Request::Open { path: "/a".into() }))
+            .unwrap()
+            .to_vec();
+        raw[0] = 0xff;
+        assert!(decode_message(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut raw = encode_message(&msg(Request::Open { path: "/a".into() }))
+            .unwrap()
+            .to_vec();
+        raw[2] = 99;
+        assert!(decode_message(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_not_panicking() {
+        let full = encode_message(&msg(Request::Write {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(0, 8),
+            data: Bytes::from(vec![0u8; 8]),
+        }))
+        .unwrap();
+        for cut in 0..full.len() {
+            let truncated = full.slice(0..cut);
+            assert!(decode_message(truncated).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut raw = encode_message(&msg(Request::Close {
+            handle: FileHandle(1),
+        }))
+        .unwrap()
+        .to_vec();
+        raw.push(0);
+        assert!(decode_message(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn frame_sizes_split_control_and_bulk() {
+        let m = msg(Request::Write {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(0, 1000),
+            data: Bytes::from(vec![0u8; 1000]),
+        });
+        let (control, bulk) = frame_sizes(&m).unwrap();
+        assert_eq!(bulk, 1000);
+        assert!(control < 100);
+        assert_eq!(control + bulk, encode_message(&m).unwrap().len() as u64);
+    }
+
+    #[test]
+    fn control_wire_size_matches_codec() {
+        let regions = RegionList::from_pairs((0..17).map(|i| (i * 100, 10u64))).unwrap();
+        let runs = vec![
+            VectorRun {
+                base: 0,
+                blocklen: 8,
+                stride: 64,
+                count: 100,
+            };
+            3
+        ];
+        let cases = vec![
+            Request::Create {
+                path: "/pvfs/file".into(),
+                layout: layout(),
+            },
+            Request::Open { path: "/a/b".into() },
+            Request::Remove { path: "/a/b".into() },
+            Request::Close { handle: FileHandle(1) },
+            Request::GetLocalSize { handle: FileHandle(1) },
+            Request::Read {
+                handle: FileHandle(1),
+                layout: layout(),
+                region: Region::new(5, 10),
+            },
+            Request::Write {
+                handle: FileHandle(1),
+                layout: layout(),
+                region: Region::new(5, 10),
+                data: Bytes::from(vec![0u8; 10]),
+            },
+            Request::ReadList {
+                handle: FileHandle(1),
+                layout: layout(),
+                regions: regions.clone(),
+            },
+            Request::WriteList {
+                handle: FileHandle(1),
+                layout: layout(),
+                regions,
+                data: Bytes::from(vec![0u8; 170]),
+            },
+            Request::ReadVectors {
+                handle: FileHandle(1),
+                layout: layout(),
+                runs: runs.clone(),
+            },
+            Request::WriteVectors {
+                handle: FileHandle(1),
+                layout: layout(),
+                runs,
+                data: Bytes::from(vec![0u8; 2400]),
+            },
+        ];
+        for request in cases {
+            let m = msg(request);
+            let encoded = encode_message(&m).unwrap().len() as u64;
+            assert_eq!(
+                m.request.control_wire_size(),
+                encoded - m.request.bulk_len(),
+                "control size mismatch for {}",
+                m.request.op_name()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let mut raw = encode_message(&msg(Request::Open { path: "/a".into() }))
+            .unwrap()
+            .to_vec();
+        raw[3] = 200;
+        assert!(decode_message(Bytes::from(raw)).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_layout() -> impl Strategy<Value = StripeLayout> {
+        (0u32..4, 1u32..16, 1u64..1_000_000)
+            .prop_map(|(base, pcount, ssize)| StripeLayout { base, pcount, ssize })
+    }
+
+    fn arb_regions() -> impl Strategy<Value = RegionList> {
+        proptest::collection::vec((0u64..1_000_000, 1u64..10_000), 1..=MAX_LIST_REGIONS)
+            .prop_map(|pairs| RegionList::from_pairs(pairs).unwrap())
+    }
+
+    fn arb_request() -> impl Strategy<Value = Request> {
+        prop_oneof![
+            ("[a-z/]{1,30}", arb_layout())
+                .prop_map(|(path, layout)| Request::Create { path, layout }),
+            "[a-z/]{1,30}".prop_map(|path| Request::Open { path }),
+            (0u64..u64::MAX).prop_map(|h| Request::Close {
+                handle: FileHandle(h)
+            }),
+            (arb_layout(), 0u64..1_000_000, 1u64..100_000).prop_map(|(layout, off, len)| {
+                Request::Read {
+                    handle: FileHandle(1),
+                    layout,
+                    region: Region::new(off, len),
+                }
+            }),
+            (arb_layout(), 0u64..1_000_000, proptest::collection::vec(any::<u8>(), 0..2048))
+                .prop_map(|(layout, off, data)| Request::Write {
+                    handle: FileHandle(1),
+                    layout,
+                    region: Region::new(off, data.len() as u64),
+                    data: Bytes::from(data),
+                }),
+            (arb_layout(), arb_regions()).prop_map(|(layout, regions)| Request::ReadList {
+                handle: FileHandle(1),
+                layout,
+                regions,
+            }),
+            (arb_layout(), arb_regions(), proptest::collection::vec(any::<u8>(), 0..512))
+                .prop_map(|(layout, regions, data)| Request::WriteList {
+                    handle: FileHandle(1),
+                    layout,
+                    regions,
+                    data: Bytes::from(data),
+                }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn any_request_roundtrips(
+            request in arb_request(),
+            client in 0u32..1024,
+            id in 0u64..u64::MAX,
+        ) {
+            let m = Message {
+                client: ClientId(client),
+                id: RequestId(id),
+                request,
+            };
+            let encoded = encode_message(&m).unwrap();
+            let decoded = decode_message(encoded).unwrap();
+            prop_assert_eq!(decoded, m);
+        }
+
+        #[test]
+        fn list_frames_never_exceed_mtu(
+            layout in arb_layout(),
+            regions in arb_regions(),
+        ) {
+            let m = Message {
+                client: ClientId(0),
+                id: RequestId(0),
+                request: Request::ReadList {
+                    handle: FileHandle(1),
+                    layout,
+                    regions,
+                },
+            };
+            let encoded = encode_message(&m).unwrap();
+            prop_assert!(encoded.len() <= crate::limits::ETHERNET_MTU);
+        }
+
+        #[test]
+        fn decode_never_panics_on_random_bytes(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_message(Bytes::from(raw.clone()));
+            let _ = decode_response(Bytes::from(raw));
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Request and response messages.
+//!
+//! Metadata operations (`Create`/`Open`/`Close`/`Remove`) are addressed
+//! to the **manager daemon**; data operations (`Read`/`Write`/
+//! `ReadList`/`WriteList`/`GetLocalSize`) go directly to **I/O daemons**
+//! — the manager never participates in data transfers, mirroring PVFS's
+//! design for keeping the metadata server off the data path.
+//!
+//! Data requests carry the file's [`StripeLayout`] (PVFS I/O requests
+//! carry striping metadata, §3.3) so an I/O daemon can map logical file
+//! offsets onto its local file without consulting the manager.
+//!
+//! For writes the client sends each I/O daemon *only the bytes that
+//! daemon owns*, concatenated in logical/list order; for reads each
+//! daemon replies with its own bytes in the same order. The
+//! concatenation convention is defined by [`Request::server_share`].
+
+use bytes::Bytes;
+use pvfs_types::{FileHandle, PvfsError, Region, RegionList, RequestId, ServerId, StripeLayout};
+use serde::{Deserialize, Serialize};
+
+/// A strided run of file regions: `count` blocks of `blocklen` bytes
+/// starting `stride` bytes apart, the first at `base`.
+///
+/// This is the wire form of the paper's §5 proposal to describe regular
+/// access patterns "with vector datatypes", eliminating the linear
+/// relationship between region count and request count: a million-region
+/// 1-D cyclic pattern is *one* 32-byte run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorRun {
+    /// Offset of the first block.
+    pub base: u64,
+    /// Bytes per block.
+    pub blocklen: u64,
+    /// Distance between consecutive block starts. Must be at least
+    /// `blocklen` when `count > 1` (no overlapping blocks).
+    pub stride: u64,
+    /// Number of blocks.
+    pub count: u64,
+}
+
+impl VectorRun {
+    /// A run describing a single contiguous region.
+    pub fn contiguous(region: Region) -> VectorRun {
+        VectorRun {
+            base: region.offset,
+            blocklen: region.len,
+            stride: region.len.max(1),
+            count: 1,
+        }
+    }
+
+    /// Total data bytes the run selects.
+    pub fn total_len(&self) -> u64 {
+        self.blocklen * self.count
+    }
+
+    /// The `i`-th block as a region.
+    pub fn region(&self, i: u64) -> Region {
+        debug_assert!(i < self.count);
+        Region::new(self.base + i * self.stride, self.blocklen)
+    }
+
+    /// Iterate the run's regions without materializing them.
+    pub fn regions(&self) -> impl Iterator<Item = Region> + '_ {
+        (0..self.count).map(|i| self.region(i))
+    }
+
+    /// Structural validity: nonzero block length and count, and
+    /// non-overlapping blocks.
+    pub fn validate(&self) -> Result<(), PvfsError> {
+        if self.blocklen == 0 || self.count == 0 {
+            return Err(PvfsError::invalid("vector run with zero blocklen or count"));
+        }
+        if self.count > 1 && self.stride < self.blocklen {
+            return Err(PvfsError::invalid(format!(
+                "vector run stride {} overlaps blocklen {}",
+                self.stride, self.blocklen
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A request envelope: who is asking, which request this is, and the
+/// operation itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Issuing client.
+    pub client: pvfs_types::ClientId,
+    /// Per-client monotonically increasing id, echoed in the response.
+    pub id: RequestId,
+    /// The operation.
+    pub request: Request,
+}
+
+/// Every operation in the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    // ---- manager operations ----
+    /// Create a file with the given striping. Fails if it exists.
+    Create { path: String, layout: StripeLayout },
+    /// Open an existing file.
+    Open { path: String },
+    /// Close a handle.
+    Close { handle: FileHandle },
+    /// Remove a file from the namespace (data is dropped by servers on
+    /// their next request for the stale handle).
+    Remove { path: String },
+    /// List every path in the namespace (the manager owns the
+    /// clusterwide consistent name space, §2).
+    ListDir,
+
+    // ---- I/O daemon operations ----
+    /// Size of this server's local file for `handle` (used by the client
+    /// library to compute the logical file size, keeping the manager out
+    /// of the data path).
+    GetLocalSize { handle: FileHandle },
+    /// Contiguous read of a logical region; the server returns only the
+    /// bytes it owns.
+    Read {
+        handle: FileHandle,
+        layout: StripeLayout,
+        region: Region,
+    },
+    /// Contiguous write of a logical region; `data` holds only the bytes
+    /// this server owns, in logical order.
+    Write {
+        handle: FileHandle,
+        layout: StripeLayout,
+        region: Region,
+        data: Bytes,
+    },
+    /// List I/O read: up to [`crate::MAX_LIST_REGIONS`] logical file
+    /// regions as trailing data. The server returns its bytes of each
+    /// region, region-by-region in list order.
+    ReadList {
+        handle: FileHandle,
+        layout: StripeLayout,
+        regions: RegionList,
+    },
+    /// List I/O write: the trailing data plus this server's bytes of
+    /// each region concatenated in list order.
+    WriteList {
+        handle: FileHandle,
+        layout: StripeLayout,
+        regions: RegionList,
+        data: Bytes,
+    },
+    /// Datatype I/O read (§5 future work): the file regions are the
+    /// expansion of `runs`, in run order then block order. The server
+    /// returns its bytes of each region exactly as for `ReadList`, but
+    /// the description is O(runs), not O(regions).
+    ReadVectors {
+        handle: FileHandle,
+        layout: StripeLayout,
+        runs: Vec<VectorRun>,
+    },
+    /// Datatype I/O write; `data` is this server's share in expansion
+    /// order.
+    WriteVectors {
+        handle: FileHandle,
+        layout: StripeLayout,
+        runs: Vec<VectorRun>,
+        data: Bytes,
+    },
+}
+
+impl Request {
+    /// True for operations handled by the manager daemon.
+    pub fn is_metadata(&self) -> bool {
+        matches!(
+            self,
+            Request::Create { .. }
+                | Request::Open { .. }
+                | Request::Close { .. }
+                | Request::Remove { .. }
+                | Request::ListDir
+        )
+    }
+
+    /// True for write-path operations (used by cost accounting).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Request::Write { .. } | Request::WriteList { .. } | Request::WriteVectors { .. }
+        )
+    }
+
+    /// Number of file regions this request describes (1 for contiguous,
+    /// the full expansion for vector requests).
+    pub fn region_count(&self) -> usize {
+        match self {
+            Request::Read { .. } | Request::Write { .. } => 1,
+            Request::ReadList { regions, .. } | Request::WriteList { regions, .. } => {
+                regions.count()
+            }
+            Request::ReadVectors { runs, .. } | Request::WriteVectors { runs, .. } => {
+                runs.iter().map(|r| r.count as usize).sum()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Bulk payload bytes travelling *with* the request (write data).
+    pub fn bulk_len(&self) -> u64 {
+        match self {
+            Request::Write { data, .. }
+            | Request::WriteList { data, .. }
+            | Request::WriteVectors { data, .. } => data.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Size in bytes of the encoded *control* part of this request —
+    /// everything except the bulk payload. Computed analytically so
+    /// cost models do not have to encode million-request workloads; a
+    /// codec test pins it to `encode_message`'s actual output.
+    pub fn control_wire_size(&self) -> u64 {
+        const ENVELOPE: u64 = 2 + 1 + 1 + 4 + 8; // magic, version, op, client, req id
+        const LAYOUT: u64 = 16;
+        let body = match self {
+            Request::Create { path, .. } => 4 + path.len() as u64 + LAYOUT,
+            Request::Open { path } | Request::Remove { path } => 4 + path.len() as u64,
+            Request::ListDir => 0,
+            Request::Close { .. } | Request::GetLocalSize { .. } => 8,
+            Request::Read { .. } => 8 + LAYOUT + 16,
+            Request::Write { .. } => 8 + LAYOUT + 16 + 8, // + bulk length prefix
+            Request::ReadList { regions, .. } => 8 + LAYOUT + 4 + 16 * regions.count() as u64,
+            Request::WriteList { regions, .. } => {
+                8 + LAYOUT + 4 + 16 * regions.count() as u64 + 8
+            }
+            Request::ReadVectors { runs, .. } => 8 + LAYOUT + 4 + 32 * runs.len() as u64,
+            Request::WriteVectors { runs, .. } => 8 + LAYOUT + 4 + 32 * runs.len() as u64 + 8,
+        };
+        ENVELOPE + body
+    }
+
+    /// How many bytes of the regions named by this request live on
+    /// server `server` — i.e. the size of that server's share of the
+    /// transfer. Defines the concatenation convention for read responses
+    /// and write payloads.
+    pub fn server_share(&self, server: ServerId) -> u64 {
+        match self {
+            Request::Read { layout, region, .. } | Request::Write { layout, region, .. } => {
+                slot_share(layout, server, std::slice::from_ref(region))
+            }
+            Request::ReadList { layout, regions, .. }
+            | Request::WriteList { layout, regions, .. } => {
+                slot_share(layout, server, regions.regions())
+            }
+            Request::ReadVectors { layout, runs, .. }
+            | Request::WriteVectors { layout, runs, .. } => {
+                if server.0 < layout.base || server.0 >= layout.base + layout.pcount {
+                    return 0;
+                }
+                let slot = server.0 - layout.base;
+                runs.iter()
+                    .flat_map(|run| run.regions())
+                    .map(|r| layout.bytes_on_slot(r, slot))
+                    .sum()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Short operation name for logs and stats.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Create { .. } => "create",
+            Request::Open { .. } => "open",
+            Request::Close { .. } => "close",
+            Request::Remove { .. } => "remove",
+            Request::ListDir => "list_dir",
+            Request::GetLocalSize { .. } => "get_local_size",
+            Request::Read { .. } => "read",
+            Request::Write { .. } => "write",
+            Request::ReadList { .. } => "read_list",
+            Request::WriteList { .. } => "write_list",
+            Request::ReadVectors { .. } => "read_vectors",
+            Request::WriteVectors { .. } => "write_vectors",
+        }
+    }
+}
+
+fn slot_share(layout: &StripeLayout, server: ServerId, regions: &[Region]) -> u64 {
+    if server.0 < layout.base || server.0 >= layout.base + layout.pcount {
+        return 0;
+    }
+    let slot = server.0 - layout.base;
+    regions.iter().map(|r| layout.bytes_on_slot(*r, slot)).sum()
+}
+
+/// Every reply in the protocol. Responses echo the request id in their
+/// envelope (handled by the transports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// File created.
+    Created { handle: FileHandle },
+    /// File opened; the client learns the striping here.
+    Opened {
+        handle: FileHandle,
+        layout: StripeLayout,
+    },
+    /// Handle closed.
+    Closed,
+    /// File removed.
+    Removed,
+    /// Namespace listing (sorted paths).
+    Listing { paths: Vec<String> },
+    /// This server's local file size.
+    LocalSize { size: u64 },
+    /// Read data: this server's share, concatenated per
+    /// [`Request::server_share`]'s convention.
+    Data { data: Bytes },
+    /// Write acknowledged; `bytes` is the number of payload bytes
+    /// applied.
+    Written { bytes: u64 },
+    /// The operation failed server-side.
+    Error(PvfsError),
+}
+
+impl Response {
+    /// Bulk payload bytes travelling with the response (read data).
+    pub fn bulk_len(&self) -> u64 {
+        match self {
+            Response::Data { data } => data.len() as u64,
+            _ => 0,
+        }
+    }
+
+    /// Convert an error response into `Err`, anything else into `Ok`.
+    pub fn into_result(self) -> Result<Response, PvfsError> {
+        match self {
+            Response::Error(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvfs_types::ClientId;
+
+    fn layout() -> StripeLayout {
+        StripeLayout::new(0, 4, 10).unwrap()
+    }
+
+    #[test]
+    fn metadata_classification() {
+        assert!(Request::Open { path: "/a".into() }.is_metadata());
+        assert!(Request::Close { handle: FileHandle(1) }.is_metadata());
+        assert!(!Request::GetLocalSize { handle: FileHandle(1) }.is_metadata());
+        assert!(!Request::Read {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(0, 10)
+        }
+        .is_metadata());
+    }
+
+    #[test]
+    fn write_classification_and_bulk() {
+        let w = Request::Write {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(0, 4),
+            data: Bytes::from(vec![0u8; 4]),
+        };
+        assert!(w.is_write());
+        assert_eq!(w.bulk_len(), 4);
+        let r = Request::Read {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(0, 4),
+        };
+        assert!(!r.is_write());
+        assert_eq!(r.bulk_len(), 0);
+    }
+
+    #[test]
+    fn region_counts() {
+        let regions = RegionList::from_pairs([(0, 4), (20, 4), (40, 4)]).unwrap();
+        let rl = Request::ReadList {
+            handle: FileHandle(1),
+            layout: layout(),
+            regions,
+        };
+        assert_eq!(rl.region_count(), 3);
+        assert_eq!(
+            Request::Read {
+                handle: FileHandle(1),
+                layout: layout(),
+                region: Region::new(0, 1)
+            }
+            .region_count(),
+            1
+        );
+        assert_eq!(Request::Open { path: "/x".into() }.region_count(), 0);
+    }
+
+    #[test]
+    fn server_share_splits_by_stripe() {
+        // layout: 4 servers, 10-byte stripes. Region [5, 25) touches
+        // servers 0 (5 bytes), 1 (10 bytes), 2 (5 bytes).
+        let r = Request::Read {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(5, 20),
+        };
+        assert_eq!(r.server_share(ServerId(0)), 5);
+        assert_eq!(r.server_share(ServerId(1)), 10);
+        assert_eq!(r.server_share(ServerId(2)), 5);
+        assert_eq!(r.server_share(ServerId(3)), 0);
+        assert_eq!(r.server_share(ServerId(9)), 0);
+        let total: u64 = (0..4).map(|s| r.server_share(ServerId(s))).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn list_server_share_sums_regions() {
+        let regions = RegionList::from_pairs([(0, 10), (10, 10), (25, 5)]).unwrap();
+        let rl = Request::ReadList {
+            handle: FileHandle(1),
+            layout: layout(),
+            regions,
+        };
+        assert_eq!(rl.server_share(ServerId(0)), 10);
+        assert_eq!(rl.server_share(ServerId(1)), 10);
+        assert_eq!(rl.server_share(ServerId(2)), 5);
+        let total: u64 = (0..4).map(|s| rl.server_share(ServerId(s))).sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn response_result_conversion() {
+        assert!(Response::Closed.into_result().is_ok());
+        let e = Response::Error(PvfsError::BadHandle(3)).into_result();
+        assert_eq!(e, Err(PvfsError::BadHandle(3)));
+    }
+
+    #[test]
+    fn response_bulk_len() {
+        assert_eq!(
+            Response::Data {
+                data: Bytes::from(vec![1, 2, 3])
+            }
+            .bulk_len(),
+            3
+        );
+        assert_eq!(Response::Written { bytes: 10 }.bulk_len(), 0);
+    }
+
+    #[test]
+    fn op_names_are_stable() {
+        assert_eq!(Request::Open { path: "/x".into() }.op_name(), "open");
+        assert_eq!(
+            Request::WriteList {
+                handle: FileHandle(0),
+                layout: layout(),
+                regions: RegionList::contiguous(0, 1),
+                data: Bytes::new()
+            }
+            .op_name(),
+            "write_list"
+        );
+    }
+
+    #[test]
+    fn message_envelope_carries_ids() {
+        let m = Message {
+            client: ClientId(3),
+            id: RequestId(9),
+            request: Request::Open { path: "/f".into() },
+        };
+        assert_eq!(m.client, ClientId(3));
+        assert_eq!(m.id, RequestId(9));
+    }
+}

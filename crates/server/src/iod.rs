@@ -1,0 +1,861 @@
+//! The I/O daemon: serves striped file data.
+//!
+//! An I/O daemon owns one [`LocalFile`] per file handle, holding exactly
+//! the stripes the file's [`StripeLayout`] assigns to this server. Data
+//! requests name *logical* file regions; the daemon maps them onto its
+//! local file with the layout carried in the request (PVFS I/O requests
+//! carry striping metadata, §3.3) and never sees other servers' bytes.
+//!
+//! The daemon is a pure state machine: [`IoDaemon::handle`] consumes a
+//! request, mutates local state, and returns the response together with
+//! a [`ServeCost`] — counts and disk time the simulator converts into
+//! virtual CPU/disk time. List requests additionally report how many
+//! file regions they carried, because per-region processing is a real
+//! cost the paper's analysis (§3.4) calls out.
+
+use bytes::Bytes;
+use pvfs_disk::{CacheConfig, CostReport, DiskModel, LocalFile};
+use pvfs_proto::{Request, Response};
+use pvfs_types::{FileHandle, PvfsError, Region, RegionList, ServerId, StripeLayout};
+use std::collections::HashMap;
+
+/// Static configuration for one I/O daemon.
+#[derive(Debug, Clone, Copy)]
+pub struct IodConfig {
+    /// Buffer-cache parameters for each local file.
+    pub cache: CacheConfig,
+    /// Disk timing model.
+    pub disk: DiskModel,
+}
+
+impl Default for IodConfig {
+    fn default() -> Self {
+        IodConfig {
+            cache: CacheConfig::paper_default(),
+            disk: DiskModel::paper_default(),
+        }
+    }
+}
+
+/// Cost counters for one served request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCost {
+    /// File regions processed (0 for metadata/size ops, 1 for contiguous
+    /// I/O, the trailing-data count for list I/O).
+    pub regions: u64,
+    /// Stripe-aligned local accesses performed.
+    pub local_accesses: u64,
+    /// Disk/cache outcome.
+    pub disk: CostReport,
+}
+
+impl ServeCost {
+    fn merge_disk(&mut self, r: CostReport) {
+        self.disk.merge(r);
+        self.local_accesses += 1;
+    }
+}
+
+/// Lifetime statistics for one I/O daemon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests served, by class.
+    pub requests: u64,
+    /// Contiguous read/write requests.
+    pub contiguous_requests: u64,
+    /// List I/O requests.
+    pub list_requests: u64,
+    /// Total file regions processed.
+    pub regions: u64,
+    /// Bytes returned to clients.
+    pub bytes_read: u64,
+    /// Bytes accepted from clients.
+    pub bytes_written: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+}
+
+/// One PVFS I/O daemon.
+#[derive(Debug)]
+pub struct IoDaemon {
+    id: ServerId,
+    config: IodConfig,
+    files: HashMap<FileHandle, LocalFile>,
+    stats: ServerStats,
+}
+
+impl IoDaemon {
+    /// A daemon with the given id and configuration.
+    pub fn new(id: ServerId, config: IodConfig) -> IoDaemon {
+        IoDaemon {
+            id,
+            config,
+            files: HashMap::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// A daemon with paper-default cache and disk.
+    pub fn with_defaults(id: ServerId) -> IoDaemon {
+        IoDaemon::new(id, IodConfig::default())
+    }
+
+    /// This daemon's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Direct access to a handle's local file (verification oracles).
+    pub fn local_file(&self, handle: FileHandle) -> Option<&LocalFile> {
+        self.files.get(&handle)
+    }
+
+    /// Drop all state for a handle (file removal plumbing).
+    pub fn drop_handle(&mut self, handle: FileHandle) {
+        self.files.remove(&handle);
+    }
+
+    /// Flush a handle's dirty cache blocks (maintenance entry point for
+    /// benchmark setup; returns the disk cost of the write-back).
+    pub fn flush_handle(&mut self, handle: FileHandle) -> CostReport {
+        self.files
+            .get_mut(&handle)
+            .map(|f| f.flush())
+            .unwrap_or_default()
+    }
+
+    /// Serve one request.
+    pub fn handle(&mut self, request: &Request) -> (Response, ServeCost) {
+        self.stats.requests += 1;
+        let result = self.dispatch(request);
+        match result {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.stats.errors += 1;
+                (Response::Error(e), ServeCost::default())
+            }
+        }
+    }
+
+    fn dispatch(&mut self, request: &Request) -> Result<(Response, ServeCost), PvfsError> {
+        match request {
+            Request::GetLocalSize { handle } => {
+                let size = self.files.get(handle).map(|f| f.size()).unwrap_or(0);
+                Ok((Response::LocalSize { size }, ServeCost::default()))
+            }
+            Request::Read {
+                handle,
+                layout,
+                region,
+            } => {
+                self.stats.contiguous_requests += 1;
+                let slot = self.slot_in(layout)?;
+                let mut cost = ServeCost { regions: 1, ..ServeCost::default() };
+                let data = self.read_region(*handle, layout, slot, *region, &mut cost);
+                self.stats.regions += 1;
+                self.stats.bytes_read += data.len() as u64;
+                Ok((Response::Data { data: Bytes::from(data) }, cost))
+            }
+            Request::Write {
+                handle,
+                layout,
+                region,
+                data,
+            } => {
+                self.stats.contiguous_requests += 1;
+                let slot = self.slot_in(layout)?;
+                let expected = layout.bytes_on_slot(*region, slot);
+                if data.len() as u64 != expected {
+                    return Err(PvfsError::protocol(format!(
+                        "write payload is {} bytes but this server owns {expected} of {region:?}",
+                        data.len()
+                    )));
+                }
+                let mut cost = ServeCost { regions: 1, ..ServeCost::default() };
+                let written = self.write_region(*handle, layout, slot, *region, data, &mut cost);
+                self.stats.regions += 1;
+                self.stats.bytes_written += written;
+                Ok((Response::Written { bytes: written }, cost))
+            }
+            Request::ReadList {
+                handle,
+                layout,
+                regions,
+            } => {
+                self.stats.list_requests += 1;
+                self.check_list(regions)?;
+                let slot = self.slot_in(layout)?;
+                let mut cost = ServeCost {
+                    regions: regions.count() as u64,
+                    ..ServeCost::default()
+                };
+                let mut out = Vec::new();
+                for region in regions {
+                    let piece = self.read_region(*handle, layout, slot, *region, &mut cost);
+                    out.extend_from_slice(&piece);
+                }
+                self.stats.regions += regions.count() as u64;
+                self.stats.bytes_read += out.len() as u64;
+                Ok((Response::Data { data: Bytes::from(out) }, cost))
+            }
+            Request::WriteList {
+                handle,
+                layout,
+                regions,
+                data,
+            } => {
+                self.stats.list_requests += 1;
+                self.check_list(regions)?;
+                let slot = self.slot_in(layout)?;
+                let expected: u64 = regions
+                    .iter()
+                    .map(|r| layout.bytes_on_slot(*r, slot))
+                    .sum();
+                if data.len() as u64 != expected {
+                    return Err(PvfsError::protocol(format!(
+                        "write_list payload is {} bytes but this server owns {expected}",
+                        data.len()
+                    )));
+                }
+                let mut cost = ServeCost {
+                    regions: regions.count() as u64,
+                    ..ServeCost::default()
+                };
+                let mut consumed = 0u64;
+                let mut written = 0u64;
+                for region in regions {
+                    let share = layout.bytes_on_slot(*region, slot) as usize;
+                    let piece = data.slice(consumed as usize..consumed as usize + share);
+                    consumed += share as u64;
+                    written += self.write_region(*handle, layout, slot, *region, &piece, &mut cost);
+                }
+                self.stats.regions += regions.count() as u64;
+                self.stats.bytes_written += written;
+                Ok((Response::Written { bytes: written }, cost))
+            }
+            Request::ReadVectors {
+                handle,
+                layout,
+                runs,
+            } => {
+                self.stats.list_requests += 1;
+                let slot = self.slot_in(layout)?;
+                let mut cost = ServeCost::default();
+                let mut out = Vec::new();
+                for run in runs {
+                    run.validate()?;
+                    for region in run.regions() {
+                        cost.regions += 1;
+                        let piece = self.read_region(*handle, layout, slot, region, &mut cost);
+                        out.extend_from_slice(&piece);
+                    }
+                }
+                self.stats.regions += cost.regions;
+                self.stats.bytes_read += out.len() as u64;
+                Ok((Response::Data { data: Bytes::from(out) }, cost))
+            }
+            Request::WriteVectors {
+                handle,
+                layout,
+                runs,
+                data,
+            } => {
+                self.stats.list_requests += 1;
+                let slot = self.slot_in(layout)?;
+                let expected: u64 = runs
+                    .iter()
+                    .flat_map(|run| run.regions())
+                    .map(|r| layout.bytes_on_slot(r, slot))
+                    .sum();
+                if data.len() as u64 != expected {
+                    return Err(PvfsError::protocol(format!(
+                        "write_vectors payload is {} bytes but this server owns {expected}",
+                        data.len()
+                    )));
+                }
+                let mut cost = ServeCost::default();
+                let mut consumed = 0u64;
+                let mut written = 0u64;
+                for run in runs {
+                    run.validate()?;
+                    for region in run.regions() {
+                        cost.regions += 1;
+                        let share = layout.bytes_on_slot(region, slot) as usize;
+                        let piece = data.slice(consumed as usize..consumed as usize + share);
+                        consumed += share as u64;
+                        written +=
+                            self.write_region(*handle, layout, slot, region, &piece, &mut cost);
+                    }
+                }
+                self.stats.regions += cost.regions;
+                self.stats.bytes_written += written;
+                Ok((Response::Written { bytes: written }, cost))
+            }
+            other if other.is_metadata() => Err(PvfsError::protocol(format!(
+                "metadata operation {} sent to an I/O daemon",
+                other.op_name()
+            ))),
+            other => Err(PvfsError::protocol(format!(
+                "I/O daemon cannot serve {}",
+                other.op_name()
+            ))),
+        }
+    }
+
+    /// Which slot this server occupies in `layout`, or an error if the
+    /// request was misrouted.
+    fn slot_in(&self, layout: &StripeLayout) -> Result<u32, PvfsError> {
+        layout.validate()?;
+        if self.id.0 < layout.base || self.id.0 >= layout.base + layout.pcount {
+            return Err(PvfsError::protocol(format!(
+                "server {} is not part of stripe layout base={} pcount={}",
+                self.id, layout.base, layout.pcount
+            )));
+        }
+        Ok(self.id.0 - layout.base)
+    }
+
+    fn check_list(&self, regions: &RegionList) -> Result<(), PvfsError> {
+        if regions.is_empty() {
+            return Err(PvfsError::protocol("empty region list"));
+        }
+        if regions.count() > pvfs_proto::MAX_LIST_REGIONS {
+            return Err(PvfsError::protocol(format!(
+                "list request with {} regions exceeds the trailing-data limit",
+                regions.count()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read this server's bytes of a logical region, in logical order.
+    ///
+    /// Consecutive stripes a slot owns are packed contiguously in its
+    /// local file, so a logical region spanning many of this server's
+    /// stripes is read as a *single* local access (one lseek + read),
+    /// exactly as the PVFS iod does — and `cost.local_accesses` counts
+    /// these merged runs, the unit the simulator charges per-access
+    /// server time for.
+    fn read_region(
+        &mut self,
+        handle: FileHandle,
+        layout: &StripeLayout,
+        slot: u32,
+        region: Region,
+        cost: &mut ServeCost,
+    ) -> Vec<u8> {
+        let file = self.file_mut(handle);
+        let mut out = Vec::with_capacity(layout.bytes_on_slot(region, slot) as usize);
+        let mut run: Option<(u64, u64)> = None; // (local offset, len)
+        for seg in layout.segments(region) {
+            if seg.slot != slot {
+                continue;
+            }
+            match run {
+                Some((start, len)) if start + len == seg.local_offset => {
+                    run = Some((start, len + seg.logical.len));
+                }
+                Some((start, len)) => {
+                    let (piece, report) = file.read_at(start, len as usize);
+                    cost.merge_disk(report);
+                    out.extend_from_slice(&piece);
+                    run = Some((seg.local_offset, seg.logical.len));
+                }
+                None => run = Some((seg.local_offset, seg.logical.len)),
+            }
+        }
+        if let Some((start, len)) = run {
+            let (piece, report) = file.read_at(start, len as usize);
+            cost.merge_disk(report);
+            out.extend_from_slice(&piece);
+        }
+        out
+    }
+
+    /// Write this server's bytes of a logical region from `data`
+    /// (consumed in logical order); returns bytes written. Consecutive
+    /// local stripes merge into single local accesses as for reads.
+    fn write_region(
+        &mut self,
+        handle: FileHandle,
+        layout: &StripeLayout,
+        slot: u32,
+        region: Region,
+        data: &Bytes,
+        cost: &mut ServeCost,
+    ) -> u64 {
+        let file = self.file_mut(handle);
+        let mut consumed = 0usize;
+        let mut run: Option<(u64, u64)> = None;
+        for seg in layout.segments(region) {
+            if seg.slot != slot {
+                continue;
+            }
+            match run {
+                Some((start, len)) if start + len == seg.local_offset => {
+                    run = Some((start, len + seg.logical.len));
+                }
+                Some((start, len)) => {
+                    let report = file.write_at(start, &data[consumed..consumed + len as usize]);
+                    cost.merge_disk(report);
+                    consumed += len as usize;
+                    run = Some((seg.local_offset, seg.logical.len));
+                }
+                None => run = Some((seg.local_offset, seg.logical.len)),
+            }
+        }
+        if let Some((start, len)) = run {
+            let report = file.write_at(start, &data[consumed..consumed + len as usize]);
+            cost.merge_disk(report);
+            consumed += len as usize;
+        }
+        consumed as u64
+    }
+
+    fn file_mut(&mut self, handle: FileHandle) -> &mut LocalFile {
+        let config = self.config;
+        self.files
+            .entry(handle)
+            .or_insert_with(|| LocalFile::new(config.cache, config.disk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> StripeLayout {
+        StripeLayout::new(0, 4, 10).unwrap()
+    }
+
+    fn fh() -> FileHandle {
+        FileHandle(1)
+    }
+
+    /// Write a whole logical byte range across a set of daemons, using
+    /// one contiguous Write per involved server (the client library's
+    /// job, inlined here for tests).
+    pub(super) fn write_all(daemons: &mut [IoDaemon], l: &StripeLayout, offset: u64, data: &[u8]) {
+        let region = Region::new(offset, data.len() as u64);
+        for d in daemons.iter_mut() {
+            let slot = d.id().0 - l.base;
+            let share: Vec<u8> = l
+                .segments(region)
+                .filter(|s| s.slot == slot)
+                .flat_map(|s| {
+                    let start = (s.logical.offset - offset) as usize;
+                    data[start..start + s.logical.len as usize].to_vec()
+                })
+                .collect();
+            if share.is_empty() {
+                continue;
+            }
+            let (resp, _) = d.handle(&Request::Write {
+                handle: fh(),
+                layout: *l,
+                region,
+                data: Bytes::from(share.clone()),
+            });
+            assert_eq!(resp, Response::Written { bytes: share.len() as u64 });
+        }
+    }
+
+    /// Read a whole logical byte range back by merging per-server reads.
+    pub(super) fn read_all(daemons: &mut [IoDaemon], l: &StripeLayout, region: Region) -> Vec<u8> {
+        let mut out = vec![0u8; region.len as usize];
+        for d in daemons.iter_mut() {
+            let slot = d.id().0 - l.base;
+            let (resp, _) = d.handle(&Request::Read {
+                handle: fh(),
+                layout: *l,
+                region,
+            });
+            let data = match resp {
+                Response::Data { data } => data,
+                other => panic!("unexpected {other:?}"),
+            };
+            let mut consumed = 0usize;
+            for seg in l.segments(region) {
+                if seg.slot != slot {
+                    continue;
+                }
+                let start = (seg.logical.offset - region.offset) as usize;
+                let n = seg.logical.len as usize;
+                out[start..start + n].copy_from_slice(&data[consumed..consumed + n]);
+                consumed += n;
+            }
+        }
+        out
+    }
+
+    fn cluster() -> Vec<IoDaemon> {
+        (0..4).map(|i| IoDaemon::with_defaults(ServerId(i))).collect()
+    }
+
+    #[test]
+    fn striped_write_read_roundtrip() {
+        let l = layout();
+        let mut daemons = cluster();
+        let data: Vec<u8> = (0..95u8).collect();
+        write_all(&mut daemons, &l, 3, &data);
+        let back = read_all(&mut daemons, &l, Region::new(3, 95));
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn read_of_unwritten_range_returns_zeros() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let (resp, _) = d.handle(&Request::Read {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 10),
+        });
+        assert_eq!(
+            resp,
+            Response::Data {
+                data: Bytes::from(vec![0u8; 10])
+            }
+        );
+    }
+
+    #[test]
+    fn server_only_returns_its_share() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(1));
+        // Region [0, 40) spans all four servers; server 1 owns [10, 20).
+        let (resp, _) = d.handle(&Request::Read {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 40),
+        });
+        match resp {
+            Response::Data { data } => assert_eq!(data.len(), 10),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_with_wrong_payload_size_is_rejected() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let (resp, _) = d.handle(&Request::Write {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 10),
+            data: Bytes::from(vec![0u8; 3]),
+        });
+        assert!(matches!(resp, Response::Error(PvfsError::Protocol(_))));
+        assert_eq!(d.stats().errors, 1);
+    }
+
+    #[test]
+    fn misrouted_request_is_rejected() {
+        let l = StripeLayout::new(0, 2, 10).unwrap();
+        let mut d = IoDaemon::with_defaults(ServerId(5)); // not in layout
+        let (resp, _) = d.handle(&Request::Read {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 10),
+        });
+        assert!(matches!(resp, Response::Error(PvfsError::Protocol(_))));
+    }
+
+    #[test]
+    fn metadata_op_at_iod_is_rejected() {
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let (resp, _) = d.handle(&Request::Open { path: "/x".into() });
+        assert!(matches!(resp, Response::Error(PvfsError::Protocol(_))));
+    }
+
+    #[test]
+    fn list_read_concatenates_in_list_order() {
+        let l = layout();
+        let mut daemons = cluster();
+        let data: Vec<u8> = (0..40u8).collect();
+        write_all(&mut daemons, &l, 0, &data);
+        // Regions [12,16) and [2,6): server 0 owns [2,6); server 1 owns [12,16).
+        let regions = RegionList::from_pairs([(12, 4), (2, 4)]).unwrap();
+        let (resp, cost) = daemons[0].handle(&Request::ReadList {
+            handle: fh(),
+            layout: l,
+            regions: regions.clone(),
+        });
+        assert_eq!(resp, Response::Data { data: Bytes::from(vec![2, 3, 4, 5]) });
+        assert_eq!(cost.regions, 2);
+        let (resp, _) = daemons[1].handle(&Request::ReadList {
+            handle: fh(),
+            layout: l,
+            regions,
+        });
+        assert_eq!(resp, Response::Data { data: Bytes::from(vec![12, 13, 14, 15]) });
+    }
+
+    #[test]
+    fn list_write_scatters_payload() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        // Both regions live entirely on server 0 (first stripe is [0,10)
+        // and stripe 4 is [40,50)).
+        let regions = RegionList::from_pairs([(40, 5), (0, 5)]).unwrap();
+        let (resp, cost) = d.handle(&Request::WriteList {
+            handle: fh(),
+            layout: l,
+            regions,
+            data: Bytes::from(vec![1, 1, 1, 1, 1, 2, 2, 2, 2, 2]),
+        });
+        assert_eq!(resp, Response::Written { bytes: 10 });
+        assert_eq!(cost.regions, 2);
+        // Verify list-order consumption: [40,45) got 1s, [0,5) got 2s.
+        let (resp, _) = d.handle(&Request::Read {
+            handle: fh(),
+            layout: l,
+            region: Region::new(40, 5),
+        });
+        assert_eq!(resp, Response::Data { data: Bytes::from(vec![1u8; 5]) });
+        let (resp, _) = d.handle(&Request::Read {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 5),
+        });
+        assert_eq!(resp, Response::Data { data: Bytes::from(vec![2u8; 5]) });
+    }
+
+    #[test]
+    fn oversized_list_is_rejected() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let regions = RegionList::from_pairs((0..65).map(|i| (i * 100, 1u64))).unwrap();
+        let (resp, _) = d.handle(&Request::ReadList {
+            handle: fh(),
+            layout: l,
+            regions,
+        });
+        assert!(matches!(resp, Response::Error(PvfsError::Protocol(_))));
+    }
+
+    #[test]
+    fn get_local_size_tracks_writes() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let (resp, _) = d.handle(&Request::GetLocalSize { handle: fh() });
+        assert_eq!(resp, Response::LocalSize { size: 0 });
+        d.handle(&Request::Write {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 7),
+            data: Bytes::from(vec![0u8; 7]),
+        });
+        let (resp, _) = d.handle(&Request::GetLocalSize { handle: fh() });
+        assert_eq!(resp, Response::LocalSize { size: 7 });
+    }
+
+    #[test]
+    fn stats_count_requests_and_regions() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        d.handle(&Request::Read {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 5),
+        });
+        let regions = RegionList::from_pairs([(0, 2), (40, 2), (80, 2)]).unwrap();
+        d.handle(&Request::ReadList {
+            handle: fh(),
+            layout: l,
+            regions,
+        });
+        let s = d.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.contiguous_requests, 1);
+        assert_eq!(s.list_requests, 1);
+        assert_eq!(s.regions, 4);
+    }
+
+    #[test]
+    fn handles_are_isolated() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        d.handle(&Request::Write {
+            handle: FileHandle(1),
+            layout: l,
+            region: Region::new(0, 5),
+            data: Bytes::from(vec![9u8; 5]),
+        });
+        let (resp, _) = d.handle(&Request::Read {
+            handle: FileHandle(2),
+            layout: l,
+            region: Region::new(0, 5),
+        });
+        assert_eq!(resp, Response::Data { data: Bytes::from(vec![0u8; 5]) });
+    }
+
+    #[test]
+    fn drop_handle_discards_data() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        d.handle(&Request::Write {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 5),
+            data: Bytes::from(vec![9u8; 5]),
+        });
+        d.drop_handle(fh());
+        let (resp, _) = d.handle(&Request::GetLocalSize { handle: fh() });
+        assert_eq!(resp, Response::LocalSize { size: 0 });
+    }
+
+    #[test]
+    fn vector_read_expands_runs_in_order() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        // Stripe 0 is [0,10), stripe 4 is [40,50): both on server 0.
+        d.handle(&Request::Write {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 10),
+            data: Bytes::from((0..10u8).collect::<Vec<_>>()),
+        });
+        d.handle(&Request::Write {
+            handle: fh(),
+            layout: l,
+            region: Region::new(40, 10),
+            data: Bytes::from((40..50u8).collect::<Vec<_>>()),
+        });
+        // Run: blocks of 3 bytes at 0 and 40 (stride 40, count 2).
+        let runs = vec![pvfs_proto::VectorRun {
+            base: 0,
+            blocklen: 3,
+            stride: 40,
+            count: 2,
+        }];
+        let (resp, cost) = d.handle(&Request::ReadVectors {
+            handle: fh(),
+            layout: l,
+            runs,
+        });
+        assert_eq!(
+            resp,
+            Response::Data {
+                data: Bytes::from(vec![0, 1, 2, 40, 41, 42])
+            }
+        );
+        assert_eq!(cost.regions, 2);
+    }
+
+    #[test]
+    fn vector_write_scatters_expansion() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let runs = vec![pvfs_proto::VectorRun {
+            base: 0,
+            blocklen: 2,
+            stride: 40,
+            count: 3,
+        }];
+        let (resp, _) = d.handle(&Request::WriteVectors {
+            handle: fh(),
+            layout: l,
+            runs,
+            data: Bytes::from(vec![1, 1, 2, 2, 3, 3]),
+        });
+        assert_eq!(resp, Response::Written { bytes: 6 });
+        for (i, base) in [(1u8, 0u64), (2, 40), (3, 80)] {
+            let (resp, _) = d.handle(&Request::Read {
+                handle: fh(),
+                layout: l,
+                region: Region::new(base, 2),
+            });
+            assert_eq!(resp, Response::Data { data: Bytes::from(vec![i, i]) });
+        }
+    }
+
+    #[test]
+    fn vector_write_wrong_payload_rejected() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let runs = vec![pvfs_proto::VectorRun {
+            base: 0,
+            blocklen: 2,
+            stride: 40,
+            count: 3,
+        }];
+        let (resp, _) = d.handle(&Request::WriteVectors {
+            handle: fh(),
+            layout: l,
+            runs,
+            data: Bytes::from(vec![0u8; 5]),
+        });
+        assert!(matches!(resp, Response::Error(PvfsError::Protocol(_))));
+    }
+
+    #[test]
+    fn invalid_vector_run_rejected_at_server() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let runs = vec![pvfs_proto::VectorRun {
+            base: 0,
+            blocklen: 10,
+            stride: 5, // overlapping blocks
+            count: 2,
+        }];
+        let (resp, _) = d.handle(&Request::ReadVectors {
+            handle: fh(),
+            layout: l,
+            runs,
+        });
+        assert!(matches!(resp, Response::Error(PvfsError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn list_read_cost_reports_per_region_accesses() {
+        let l = layout();
+        let mut d = IoDaemon::with_defaults(ServerId(0));
+        // Three regions on this server, each within one stripe.
+        let regions = RegionList::from_pairs([(0, 4), (40, 4), (80, 4)]).unwrap();
+        let (_, cost) = d.handle(&Request::ReadList {
+            handle: fh(),
+            layout: l,
+            regions,
+        });
+        assert_eq!(cost.regions, 3);
+        assert_eq!(cost.local_accesses, 3);
+        assert_eq!(cost.disk.bytes_read, 12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Writing any byte range through per-server contiguous requests
+        /// and reading it back through per-server reads reproduces the
+        /// data for arbitrary layouts.
+        #[test]
+        fn scatter_gather_roundtrip(
+            pcount in 1u32..8,
+            ssize in 1u64..64,
+            offset in 0u64..500,
+            len in 1usize..700,
+        ) {
+            let l = StripeLayout::new(0, pcount, ssize).unwrap();
+            let mut daemons: Vec<IoDaemon> =
+                (0..pcount).map(|i| IoDaemon::with_defaults(ServerId(i))).collect();
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            super::tests::write_all(&mut daemons, &l, offset, &data);
+            let back = super::tests::read_all(
+                &mut daemons,
+                &l,
+                Region::new(offset, len as u64),
+            );
+            prop_assert_eq!(back, data);
+        }
+    }
+}

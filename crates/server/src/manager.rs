@@ -1,0 +1,286 @@
+//! The manager daemon: metadata only.
+//!
+//! "PVFS also has a manager daemon that handles only metadata operations
+//! … The manager does not participate in read/write operations" (§2).
+//! The manager here owns the namespace (path → handle + striping) and
+//! allocates handles; it never touches file data, and the client library
+//! computes file sizes by querying the I/O daemons directly, keeping the
+//! manager off the data path exactly as PVFS does.
+
+use pvfs_proto::{Request, Response};
+use pvfs_types::{FileHandle, PvfsError, StripeLayout};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct MetaEntry {
+    handle: FileHandle,
+    layout: StripeLayout,
+    open_count: u64,
+}
+
+/// The PVFS manager daemon.
+#[derive(Debug, Default)]
+pub struct Manager {
+    next_handle: u64,
+    by_path: HashMap<String, MetaEntry>,
+    by_handle: HashMap<FileHandle, String>,
+}
+
+impl Manager {
+    /// An empty namespace.
+    pub fn new() -> Manager {
+        Manager {
+            next_handle: 1,
+            by_path: HashMap::new(),
+            by_handle: HashMap::new(),
+        }
+    }
+
+    /// Number of files in the namespace.
+    pub fn file_count(&self) -> usize {
+        self.by_path.len()
+    }
+
+    /// The striping layout of an open handle, if known.
+    pub fn layout_of(&self, handle: FileHandle) -> Option<StripeLayout> {
+        let path = self.by_handle.get(&handle)?;
+        self.by_path.get(path).map(|e| e.layout)
+    }
+
+    /// Serve one metadata request.
+    pub fn handle(&mut self, request: &Request) -> Response {
+        match self.dispatch(request) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn dispatch(&mut self, request: &Request) -> Result<Response, PvfsError> {
+        match request {
+            Request::Create { path, layout } => {
+                layout.validate()?;
+                if path.is_empty() {
+                    return Err(PvfsError::invalid("empty path"));
+                }
+                if self.by_path.contains_key(path) {
+                    return Err(PvfsError::AlreadyExists(path.clone()));
+                }
+                let handle = FileHandle(self.next_handle);
+                self.next_handle += 1;
+                self.by_path.insert(
+                    path.clone(),
+                    MetaEntry {
+                        handle,
+                        layout: *layout,
+                        open_count: 1,
+                    },
+                );
+                self.by_handle.insert(handle, path.clone());
+                Ok(Response::Created { handle })
+            }
+            Request::Open { path } => {
+                let entry = self
+                    .by_path
+                    .get_mut(path)
+                    .ok_or_else(|| PvfsError::NoSuchFile(path.clone()))?;
+                entry.open_count += 1;
+                Ok(Response::Opened {
+                    handle: entry.handle,
+                    layout: entry.layout,
+                })
+            }
+            Request::Close { handle } => {
+                let path = self
+                    .by_handle
+                    .get(handle)
+                    .ok_or(PvfsError::BadHandle(handle.0))?;
+                let entry = self.by_path.get_mut(path).expect("index consistency");
+                entry.open_count = entry.open_count.saturating_sub(1);
+                Ok(Response::Closed)
+            }
+            Request::ListDir => {
+                let mut paths: Vec<String> = self.by_path.keys().cloned().collect();
+                paths.sort();
+                Ok(Response::Listing { paths })
+            }
+            Request::Remove { path } => {
+                let entry = self
+                    .by_path
+                    .remove(path)
+                    .ok_or_else(|| PvfsError::NoSuchFile(path.clone()))?;
+                self.by_handle.remove(&entry.handle);
+                Ok(Response::Removed)
+            }
+            other => Err(PvfsError::protocol(format!(
+                "manager cannot serve data operation {}",
+                other.op_name()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvfs_types::Region;
+
+    fn layout() -> StripeLayout {
+        StripeLayout::paper_default(8)
+    }
+
+    fn create(m: &mut Manager, path: &str) -> FileHandle {
+        match m.handle(&Request::Create {
+            path: path.into(),
+            layout: layout(),
+        }) {
+            Response::Created { handle } => handle,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_then_open_returns_same_handle_and_layout() {
+        let mut m = Manager::new();
+        let h = create(&mut m, "/pvfs/a");
+        match m.handle(&Request::Open { path: "/pvfs/a".into() }) {
+            Response::Opened { handle, layout: l } => {
+                assert_eq!(handle, h);
+                assert_eq!(l, layout());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_duplicate_fails() {
+        let mut m = Manager::new();
+        create(&mut m, "/pvfs/a");
+        let resp = m.handle(&Request::Create {
+            path: "/pvfs/a".into(),
+            layout: layout(),
+        });
+        assert!(matches!(resp, Response::Error(PvfsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn create_empty_path_fails() {
+        let mut m = Manager::new();
+        let resp = m.handle(&Request::Create {
+            path: String::new(),
+            layout: layout(),
+        });
+        assert!(matches!(resp, Response::Error(PvfsError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn create_invalid_layout_fails() {
+        let mut m = Manager::new();
+        let resp = m.handle(&Request::Create {
+            path: "/x".into(),
+            layout: StripeLayout {
+                base: 0,
+                pcount: 0,
+                ssize: 16,
+            },
+        });
+        assert!(matches!(resp, Response::Error(PvfsError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn open_missing_file_fails() {
+        let mut m = Manager::new();
+        let resp = m.handle(&Request::Open { path: "/nope".into() });
+        assert!(matches!(resp, Response::Error(PvfsError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn handles_are_unique() {
+        let mut m = Manager::new();
+        let h1 = create(&mut m, "/a");
+        let h2 = create(&mut m, "/b");
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn close_validates_handle() {
+        let mut m = Manager::new();
+        let h = create(&mut m, "/a");
+        assert_eq!(m.handle(&Request::Close { handle: h }), Response::Closed);
+        let resp = m.handle(&Request::Close {
+            handle: FileHandle(999),
+        });
+        assert!(matches!(resp, Response::Error(PvfsError::BadHandle(_))));
+    }
+
+    #[test]
+    fn remove_deletes_namespace_entry() {
+        let mut m = Manager::new();
+        let h = create(&mut m, "/a");
+        assert_eq!(m.handle(&Request::Remove { path: "/a".into() }), Response::Removed);
+        assert_eq!(m.file_count(), 0);
+        assert!(m.layout_of(h).is_none());
+        let resp = m.handle(&Request::Open { path: "/a".into() });
+        assert!(matches!(resp, Response::Error(PvfsError::NoSuchFile(_))));
+        // Removing again fails.
+        let resp = m.handle(&Request::Remove { path: "/a".into() });
+        assert!(matches!(resp, Response::Error(PvfsError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn list_dir_returns_sorted_paths() {
+        let mut m = Manager::new();
+        create(&mut m, "/b");
+        create(&mut m, "/a");
+        create(&mut m, "/c");
+        match m.handle(&Request::ListDir) {
+            Response::Listing { paths } => {
+                assert_eq!(paths, vec!["/a", "/b", "/c"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        m.handle(&Request::Remove { path: "/b".into() });
+        match m.handle(&Request::ListDir) {
+            Response::Listing { paths } => assert_eq!(paths, vec!["/a", "/c"]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_dir_empty_namespace() {
+        let mut m = Manager::new();
+        match m.handle(&Request::ListDir) {
+            Response::Listing { paths } => assert!(paths.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn data_ops_are_rejected_at_the_manager() {
+        let mut m = Manager::new();
+        let resp = m.handle(&Request::Read {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(0, 10),
+        });
+        assert!(matches!(resp, Response::Error(PvfsError::Protocol(_))));
+    }
+
+    #[test]
+    fn layout_of_open_handle() {
+        let mut m = Manager::new();
+        let h = create(&mut m, "/a");
+        assert_eq!(m.layout_of(h), Some(layout()));
+        assert_eq!(m.layout_of(FileHandle(42)), None);
+    }
+
+    #[test]
+    fn reopen_after_close_works() {
+        let mut m = Manager::new();
+        let h = create(&mut m, "/a");
+        m.handle(&Request::Close { handle: h });
+        match m.handle(&Request::Open { path: "/a".into() }) {
+            Response::Opened { handle, .. } => assert_eq!(handle, h),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

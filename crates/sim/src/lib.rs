@@ -1,0 +1,32 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! The paper timed PVFS on the Chiba City cluster — 2002 hardware we
+//! cannot rent. This crate provides the substitute: a virtual-time
+//! engine whose cost models are calibrated to that testbed (100 Mb/s
+//! full-duplex fast Ethernet, dual-PIII I/O servers, Quantum Atlas IV
+//! SCSI disks). `pvfs-simcluster` drives the *same* daemon and planner
+//! code the live cluster runs, but advances a [`SimTime`] clock instead
+//! of the wall clock, so paper-scale experiments (32 clients, a million
+//! accesses) replay deterministically in seconds.
+//!
+//! Pieces:
+//!
+//! * [`SimTime`] — nanosecond virtual time.
+//! * [`EventQueue`] — the classic time-ordered event heap with stable
+//!   FIFO tie-breaking.
+//! * [`FifoResource`] — serializes users of a contended resource (a
+//!   server's CPU, one direction of a NIC) in arrival order.
+//! * [`CostConfig`] — every calibration constant in one documented
+//!   place, with the derivations EXPERIMENTS.md relies on.
+
+pub mod cost;
+pub mod metrics;
+pub mod queue;
+pub mod resource;
+pub mod time;
+
+pub use cost::{ClientCost, CostConfig, NetCost, ServerCost};
+pub use metrics::Histogram;
+pub use queue::EventQueue;
+pub use resource::FifoResource;
+pub use time::SimTime;

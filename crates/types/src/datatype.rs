@@ -1,0 +1,490 @@
+//! MPI-like datatype descriptors for regular access patterns.
+//!
+//! The paper's §5 observes that all its benchmark patterns are *regular*
+//! and proposes describing them with MPI-style datatypes (vectors,
+//! indexed blocks) instead of explicit offset/length lists — removing the
+//! linear relationship between contiguous-region count and I/O request
+//! count. This module implements that future-work idea: a small datatype
+//! algebra that *flattens* to a [`RegionList`] (so its meaning is defined
+//! by the list it denotes) while having a compact, pattern-shaped wire
+//! description.
+//!
+//! Differences from MPI proper, for simplicity and safety:
+//!
+//! * all displacements and strides are **byte** counts, not element
+//!   counts, and are non-negative;
+//! * there is no separate type-map/extent resizing; the extent is the
+//!   natural span of the type.
+
+use crate::error::{PvfsError, PvfsResult};
+use crate::region::{Region, RegionList};
+use serde::{Deserialize, Serialize};
+
+/// A recursive datatype describing a (possibly noncontiguous) byte
+/// pattern anchored at a base offset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Datatype {
+    /// `n` contiguous bytes.
+    Bytes(u64),
+    /// `count` copies of `child` laid end to end (spaced by the child's
+    /// extent).
+    Contig { count: u64, child: Box<Datatype> },
+    /// `count` blocks of `blocklen` consecutive children; consecutive
+    /// blocks start `stride` bytes apart. `stride` must be at least
+    /// `blocklen * child.extent()` so blocks never overlap.
+    Vector {
+        count: u64,
+        blocklen: u64,
+        stride: u64,
+        child: Box<Datatype>,
+    },
+    /// Explicit `(displacement, blocklen)` entries, each placing
+    /// `blocklen` consecutive children at `displacement` bytes from the
+    /// base. Entries must be in increasing, non-overlapping order.
+    Indexed {
+        entries: Vec<(u64, u64)>,
+        child: Box<Datatype>,
+    },
+}
+
+impl Datatype {
+    /// A vector of `count` blocks of `blocklen` bytes each, `stride`
+    /// bytes apart — the workhorse for strided patterns like the 1-D
+    /// cyclic and column accesses.
+    pub fn byte_vector(count: u64, blocklen: u64, stride: u64) -> Datatype {
+        Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            child: Box::new(Datatype::Bytes(1)),
+        }
+    }
+
+    /// Number of *data* bytes the type selects.
+    pub fn size(&self) -> u64 {
+        match self {
+            Datatype::Bytes(n) => *n,
+            Datatype::Contig { count, child } => count * child.size(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                child,
+                ..
+            } => count * blocklen * child.size(),
+            Datatype::Indexed { entries, child } => {
+                entries.iter().map(|(_, b)| b).sum::<u64>() * child.size()
+            }
+        }
+    }
+
+    /// The span from the base offset to one past the last selected byte.
+    pub fn extent(&self) -> u64 {
+        match self {
+            Datatype::Bytes(n) => *n,
+            Datatype::Contig { count, child } => count * child.extent(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => {
+                if *count == 0 || *blocklen == 0 {
+                    0
+                } else {
+                    (count - 1) * stride + blocklen * child.extent()
+                }
+            }
+            Datatype::Indexed { entries, child } => entries
+                .iter()
+                .map(|(d, b)| d + b * child.extent())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Validate structural invariants (non-overlapping vector blocks,
+    /// ordered indexed entries).
+    pub fn validate(&self) -> PvfsResult<()> {
+        match self {
+            Datatype::Bytes(_) => Ok(()),
+            Datatype::Contig { child, .. } => child.validate(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => {
+                if *count > 1 && *stride < blocklen * child.extent() {
+                    return Err(PvfsError::invalid(format!(
+                        "vector stride {stride} smaller than block span {}",
+                        blocklen * child.extent()
+                    )));
+                }
+                child.validate()
+            }
+            Datatype::Indexed { entries, child } => {
+                let span = child.extent();
+                let mut prev_end = 0u64;
+                for (i, (disp, blocklen)) in entries.iter().enumerate() {
+                    if i > 0 && *disp < prev_end {
+                        return Err(PvfsError::invalid(format!(
+                            "indexed entry {i} at displacement {disp} overlaps previous end {prev_end}"
+                        )));
+                    }
+                    prev_end = disp + blocklen * span;
+                }
+                child.validate()
+            }
+        }
+    }
+
+    /// Flatten to the region list the type denotes, anchored at `base`.
+    /// Adjacent output regions are merged, so e.g. `Contig` over `Bytes`
+    /// flattens to a single region.
+    pub fn flatten(&self, base: u64) -> RegionList {
+        let mut out = RegionList::with_capacity(16);
+        self.flatten_into(base, &mut out);
+        out
+    }
+
+    fn flatten_into(&self, base: u64, out: &mut RegionList) {
+        match self {
+            Datatype::Bytes(n) => push_merge(out, Region::new(base, *n)),
+            Datatype::Contig { count, child } => {
+                let span = child.extent();
+                for i in 0..*count {
+                    child.flatten_into(base + i * span, out);
+                }
+            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => {
+                let span = child.extent();
+                for i in 0..*count {
+                    let block_base = base + i * stride;
+                    for j in 0..*blocklen {
+                        child.flatten_into(block_base + j * span, out);
+                    }
+                }
+            }
+            Datatype::Indexed { entries, child } => {
+                let span = child.extent();
+                for (disp, blocklen) in entries {
+                    for j in 0..*blocklen {
+                        child.flatten_into(base + disp + j * span, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Size in bytes of a compact wire description of this type — the
+    /// quantity that stays (near-)constant as the pattern repeats, which
+    /// is the whole point of datatype I/O versus list I/O.
+    pub fn description_size(&self) -> u64 {
+        // 1 tag byte plus fields.
+        match self {
+            Datatype::Bytes(_) => 1 + 8,
+            Datatype::Contig { child, .. } => 1 + 8 + child.description_size(),
+            Datatype::Vector { child, .. } => 1 + 24 + child.description_size(),
+            Datatype::Indexed { entries, child } => {
+                1 + 8 + entries.len() as u64 * 16 + child.description_size()
+            }
+        }
+    }
+
+    /// Number of contiguous regions the flattened type contains, without
+    /// materializing the list. (Adjacent-merge aware only for the common
+    /// leaf cases; used for planner cost estimates and tested against
+    /// `flatten().count()`.)
+    pub fn region_count(&self) -> u64 {
+        match self {
+            Datatype::Bytes(n) => u64::from(*n > 0),
+            Datatype::Contig { count, child } => {
+                if child.is_dense() {
+                    u64::from(*count > 0 && child.size() > 0)
+                } else {
+                    count * child.region_count()
+                }
+            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => {
+                if *count == 0 || *blocklen == 0 {
+                    return 0;
+                }
+                if child.is_dense() {
+                    let block_span = blocklen * child.extent();
+                    if *stride == block_span || *count == 1 {
+                        1
+                    } else {
+                        *count
+                    }
+                } else {
+                    count * blocklen * child.region_count()
+                }
+            }
+            Datatype::Indexed { entries, child } => {
+                if child.is_dense() {
+                    let span = child.extent();
+                    let mut n = 0u64;
+                    let mut prev_end: Option<u64> = None;
+                    for (disp, blocklen) in entries {
+                        if *blocklen == 0 {
+                            continue;
+                        }
+                        if prev_end != Some(*disp) {
+                            n += 1;
+                        }
+                        prev_end = Some(disp + blocklen * span);
+                    }
+                    n
+                } else {
+                    entries.iter().map(|(_, b)| b * child.region_count()).sum()
+                }
+            }
+        }
+    }
+
+    /// True iff the type selects every byte of its extent (no holes).
+    pub fn is_dense(&self) -> bool {
+        self.size() == self.extent()
+    }
+}
+
+/// Push a region, merging with the previous one if adjacent — preserves
+/// emission order (unlike [`RegionList::coalesced`], which sorts).
+fn push_merge(out: &mut RegionList, r: Region) {
+    if r.is_empty() {
+        return;
+    }
+    // RegionList has no last_mut; rebuild via small check.
+    if let Some(last) = out.regions().last().copied() {
+        if last.end() == r.offset {
+            // Replace the last region with the merged one.
+            let mut regions: Vec<Region> = out.regions().to_vec();
+            *regions.last_mut().unwrap() = Region::new(last.offset, last.len + r.len);
+            *out = RegionList::from_regions_unchecked(regions);
+            return;
+        }
+    }
+    out.push(r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_flatten() {
+        let t = Datatype::Bytes(10);
+        assert_eq!(t.size(), 10);
+        assert_eq!(t.extent(), 10);
+        assert!(t.is_dense());
+        assert_eq!(t.flatten(100).regions(), &[Region::new(100, 10)]);
+    }
+
+    #[test]
+    fn contig_of_bytes_merges_to_one_region() {
+        let t = Datatype::Contig {
+            count: 5,
+            child: Box::new(Datatype::Bytes(4)),
+        };
+        assert_eq!(t.size(), 20);
+        assert_eq!(t.extent(), 20);
+        assert_eq!(t.flatten(0).regions(), &[Region::new(0, 20)]);
+        assert_eq!(t.region_count(), 1);
+    }
+
+    #[test]
+    fn vector_selects_strided_blocks() {
+        // 3 blocks of 4 bytes every 10 bytes: [0,4) [10,14) [20,24)
+        let t = Datatype::byte_vector(3, 4, 10);
+        assert_eq!(t.size(), 12);
+        assert_eq!(t.extent(), 24);
+        assert!(!t.is_dense());
+        assert_eq!(
+            t.flatten(0).regions(),
+            &[Region::new(0, 4), Region::new(10, 4), Region::new(20, 4)]
+        );
+        assert_eq!(t.region_count(), 3);
+    }
+
+    #[test]
+    fn vector_with_stride_equal_block_is_contig() {
+        let t = Datatype::byte_vector(4, 8, 8);
+        assert_eq!(t.flatten(0).regions(), &[Region::new(0, 32)]);
+        assert_eq!(t.region_count(), 1);
+        assert!(t.is_dense());
+    }
+
+    #[test]
+    fn nested_vector_models_flash_like_pattern() {
+        // Inner: a row of 8 doubles (64 B); outer: 8 such rows spaced by
+        // 80 B (guard cells) => 8 noncontiguous 64-byte regions.
+        let inner = Datatype::Bytes(64);
+        let t = Datatype::Vector {
+            count: 8,
+            blocklen: 1,
+            stride: 80,
+            child: Box::new(inner),
+        };
+        let flat = t.flatten(0);
+        assert_eq!(flat.count(), 8);
+        assert_eq!(flat.total_len(), 512);
+        assert_eq!(flat.regions()[1], Region::new(80, 64));
+        assert_eq!(t.region_count(), 8);
+    }
+
+    #[test]
+    fn indexed_places_explicit_blocks() {
+        let t = Datatype::Indexed {
+            entries: vec![(0, 2), (10, 1), (20, 3)],
+            child: Box::new(Datatype::Bytes(4)),
+        };
+        assert_eq!(t.size(), 24);
+        assert_eq!(t.extent(), 32);
+        assert_eq!(
+            t.flatten(1000).regions(),
+            &[
+                Region::new(1000, 8),
+                Region::new(1010, 4),
+                Region::new(1020, 12)
+            ]
+        );
+        assert_eq!(t.region_count(), 3);
+    }
+
+    #[test]
+    fn indexed_adjacent_entries_merge() {
+        let t = Datatype::Indexed {
+            entries: vec![(0, 1), (4, 1), (12, 1)],
+            child: Box::new(Datatype::Bytes(4)),
+        };
+        assert_eq!(
+            t.flatten(0).regions(),
+            &[Region::new(0, 8), Region::new(12, 4)]
+        );
+        assert_eq!(t.region_count(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_vector() {
+        let t = Datatype::byte_vector(3, 10, 5);
+        assert!(t.validate().is_err());
+        assert!(Datatype::byte_vector(3, 10, 10).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_indexed() {
+        let t = Datatype::Indexed {
+            entries: vec![(0, 2), (4, 2)],
+            child: Box::new(Datatype::Bytes(4)),
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn description_size_constant_in_count() {
+        let small = Datatype::byte_vector(10, 8, 64);
+        let big = Datatype::byte_vector(1_000_000, 8, 64);
+        assert_eq!(small.description_size(), big.description_size());
+        // While region count grows linearly:
+        assert_eq!(big.region_count(), 1_000_000);
+    }
+
+    #[test]
+    fn zero_counts_are_empty() {
+        let t = Datatype::byte_vector(0, 8, 64);
+        assert_eq!(t.size(), 0);
+        assert_eq!(t.extent(), 0);
+        assert!(t.flatten(0).is_empty());
+        assert_eq!(t.region_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_leafish() -> impl Strategy<Value = Datatype> {
+        prop_oneof![
+            (1u64..64).prop_map(Datatype::Bytes),
+            (1u64..8, 1u64..16).prop_map(|(count, len)| Datatype::Contig {
+                count,
+                child: Box::new(Datatype::Bytes(len)),
+            }),
+        ]
+    }
+
+    fn arb_datatype() -> impl Strategy<Value = Datatype> {
+        arb_leafish().prop_flat_map(|child| {
+            let child_span = child.extent();
+            prop_oneof![
+                Just(child.clone()),
+                (1u64..8, 1u64..4, 0u64..64).prop_map(move |(count, blocklen, extra)| {
+                    Datatype::Vector {
+                        count,
+                        blocklen,
+                        stride: blocklen * child_span + extra,
+                        child: Box::new(child.clone()),
+                    }
+                }),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn flatten_total_equals_size(t in arb_datatype(), base in 0u64..10_000) {
+            t.validate().unwrap();
+            let flat = t.flatten(base);
+            prop_assert_eq!(flat.total_len(), t.size());
+        }
+
+        #[test]
+        fn flatten_stays_within_extent(t in arb_datatype(), base in 0u64..10_000) {
+            let flat = t.flatten(base);
+            if let Some(e) = flat.extent() {
+                prop_assert!(e.offset >= base);
+                prop_assert!(e.end() <= base + t.extent());
+            }
+        }
+
+        #[test]
+        fn flatten_is_sorted_disjoint(t in arb_datatype(), base in 0u64..10_000) {
+            prop_assert!(t.flatten(base).is_sorted_disjoint());
+        }
+
+        #[test]
+        fn region_count_matches_flatten(t in arb_datatype()) {
+            prop_assert_eq!(t.region_count(), t.flatten(0).count() as u64);
+        }
+
+        #[test]
+        fn flatten_translates_with_base(t in arb_datatype(), base in 1u64..10_000) {
+            let at_zero = t.flatten(0);
+            let at_base = t.flatten(base);
+            prop_assert_eq!(at_zero.count(), at_base.count());
+            for (a, b) in at_zero.iter().zip(at_base.iter()) {
+                prop_assert_eq!(a.offset + base, b.offset);
+                prop_assert_eq!(a.len, b.len);
+            }
+        }
+
+        #[test]
+        fn dense_iff_no_gaps(t in arb_datatype()) {
+            let flat = t.flatten(0);
+            let has_gaps = flat.gaps().iter().any(|g| *g > 0)
+                || flat.regions().first().map(|r| r.offset > 0).unwrap_or(false);
+            prop_assert_eq!(t.is_dense(), !has_gaps && t.size() > 0 || t.size() == 0 && t.extent() == 0);
+        }
+    }
+}

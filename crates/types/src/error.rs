@@ -1,0 +1,94 @@
+//! Error type shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Convenient result alias used by every fallible PVFS API.
+pub type PvfsResult<T> = Result<T, PvfsError>;
+
+/// Errors surfaced by the PVFS reproduction.
+///
+/// The enum is deliberately flat and `Serialize`-able so that server-side
+/// failures can travel back over the wire protocol unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PvfsError {
+    /// A request or argument violated an API precondition (mismatched
+    /// list lengths, zero stripe size, overlapping write regions, ...).
+    InvalidArgument(String),
+    /// Path lookup failed at the manager.
+    NoSuchFile(String),
+    /// A file with this path already exists (create without overwrite).
+    AlreadyExists(String),
+    /// A client used a handle the server does not know about (stale or
+    /// never opened).
+    BadHandle(u64),
+    /// The wire protocol was violated: short frame, bad magic, unknown
+    /// opcode, trailing-data length mismatch, oversized list request.
+    Protocol(String),
+    /// The underlying (simulated or real) storage failed.
+    Storage(String),
+    /// The transport to a server failed (disconnected, poisoned).
+    Transport(String),
+    /// A request was addressed to a server that does not exist.
+    NoSuchServer(u32),
+}
+
+impl fmt::Display for PvfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PvfsError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            PvfsError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            PvfsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            PvfsError::BadHandle(h) => write!(f, "bad file handle: {h:#x}"),
+            PvfsError::Protocol(m) => write!(f, "protocol error: {m}"),
+            PvfsError::Storage(m) => write!(f, "storage error: {m}"),
+            PvfsError::Transport(m) => write!(f, "transport error: {m}"),
+            PvfsError::NoSuchServer(s) => write!(f, "no such I/O server: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PvfsError {}
+
+impl PvfsError {
+    /// Shorthand for [`PvfsError::InvalidArgument`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        PvfsError::InvalidArgument(msg.into())
+    }
+
+    /// Shorthand for [`PvfsError::Protocol`].
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        PvfsError::Protocol(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(
+            PvfsError::invalid("lists differ").to_string(),
+            "invalid argument: lists differ"
+        );
+        assert_eq!(
+            PvfsError::NoSuchFile("/pvfs/a".into()).to_string(),
+            "no such file: /pvfs/a"
+        );
+        assert_eq!(PvfsError::BadHandle(0xff).to_string(), "bad file handle: 0xff");
+        assert_eq!(PvfsError::NoSuchServer(9).to_string(), "no such I/O server: 9");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(PvfsError::BadHandle(1), PvfsError::BadHandle(1));
+        assert_ne!(PvfsError::BadHandle(1), PvfsError::BadHandle(2));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(PvfsError::protocol("bad magic"));
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

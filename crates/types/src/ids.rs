@@ -1,0 +1,118 @@
+//! Identifier newtypes used throughout the system.
+//!
+//! All ids are small copyable newtypes so that a `ServerId` can never be
+//! confused with a `ClientId` or a raw index at a call site.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one I/O daemon (I/O server) in the cluster.
+///
+/// Servers are numbered `0..n_servers`. The [`crate::StripeLayout`] maps
+/// file offsets onto these ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// Raw index, convenient for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iod{}", self.0)
+    }
+}
+
+/// Identifies one client (compute node / application process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+impl ClientId {
+    /// Raw index, convenient for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "client{}", self.0)
+    }
+}
+
+/// Handle to an open PVFS file, issued by the manager daemon on open.
+///
+/// In PVFS the manager hands clients the metadata (including striping
+/// parameters and I/O daemon locations) at open time; afterwards all data
+/// traffic flows directly between clients and I/O daemons carrying this
+/// handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileHandle(pub u64);
+
+impl fmt::Display for FileHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fh{:#x}", self.0)
+    }
+}
+
+/// Per-connection monotonically increasing request id used to match
+/// responses to requests on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// The next request id after this one.
+    #[inline]
+    pub fn next(self) -> RequestId {
+        RequestId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn server_id_index_roundtrip() {
+        assert_eq!(ServerId(7).index(), 7);
+        assert_eq!(ServerId(0).index(), 0);
+    }
+
+    #[test]
+    fn client_id_index_roundtrip() {
+        assert_eq!(ClientId(31).index(), 31);
+    }
+
+    #[test]
+    fn request_id_next_is_monotone() {
+        let r = RequestId(41);
+        assert_eq!(r.next(), RequestId(42));
+        assert!(r < r.next());
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<ServerId> = (0..8).map(ServerId).collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ServerId(3).to_string(), "iod3");
+        assert_eq!(ClientId(2).to_string(), "client2");
+        assert_eq!(FileHandle(0x10).to_string(), "fh0x10");
+        assert_eq!(RequestId(5).to_string(), "req5");
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared vocabulary for the PVFS list-I/O reproduction.
+//!
+//! This crate defines the types every other crate in the workspace speaks:
+//!
+//! * [`Region`] / [`RegionList`] — contiguous byte ranges and ordered lists
+//!   of them, the currency of noncontiguous I/O. A noncontiguous request in
+//!   the paper is exactly a pair of region lists (one for memory, one for
+//!   file) with equal total lengths.
+//! * [`StripeLayout`] — PVFS user-controlled striping (base node, pcount,
+//!   stripe size) and the logical-offset ⇄ (server, local offset) mapping
+//!   both the client library and the I/O daemons rely on.
+//! * [`Datatype`] — MPI-like datatype descriptors (the paper's §5 future
+//!   work) that compress regular access patterns and flatten to region
+//!   lists.
+//! * ids and error types used across the wire protocol, servers and
+//!   clients.
+//!
+//! Nothing here performs I/O; these are pure data structures with heavily
+//! tested invariants.
+
+pub mod datatype;
+pub mod error;
+pub mod ids;
+pub mod region;
+pub mod striping;
+
+pub use datatype::Datatype;
+pub use error::{PvfsError, PvfsResult};
+pub use ids::{ClientId, FileHandle, RequestId, ServerId};
+pub use region::{align_lists, Region, RegionList, TransferPiece};
+pub use striping::{StripeLayout, StripeSegment};

@@ -1,0 +1,745 @@
+//! Contiguous byte regions and ordered lists of them.
+//!
+//! A noncontiguous I/O request in the paper is described by two parallel
+//! lists — contiguous *memory* regions and contiguous *file* regions —
+//! whose total lengths match (`pvfs_read_list` / `pvfs_write_list`). This
+//! module provides that vocabulary plus the geometric operations every
+//! access method needs: intersection, coalescing, clipping to a window,
+//! chunking to the 64-region trailing-data limit, and aligning a memory
+//! list with a file list into equal-length transfer pieces.
+
+use crate::error::{PvfsError, PvfsResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A contiguous run of bytes: `[offset, offset + len)`.
+///
+/// Used both for file regions (offset within the file) and memory regions
+/// (offset within a user buffer). Zero-length regions are permitted as
+/// values but most list constructors reject them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Region {
+    /// First byte covered.
+    pub offset: u64,
+    /// Number of bytes covered.
+    pub len: u64,
+}
+
+impl Region {
+    /// Create a region covering `[offset, offset + len)`.
+    #[inline]
+    pub const fn new(offset: u64, len: u64) -> Region {
+        Region { offset, len }
+    }
+
+    /// One-past-the-last byte covered.
+    #[inline]
+    pub const fn end(self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// True iff the region covers no bytes.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// True iff `pos` falls inside the region.
+    #[inline]
+    pub const fn contains_offset(self, pos: u64) -> bool {
+        pos >= self.offset && pos < self.end()
+    }
+
+    /// True iff `other` is fully inside `self`.
+    #[inline]
+    pub const fn contains(self, other: Region) -> bool {
+        other.offset >= self.offset && other.end() <= self.end()
+    }
+
+    /// True iff the two regions share at least one byte.
+    #[inline]
+    pub const fn overlaps(self, other: Region) -> bool {
+        self.offset < other.end() && other.offset < self.end() && self.len > 0 && other.len > 0
+    }
+
+    /// The shared bytes of two regions, if any.
+    #[inline]
+    pub fn intersect(self, other: Region) -> Option<Region> {
+        let start = self.offset.max(other.offset);
+        let end = self.end().min(other.end());
+        if start < end {
+            Some(Region::new(start, end - start))
+        } else {
+            None
+        }
+    }
+
+    /// True iff the regions touch without overlapping (`self` ends where
+    /// `other` starts or vice versa).
+    #[inline]
+    pub const fn is_adjacent(self, other: Region) -> bool {
+        self.end() == other.offset || other.end() == self.offset
+    }
+
+    /// Merge two overlapping or adjacent regions into their union.
+    /// Returns `None` when the union would not be contiguous.
+    pub fn try_merge(self, other: Region) -> Option<Region> {
+        if self.overlaps(other) || self.is_adjacent(other) {
+            let start = self.offset.min(other.offset);
+            let end = self.end().max(other.end());
+            Some(Region::new(start, end - start))
+        } else {
+            None
+        }
+    }
+
+    /// Split at absolute offset `pos`, returning `(left, right)`.
+    ///
+    /// `pos` must satisfy `offset <= pos <= end()`; either half may be
+    /// empty.
+    pub fn split_at(self, pos: u64) -> (Region, Region) {
+        debug_assert!(pos >= self.offset && pos <= self.end());
+        (
+            Region::new(self.offset, pos - self.offset),
+            Region::new(pos, self.end() - pos),
+        )
+    }
+
+    /// The region translated by `delta` (may be negative).
+    pub fn shifted(self, delta: i64) -> Region {
+        let offset = if delta >= 0 {
+            self.offset + delta as u64
+        } else {
+            self.offset - delta.unsigned_abs()
+        };
+        Region::new(offset, self.len)
+    }
+
+    /// The prefix of at most `n` bytes and the remainder.
+    pub fn take(self, n: u64) -> (Region, Region) {
+        let n = n.min(self.len);
+        self.split_at(self.offset + n)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.offset, self.end())
+    }
+}
+
+/// An ordered list of contiguous regions.
+///
+/// The order is meaningful: bytes are transferred list-order first, so a
+/// memory list and a file list pair element bytes positionally. Lists used
+/// as *file* descriptions by the planners are usually sorted and disjoint
+/// (checked by [`RegionList::is_sorted_disjoint`]) but the type itself
+/// allows arbitrary order, as the paper's interface does.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionList {
+    regions: Vec<Region>,
+}
+
+impl RegionList {
+    /// Empty list.
+    pub const fn new() -> RegionList {
+        RegionList { regions: Vec::new() }
+    }
+
+    /// Empty list with reserved capacity.
+    pub fn with_capacity(n: usize) -> RegionList {
+        RegionList {
+            regions: Vec::with_capacity(n),
+        }
+    }
+
+    /// Build from regions, rejecting empty regions.
+    pub fn from_regions(regions: Vec<Region>) -> PvfsResult<RegionList> {
+        if regions.iter().any(|r| r.is_empty()) {
+            return Err(PvfsError::invalid("region list contains an empty region"));
+        }
+        Ok(RegionList { regions })
+    }
+
+    /// Build from `(offset, len)` pairs — the shape of the paper's
+    /// `pvfs_read_list` arguments.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u64)>) -> PvfsResult<RegionList> {
+        Self::from_regions(pairs.into_iter().map(|(o, l)| Region::new(o, l)).collect())
+    }
+
+    /// Build without checking (used internally where emptiness is already
+    /// impossible).
+    pub(crate) fn from_regions_unchecked(regions: Vec<Region>) -> RegionList {
+        RegionList { regions }
+    }
+
+    /// Clone a slice of already-validated regions into a list (planner
+    /// fast path for chunking shared region vectors).
+    pub fn from_regions_slice(regions: &[Region]) -> RegionList {
+        debug_assert!(regions.iter().all(|r| !r.is_empty()));
+        RegionList {
+            regions: regions.to_vec(),
+        }
+    }
+
+    /// A single contiguous region as a list.
+    pub fn contiguous(offset: u64, len: u64) -> RegionList {
+        if len == 0 {
+            RegionList::new()
+        } else {
+            RegionList {
+                regions: vec![Region::new(offset, len)],
+            }
+        }
+    }
+
+    /// Append a region; empty regions are silently skipped so that
+    /// generators can emit degenerate pieces without special-casing.
+    pub fn push(&mut self, region: Region) {
+        if !region.is_empty() {
+            self.regions.push(region);
+        }
+    }
+
+    /// Number of regions.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True iff there are no regions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The regions as a slice.
+    #[inline]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Iterate over the regions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Region> {
+        self.regions.iter()
+    }
+
+    /// Total bytes covered (counting duplicates if regions overlap).
+    pub fn total_len(&self) -> u64 {
+        self.regions.iter().map(|r| r.len).sum()
+    }
+
+    /// The smallest contiguous region covering every listed region, or
+    /// `None` for an empty list. This is the window data sieving reads.
+    pub fn extent(&self) -> Option<Region> {
+        let start = self.regions.iter().map(|r| r.offset).min()?;
+        let end = self.regions.iter().map(|r| r.end()).max()?;
+        Some(Region::new(start, end - start))
+    }
+
+    /// True iff regions appear in strictly increasing offset order without
+    /// overlap — the usual shape of file lists produced by access-pattern
+    /// generators.
+    pub fn is_sorted_disjoint(&self) -> bool {
+        self.regions
+            .windows(2)
+            .all(|w| w[0].end() <= w[1].offset)
+    }
+
+    /// A copy with adjacent/overlapping regions merged. The input is
+    /// sorted by offset first, so the result is always sorted and
+    /// disjoint. Coalescing is what turns "1024 single-byte accesses of a
+    /// contiguous run" into one wire region.
+    pub fn coalesced(&self) -> RegionList {
+        if self.regions.len() <= 1 {
+            return self.clone();
+        }
+        let mut sorted = self.regions.clone();
+        sorted.sort_unstable_by_key(|r| r.offset);
+        let mut out: Vec<Region> = Vec::with_capacity(sorted.len());
+        for r in sorted {
+            match out.last_mut() {
+                Some(last) if last.overlaps(r) || last.is_adjacent(r) => {
+                    *last = last.try_merge(r).expect("checked mergeable");
+                }
+                _ => out.push(r),
+            }
+        }
+        RegionList { regions: out }
+    }
+
+    /// Intersect every region with `window`, preserving order and
+    /// dropping empty leftovers. Data sieving uses this to find which
+    /// requested pieces fall inside the sieve buffer.
+    pub fn clip_to(&self, window: Region) -> RegionList {
+        let regions = self
+            .regions
+            .iter()
+            .filter_map(|r| r.intersect(window))
+            .collect();
+        RegionList { regions }
+    }
+
+    /// Split the list into consecutive chunks of at most `max_regions`
+    /// regions each — exactly how list I/O breaks a long request into
+    /// several ≤64-region wire requests.
+    pub fn chunks(&self, max_regions: usize) -> impl Iterator<Item = RegionList> + '_ {
+        assert!(max_regions > 0, "chunk size must be positive");
+        self.regions
+            .chunks(max_regions)
+            .map(|c| RegionList { regions: c.to_vec() })
+    }
+
+    /// Locate the region containing the `pos`-th byte of the *list's byte
+    /// stream* (i.e. bytes counted in list order, not file order).
+    /// Returns `(region index, offset within that region)`.
+    pub fn locate(&self, pos: u64) -> Option<(usize, u64)> {
+        let mut remaining = pos;
+        for (i, r) in self.regions.iter().enumerate() {
+            if remaining < r.len {
+                return Some((i, remaining));
+            }
+            remaining -= r.len;
+        }
+        None
+    }
+
+    /// Fraction of the extent that is *not* requested — the "useless
+    /// data" ratio that makes data sieving expensive on sparse patterns.
+    pub fn sparsity(&self) -> f64 {
+        match self.extent() {
+            Some(e) if e.len > 0 => 1.0 - (self.total_len() as f64 / e.len as f64),
+            _ => 0.0,
+        }
+    }
+
+    /// Gap lengths between consecutive regions of a sorted-disjoint list.
+    pub fn gaps(&self) -> Vec<u64> {
+        self.regions
+            .windows(2)
+            .map(|w| w[1].offset.saturating_sub(w[0].end()))
+            .collect()
+    }
+}
+
+impl IntoIterator for RegionList {
+    type Item = Region;
+    type IntoIter = std::vec::IntoIter<Region>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.regions.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a RegionList {
+    type Item = &'a Region;
+    type IntoIter = std::slice::Iter<'a, Region>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.regions.iter()
+    }
+}
+
+impl FromIterator<Region> for RegionList {
+    fn from_iter<T: IntoIterator<Item = Region>>(iter: T) -> Self {
+        let mut list = RegionList::new();
+        for r in iter {
+            list.push(r);
+        }
+        list
+    }
+}
+
+impl fmt::Display for RegionList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.regions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// One piece of a memory⇄file transfer: `piece.0` bytes in memory pair
+/// positionally with `piece.1` bytes in file; both have the same length.
+pub type TransferPiece = (Region, Region);
+
+/// Align a memory list with a file list into pieces contiguous in *both*
+/// spaces.
+///
+/// The byte streams of the two lists are zipped: the k-th byte of the
+/// memory stream corresponds to the k-th byte of the file stream. Each
+/// output piece is the longest run contiguous in both, so scatter/gather
+/// can be performed piece-by-piece with plain `copy_from_slice`.
+///
+/// Errors if the two lists cover different total lengths — the same
+/// precondition `pvfs_read_list` imposes on its arguments.
+pub fn align_lists(mem: &RegionList, file: &RegionList) -> PvfsResult<Vec<TransferPiece>> {
+    if mem.total_len() != file.total_len() {
+        return Err(PvfsError::invalid(format!(
+            "memory list covers {} bytes but file list covers {}",
+            mem.total_len(),
+            file.total_len()
+        )));
+    }
+    let mut pieces = Vec::with_capacity(mem.count().max(file.count()));
+    let mut mi = 0;
+    let mut fi = 0;
+    let mut mrem: Option<Region> = mem.regions().first().copied();
+    let mut frem: Option<Region> = file.regions().first().copied();
+    while let (Some(m), Some(f)) = (mrem, frem) {
+        let n = m.len.min(f.len);
+        let (mtake, mrest) = m.take(n);
+        let (ftake, frest) = f.take(n);
+        pieces.push((mtake, ftake));
+        mrem = if mrest.is_empty() {
+            mi += 1;
+            mem.regions().get(mi).copied()
+        } else {
+            Some(mrest)
+        };
+        frem = if frest.is_empty() {
+            fi += 1;
+            file.regions().get(fi).copied()
+        } else {
+            Some(frest)
+        };
+    }
+    Ok(pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rl(pairs: &[(u64, u64)]) -> RegionList {
+        RegionList::from_pairs(pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn region_basic_geometry() {
+        let r = Region::new(10, 5);
+        assert_eq!(r.end(), 15);
+        assert!(!r.is_empty());
+        assert!(r.contains_offset(10));
+        assert!(r.contains_offset(14));
+        assert!(!r.contains_offset(15));
+        assert!(!r.contains_offset(9));
+    }
+
+    #[test]
+    fn region_containment() {
+        let outer = Region::new(0, 100);
+        assert!(outer.contains(Region::new(0, 100)));
+        assert!(outer.contains(Region::new(10, 20)));
+        assert!(!outer.contains(Region::new(90, 20)));
+    }
+
+    #[test]
+    fn region_overlap_and_intersection() {
+        let a = Region::new(0, 10);
+        let b = Region::new(5, 10);
+        let c = Region::new(10, 5);
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c)); // adjacency is not overlap
+        assert_eq!(a.intersect(b), Some(Region::new(5, 5)));
+        assert_eq!(a.intersect(c), None);
+    }
+
+    #[test]
+    fn empty_regions_never_overlap() {
+        let e = Region::new(5, 0);
+        assert!(!e.overlaps(Region::new(0, 10)));
+        assert!(!Region::new(0, 10).overlaps(e));
+    }
+
+    #[test]
+    fn region_merge() {
+        let a = Region::new(0, 10);
+        assert_eq!(a.try_merge(Region::new(10, 5)), Some(Region::new(0, 15)));
+        assert_eq!(a.try_merge(Region::new(5, 20)), Some(Region::new(0, 25)));
+        assert_eq!(a.try_merge(Region::new(11, 5)), None);
+    }
+
+    #[test]
+    fn region_split_and_take() {
+        let r = Region::new(10, 10);
+        let (l, rr) = r.split_at(13);
+        assert_eq!(l, Region::new(10, 3));
+        assert_eq!(rr, Region::new(13, 7));
+        let (t, rest) = r.take(4);
+        assert_eq!(t, Region::new(10, 4));
+        assert_eq!(rest, Region::new(14, 6));
+        let (t, rest) = r.take(100);
+        assert_eq!(t, r);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn region_shift() {
+        let r = Region::new(100, 10);
+        assert_eq!(r.shifted(5), Region::new(105, 10));
+        assert_eq!(r.shifted(-50), Region::new(50, 10));
+    }
+
+    #[test]
+    fn list_rejects_empty_regions() {
+        assert!(RegionList::from_pairs([(0, 10), (20, 0)]).is_err());
+        assert!(RegionList::from_pairs([(0, 10), (20, 1)]).is_ok());
+    }
+
+    #[test]
+    fn list_push_skips_empty() {
+        let mut l = RegionList::new();
+        l.push(Region::new(0, 0));
+        l.push(Region::new(5, 5));
+        assert_eq!(l.count(), 1);
+    }
+
+    #[test]
+    fn list_totals_and_extent() {
+        let l = rl(&[(0, 4), (10, 4), (100, 8)]);
+        assert_eq!(l.total_len(), 16);
+        assert_eq!(l.extent(), Some(Region::new(0, 108)));
+        assert!(RegionList::new().extent().is_none());
+    }
+
+    #[test]
+    fn list_sorted_disjoint_detection() {
+        assert!(rl(&[(0, 4), (4, 4), (100, 8)]).is_sorted_disjoint());
+        assert!(!rl(&[(0, 8), (4, 4)]).is_sorted_disjoint());
+        assert!(!rl(&[(10, 4), (0, 4)]).is_sorted_disjoint());
+        assert!(RegionList::new().is_sorted_disjoint());
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_and_overlapping() {
+        let l = rl(&[(8, 4), (0, 4), (4, 4), (20, 4), (22, 10)]);
+        let c = l.coalesced();
+        assert_eq!(c.regions(), &[Region::new(0, 12), Region::new(20, 12)]);
+        assert!(c.is_sorted_disjoint());
+    }
+
+    #[test]
+    fn coalesce_noop_on_disjoint() {
+        let l = rl(&[(0, 4), (8, 4)]);
+        assert_eq!(l.coalesced(), l);
+    }
+
+    #[test]
+    fn clip_to_window() {
+        let l = rl(&[(0, 10), (20, 10), (40, 10)]);
+        let c = l.clip_to(Region::new(5, 20));
+        assert_eq!(c.regions(), &[Region::new(5, 5), Region::new(20, 5)]);
+    }
+
+    #[test]
+    fn chunks_respect_limit() {
+        let l = rl(&[(0, 1), (2, 1), (4, 1), (6, 1), (8, 1)]);
+        let chunks: Vec<_> = l.chunks(2).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].count(), 2);
+        assert_eq!(chunks[2].count(), 1);
+        let total: u64 = chunks.iter().map(|c| c.total_len()).sum();
+        assert_eq!(total, l.total_len());
+    }
+
+    #[test]
+    fn locate_walks_the_byte_stream() {
+        let l = rl(&[(100, 4), (200, 4)]);
+        assert_eq!(l.locate(0), Some((0, 0)));
+        assert_eq!(l.locate(3), Some((0, 3)));
+        assert_eq!(l.locate(4), Some((1, 0)));
+        assert_eq!(l.locate(7), Some((1, 3)));
+        assert_eq!(l.locate(8), None);
+    }
+
+    #[test]
+    fn sparsity_of_dense_and_sparse_lists() {
+        assert_eq!(rl(&[(0, 10)]).sparsity(), 0.0);
+        let half = rl(&[(0, 5), (10, 5)]).sparsity();
+        assert!((half - (1.0 - 10.0 / 15.0)).abs() < 1e-12);
+        assert_eq!(RegionList::new().sparsity(), 0.0);
+    }
+
+    #[test]
+    fn gaps_between_regions() {
+        let l = rl(&[(0, 4), (8, 4), (12, 4)]);
+        assert_eq!(l.gaps(), vec![4, 0]);
+    }
+
+    #[test]
+    fn align_matching_lists() {
+        // memory: two regions of 6 and 2; file: three regions 3/3/2
+        let mem = rl(&[(0, 6), (100, 2)]);
+        let file = rl(&[(10, 3), (20, 3), (30, 2)]);
+        let pieces = align_lists(&mem, &file).unwrap();
+        assert_eq!(
+            pieces,
+            vec![
+                (Region::new(0, 3), Region::new(10, 3)),
+                (Region::new(3, 3), Region::new(20, 3)),
+                (Region::new(100, 2), Region::new(30, 2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn align_rejects_mismatched_totals() {
+        let mem = rl(&[(0, 5)]);
+        let file = rl(&[(0, 6)]);
+        assert!(align_lists(&mem, &file).is_err());
+    }
+
+    #[test]
+    fn align_preserves_byte_correspondence() {
+        let mem = rl(&[(5, 1), (0, 1), (9, 3)]);
+        let file = rl(&[(40, 2), (80, 3)]);
+        let pieces = align_lists(&mem, &file).unwrap();
+        let total: u64 = pieces.iter().map(|(m, _)| m.len).sum();
+        assert_eq!(total, 5);
+        for (m, f) in &pieces {
+            assert_eq!(m.len, f.len);
+        }
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(Region::new(2, 3).to_string(), "[2, 5)");
+        assert_eq!(rl(&[(0, 1), (4, 2)]).to_string(), "{[0, 1), [4, 6)}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_region() -> impl Strategy<Value = Region> {
+        (0u64..10_000, 1u64..1_000).prop_map(|(o, l)| Region::new(o, l))
+    }
+
+    fn arb_list(max: usize) -> impl Strategy<Value = RegionList> {
+        proptest::collection::vec(arb_region(), 1..max)
+            .prop_map(RegionList::from_regions_unchecked)
+    }
+
+    proptest! {
+        #[test]
+        fn intersect_is_commutative(a in arb_region(), b in arb_region()) {
+            prop_assert_eq!(a.intersect(b), b.intersect(a));
+        }
+
+        #[test]
+        fn intersect_is_contained(a in arb_region(), b in arb_region()) {
+            if let Some(i) = a.intersect(b) {
+                prop_assert!(a.contains(i));
+                prop_assert!(b.contains(i));
+            }
+        }
+
+        #[test]
+        fn merge_covers_both(a in arb_region(), b in arb_region()) {
+            if let Some(m) = a.try_merge(b) {
+                prop_assert!(m.contains(a));
+                prop_assert!(m.contains(b));
+                prop_assert_eq!(m.len, a.end().max(b.end()) - a.offset.min(b.offset));
+            }
+        }
+
+        #[test]
+        fn split_reassembles(r in arb_region(), frac in 0.0f64..=1.0) {
+            let pos = r.offset + (r.len as f64 * frac) as u64;
+            let (l, rr) = r.split_at(pos.min(r.end()));
+            prop_assert_eq!(l.len + rr.len, r.len);
+            prop_assert_eq!(l.offset, r.offset);
+            prop_assert_eq!(rr.end(), r.end());
+        }
+
+        #[test]
+        fn coalesce_preserves_coverage(l in arb_list(32)) {
+            let c = l.coalesced();
+            prop_assert!(c.is_sorted_disjoint());
+            // Every original byte is covered by the coalesced list.
+            for r in l.iter() {
+                for probe in [r.offset, r.offset + r.len / 2, r.end() - 1] {
+                    prop_assert!(c.iter().any(|cr| cr.contains_offset(probe)));
+                }
+            }
+            // Coalesced total never exceeds the original (overlap removal).
+            prop_assert!(c.total_len() <= l.total_len());
+            prop_assert_eq!(c.extent(), l.extent());
+        }
+
+        #[test]
+        fn coalesce_is_idempotent(l in arb_list(32)) {
+            let c = l.coalesced();
+            prop_assert_eq!(c.coalesced(), c);
+        }
+
+        #[test]
+        fn chunks_partition_the_list(l in arb_list(64), k in 1usize..16) {
+            let chunks: Vec<_> = l.chunks(k).collect();
+            let rejoined: Vec<Region> =
+                chunks.iter().flat_map(|c| c.regions().to_vec()).collect();
+            prop_assert_eq!(rejoined, l.regions().to_vec());
+            prop_assert!(chunks.iter().all(|c| c.count() <= k));
+        }
+
+        #[test]
+        fn clip_results_inside_window(l in arb_list(32), w in arb_region()) {
+            let c = l.clip_to(w);
+            prop_assert!(c.iter().all(|r| w.contains(*r)));
+        }
+
+        #[test]
+        fn align_pieces_tile_both_lists(
+            mem_lens in proptest::collection::vec(1u64..64, 1..10),
+        ) {
+            // Build a memory list and a file list over the same byte total
+            // but with different fragmentations.
+            let total: u64 = mem_lens.iter().sum();
+            let mut mem = RegionList::new();
+            let mut off = 0;
+            for l in &mem_lens {
+                mem.push(Region::new(off, *l));
+                off += l + 7; // arbitrary gap
+            }
+            // File list: split the same total into 5-byte pieces.
+            let mut file = RegionList::new();
+            let mut rem = total;
+            let mut foff = 1000;
+            while rem > 0 {
+                let l = rem.min(5);
+                file.push(Region::new(foff, l));
+                foff += l + 3;
+                rem -= l;
+            }
+            let pieces = align_lists(&mem, &file).unwrap();
+            let piece_total: u64 = pieces.iter().map(|(m, _)| m.len).sum();
+            prop_assert_eq!(piece_total, total);
+            for (m, f) in &pieces {
+                prop_assert_eq!(m.len, f.len);
+                prop_assert!(mem.iter().any(|r| r.contains(*m)));
+                prop_assert!(file.iter().any(|r| r.contains(*f)));
+            }
+        }
+
+        #[test]
+        fn locate_agrees_with_linear_scan(l in arb_list(16), pos in 0u64..2_000) {
+            let located = l.locate(pos);
+            // Oracle: expand the byte stream region by region.
+            let mut remaining = pos;
+            let mut oracle = None;
+            for (i, r) in l.iter().enumerate() {
+                if remaining < r.len {
+                    oracle = Some((i, remaining));
+                    break;
+                }
+                remaining -= r.len;
+            }
+            prop_assert_eq!(located, oracle);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! One-dimensional cyclic access (Fig. 7).
+//!
+//! A two-dimensional array lives in a single file; each of `clients`
+//! processes owns an equal share of its columns, so the file interleaves
+//! the processes' data round-robin at *access* granularity. The
+//! benchmark holds the aggregate data at 1 GiB and varies the number of
+//! accesses per client: more accesses ⇒ smaller pieces ⇒ more
+//! noncontiguity, with the aggregate size unchanged (§4.2.1).
+
+use pvfs_core::ListRequest;
+use pvfs_types::{PvfsError, PvfsResult, RegionList};
+
+/// Parameters of a 1-D cyclic run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cyclic {
+    /// Number of client processes.
+    pub clients: u64,
+    /// Accesses each client performs (the paper's x-axis).
+    pub accesses_per_client: u64,
+    /// Aggregate bytes across all clients (paper: 1 GiB).
+    pub aggregate_bytes: u64,
+}
+
+impl Cyclic {
+    /// The paper's configuration: 1 GiB aggregate.
+    pub fn paper(clients: u64, accesses_per_client: u64) -> Cyclic {
+        Cyclic {
+            clients,
+            accesses_per_client,
+            aggregate_bytes: 1 << 30,
+        }
+    }
+
+    /// Bytes per access (the quantity the paper computes as
+    /// `total / clients / accesses`). Errors if the parameters don't
+    /// divide evenly — the paper's parameter grid always does.
+    pub fn access_size(&self) -> PvfsResult<u64> {
+        if self.clients == 0 || self.accesses_per_client == 0 {
+            return Err(PvfsError::invalid("clients and accesses must be nonzero"));
+        }
+        let denom = self.clients * self.accesses_per_client;
+        if !self.aggregate_bytes.is_multiple_of(denom) {
+            return Err(PvfsError::invalid(format!(
+                "{} bytes do not divide evenly into {} clients × {} accesses",
+                self.aggregate_bytes, self.clients, self.accesses_per_client
+            )));
+        }
+        Ok(self.aggregate_bytes / denom)
+    }
+
+    /// Total file size (== aggregate bytes: the pattern tiles the file).
+    pub fn file_size(&self) -> u64 {
+        self.aggregate_bytes
+    }
+
+    /// The noncontiguous request of client `rank` (contiguous memory,
+    /// cyclic file regions).
+    pub fn request_for(&self, rank: u64) -> PvfsResult<ListRequest> {
+        if rank >= self.clients {
+            return Err(PvfsError::invalid(format!(
+                "rank {rank} out of range for {} clients",
+                self.clients
+            )));
+        }
+        let size = self.access_size()?;
+        let stride = size * self.clients;
+        let file = RegionList::from_pairs(
+            (0..self.accesses_per_client).map(|i| (i * stride + rank * size, size)),
+        )?;
+        Ok(ListRequest::gather(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_at_the_9_client_turning_point() {
+        // §4.2.2: (1 GiB)/(9 clients)/(800 000 accesses) ≈ 149 bytes.
+        // 1 GiB doesn't divide 9 × 800 000 evenly, so check with the
+        // nearby dividing configuration the formula describes.
+        let c = Cyclic {
+            clients: 8,
+            accesses_per_client: 1 << 20,
+            aggregate_bytes: 1 << 30,
+        };
+        assert_eq!(c.access_size().unwrap(), 128); // 2^30 / 2^3 / 2^20
+    }
+
+    #[test]
+    fn regions_interleave_across_clients() {
+        let c = Cyclic {
+            clients: 4,
+            accesses_per_client: 3,
+            aggregate_bytes: 120,
+        };
+        // access size 10; client k's i-th region at (i*40 + k*10, 10).
+        let r1 = c.request_for(1).unwrap();
+        let offs: Vec<u64> = r1.file.iter().map(|r| r.offset).collect();
+        assert_eq!(offs, vec![10, 50, 90]);
+        assert_eq!(r1.total_len(), 30);
+        assert!(r1.file.is_sorted_disjoint());
+    }
+
+    #[test]
+    fn clients_partition_the_file_exactly() {
+        let c = Cyclic {
+            clients: 4,
+            accesses_per_client: 8,
+            aggregate_bytes: 1024,
+        };
+        let mut coverage = vec![false; 1024];
+        for k in 0..4 {
+            let req = c.request_for(k).unwrap();
+            for r in req.file.iter() {
+                for b in r.offset..r.end() {
+                    assert!(!coverage[b as usize], "byte {b} claimed twice");
+                    coverage[b as usize] = true;
+                }
+            }
+        }
+        assert!(coverage.iter().all(|c| *c), "file fully covered");
+    }
+
+    #[test]
+    fn more_accesses_means_smaller_pieces_same_total() {
+        let coarse = Cyclic {
+            clients: 8,
+            accesses_per_client: 64,
+            aggregate_bytes: 1 << 20,
+        };
+        let fine = Cyclic {
+            clients: 8,
+            accesses_per_client: 2048,
+            aggregate_bytes: 1 << 20,
+        };
+        let rc = coarse.request_for(0).unwrap();
+        let rf = fine.request_for(0).unwrap();
+        assert_eq!(rc.total_len(), rf.total_len());
+        assert_eq!(rf.file.count(), 32 * rc.file.count());
+        assert!(coarse.access_size().unwrap() > fine.access_size().unwrap());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Cyclic {
+            clients: 0,
+            accesses_per_client: 1,
+            aggregate_bytes: 100
+        }
+        .access_size()
+        .is_err());
+        assert!(Cyclic {
+            clients: 3,
+            accesses_per_client: 7,
+            aggregate_bytes: 100
+        }
+        .access_size()
+        .is_err());
+        let c = Cyclic {
+            clients: 2,
+            accesses_per_client: 2,
+            aggregate_bytes: 8,
+        };
+        assert!(c.request_for(2).is_err());
+    }
+
+    #[test]
+    fn memory_is_contiguous() {
+        let c = Cyclic {
+            clients: 2,
+            accesses_per_client: 4,
+            aggregate_bytes: 64,
+        };
+        let r = c.request_for(0).unwrap();
+        assert_eq!(r.mem.count(), 1);
+        assert_eq!(r.mem.total_len(), 32);
+    }
+}

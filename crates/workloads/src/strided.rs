@@ -1,0 +1,289 @@
+//! Nested-strided access patterns.
+//!
+//! The workload characterization studies the paper builds on
+//! (Nieuwejaar & Kotz's CHARISMA project, the paper's ref [7]) found
+//! that parallel scientific codes overwhelmingly issue *simple-strided*
+//! and *nested-strided* accesses: fixed-size blocks at one or more
+//! levels of regular stride — exactly the shape of a column sweep over
+//! a multi-dimensional array. This generator produces those patterns
+//! and, because they are regular, can also express them as a nested
+//! [`Datatype`] — the two descriptions flatten identically (tested),
+//! which is the bridge between the paper's list interface and its §5
+//! datatype proposal.
+
+use pvfs_core::ListRequest;
+use pvfs_types::{Datatype, PvfsError, PvfsResult, Region, RegionList};
+
+/// One stride level: `count` repetitions spaced `stride` bytes apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideLevel {
+    /// Repetitions at this level.
+    pub count: u64,
+    /// Bytes between consecutive repetitions' starts.
+    pub stride: u64,
+}
+
+/// A nested-strided pattern: `levels` from outermost to innermost, each
+/// placing the next level at a regular stride, with `block` contiguous
+/// bytes at the innermost position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestedStrided {
+    /// Starting file offset.
+    pub base: u64,
+    /// Stride levels, outermost first. Empty means one plain block.
+    pub levels: Vec<StrideLevel>,
+    /// Contiguous bytes at each innermost position.
+    pub block: u64,
+}
+
+impl NestedStrided {
+    /// Simple-strided pattern (one level) — CHARISMA's most common
+    /// shape.
+    pub fn simple(base: u64, count: u64, block: u64, stride: u64) -> NestedStrided {
+        NestedStrided {
+            base,
+            levels: vec![StrideLevel { count, stride }],
+            block,
+        }
+    }
+
+    /// A column sweep over a row-major 2-D array of `rows × row_bytes`,
+    /// reading `col_bytes` from each row.
+    pub fn column(base: u64, rows: u64, row_bytes: u64, col_bytes: u64) -> NestedStrided {
+        NestedStrided::simple(base, rows, col_bytes, row_bytes)
+    }
+
+    /// The span one instance of level `i..` occupies.
+    fn span_from(&self, i: usize) -> u64 {
+        if i == self.levels.len() {
+            return self.block;
+        }
+        let l = self.levels[i];
+        if l.count == 0 {
+            0
+        } else {
+            (l.count - 1) * l.stride + self.span_from(i + 1)
+        }
+    }
+
+    /// Total data bytes selected.
+    pub fn total_len(&self) -> u64 {
+        self.levels.iter().map(|l| l.count).product::<u64>() * self.block
+    }
+
+    /// Number of contiguous file regions.
+    pub fn region_count(&self) -> u64 {
+        self.levels.iter().map(|l| l.count).product()
+    }
+
+    /// Validate: every level's stride must cover the inner span, so
+    /// regions never overlap and stay sorted.
+    pub fn validate(&self) -> PvfsResult<()> {
+        if self.block == 0 {
+            return Err(PvfsError::invalid("zero block size"));
+        }
+        for (i, l) in self.levels.iter().enumerate() {
+            if l.count == 0 {
+                return Err(PvfsError::invalid(format!("level {i} has zero count")));
+            }
+            if l.count > 1 && l.stride < self.span_from(i + 1) {
+                return Err(PvfsError::invalid(format!(
+                    "level {i} stride {} overlaps inner span {}",
+                    l.stride,
+                    self.span_from(i + 1)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expand to the sorted, disjoint file region list.
+    pub fn regions(&self) -> PvfsResult<RegionList> {
+        self.validate()?;
+        let mut offsets = vec![self.base];
+        for (i, l) in self.levels.iter().enumerate() {
+            let _ = i;
+            let mut next = Vec::with_capacity(offsets.len() * l.count as usize);
+            for base in offsets {
+                for k in 0..l.count {
+                    next.push(base + k * l.stride);
+                }
+            }
+            offsets = next;
+        }
+        offsets.sort_unstable();
+        let mut list = RegionList::with_capacity(offsets.len());
+        for o in offsets {
+            list.push(Region::new(o, self.block));
+        }
+        // Merge adjacency (stride == block at the innermost level).
+        Ok(list.coalesced())
+    }
+
+    /// The same pattern as a nested MPI-like datatype.
+    pub fn datatype(&self) -> Datatype {
+        let mut t = Datatype::Bytes(self.block);
+        for l in self.levels.iter().rev() {
+            t = Datatype::Vector {
+                count: l.count,
+                blocklen: 1,
+                stride: l.stride,
+                child: Box::new(t),
+            };
+        }
+        t
+    }
+
+    /// The gather request (contiguous memory) for this pattern.
+    pub fn request(&self) -> PvfsResult<ListRequest> {
+        Ok(ListRequest::gather(self.regions()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_strided_expansion() {
+        let p = NestedStrided::simple(100, 4, 8, 32);
+        let r = p.regions().unwrap();
+        assert_eq!(
+            r.regions(),
+            &[
+                Region::new(100, 8),
+                Region::new(132, 8),
+                Region::new(164, 8),
+                Region::new(196, 8)
+            ]
+        );
+        assert_eq!(p.total_len(), 32);
+        assert_eq!(p.region_count(), 4);
+    }
+
+    #[test]
+    fn column_sweep_matches_manual_construction() {
+        // 8 rows of 64 bytes, reading 4 bytes per row.
+        let p = NestedStrided::column(0, 8, 64, 4);
+        let r = p.regions().unwrap();
+        assert_eq!(r.count(), 8);
+        assert_eq!(r.regions()[3], Region::new(192, 4));
+    }
+
+    #[test]
+    fn two_level_nesting() {
+        // Outer: 3 planes every 1000; inner: 4 rows every 100; 16-byte
+        // blocks.
+        let p = NestedStrided {
+            base: 0,
+            levels: vec![
+                StrideLevel { count: 3, stride: 1000 },
+                StrideLevel { count: 4, stride: 100 },
+            ],
+            block: 16,
+        };
+        let r = p.regions().unwrap();
+        assert_eq!(r.count(), 12);
+        assert_eq!(r.regions()[0], Region::new(0, 16));
+        assert_eq!(r.regions()[4], Region::new(1000, 16));
+        assert_eq!(r.regions()[11], Region::new(2300, 16));
+        assert!(r.is_sorted_disjoint());
+    }
+
+    #[test]
+    fn datatype_flattens_to_the_same_regions() {
+        let p = NestedStrided {
+            base: 0,
+            levels: vec![
+                StrideLevel { count: 5, stride: 4096 },
+                StrideLevel { count: 3, stride: 512 },
+            ],
+            block: 64,
+        };
+        let via_regions = p.regions().unwrap();
+        let via_datatype = p.datatype().flatten(p.base);
+        assert_eq!(via_regions, via_datatype);
+        assert_eq!(p.datatype().size(), p.total_len());
+    }
+
+    #[test]
+    fn adjacent_blocks_coalesce() {
+        // Stride == block: one contiguous run.
+        let p = NestedStrided::simple(0, 16, 8, 8);
+        let r = p.regions().unwrap();
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.regions()[0], Region::new(0, 128));
+    }
+
+    #[test]
+    fn overlapping_strides_rejected() {
+        let p = NestedStrided::simple(0, 4, 16, 8);
+        assert!(p.validate().is_err());
+        let p = NestedStrided {
+            base: 0,
+            levels: vec![
+                StrideLevel { count: 2, stride: 100 }, // inner span 3*64=192 > 100
+                StrideLevel { count: 3, stride: 64 },
+            ],
+            block: 16,
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_patterns_rejected() {
+        assert!(NestedStrided::simple(0, 0, 8, 32).validate().is_err());
+        assert!(NestedStrided::simple(0, 4, 0, 32).validate().is_err());
+    }
+
+    #[test]
+    fn request_has_contiguous_memory() {
+        let p = NestedStrided::simple(0, 10, 8, 100);
+        let req = p.request().unwrap();
+        assert_eq!(req.mem.count(), 1);
+        assert_eq!(req.total_len(), 80);
+        req.validate().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_pattern() -> impl Strategy<Value = NestedStrided> {
+        (1u64..32, 1u64..6, 1u64..5, 0u64..1000).prop_map(|(block, c1, c2, base)| {
+            // Build strides that always cover inner spans.
+            let inner_span = block;
+            let s2 = inner_span + (block % 7);
+            let inner_total = (c2 - 1) * s2 + block;
+            let s1 = inner_total + 13;
+            NestedStrided {
+                base,
+                levels: vec![
+                    StrideLevel { count: c1, stride: s1 },
+                    StrideLevel { count: c2, stride: s2 },
+                ],
+                block,
+            }
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn regions_match_datatype_flatten(p in arb_pattern()) {
+            prop_assert!(p.validate().is_ok());
+            let via_regions = p.regions().unwrap();
+            let via_datatype = p.datatype().flatten(p.base);
+            prop_assert_eq!(via_regions, via_datatype);
+        }
+
+        #[test]
+        fn totals_are_consistent(p in arb_pattern()) {
+            let r = p.regions().unwrap();
+            prop_assert_eq!(r.total_len(), p.total_len());
+            prop_assert!(r.count() as u64 <= p.region_count());
+            prop_assert!(r.is_sorted_disjoint());
+        }
+    }
+}

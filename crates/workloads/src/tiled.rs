@@ -1,0 +1,191 @@
+//! The tiled visualization read (§4.4, Fig. 16).
+//!
+//! A display wall shows one large frame split across an array of
+//! displays; each compute node drives one display and reads its tile
+//! from the shared frame file. The paper's configuration: a **3 × 2**
+//! wall of **1024 × 768** displays at **24-bit** color with a **270-
+//! pixel horizontal** and **128-pixel vertical** overlap between
+//! neighbouring tiles, giving a frame of 2532 × 1408 pixels ≈ 10.2 MiB.
+//! Each tile row is one contiguous file region ⇒ **768 regions** per
+//! client ⇒ 768 multiple-I/O requests vs ⌈768/64⌉ = **12** list-I/O
+//! requests (§4.4.1).
+
+use pvfs_core::ListRequest;
+use pvfs_types::{PvfsError, PvfsResult, RegionList};
+
+/// Parameters of a tiled-visualization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TiledViz {
+    /// Display columns.
+    pub tiles_x: u64,
+    /// Display rows.
+    pub tiles_y: u64,
+    /// Pixels per display, horizontally.
+    pub display_w: u64,
+    /// Pixels per display, vertically.
+    pub display_h: u64,
+    /// Horizontal overlap between adjacent displays (pixels).
+    pub overlap_x: u64,
+    /// Vertical overlap between adjacent displays (pixels).
+    pub overlap_y: u64,
+    /// Bytes per pixel.
+    pub bytes_per_pixel: u64,
+}
+
+impl TiledViz {
+    /// The paper's 3×2, 1024×768@24bit, 270/128-pixel overlap setup.
+    pub fn paper() -> TiledViz {
+        TiledViz {
+            tiles_x: 3,
+            tiles_y: 2,
+            display_w: 1024,
+            display_h: 768,
+            overlap_x: 270,
+            overlap_y: 128,
+            bytes_per_pixel: 3,
+        }
+    }
+
+    /// Number of clients (one per display).
+    pub fn clients(&self) -> u64 {
+        self.tiles_x * self.tiles_y
+    }
+
+    /// Frame width in pixels.
+    pub fn frame_w(&self) -> u64 {
+        self.tiles_x * self.display_w - (self.tiles_x - 1) * self.overlap_x
+    }
+
+    /// Frame height in pixels.
+    pub fn frame_h(&self) -> u64 {
+        self.tiles_y * self.display_h - (self.tiles_y - 1) * self.overlap_y
+    }
+
+    /// Frame file size in bytes.
+    pub fn file_size(&self) -> u64 {
+        self.frame_w() * self.frame_h() * self.bytes_per_pixel
+    }
+
+    /// File regions per client (one per tile row).
+    pub fn regions_per_client(&self) -> u64 {
+        self.display_h
+    }
+
+    fn validate(&self) -> PvfsResult<()> {
+        if self.tiles_x == 0 || self.tiles_y == 0 || self.display_w == 0 || self.display_h == 0 {
+            return Err(PvfsError::invalid("degenerate tiling"));
+        }
+        if self.overlap_x >= self.display_w || self.overlap_y >= self.display_h {
+            return Err(PvfsError::invalid("overlap larger than a display"));
+        }
+        Ok(())
+    }
+
+    /// The read request of the client driving tile `rank` (row-major
+    /// over the wall): one contiguous file region per display row,
+    /// contiguous destination memory (the framebuffer of that display).
+    pub fn request_for(&self, rank: u64) -> PvfsResult<ListRequest> {
+        self.validate()?;
+        if rank >= self.clients() {
+            return Err(PvfsError::invalid(format!(
+                "rank {rank} out of range for {} displays",
+                self.clients()
+            )));
+        }
+        let (ty, tx) = (rank / self.tiles_x, rank % self.tiles_x);
+        let x0 = tx * (self.display_w - self.overlap_x);
+        let y0 = ty * (self.display_h - self.overlap_y);
+        let row_bytes = self.frame_w() * self.bytes_per_pixel;
+        let tile_row_bytes = self.display_w * self.bytes_per_pixel;
+        let file = RegionList::from_pairs((0..self.display_h).map(|r| {
+            (
+                (y0 + r) * row_bytes + x0 * self.bytes_per_pixel,
+                tile_row_bytes,
+            )
+        }))?;
+        Ok(ListRequest::gather(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_frame_geometry() {
+        let t = TiledViz::paper();
+        assert_eq!(t.clients(), 6);
+        assert_eq!(t.frame_w(), 2532);
+        assert_eq!(t.frame_h(), 1408);
+        // "bringing the file size to about 10.2 MBytes"
+        assert_eq!(t.file_size(), 10_695_168);
+        assert!((t.file_size() as f64 / (1024.0 * 1024.0) - 10.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_request_counts() {
+        let t = TiledViz::paper();
+        let r = t.request_for(0).unwrap();
+        // "Multiple I/O requires 768 I/O requests"
+        assert_eq!(r.file.count(), 768);
+        // "list I/O will need to perform a minimal number (768/64 = 12)"
+        assert_eq!(r.file.count().div_ceil(64), 12);
+        // Each row is 1024 px × 3 B.
+        assert!(r.file.iter().all(|reg| reg.len == 3072));
+        assert_eq!(r.total_len(), 768 * 3072);
+        assert!(r.file.is_sorted_disjoint());
+    }
+
+    #[test]
+    fn overlapping_tiles_share_file_bytes() {
+        let t = TiledViz::paper();
+        let left = t.request_for(0).unwrap();
+        let right = t.request_for(1).unwrap();
+        // Tile 1 starts 754 pixels in: its first region overlaps tile
+        // 0's first region by 270 px.
+        let l0 = left.file.regions()[0];
+        let r0 = right.file.regions()[0];
+        assert_eq!(r0.offset, (1024 - 270) * 3);
+        assert!(l0.overlaps(r0));
+        assert_eq!(l0.intersect(r0).unwrap().len, 270 * 3);
+    }
+
+    #[test]
+    fn bottom_row_tiles_offset_vertically() {
+        let t = TiledViz::paper();
+        let bottom_left = t.request_for(3).unwrap();
+        let row_bytes = t.frame_w() * 3;
+        assert_eq!(
+            bottom_left.file.regions()[0].offset,
+            (768 - 128) * row_bytes
+        );
+    }
+
+    #[test]
+    fn last_tile_stays_inside_file() {
+        let t = TiledViz::paper();
+        let last = t.request_for(5).unwrap();
+        assert!(last.file.extent().unwrap().end() <= t.file_size());
+    }
+
+    #[test]
+    fn sieving_wastes_two_thirds_for_interior_tiles() {
+        // §4.4.1: "the client will end up using only a fraction
+        // (1 / number of tiles in the x direction, for this case 1/3)
+        // of the actual data read."
+        let t = TiledViz::paper();
+        let r = t.request_for(0).unwrap();
+        let extent = r.file.extent().unwrap().len;
+        let useful = r.total_len();
+        let fraction = useful as f64 / extent as f64;
+        assert!((0.30..0.45).contains(&fraction), "fraction {fraction}");
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let mut t = TiledViz::paper();
+        t.overlap_x = 1024;
+        assert!(t.request_for(0).is_err());
+        assert!(TiledViz::paper().request_for(6).is_err());
+    }
+}

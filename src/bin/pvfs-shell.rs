@@ -1,0 +1,46 @@
+//! Interactive shell over an in-process PVFS cluster.
+//!
+//! ```text
+//! cargo run --bin pvfs-shell [n_servers]
+//! ```
+//!
+//! Reads commands from stdin (`help` lists them); also works piped:
+//! `echo -e "create /f\nwrite /f 0 hi\nread /f 0 2" | pvfs-shell`.
+
+use pvfs::shell::Shell;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let n_servers: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let mut shell = Shell::new(n_servers);
+    let interactive = std::io::IsTerminal::is_terminal(&std::io::stdin());
+    if interactive {
+        println!(
+            "pvfs-shell: {} I/O servers + 1 manager. Type 'help'.",
+            shell.n_servers()
+        );
+    }
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            print!("pvfs> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => match shell.execute(line.trim()) {
+                Ok(out) if out.is_empty() => {}
+                Ok(out) => println!("{out}"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! An interactive shell over an in-process PVFS cluster.
+//!
+//! Drives the whole stack — manager, striped I/O daemons, the client
+//! library and all five noncontiguous access methods — from one-line
+//! commands. Used by the `pvfs-shell` binary and directly testable:
+//! [`Shell::execute`] maps a command line to its printed output.
+//!
+//! ```text
+//! pvfs> create /data 8 16384
+//! pvfs> write /data 0 hello-parallel-world
+//! pvfs> read /data 6 8
+//! pvfs> method list
+//! pvfs> writep /data 4096 16 64 256 0xab
+//! pvfs> readp /data 4096 16 64 256
+//! pvfs> ls
+//! pvfs> stats
+//! ```
+
+use crate::client::PvfsFile;
+use crate::core::Method;
+use crate::net::LiveCluster;
+use crate::types::{PvfsError, PvfsResult, RegionList, ServerId, StripeLayout};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Shell state: one live cluster, open files, the selected access
+/// method.
+pub struct Shell {
+    cluster: LiveCluster,
+    files: HashMap<String, PvfsFile>,
+    method: Method,
+}
+
+impl Shell {
+    /// Start a shell over a fresh cluster with `n_servers` I/O daemons.
+    pub fn new(n_servers: u32) -> Shell {
+        Shell {
+            cluster: LiveCluster::spawn(n_servers),
+            files: HashMap::new(),
+            method: Method::List,
+        }
+    }
+
+    /// Number of I/O servers behind this shell.
+    pub fn n_servers(&self) -> u32 {
+        self.cluster.n_servers()
+    }
+
+    /// Execute one command line; returns the text to print.
+    pub fn execute(&mut self, line: &str) -> PvfsResult<String> {
+        let mut words = line.split_whitespace();
+        let Some(cmd) = words.next() else {
+            return Ok(String::new());
+        };
+        let args: Vec<&str> = words.collect();
+        match cmd {
+            "help" => Ok(HELP.to_string()),
+            "create" => self.cmd_create(&args),
+            "open" => self.cmd_open(&args),
+            "close" => self.cmd_close(&args),
+            "rm" => self.cmd_rm(&args),
+            "ls" => self.cmd_ls(),
+            "stat" => self.cmd_stat(&args),
+            "write" => self.cmd_write(&args),
+            "read" => self.cmd_read(&args),
+            "writep" => self.cmd_writep(&args),
+            "readp" => self.cmd_readp(&args),
+            "method" => self.cmd_method(&args),
+            "bench" => self.cmd_bench(&args),
+            "stats" => self.cmd_stats(),
+            other => Err(PvfsError::invalid(format!(
+                "unknown command '{other}' (try 'help')"
+            ))),
+        }
+    }
+
+    fn file_mut(&mut self, path: &str) -> PvfsResult<&mut PvfsFile> {
+        self.files
+            .get_mut(path)
+            .ok_or_else(|| PvfsError::invalid(format!("'{path}' is not open (use open/create)")))
+    }
+
+    fn cmd_create(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let path = *args.first().ok_or_else(|| PvfsError::invalid("create PATH [pcount [ssize [base]]]"))?;
+        let pcount: u32 = parse_or(args.get(1), self.cluster.n_servers())?;
+        let ssize: u64 = parse_or(args.get(2), pvfs_types::striping::DEFAULT_STRIPE_SIZE)?;
+        let base: u32 = parse_or(args.get(3), 0)?;
+        let layout = StripeLayout::new(base, pcount, ssize)?;
+        let file = PvfsFile::create(&self.cluster.client(), path, layout)?;
+        self.files.insert(path.to_string(), file);
+        Ok(format!(
+            "created {path}: {pcount}-way striped from node {base}, {ssize} B stripes"
+        ))
+    }
+
+    fn cmd_open(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let path = *args.first().ok_or_else(|| PvfsError::invalid("open PATH"))?;
+        let file = PvfsFile::open(&self.cluster.client(), path)?;
+        let l = file.layout();
+        self.files.insert(path.to_string(), file);
+        Ok(format!(
+            "opened {path} (handle {}, {}-way, {} B stripes)",
+            self.files[path].handle(),
+            l.pcount,
+            l.ssize
+        ))
+    }
+
+    fn cmd_close(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let path = *args.first().ok_or_else(|| PvfsError::invalid("close PATH"))?;
+        let file = self
+            .files
+            .remove(path)
+            .ok_or_else(|| PvfsError::invalid(format!("'{path}' is not open")))?;
+        file.close()?;
+        Ok(format!("closed {path}"))
+    }
+
+    fn cmd_rm(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let path = *args.first().ok_or_else(|| PvfsError::invalid("rm PATH"))?;
+        self.files.remove(path);
+        PvfsFile::remove(&self.cluster.client(), path)?;
+        Ok(format!("removed {path}"))
+    }
+
+    fn cmd_ls(&mut self) -> PvfsResult<String> {
+        let paths = PvfsFile::list(&self.cluster.client())?;
+        if paths.is_empty() {
+            return Ok("(empty namespace)".into());
+        }
+        Ok(paths.join("\n"))
+    }
+
+    fn cmd_stat(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let path = *args.first().ok_or_else(|| PvfsError::invalid("stat PATH"))?;
+        let file = self.file_mut(path)?;
+        let l = file.layout();
+        let size = file.size()?;
+        Ok(format!(
+            "{path}: {size} bytes, handle {}, striped {}-way from node {} at {} B",
+            file.handle(),
+            l.pcount,
+            l.base,
+            l.ssize
+        ))
+    }
+
+    fn cmd_write(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let (path, offset) = path_offset(args, "write PATH OFFSET TEXT")?;
+        let text = args
+            .get(2)
+            .ok_or_else(|| PvfsError::invalid("write PATH OFFSET TEXT"))?;
+        let file = self.file_mut(path)?;
+        let report = file.write_at(offset, text.as_bytes())?;
+        Ok(format!(
+            "wrote {} bytes at {offset} ({} requests)",
+            text.len(),
+            report.requests
+        ))
+    }
+
+    fn cmd_read(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let (path, offset) = path_offset(args, "read PATH OFFSET LEN")?;
+        let len: usize = parse(args.get(2), "LEN")?;
+        if len > 1 << 20 {
+            return Err(PvfsError::invalid("read at most 1 MiB at a time"));
+        }
+        let file = self.file_mut(path)?;
+        let mut buf = vec![0u8; len];
+        file.read_at(offset, &mut buf)?;
+        Ok(render_bytes(&buf))
+    }
+
+    fn cmd_writep(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let (path, offset) = path_offset(args, "writep PATH OFFSET COUNT LEN STRIDE BYTE")?;
+        let count: u64 = parse(args.get(2), "COUNT")?;
+        let len: u64 = parse(args.get(3), "LEN")?;
+        let stride: u64 = parse(args.get(4), "STRIDE")?;
+        let byte = parse_byte(args.get(5))?;
+        let regions = strided_regions(offset, count, len, stride)?;
+        let mem = RegionList::contiguous(0, regions.total_len());
+        let src = vec![byte; regions.total_len() as usize];
+        let method = self.method;
+        let file = self.file_mut(path)?;
+        let report = file.write_list(&mem, &regions, &src, method)?;
+        Ok(format!(
+            "wrote {count}×{len} B every {stride} B at {offset} with {}: {} requests, {} rounds",
+            method, report.requests, report.rounds
+        ))
+    }
+
+    fn cmd_readp(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let (path, offset) = path_offset(args, "readp PATH OFFSET COUNT LEN STRIDE")?;
+        let count: u64 = parse(args.get(2), "COUNT")?;
+        let len: u64 = parse(args.get(3), "LEN")?;
+        let stride: u64 = parse(args.get(4), "STRIDE")?;
+        let regions = strided_regions(offset, count, len, stride)?;
+        let mem = RegionList::contiguous(0, regions.total_len());
+        let mut buf = vec![0u8; regions.total_len() as usize];
+        let method = self.method;
+        let file = self.file_mut(path)?;
+        let report = file.read_list(&mem, &regions, &mut buf, method)?;
+        let mut out = format!(
+            "read {count}×{len} B every {stride} B at {offset} with {}: {} requests, {} rounds\n",
+            method, report.requests, report.rounds
+        );
+        out.push_str(&render_bytes(&buf[..buf.len().min(64)]));
+        Ok(out)
+    }
+
+    fn cmd_method(&mut self, args: &[&str]) -> PvfsResult<String> {
+        match args.first() {
+            None => Ok(format!("current method: {}", self.method)),
+            Some(&name) => {
+                self.method = match name {
+                    "multiple" => Method::Multiple,
+                    "sieve" | "sieving" | "datasieving" => Method::DataSieving,
+                    "list" => Method::List,
+                    "hybrid" => Method::Hybrid,
+                    "datatype" | "vector" => Method::Datatype,
+                    other => {
+                        return Err(PvfsError::invalid(format!(
+                            "unknown method '{other}' (multiple|sieve|list|hybrid|datatype)"
+                        )))
+                    }
+                };
+                Ok(format!("method set to {}", self.method))
+            }
+        }
+    }
+
+    /// Compare all five methods on a strided pattern against an open
+    /// file, with wall-clock timing on the live cluster.
+    fn cmd_bench(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let (path, offset) = path_offset(args, "bench PATH OFFSET COUNT LEN STRIDE")?;
+        let count: u64 = parse(args.get(2), "COUNT")?;
+        let len: u64 = parse(args.get(3), "LEN")?;
+        let stride: u64 = parse(args.get(4), "STRIDE")?;
+        let regions = strided_regions(offset, count, len, stride)?;
+        let mem = RegionList::contiguous(0, regions.total_len());
+        let file = self.file_mut(path)?;
+        let mut out = format!(
+            "{:<20} {:>10} {:>8} {:>12}\n",
+            "method", "requests", "rounds", "wall µs"
+        );
+        for method in crate::core::Method::ALL {
+            let mut buf = vec![0u8; regions.total_len() as usize];
+            let started = std::time::Instant::now();
+            let report = file.read_list(&mem, &regions, &mut buf, method)?;
+            let us = started.elapsed().as_micros();
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10} {:>8} {:>12}",
+                method.name(),
+                report.requests,
+                report.rounds,
+                us
+            );
+        }
+        out.pop();
+        Ok(out)
+    }
+
+    fn cmd_stats(&mut self) -> PvfsResult<String> {
+        let mut out = String::from("server     requests  contig    list  regions   read B  written B\n");
+        for i in 0..self.cluster.n_servers() {
+            let s = self.cluster.server_stats(ServerId(i)).expect("server exists");
+            let _ = writeln!(
+                out,
+                "iod{i:<7} {:>8} {:>7} {:>7} {:>8} {:>8} {:>10}",
+                s.requests, s.contiguous_requests, s.list_requests, s.regions, s.bytes_read, s.bytes_written
+            );
+        }
+        Ok(out)
+    }
+}
+
+const HELP: &str = "commands:
+  create PATH [pcount [ssize [base]]]   create a striped file
+  open PATH | close PATH | rm PATH      namespace operations
+  ls                                    list the namespace
+  stat PATH                             size + striping of an open file
+  write PATH OFFSET TEXT                contiguous write
+  read PATH OFFSET LEN                  contiguous read (hex+ascii)
+  writep PATH OFFSET COUNT LEN STRIDE BYTE   strided noncontiguous write
+  readp PATH OFFSET COUNT LEN STRIDE    strided noncontiguous read
+  method [multiple|sieve|list|hybrid|datatype]   select the access method
+  bench PATH OFFSET COUNT LEN STRIDE    compare all methods on a pattern
+  stats                                 per-server I/O daemon statistics
+  help                                  this text";
+
+fn parse<T: std::str::FromStr>(arg: Option<&&str>, name: &str) -> PvfsResult<T> {
+    arg.ok_or_else(|| PvfsError::invalid(format!("missing {name}")))?
+        .parse()
+        .map_err(|_| PvfsError::invalid(format!("bad {name}")))
+}
+
+fn parse_or<T: std::str::FromStr>(arg: Option<&&str>, default: T) -> PvfsResult<T> {
+    match arg {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| PvfsError::invalid(format!("bad number '{s}'"))),
+    }
+}
+
+fn parse_byte(arg: Option<&&str>) -> PvfsResult<u8> {
+    let s = arg.ok_or_else(|| PvfsError::invalid("missing BYTE"))?;
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        u8::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    v.map_err(|_| PvfsError::invalid(format!("bad byte '{s}'")))
+}
+
+fn path_offset<'a>(args: &[&'a str], usage: &str) -> PvfsResult<(&'a str, u64)> {
+    let path = *args.first().ok_or_else(|| PvfsError::invalid(usage))?;
+    let offset: u64 = parse(args.get(1), "OFFSET")?;
+    Ok((path, offset))
+}
+
+fn strided_regions(offset: u64, count: u64, len: u64, stride: u64) -> PvfsResult<RegionList> {
+    if count == 0 || len == 0 {
+        return Err(PvfsError::invalid("COUNT and LEN must be nonzero"));
+    }
+    if stride < len {
+        return Err(PvfsError::invalid("STRIDE must be at least LEN"));
+    }
+    if count * len > 1 << 24 {
+        return Err(PvfsError::invalid("pattern too large (max 16 MiB)"));
+    }
+    RegionList::from_pairs((0..count).map(|i| (offset + i * stride, len)))
+}
+
+/// Hex + ASCII dump, 16 bytes per line.
+fn render_bytes(buf: &[u8]) -> String {
+    let mut out = String::new();
+    for (i, chunk) in buf.chunks(16).enumerate() {
+        let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
+        let ascii: String = chunk
+            .iter()
+            .map(|&b| if (0x20..0x7f).contains(&b) { b as char } else { '.' })
+            .collect();
+        let _ = writeln!(out, "{:08x}  {:<47}  |{}|", i * 16, hex.join(" "), ascii);
+    }
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell() -> Shell {
+        Shell::new(4)
+    }
+
+    #[test]
+    fn create_write_read_cycle() {
+        let mut sh = shell();
+        sh.execute("create /f 4 64").unwrap();
+        sh.execute("write /f 0 hello").unwrap();
+        let out = sh.execute("read /f 0 5").unwrap();
+        assert!(out.contains("68 65 6c 6c 6f"), "{out}");
+        assert!(out.contains("|hello|"), "{out}");
+    }
+
+    #[test]
+    fn ls_and_rm() {
+        let mut sh = shell();
+        assert_eq!(sh.execute("ls").unwrap(), "(empty namespace)");
+        sh.execute("create /a").unwrap();
+        sh.execute("create /b").unwrap();
+        assert_eq!(sh.execute("ls").unwrap(), "/a\n/b");
+        sh.execute("rm /a").unwrap();
+        assert_eq!(sh.execute("ls").unwrap(), "/b");
+    }
+
+    #[test]
+    fn stat_reports_size_and_layout() {
+        let mut sh = shell();
+        sh.execute("create /f 2 128").unwrap();
+        sh.execute("write /f 100 xyz").unwrap();
+        let out = sh.execute("stat /f").unwrap();
+        assert!(out.contains("103 bytes"), "{out}");
+        assert!(out.contains("striped 2-way"), "{out}");
+    }
+
+    #[test]
+    fn strided_pattern_roundtrip_under_each_method() {
+        let mut sh = shell();
+        sh.execute("create /p 4 64").unwrap();
+        for m in ["multiple", "sieve", "list", "hybrid", "datatype"] {
+            sh.execute(&format!("method {m}")).unwrap();
+            sh.execute("writep /p 0 8 4 32 0xab").unwrap();
+            let out = sh.execute("readp /p 0 8 4 32").unwrap();
+            assert!(out.contains("ab ab ab ab"), "method {m}: {out}");
+        }
+        // Gaps were never written.
+        let gap = sh.execute("read /p 4 4").unwrap();
+        assert!(gap.contains("00 00 00 00"), "{gap}");
+    }
+
+    #[test]
+    fn method_switching_and_errors() {
+        let mut sh = shell();
+        assert!(sh.execute("method").unwrap().contains("List I/O"));
+        sh.execute("method sieve").unwrap();
+        assert!(sh.execute("method").unwrap().contains("Data Sieving"));
+        assert!(sh.execute("method bogus").is_err());
+    }
+
+    #[test]
+    fn helpful_errors() {
+        let mut sh = shell();
+        assert!(sh.execute("frobnicate").is_err());
+        assert!(sh.execute("read /missing 0 4").is_err());
+        assert!(sh.execute("open /missing").is_err());
+        assert!(sh.execute("writep /x 0 0 4 8 1").is_err());
+        assert!(sh.execute("create").is_err());
+        assert!(sh.execute("").unwrap().is_empty());
+        assert!(sh.execute("help").unwrap().contains("commands:"));
+    }
+
+    #[test]
+    fn bench_compares_all_methods() {
+        let mut sh = shell();
+        sh.execute("create /b 4 64").unwrap();
+        sh.execute("write /b 0 seed-data-so-reads-return-something").unwrap();
+        let out = sh.execute("bench /b 0 16 4 16").unwrap();
+        for name in ["Multiple I/O", "Data Sieving I/O", "List I/O", "Hybrid I/O", "Datatype I/O"] {
+            assert!(out.contains(name), "missing {name}: {out}");
+        }
+    }
+
+    #[test]
+    fn stats_show_traffic() {
+        let mut sh = shell();
+        sh.execute("create /s 4 64").unwrap();
+        sh.execute("write /s 0 0123456789abcdef").unwrap();
+        let out = sh.execute("stats").unwrap();
+        assert!(out.contains("iod0"), "{out}");
+        assert!(out.lines().count() >= 5, "{out}");
+    }
+
+    #[test]
+    fn close_then_reopen() {
+        let mut sh = shell();
+        sh.execute("create /c 2 32").unwrap();
+        sh.execute("write /c 0 data").unwrap();
+        sh.execute("close /c").unwrap();
+        assert!(sh.execute("read /c 0 4").is_err()); // not open locally
+        sh.execute("open /c").unwrap();
+        let out = sh.execute("read /c 0 4").unwrap();
+        assert!(out.contains("|data|"), "{out}");
+    }
+
+    #[test]
+    fn render_bytes_format() {
+        let out = render_bytes(&[0x41, 0x00, 0x7f]);
+        assert!(out.contains("41 00 7f"));
+        assert!(out.contains("|A..|"));
+    }
+}
