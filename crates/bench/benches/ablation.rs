@@ -11,12 +11,12 @@
 //! the ablation numbers land in the bench log.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use pvfs_core::{plan, IoKind, ListRequest, Method, MethodConfig};
 use pvfs_server::IodConfig;
 use pvfs_sim::CostConfig;
 use pvfs_simcluster::{ClientJob, SimCluster};
 use pvfs_types::{FileHandle, RegionList, StripeLayout};
+use std::time::Duration;
 
 const FH: FileHandle = FileHandle(9);
 
@@ -128,9 +128,11 @@ fn ablate_datatype(c: &mut Criterion) {
         let cfg = MethodConfig::paper_default();
         let sim_secs = simulate(&request, method, IoKind::Read, &cfg);
         println!("ablation {}: simulated {sim_secs:.3}s", method.name());
-        g.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, &m| {
-            b.iter(|| simulate(&request, m, IoKind::Read, &cfg))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &m| b.iter(|| simulate(&request, m, IoKind::Read, &cfg)),
+        );
     }
     g.finish();
 }
@@ -156,7 +158,10 @@ fn ablate_cache(c: &mut Criterion) {
             disk_ns
         };
         let ns = cold_sequential();
-        println!("ablation readahead={ra}: cold sequential 2 MiB costs {:.1} ms of disk", ns as f64 / 1e6);
+        println!(
+            "ablation readahead={ra}: cold sequential 2 MiB costs {:.1} ms of disk",
+            ns as f64 / 1e6
+        );
         g.bench_with_input(BenchmarkId::new("readahead", ra), &ra, |b, _| {
             b.iter(cold_sequential)
         });

@@ -6,9 +6,9 @@
 //! `cargo run -p pvfs-bench --release --bin figures`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use pvfs_bench::figures::{ext_datatype, ext_hybrid};
 use pvfs_bench::{fig10, fig11, fig12, fig15, fig17, fig9, Scale};
+use std::time::Duration;
 
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures_quick");

@@ -2,11 +2,11 @@
 //! stripe mapping, scatter map, cache, planner compilation.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use pvfs_core::{plan, IoKind, ListRequest, Method, MethodConfig, PieceMap};
 use pvfs_disk::{BufferCache, CacheConfig};
 use pvfs_proto::{decode_message, encode_message, Message, Request};
 use pvfs_types::{ClientId, FileHandle, Region, RegionList, RequestId, StripeLayout};
+use std::time::Duration;
 
 fn layout() -> StripeLayout {
     StripeLayout::paper_default(8)

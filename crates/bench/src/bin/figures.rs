@@ -11,8 +11,10 @@
 //! City cost model; compare *shapes* with the paper, not absolute
 //! values (see EXPERIMENTS.md).
 
-use pvfs_bench::{fig10, fig11, fig12, fig15, fig17, fig9, render_bars, render_table, write_csv, Row, Scale};
 use pvfs_bench::figures::{ext_datatype, ext_hybrid};
+use pvfs_bench::{
+    fig10, fig11, fig12, fig15, fig17, fig9, render_bars, render_table, write_csv, Row, Scale,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -44,9 +46,18 @@ fn main() {
         }
     }
     if figures.is_empty() || figures.iter().any(|f| f == "all") {
-        figures = ["fig9", "fig10", "fig11", "fig12", "fig15", "fig17", "ext-datatype", "ext-hybrid"]
-            .map(String::from)
-            .to_vec();
+        figures = [
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig15",
+            "fig17",
+            "ext-datatype",
+            "ext-hybrid",
+        ]
+        .map(String::from)
+        .to_vec();
     }
 
     for name in &figures {

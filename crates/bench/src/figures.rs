@@ -140,8 +140,7 @@ pub fn run_method_configured(
     let jobs: Vec<ClientJob> = requests
         .iter()
         .map(|r| {
-            let plan =
-                pvfs_core::plan(method, kind, r, FH, layout, cfg).expect("plan compiles");
+            let plan = pvfs_core::plan(method, kind, r, FH, layout, cfg).expect("plan compiles");
             wire_bytes += plan.stats.wire_bytes();
             let buf_len = r.mem.extent().map(|e| e.end()).unwrap_or(0) as usize;
             ClientJob {
@@ -193,7 +192,13 @@ pub fn fig9(scale: Scale) -> Vec<Row> {
             for method in Method::PAPER {
                 let outcome =
                     run_method(&requests, IoKind::Read, method, pattern.file_size(), true);
-                rows.push(art_row("fig9", format!("{clients} clients"), method, accesses, outcome));
+                rows.push(art_row(
+                    "fig9",
+                    format!("{clients} clients"),
+                    method,
+                    accesses,
+                    outcome,
+                ));
             }
         }
     }
@@ -218,7 +223,13 @@ pub fn fig10(scale: Scale) -> Vec<Row> {
             for method in [Method::Multiple, Method::List] {
                 let outcome =
                     run_method(&requests, IoKind::Write, method, pattern.file_size(), false);
-                rows.push(art_row("fig10", format!("{clients} clients"), method, accesses, outcome));
+                rows.push(art_row(
+                    "fig10",
+                    format!("{clients} clients"),
+                    method,
+                    accesses,
+                    outcome,
+                ));
             }
         }
     }
@@ -242,7 +253,13 @@ pub fn fig11(scale: Scale) -> Vec<Row> {
             for method in Method::PAPER {
                 let outcome =
                     run_method(&requests, IoKind::Read, method, pattern.file_size(), true);
-                rows.push(art_row("fig11", format!("{clients} clients"), method, accesses, outcome));
+                rows.push(art_row(
+                    "fig11",
+                    format!("{clients} clients"),
+                    method,
+                    accesses,
+                    outcome,
+                ));
             }
         }
     }
@@ -265,7 +282,13 @@ pub fn fig12(scale: Scale) -> Vec<Row> {
             for method in [Method::Multiple, Method::List] {
                 let outcome =
                     run_method(&requests, IoKind::Write, method, pattern.file_size(), false);
-                rows.push(art_row("fig12", format!("{clients} clients"), method, accesses, outcome));
+                rows.push(art_row(
+                    "fig12",
+                    format!("{clients} clients"),
+                    method,
+                    accesses,
+                    outcome,
+                ));
             }
         }
     }

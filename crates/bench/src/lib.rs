@@ -14,6 +14,6 @@ pub mod figures;
 pub mod plot;
 pub mod report;
 
-pub use figures::{fig11, fig12, fig15, fig17, fig9, fig10, Scale};
+pub use figures::{fig10, fig11, fig12, fig15, fig17, fig9, Scale};
 pub use plot::render_bars;
 pub use report::{render_table, write_csv, Row};

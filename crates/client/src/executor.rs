@@ -6,7 +6,9 @@
 //! [`SerialGate`](pvfs_net::SerialGate) (data sieving writes). The scatter/gather semantics
 //! live in `pvfs_core::exec`, shared with the simulator.
 
-use pvfs_core::exec::{alloc_temps, apply_copies, copy_bytes, scatter_response, wire_request, Buffers};
+use pvfs_core::exec::{
+    alloc_temps, apply_copies, copy_bytes, scatter_response, wire_request, Buffers,
+};
 use pvfs_core::{AccessPlan, Step};
 use pvfs_net::ClusterClient;
 use pvfs_proto::Response;

@@ -22,7 +22,11 @@ pub struct PvfsFile {
 impl PvfsFile {
     /// Create a new file with user-controlled striping (Fig. 2: base
     /// node, pcount, stripe size).
-    pub fn create(client: &ClusterClient, path: &str, layout: StripeLayout) -> PvfsResult<PvfsFile> {
+    pub fn create(
+        client: &ClusterClient,
+        path: &str,
+        layout: StripeLayout,
+    ) -> PvfsResult<PvfsFile> {
         layout.validate()?;
         if layout.base + layout.pcount > client.n_servers() {
             return Err(PvfsError::invalid(format!(
@@ -67,10 +71,12 @@ impl PvfsFile {
 
     /// Close the handle at the manager.
     pub fn close(self) -> PvfsResult<()> {
-        match self
-            .client
-            .call(RpcTarget::Manager, Request::Close { handle: self.handle })?
-        {
+        match self.client.call(
+            RpcTarget::Manager,
+            Request::Close {
+                handle: self.handle,
+            },
+        )? {
             Response::Closed => Ok(()),
             other => Err(PvfsError::protocol(format!("unexpected {other:?}"))),
         }
@@ -113,16 +119,32 @@ impl PvfsFile {
         self.config = config;
     }
 
+    /// Set the per-RPC deadline for this file's metadata and data calls.
+    ///
+    /// A file inherits the deadline of the client it was created or
+    /// opened with (default [`pvfs_net::DEFAULT_RPC_TIMEOUT`]); this
+    /// overrides it for subsequent operations on this handle only.
+    pub fn set_rpc_timeout(&mut self, timeout: std::time::Duration) {
+        self.client = self.client.clone().with_rpc_timeout(timeout);
+    }
+
+    /// The per-RPC deadline currently in force for this file.
+    pub fn rpc_timeout(&self) -> std::time::Duration {
+        self.client.rpc_timeout()
+    }
+
     /// The logical file size, computed from the I/O daemons' local file
     /// sizes — the manager stays off the data path.
     pub fn size(&self) -> PvfsResult<u64> {
         let mut size = 0u64;
         for slot in 0..self.layout.pcount {
             let server = self.layout.server_at_slot(slot);
-            match self
-                .client
-                .call(RpcTarget::Server(server), Request::GetLocalSize { handle: self.handle })?
-            {
+            match self.client.call(
+                RpcTarget::Server(server),
+                Request::GetLocalSize {
+                    handle: self.handle,
+                },
+            )? {
                 Response::LocalSize { size: local } => {
                     if local > 0 {
                         size = size.max(self.layout.to_logical(slot, local - 1) + 1);

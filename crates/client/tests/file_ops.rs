@@ -6,7 +6,9 @@ use pvfs_net::LiveCluster;
 use pvfs_types::{PvfsError, RegionList, StripeLayout};
 
 fn pattern(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(17).wrapping_add(salt)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(17).wrapping_add(salt))
+        .collect()
 }
 
 #[test]
@@ -90,7 +92,8 @@ fn read_list_and_write_list_roundtrip_every_method() {
 
         // Cross-check with a different method reading the same bytes.
         let mut cross = vec![0u8; src.len()];
-        f.read_list(&mem, &file, &mut cross, Method::Multiple).unwrap();
+        f.read_list(&mem, &file, &mut cross, Method::Multiple)
+            .unwrap();
         assert_eq!(cross, src, "cross-method read failed for {method}");
     }
 }
@@ -120,7 +123,8 @@ fn noncontiguous_memory_list() {
 
     // And scatter it back into a fresh fragmented buffer.
     let mut scattered = vec![0u8; 64];
-    f.read_list(&mem, &file, &mut scattered, Method::DataSieving).unwrap();
+    f.read_list(&mem, &file, &mut scattered, Method::DataSieving)
+        .unwrap();
     for k in 0..8u64 {
         for j in 0..4u64 {
             assert_eq!(scattered[(k * 8 + j) as usize], (k * 8 + j) as u8);
@@ -165,10 +169,12 @@ fn typed_requests_roundtrip() {
     // Memory side: contiguous.
     let mem_t = Datatype::Bytes(file_t.size());
     let src = pattern(file_t.size() as usize, 77);
-    f.write_typed(&mem_t, 0, &file_t, 100, &src, Method::Datatype).unwrap();
+    f.write_typed(&mem_t, 0, &file_t, 100, &src, Method::Datatype)
+        .unwrap();
 
     let mut back = vec![0u8; src.len()];
-    f.read_typed(&mem_t, 0, &file_t, 100, &mut back, Method::List).unwrap();
+    f.read_typed(&mem_t, 0, &file_t, 100, &mut back, Method::List)
+        .unwrap();
     assert_eq!(back, src);
 
     // The strided holes were not written.
@@ -176,7 +182,6 @@ fn typed_requests_roundtrip() {
     f.read_at(100 + 8, &mut raw[..16]).unwrap();
     assert_eq!(&raw[..16], &[0u8; 16]);
 }
-
 
 #[test]
 fn size_reflects_sparse_writes() {
@@ -221,7 +226,8 @@ fn concurrent_sieving_writers_serialize_safely() {
             .unwrap();
             let mem = RegionList::contiguous(0, file.total_len());
             let src = vec![c as u8 + 1; file.total_len() as usize];
-            f.write_list(&mem, &file, &src, Method::DataSieving).unwrap();
+            f.write_list(&mem, &file, &src, Method::DataSieving)
+                .unwrap();
         }));
     }
     for h in handles {
@@ -241,4 +247,25 @@ fn concurrent_sieving_writers_serialize_safely() {
             }
         }
     }
+}
+
+#[test]
+fn rpc_timeout_is_inherited_and_tunable_per_file() {
+    let cluster = LiveCluster::spawn(2);
+    let client = cluster
+        .client()
+        .with_rpc_timeout(std::time::Duration::from_secs(3));
+    let layout = StripeLayout::new(0, 2, 16).unwrap();
+    let mut f = PvfsFile::create(&client, "/pvfs/deadline", layout).unwrap();
+    // The file inherits the deadline of the client that created it...
+    assert_eq!(f.rpc_timeout(), std::time::Duration::from_secs(3));
+    // ...and can tighten it without affecting the original client.
+    f.set_rpc_timeout(std::time::Duration::from_millis(250));
+    assert_eq!(f.rpc_timeout(), std::time::Duration::from_millis(250));
+    assert_eq!(client.rpc_timeout(), std::time::Duration::from_secs(3));
+    // The file still works after retuning.
+    f.write_at(0, b"still alive").unwrap();
+    let mut buf = vec![0u8; 11];
+    f.read_at(0, &mut buf).unwrap();
+    assert_eq!(&buf, b"still alive");
 }

@@ -94,9 +94,7 @@ pub fn server_share(op: &OpKind, layout: &StripeLayout, server: ServerId) -> u64
         return 0;
     }
     let slot = server.0 - layout.base;
-    op_regions(op)
-        .map(|r| layout.bytes_on_slot(r, slot))
-        .sum()
+    op_regions(op).map(|r| layout.bytes_on_slot(r, slot)).sum()
 }
 
 /// Build the wire request for a wire op (gathering the write payload
@@ -147,7 +145,12 @@ pub fn wire_request(
 
 /// Gather the write payload for `server`: its share of every region in
 /// request order, pulled from the op's source target.
-pub fn gather_payload(op: &OpKind, layout: &StripeLayout, server: ServerId, bufs: &Buffers<'_>) -> Bytes {
+pub fn gather_payload(
+    op: &OpKind,
+    layout: &StripeLayout,
+    server: ServerId,
+    bufs: &Buffers<'_>,
+) -> Bytes {
     gather_payload_counted(op, layout, server, bufs).0
 }
 
@@ -434,10 +437,7 @@ mod tests {
             user: &mut user2,
             temps: &mut temps2,
         };
-        let rop = OpKind::ReadList {
-            regions,
-            dest: map,
-        };
+        let rop = OpKind::ReadList { regions, dest: map };
         scatter_response(&rop, &l, ServerId(0), &payload, &mut bufs2).unwrap();
         assert_eq!(user2, (10..20u8).collect::<Vec<_>>());
     }
@@ -458,10 +458,7 @@ mod tests {
             (Region::new(4, 2), Region::new(20, 2)),
             (Region::new(6, 2), Region::new(30, 2)),
         ]);
-        let op = OpKind::WriteVectors {
-            runs,
-            src: map,
-        };
+        let op = OpKind::WriteVectors { runs, src: map };
         for s in 0..4 {
             assert_eq!(server_share(&op, &l, ServerId(s)), 2);
         }

@@ -26,7 +26,10 @@ use std::sync::Arc;
 /// One unit of hybrid work.
 enum Item {
     /// Sieve this window; copy the clipped pieces afterwards (read-only).
-    Sieve { window: Region, copies: Vec<CopyPair> },
+    Sieve {
+        window: Region,
+        copies: Vec<CopyPair>,
+    },
     /// List-I/O chunk.
     Chunk(RegionList),
 }
@@ -80,7 +83,11 @@ pub fn plan(
     }
     stats.contig_requests = stats.requests - stats.list_requests;
 
-    let temp_sizes = if max_window > 0 { vec![max_window] } else { vec![] };
+    let temp_sizes = if max_window > 0 {
+        vec![max_window]
+    } else {
+        vec![]
+    };
     let steps = items.into_iter().flat_map(move |item| match item {
         Item::Sieve { window, copies } => {
             let ops = servers_for(&layout, [window])
@@ -119,7 +126,9 @@ pub fn plan(
         }
     });
 
-    Ok(AccessPlan::new(handle, layout, kind, temp_sizes, stats, steps))
+    Ok(AccessPlan::new(
+        handle, layout, kind, temp_sizes, stats, steps,
+    ))
 }
 
 /// The auto-tuned gap threshold: the largest gap a cluster can absorb
@@ -265,10 +274,7 @@ mod tests {
         let r = req(&[(0, 8), (10, 8), (100_000, 8)]);
         let p = plan(IoKind::Read, &r, FileHandle(1), layout(), &cfg(4, 0.5)).unwrap();
         let steps = p.collect_steps();
-        let rounds = steps
-            .iter()
-            .filter(|s| matches!(s, Step::Round(_)))
-            .count();
+        let rounds = steps.iter().filter(|s| matches!(s, Step::Round(_))).count();
         let copies = steps.iter().filter(|s| matches!(s, Step::Copy(_))).count();
         assert_eq!(rounds, 2); // sieve window + list chunk
         assert_eq!(copies, 1);
@@ -336,7 +342,10 @@ mod tests {
         let pm = plan(IoKind::Read, &r, FileHandle(1), layout(), &manual).unwrap();
         let pa = plan(IoKind::Read, &r, FileHandle(1), layout(), &auto).unwrap();
         assert_eq!(pm.stats.waste_bytes, 0, "manual gap 0 must list");
-        assert!(pa.stats.waste_bytes > 0, "auto must sieve the dense cluster");
+        assert!(
+            pa.stats.waste_bytes > 0,
+            "auto must sieve the dense cluster"
+        );
         assert!(pa.stats.copy_bytes > 0);
     }
 

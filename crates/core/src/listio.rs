@@ -91,8 +91,14 @@ mod tests {
     #[test]
     fn regions_are_chunked_at_64() {
         let r = req(130, 4, 100);
-        let plan = plan(IoKind::Read, &r, FileHandle(1), layout(), &MethodConfig::default())
-            .unwrap();
+        let plan = plan(
+            IoKind::Read,
+            &r,
+            FileHandle(1),
+            layout(),
+            &MethodConfig::default(),
+        )
+        .unwrap();
         assert_eq!(plan.stats.rounds, 3); // 64 + 64 + 2
         let steps = plan.collect_steps();
         assert_eq!(steps.len(), 3);
@@ -113,8 +119,14 @@ mod tests {
     fn each_chunk_goes_to_touched_servers_only() {
         // Two regions, both on server 0 (stripes 0 and 4).
         let r = ListRequest::gather(RegionList::from_pairs([(0, 4), (40, 4)]).unwrap());
-        let plan = plan(IoKind::Read, &r, FileHandle(1), layout(), &MethodConfig::default())
-            .unwrap();
+        let plan = plan(
+            IoKind::Read,
+            &r,
+            FileHandle(1),
+            layout(),
+            &MethodConfig::default(),
+        )
+        .unwrap();
         assert_eq!(plan.stats.requests, 1);
         let steps = plan.collect_steps();
         match &steps[0] {
@@ -166,8 +178,14 @@ mod tests {
     #[test]
     fn write_plan_has_no_serialization() {
         let r = req(100, 4, 100);
-        let p = plan(IoKind::Write, &r, FileHandle(1), layout(), &MethodConfig::default())
-            .unwrap();
+        let p = plan(
+            IoKind::Write,
+            &r,
+            FileHandle(1),
+            layout(),
+            &MethodConfig::default(),
+        )
+        .unwrap();
         assert_eq!(p.stats.serial_sections, 0);
         assert!(p.temp_sizes.is_empty());
         assert_eq!(p.stats.waste_bytes, 0);
@@ -183,8 +201,14 @@ mod tests {
         )
         .unwrap();
         let r = ListRequest::gather(regions);
-        let p = plan(IoKind::Write, &r, FileHandle(1), layout(), &MethodConfig::default())
-            .unwrap();
+        let p = plan(
+            IoKind::Write,
+            &r,
+            FileHandle(1),
+            layout(),
+            &MethodConfig::default(),
+        )
+        .unwrap();
         assert_eq!(p.stats.rounds, 30);
         assert_eq!(p.stats.requests, 30);
     }

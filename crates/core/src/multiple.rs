@@ -80,8 +80,14 @@ mod tests {
     fn one_round_per_piece_with_contiguous_memory() {
         // Contiguous memory: pieces == file regions.
         let r = req(&[(0, 4), (20, 4), (40, 4)]);
-        let plan = plan(IoKind::Read, &r, FileHandle(1), layout(), &MethodConfig::default())
-            .unwrap();
+        let plan = plan(
+            IoKind::Read,
+            &r,
+            FileHandle(1),
+            layout(),
+            &MethodConfig::default(),
+        )
+        .unwrap();
         assert_eq!(plan.stats.rounds, 3);
         assert_eq!(plan.stats.requests, 3); // each region on one server
         assert_eq!(plan.stats.contig_requests, 3);
@@ -105,8 +111,14 @@ mod tests {
         let mem = RegionList::from_pairs((0..4u64).map(|i| (i * 192, 8))).unwrap();
         let file = RegionList::from_pairs([(1000, 32)]).unwrap();
         let r = ListRequest::new(mem, file).unwrap();
-        let p = plan(IoKind::Write, &r, FileHandle(1), layout(), &MethodConfig::default())
-            .unwrap();
+        let p = plan(
+            IoKind::Write,
+            &r,
+            FileHandle(1),
+            layout(),
+            &MethodConfig::default(),
+        )
+        .unwrap();
         assert_eq!(p.stats.rounds, 4);
         // Pieces straddling the 10-byte stripes fan out further.
         assert!(p.stats.requests >= 4);
@@ -115,8 +127,14 @@ mod tests {
     #[test]
     fn straddling_region_fans_out() {
         let r = req(&[(5, 20)]); // servers 0, 1, 2
-        let plan = plan(IoKind::Read, &r, FileHandle(1), layout(), &MethodConfig::default())
-            .unwrap();
+        let plan = plan(
+            IoKind::Read,
+            &r,
+            FileHandle(1),
+            layout(),
+            &MethodConfig::default(),
+        )
+        .unwrap();
         assert_eq!(plan.stats.requests, 3);
         let steps = plan.collect_steps();
         match &steps[0] {
@@ -132,8 +150,14 @@ mod tests {
     #[test]
     fn write_plans_use_write_ops() {
         let r = req(&[(0, 4)]);
-        let plan = plan(IoKind::Write, &r, FileHandle(1), layout(), &MethodConfig::default())
-            .unwrap();
+        let plan = plan(
+            IoKind::Write,
+            &r,
+            FileHandle(1),
+            layout(),
+            &MethodConfig::default(),
+        )
+        .unwrap();
         let steps = plan.collect_steps();
         match &steps[0] {
             Step::Round(ops) => assert!(ops[0].op.is_write()),
@@ -144,8 +168,14 @@ mod tests {
     #[test]
     fn no_temps_no_serialization() {
         let r = req(&[(0, 4), (100, 4)]);
-        let plan = plan(IoKind::Write, &r, FileHandle(1), layout(), &MethodConfig::default())
-            .unwrap();
+        let plan = plan(
+            IoKind::Write,
+            &r,
+            FileHandle(1),
+            layout(),
+            &MethodConfig::default(),
+        )
+        .unwrap();
         assert!(plan.temp_sizes.is_empty());
         assert_eq!(plan.stats.serial_sections, 0);
         assert_eq!(plan.stats.copy_bytes, 0);
@@ -170,8 +200,14 @@ mod tests {
         let mem = RegionList::from_pairs((0..8u64).map(|i| (i * 192, 8))).unwrap();
         let file = RegionList::from_pairs([(0, 32), (4096, 32)]).unwrap();
         let r = ListRequest::new(mem, file).unwrap();
-        let p = plan(IoKind::Write, &r, FileHandle(1), layout(), &MethodConfig::default())
-            .unwrap();
+        let p = plan(
+            IoKind::Write,
+            &r,
+            FileHandle(1),
+            layout(),
+            &MethodConfig::default(),
+        )
+        .unwrap();
         assert_eq!(p.stats.rounds, 8);
     }
 }

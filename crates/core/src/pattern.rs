@@ -63,9 +63,9 @@ fn mark_run_servers(run: &VectorRun, layout: &StripeLayout, marked: &mut [bool])
             return;
         }
         let k = run.stride / ssize; // slot advance per block
-        // The slot sequence (first_stripe + i*k) mod p repeats with
-        // period p / gcd(p, k) ≤ p: visiting p blocks covers every slot
-        // the run will ever touch.
+                                    // The slot sequence (first_stripe + i*k) mod p repeats with
+                                    // period p / gcd(p, k) ≤ p: visiting p blocks covers every slot
+                                    // the run will ever touch.
         let distinct = run.count.min(p);
         for i in 0..distinct {
             let s0 = (first_stripe + i * k) % p;
@@ -237,9 +237,8 @@ mod tests {
     #[test]
     fn regular_pattern_needs_constant_requests() {
         // The extension's whole point: requests don't grow with regions.
-        let small = ListRequest::gather(
-            RegionList::from_pairs((0..100u64).map(|i| (i * 40, 4))).unwrap(),
-        );
+        let small =
+            ListRequest::gather(RegionList::from_pairs((0..100u64).map(|i| (i * 40, 4))).unwrap());
         let big = ListRequest::gather(
             RegionList::from_pairs((0..100_000u64).map(|i| (i * 40, 4))).unwrap(),
         );

@@ -97,13 +97,13 @@ impl PieceMap {
             return;
         }
         // First piece whose file end is beyond file.offset.
-        let mut idx = self
-            .pieces
-            .partition_point(|(_, f)| f.end() <= file.offset);
+        let mut idx = self.pieces.partition_point(|(_, f)| f.end() <= file.offset);
         let mut covered = 0;
         while idx < self.pieces.len() && covered < file.len {
             let (mem, f) = self.pieces[idx];
-            let Some(overlap) = f.intersect(file) else { break };
+            let Some(overlap) = f.intersect(file) else {
+                break;
+            };
             let delta = overlap.offset - f.offset;
             out.push(MemSlice {
                 space: Space::User,

@@ -47,8 +47,7 @@ pub fn touched_count(layout: &StripeLayout, region: Region) -> u64 {
     if region.is_empty() {
         return 0;
     }
-    let stripes =
-        layout.stripe_index(region.end() - 1) - layout.stripe_index(region.offset) + 1;
+    let stripes = layout.stripe_index(region.end() - 1) - layout.stripe_index(region.offset) + 1;
     stripes.min(layout.pcount as u64)
 }
 

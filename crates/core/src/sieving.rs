@@ -43,7 +43,9 @@ pub fn plan(
     config: &MethodConfig,
 ) -> PvfsResult<AccessPlan> {
     if config.sieve_buffer == 0 {
-        return Err(pvfs_types::PvfsError::invalid("sieve buffer must be nonzero"));
+        return Err(pvfs_types::PvfsError::invalid(
+            "sieve buffer must be nonzero",
+        ));
     }
     let mut pieces = request.pieces()?;
     pieces.sort_unstable_by_key(|(_, f)| f.offset);
@@ -143,8 +145,14 @@ fn build_windows(
                     len: clip.len,
                 };
                 copies.push(match kind {
-                    IoKind::Read => CopyPair { dst: user, src: buf },
-                    IoKind::Write => CopyPair { dst: buf, src: user },
+                    IoKind::Read => CopyPair {
+                        dst: user,
+                        src: buf,
+                    },
+                    IoKind::Write => CopyPair {
+                        dst: buf,
+                        src: user,
+                    },
                 });
                 useful += clip.len;
             }

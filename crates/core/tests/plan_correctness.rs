@@ -66,9 +66,7 @@ fn seed_file(content: &[u8], layout: &StripeLayout, daemons: &mut [IoDaemon]) {
         let share: Vec<u8> = layout
             .segments(region)
             .filter(|s| s.slot == slot)
-            .flat_map(|s| {
-                content[s.logical.offset as usize..s.logical.end() as usize].to_vec()
-            })
+            .flat_map(|s| content[s.logical.offset as usize..s.logical.end() as usize].to_vec())
             .collect();
         if share.is_empty() {
             continue;
@@ -116,7 +114,9 @@ fn dump_file(len: usize, layout: &StripeLayout, daemons: &mut [IoDaemon]) -> Vec
 }
 
 fn pattern_bytes(len: usize, salt: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+        .collect()
 }
 
 /// Expected user buffer after reading `request` from `file_content`.
@@ -146,11 +146,7 @@ fn check_all_methods(request: &ListRequest, layout: StripeLayout, file_len: usiz
         hybrid_min_density: 0.3,
         ..MethodConfig::default()
     };
-    let buf_len = request
-        .mem
-        .extent()
-        .map(|e| e.end() as usize)
-        .unwrap_or(0);
+    let buf_len = request.mem.extent().map(|e| e.end() as usize).unwrap_or(0);
     let initial = pattern_bytes(file_len, 101);
 
     // Reads: every method sees the same bytes.

@@ -464,11 +464,11 @@ mod tests {
         c.access(0, 16, false); // block 0
         c.access(16, 16, false); // block 1
         c.access(0, 16, false); // re-reference block 0
-        // Insert block 2: hand clears ref bits; block 1 was referenced
-        // on insert too, so the sweep clears 0 then 1, wraps, and
-        // evicts block 0 (now unreferenced)... unless 0's recent touch
-        // saved it. Either way, exactly one of {0, 1} is gone and the
-        // cache holds 2 blocks.
+                                // Insert block 2: hand clears ref bits; block 1 was referenced
+                                // on insert too, so the sweep clears 0 then 1, wraps, and
+                                // evicts block 0 (now unreferenced)... unless 0's recent touch
+                                // saved it. Either way, exactly one of {0, 1} is gone and the
+                                // cache holds 2 blocks.
         c.access(32, 16, false);
         assert_eq!(c.resident_blocks(), 2);
         let hits_before = c.stats().hits;
@@ -482,10 +482,10 @@ mod tests {
         c.access(0, 16, false); // block 0
         c.access(16, 16, false); // block 1
         c.access(32, 16, false); // block 2
-        // Sweep once to clear all reference bits.
+                                 // Sweep once to clear all reference bits.
         c.access(48, 16, false); // insert 3 evicts one of them
-        // Keep re-touching block 3 and inserting: repeatedly touched
-        // blocks survive.
+                                 // Keep re-touching block 3 and inserting: repeatedly touched
+                                 // blocks survive.
         for i in 4..20u64 {
             c.access(48, 16, false); // keep block 3 referenced
             c.access(i * 16, 16, false);

@@ -132,9 +132,10 @@ impl LocalFile {
             // access are contiguous enough to count as one positioned
             // run.
             let sequential = self.head.observe(offset, len);
-            disk_ns += self
-                .model
-                .access_ns(cache.miss_blocks * self.cache.config().block_size, sequential);
+            disk_ns += self.model.access_ns(
+                cache.miss_blocks * self.cache.config().block_size,
+                sequential,
+            );
             // Sequential misses trigger read-ahead: the next blocks are
             // pulled in at pure transfer cost (the head is already
             // positioned), so the next sequential access hits.
@@ -148,7 +149,8 @@ impl LocalFile {
                 disk_ns += self.model.transfer_ns(ra * bs);
                 // The head physically moved through the prefetched
                 // range: the next miss past it is sequential.
-                self.head.observe(offset + len, (next + ra) * bs - (offset + len));
+                self.head
+                    .observe(offset + len, (next + ra) * bs - (offset + len));
             }
         }
         if cache.writeback_blocks > 0 {
@@ -234,7 +236,7 @@ mod tests {
     fn unaligned_overwrite_of_cold_existing_data_pays_read_fill() {
         let mut f = small_file();
         f.write_at(0, &[1u8; 128]); // materialize data
-        // Evict everything by touching other blocks beyond capacity.
+                                    // Evict everything by touching other blocks beyond capacity.
         for i in 0..16u64 {
             f.read_at(1024 + i * 16, 16);
         }

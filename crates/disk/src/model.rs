@@ -29,10 +29,10 @@ impl DiskModel {
     /// Quantum Atlas IV-class parameters.
     pub fn paper_default() -> DiskModel {
         DiskModel {
-            avg_seek_ns: 7_000_000,      // 7 ms
-            avg_rotation_ns: 4_000_000,  // ~half a 7200 RPM revolution
-            transfer_bps: 25_000_000,    // 25 MB/s media rate
-            per_op_ns: 100_000,          // 0.1 ms controller overhead
+            avg_seek_ns: 7_000_000,     // 7 ms
+            avg_rotation_ns: 4_000_000, // ~half a 7200 RPM revolution
+            transfer_bps: 25_000_000,   // 25 MB/s media rate
+            per_op_ns: 100_000,         // 0.1 ms controller overhead
             writeback_positioning_pct: 10,
         }
     }

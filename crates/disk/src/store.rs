@@ -94,7 +94,11 @@ impl SparseStore {
         }
         let keep_full = size / CHUNK_SIZE as u64;
         let within = (size % CHUNK_SIZE as u64) as usize;
-        let cut_from = if within == 0 { keep_full } else { keep_full + 1 };
+        let cut_from = if within == 0 {
+            keep_full
+        } else {
+            keep_full + 1
+        };
         self.chunks.retain(|&idx, _| idx < cut_from);
         if within != 0 {
             if let Some(chunk) = self.chunks.get_mut(&keep_full) {

@@ -1,18 +1,51 @@
 //! Threaded cluster and its RPC transport.
+//!
+//! # Concurrency model
+//!
+//! Each I/O daemon is served by a **pool** of [`IodConfig::workers`]
+//! threads (default [`pvfs_server::default_workers`]) sharing one
+//! request queue bounded at [`IodConfig::queue_depth`] messages. The
+//! daemon itself is thread-safe ([`IoDaemon::handle`] takes `&self`
+//! over a handle-sharded file table), so requests for different file
+//! handles execute genuinely in parallel; the bounded queue gives
+//! backpressure instead of unbounded memory growth when clients outrun
+//! a server. The manager stays single-threaded — metadata operations
+//! are rare and order-sensitive.
+//!
+//! # RPC discipline
+//!
+//! Request ids start at 1; **id 0 is reserved** for responses that
+//! cannot be attributed to a request (the frame's header itself was
+//! unreadable). Servers echo the real request id on error responses
+//! whenever the fixed header is parsable ([`pvfs_proto::decode_frame_id`]),
+//! even if the body is corrupt. Clients verify that every response id
+//! matches the request that awaited it; on the multi-request
+//! [`ClusterClient::round`] path an id-0 response is a hard protocol
+//! error (it could belong to *any* in-flight request). Every receive
+//! carries a deadline ([`ClusterClient::with_rpc_timeout`], default
+//! [`DEFAULT_RPC_TIMEOUT`]) so a wedged server yields
+//! [`PvfsError::Timeout`] instead of hanging the client.
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Sender};
-use parking_lot::Mutex;
 use pvfs_proto::{
-    decode_message, decode_response, encode_message, encode_response, Message, Request, Response,
+    decode_frame_id, decode_message, decode_response, encode_message, encode_response, Message,
+    Request, Response,
 };
 use pvfs_server::{IoDaemon, IodConfig, Manager, ServerStats};
 use pvfs_types::{ClientId, PvfsError, PvfsResult, RequestId, ServerId};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use crate::chan::{bounded, RecvTimeoutError, Sender};
 use crate::gate::SerialGate;
+use crate::pool::WorkerPool;
+
+/// Default deadline for one RPC before the client reports
+/// [`PvfsError::Timeout`]. Generous: the in-process servers answer in
+/// microseconds unless wedged.
+pub const DEFAULT_RPC_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Where an RPC is addressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,85 +56,87 @@ pub enum RpcTarget {
     Server(ServerId),
 }
 
+#[derive(Debug)]
 enum NodeMsg {
     /// An encoded request frame and the channel for the encoded reply.
     Rpc(Bytes, Sender<Bytes>),
     Shutdown,
 }
 
-/// A live in-process PVFS cluster: N I/O daemon threads + 1 manager
-/// thread. Dropping the cluster shuts the threads down.
+/// A live in-process PVFS cluster: a worker pool per I/O daemon plus a
+/// manager thread. Dropping the cluster shuts every thread down.
 pub struct LiveCluster {
     server_txs: Vec<Sender<NodeMsg>>,
     mgr_tx: Sender<NodeMsg>,
-    daemons: Vec<Arc<Mutex<IoDaemon>>>,
-    threads: Vec<JoinHandle<()>>,
+    daemons: Vec<Arc<IoDaemon>>,
+    pools: Vec<WorkerPool>,
+    mgr_thread: Option<JoinHandle<()>>,
     next_client: AtomicU32,
     gate: Arc<SerialGate>,
 }
 
 impl LiveCluster {
     /// Spawn a cluster with `n_servers` I/O daemons (ids `0..n`) using
-    /// paper-default disk and cache models.
+    /// paper-default disk and cache models and the default worker pool.
     pub fn spawn(n_servers: u32) -> LiveCluster {
         LiveCluster::spawn_with(n_servers, IodConfig::default())
     }
 
-    /// Spawn with explicit daemon configuration.
+    /// Spawn with explicit daemon configuration (including
+    /// [`IodConfig::workers`] and [`IodConfig::queue_depth`]).
     pub fn spawn_with(n_servers: u32, config: IodConfig) -> LiveCluster {
         assert!(n_servers > 0, "need at least one I/O server");
         let mut server_txs = Vec::new();
         let mut daemons = Vec::new();
-        let mut threads = Vec::new();
+        let mut pools = Vec::new();
         for i in 0..n_servers {
-            let daemon = Arc::new(Mutex::new(IoDaemon::new(ServerId(i), config)));
-            let (tx, rx) = unbounded::<NodeMsg>();
-            let thread_daemon = daemon.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("iod{i}"))
-                    .spawn(move || {
-                        while let Ok(msg) = rx.recv() {
-                            match msg {
-                                NodeMsg::Rpc(frame, reply) => {
-                                    let (id, response) = serve_frame(frame, |req| {
-                                        thread_daemon.lock().handle(req).0
-                                    });
-                                    let _ = reply.send(encode_response(id, &response));
-                                }
-                                NodeMsg::Shutdown => break,
-                            }
+            let daemon = Arc::new(IoDaemon::new(ServerId(i), config));
+            let pool_daemon = daemon.clone();
+            let (tx, pool) = WorkerPool::spawn(
+                &format!("iod{i}"),
+                config.workers.max(1),
+                config.queue_depth.max(1),
+                move |msg: NodeMsg| match msg {
+                    NodeMsg::Rpc(frame, reply) => {
+                        let (id, response) = serve_frame(frame, |req| pool_daemon.handle(req).0);
+                        // Emulated service time occupies the worker, the
+                        // way a blocking disk access would; replies only
+                        // after the stall.
+                        if let Some(stall) = config.emulated_latency {
+                            std::thread::sleep(stall);
                         }
-                    })
-                    .expect("spawn iod thread"),
+                        let _ = reply.send(encode_response(id, &response));
+                        std::ops::ControlFlow::Continue(())
+                    }
+                    NodeMsg::Shutdown => std::ops::ControlFlow::Break(()),
+                },
             );
             server_txs.push(tx);
             daemons.push(daemon);
+            pools.push(pool);
         }
-        let (mgr_tx, mgr_rx) = unbounded::<NodeMsg>();
-        threads.push(
-            std::thread::Builder::new()
-                .name("pvfs-mgr".into())
-                .spawn(move || {
-                    let mut manager = Manager::new();
-                    while let Ok(msg) = mgr_rx.recv() {
-                        match msg {
-                            NodeMsg::Rpc(frame, reply) => {
-                                let (id, response) =
-                                    serve_frame(frame, |req| manager.handle(req));
-                                let _ = reply.send(encode_response(id, &response));
-                            }
-                            NodeMsg::Shutdown => break,
+        let (mgr_tx, mgr_rx) = bounded::<NodeMsg>(config.queue_depth.max(1));
+        let mgr_thread = std::thread::Builder::new()
+            .name("pvfs-mgr".into())
+            .spawn(move || {
+                let mut manager = Manager::new();
+                while let Ok(msg) = mgr_rx.recv() {
+                    match msg {
+                        NodeMsg::Rpc(frame, reply) => {
+                            let (id, response) = serve_frame(frame, |req| manager.handle(req));
+                            let _ = reply.send(encode_response(id, &response));
                         }
+                        NodeMsg::Shutdown => break,
                     }
-                })
-                .expect("spawn manager thread"),
-        );
+                }
+            })
+            .expect("spawn manager thread");
         LiveCluster {
             server_txs,
             mgr_tx,
             daemons,
-            threads,
+            pools,
+            mgr_thread: Some(mgr_thread),
             next_client: AtomicU32::new(0),
             gate: Arc::new(SerialGate::new()),
         }
@@ -112,6 +147,11 @@ impl LiveCluster {
         self.server_txs.len() as u32
     }
 
+    /// Worker threads serving each I/O daemon.
+    pub fn workers_per_server(&self) -> usize {
+        self.pools.first().map(|p| p.workers()).unwrap_or(0)
+    }
+
     /// A new client endpoint (unique client id; cheap to create, cheap
     /// to clone).
     pub fn client(&self) -> ClusterClient {
@@ -119,16 +159,16 @@ impl LiveCluster {
             id: ClientId(self.next_client.fetch_add(1, Ordering::Relaxed)),
             server_txs: self.server_txs.clone(),
             mgr_tx: self.mgr_tx.clone(),
-            next_request: Arc::new(AtomicU64::new(0)),
+            // Id 0 is reserved for unattributable responses.
+            next_request: Arc::new(AtomicU64::new(1)),
             gate: self.gate.clone(),
+            rpc_timeout: DEFAULT_RPC_TIMEOUT,
         }
     }
 
     /// Statistics snapshot of one I/O daemon.
     pub fn server_stats(&self, server: ServerId) -> Option<ServerStats> {
-        self.daemons
-            .get(server.index())
-            .map(|d| d.lock().stats())
+        self.daemons.get(server.index()).map(|d| d.stats())
     }
 
     /// The cluster-wide serialization gate (data sieving writes).
@@ -139,22 +179,33 @@ impl LiveCluster {
 
 impl Drop for LiveCluster {
     fn drop(&mut self) {
-        for tx in &self.server_txs {
-            let _ = tx.send(NodeMsg::Shutdown);
+        for (tx, pool) in self.server_txs.iter().zip(&self.pools) {
+            // One Shutdown per worker: each worker consumes exactly one
+            // and exits.
+            for _ in 0..pool.workers() {
+                let _ = tx.send(NodeMsg::Shutdown);
+            }
         }
         let _ = self.mgr_tx.send(NodeMsg::Shutdown);
-        for t in self.threads.drain(..) {
+        for pool in self.pools.drain(..) {
+            pool.join();
+        }
+        if let Some(t) = self.mgr_thread.take() {
             let _ = t.join();
         }
     }
 }
 
-/// Decode a frame, serve it, and return the id + response (protocol
-/// errors become error responses with the echoed id when parsable).
+/// Decode a frame, serve it, and return the id + response. When the
+/// body fails to decode but the fixed header is readable, the error
+/// response carries the *real* request id so the client can attribute
+/// it; only a frame with an unreadable header falls back to the
+/// reserved id 0.
 fn serve_frame(frame: Bytes, serve: impl FnOnce(&Request) -> Response) -> (RequestId, Response) {
+    let header_id = decode_frame_id(&frame);
     match decode_message(frame) {
         Ok(Message { id, request, .. }) => (id, serve(&request)),
-        Err(e) => (RequestId(0), Response::Error(e)),
+        Err(e) => (header_id.unwrap_or(RequestId(0)), Response::Error(e)),
     }
 }
 
@@ -166,6 +217,7 @@ pub struct ClusterClient {
     mgr_tx: Sender<NodeMsg>,
     next_request: Arc<AtomicU64>,
     gate: Arc<SerialGate>,
+    rpc_timeout: Duration,
 }
 
 impl ClusterClient {
@@ -182,6 +234,17 @@ impl ClusterClient {
     /// The cluster's serialization gate.
     pub fn gate(&self) -> &SerialGate {
         &self.gate
+    }
+
+    /// This endpoint with a different per-RPC deadline.
+    pub fn with_rpc_timeout(mut self, timeout: Duration) -> ClusterClient {
+        self.rpc_timeout = timeout;
+        self
+    }
+
+    /// The per-RPC deadline currently in force.
+    pub fn rpc_timeout(&self) -> Duration {
+        self.rpc_timeout
     }
 
     fn tx_for(&self, target: RpcTarget) -> PvfsResult<&Sender<NodeMsg>> {
@@ -205,7 +268,7 @@ impl ClusterClient {
     }
 
     /// One synchronous RPC. Errors returned by the server come back as
-    /// `Err`.
+    /// `Err`; no reply within the deadline is [`PvfsError::Timeout`].
     pub fn call(&self, target: RpcTarget, request: Request) -> PvfsResult<Response> {
         let (id, frame) = self.encode(request)?;
         let (reply_tx, reply_rx) = bounded(1);
@@ -213,19 +276,43 @@ impl ClusterClient {
             .send(NodeMsg::Rpc(frame, reply_tx))
             .map_err(|_| PvfsError::Transport("server thread gone".into()))?;
         let raw = reply_rx
-            .recv()
-            .map_err(|_| PvfsError::Transport("server dropped reply".into()))?;
+            .recv_timeout(self.rpc_timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => PvfsError::timeout(format!(
+                    "no reply to request {id} from {target:?} within {:?}",
+                    self.rpc_timeout
+                )),
+                RecvTimeoutError::Disconnected => {
+                    PvfsError::Transport("server dropped reply".into())
+                }
+            })?;
         let (rid, response) = decode_response(raw)?;
-        if rid != id && rid != RequestId(0) {
+        if rid == id {
+            return response.into_result();
+        }
+        if rid == RequestId(0) {
+            // Unattributable error response: only this request awaited
+            // this reply channel, so surfacing the server's error is
+            // safe — but only an *error* is acceptable under id 0.
+            if let Response::Error(e) = response {
+                return Err(e);
+            }
             return Err(PvfsError::protocol(format!(
-                "response id {rid} does not match request id {id}"
+                "non-error response with reserved id 0 (request id {id})"
             )));
         }
-        response.into_result()
+        Err(PvfsError::protocol(format!(
+            "response id {rid} does not match request id {id}"
+        )))
     }
 
     /// Issue several requests in parallel (the fan-out of one plan
     /// round) and collect responses in request order.
+    ///
+    /// Failure diagnostics name the server and request id at fault. A
+    /// response carrying the reserved id 0 is a hard protocol error on
+    /// this path: with several requests in flight it could belong to
+    /// any of them, so it must never be matched to one.
     pub fn round(&self, requests: Vec<(ServerId, Request)>) -> PvfsResult<Vec<Response>> {
         let mut pending = Vec::with_capacity(requests.len());
         for (server, request) in requests {
@@ -233,28 +320,67 @@ impl ClusterClient {
             let (reply_tx, reply_rx) = bounded(1);
             self.tx_for(RpcTarget::Server(server))?
                 .send(NodeMsg::Rpc(frame, reply_tx))
-                .map_err(|_| PvfsError::Transport("server thread gone".into()))?;
-            pending.push((id, reply_rx));
+                .map_err(|_| {
+                    PvfsError::Transport(format!("server {server} thread gone (request id {id})"))
+                })?;
+            pending.push((server, id, reply_rx));
         }
         let mut responses = Vec::with_capacity(pending.len());
-        for (id, rx) in pending {
-            let raw = rx
-                .recv()
-                .map_err(|_| PvfsError::Transport("server dropped reply".into()))?;
+        for (server, id, rx) in pending {
+            let raw = rx.recv_timeout(self.rpc_timeout).map_err(|e| match e {
+                RecvTimeoutError::Timeout => PvfsError::timeout(format!(
+                    "no reply to request {id} from server {server} within {:?}",
+                    self.rpc_timeout
+                )),
+                RecvTimeoutError::Disconnected => {
+                    PvfsError::Transport(format!("server {server} dropped reply to request {id}"))
+                }
+            })?;
             let (rid, response) = decode_response(raw)?;
-            if rid != id && rid != RequestId(0) {
-                return Err(PvfsError::protocol("response id mismatch in round"));
+            if rid == RequestId(0) {
+                return Err(PvfsError::protocol(format!(
+                    "server {server} answered request {id} with the unattributable id 0 \
+                     ({})",
+                    match response {
+                        Response::Error(e) => format!("server error: {e}"),
+                        other => format!("response {other:?}"),
+                    }
+                )));
             }
-            responses.push(response.into_result()?);
+            if rid != id {
+                return Err(PvfsError::protocol(format!(
+                    "server {server} answered request {id} with mismatched response id {rid}"
+                )));
+            }
+            responses.push(
+                response
+                    .into_result()
+                    .map_err(|e| annotate_round_error(server, id, e))?,
+            );
         }
         Ok(responses)
+    }
+}
+
+/// Attach which-server / which-request context to a server-side error
+/// from a fan-out round, preserving the variant (callers match on it).
+fn annotate_round_error(server: ServerId, id: RequestId, e: PvfsError) -> PvfsError {
+    let ctx = format!(" [server {server}, request {id}]");
+    match e {
+        PvfsError::InvalidArgument(m) => PvfsError::InvalidArgument(m + &ctx),
+        PvfsError::Protocol(m) => PvfsError::Protocol(m + &ctx),
+        PvfsError::Storage(m) => PvfsError::Storage(m + &ctx),
+        PvfsError::Transport(m) => PvfsError::Transport(m + &ctx),
+        PvfsError::Timeout(m) => PvfsError::Timeout(m + &ctx),
+        // Variants carrying structured payloads stay untouched.
+        other => other,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pvfs_types::{FileHandle, Region, StripeLayout};
+    use pvfs_types::{FileHandle, Region, RegionList, StripeLayout};
 
     fn layout(n: u32) -> StripeLayout {
         StripeLayout::new(0, n, 16).unwrap()
@@ -278,14 +404,20 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         match c
-            .call(RpcTarget::Manager, Request::Open { path: "/pvfs/x".into() })
+            .call(
+                RpcTarget::Manager,
+                Request::Open {
+                    path: "/pvfs/x".into(),
+                },
+            )
             .unwrap()
         {
             Response::Opened { handle: h, .. } => assert_eq!(h, handle),
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(
-            c.call(RpcTarget::Manager, Request::Close { handle }).unwrap(),
+            c.call(RpcTarget::Manager, Request::Close { handle })
+                .unwrap(),
             Response::Closed
         );
     }
@@ -375,7 +507,9 @@ mod tests {
         let err = c
             .call(
                 RpcTarget::Server(ServerId(7)),
-                Request::GetLocalSize { handle: FileHandle(1) },
+                Request::GetLocalSize {
+                    handle: FileHandle(1),
+                },
             )
             .unwrap_err();
         assert!(matches!(err, PvfsError::NoSuchServer(7)));
@@ -436,11 +570,311 @@ mod tests {
         let c = cluster.client();
         c.call(
             RpcTarget::Server(ServerId(0)),
-            Request::GetLocalSize { handle: FileHandle(1) },
+            Request::GetLocalSize {
+                handle: FileHandle(1),
+            },
         )
         .unwrap();
         let stats = cluster.server_stats(ServerId(0)).unwrap();
         assert_eq!(stats.requests, 1);
         assert!(cluster.server_stats(ServerId(5)).is_none());
+    }
+
+    /// A frame whose header parses but whose body is garbage must come
+    /// back as an error response carrying the *real* request id — never
+    /// the wildcard 0 that earlier versions let match any request.
+    #[test]
+    fn corrupted_body_reply_echoes_real_request_id() {
+        let cluster = LiveCluster::spawn(1);
+        let c = cluster.client();
+        let (id, frame) = c
+            .encode(Request::Read {
+                handle: FileHandle(1),
+                layout: layout(1),
+                region: Region::new(0, 16),
+            })
+            .unwrap();
+        assert_ne!(id, RequestId(0), "request ids must never be 0");
+        // Truncate the body (keep the 16-byte header + a few bytes) so
+        // decode_message fails but decode_frame_id succeeds.
+        let corrupted = frame.slice(0..20);
+        let (reply_tx, reply_rx) = bounded(1);
+        c.server_txs[0]
+            .send(NodeMsg::Rpc(corrupted, reply_tx))
+            .unwrap();
+        let raw = reply_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let (rid, response) = decode_response(raw).unwrap();
+        assert_eq!(rid, id, "server must echo the request id from the header");
+        assert!(matches!(response, Response::Error(PvfsError::Protocol(_))));
+    }
+
+    /// A frame too short to even carry a header gets the reserved id 0.
+    #[test]
+    fn headerless_garbage_reply_uses_reserved_id() {
+        let cluster = LiveCluster::spawn(1);
+        let c = cluster.client();
+        let (reply_tx, reply_rx) = bounded(1);
+        c.server_txs[0]
+            .send(NodeMsg::Rpc(Bytes::from(vec![0xffu8; 7]), reply_tx))
+            .unwrap();
+        let raw = reply_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let (rid, response) = decode_response(raw).unwrap();
+        assert_eq!(rid, RequestId(0));
+        assert!(matches!(response, Response::Error(_)));
+    }
+
+    /// round() must treat an id-0 response as a hard protocol error:
+    /// with several requests in flight it cannot be attributed.
+    #[test]
+    fn round_rejects_unattributable_responses() {
+        let cluster = LiveCluster::spawn(1);
+        let real = cluster.client();
+        // A fake server that answers everything with id 0.
+        let (fake_tx, fake_rx) = bounded::<NodeMsg>(8);
+        let fake = std::thread::spawn(move || {
+            while let Ok(NodeMsg::Rpc(_, reply)) = fake_rx.recv() {
+                let _ = reply.send(encode_response(
+                    RequestId(0),
+                    &Response::Error(PvfsError::protocol("scrambled")),
+                ));
+            }
+        });
+        let c = ClusterClient {
+            server_txs: vec![fake_tx],
+            ..real
+        };
+        let err = c
+            .round(vec![(
+                ServerId(0),
+                Request::GetLocalSize {
+                    handle: FileHandle(1),
+                },
+            )])
+            .unwrap_err();
+        match err {
+            PvfsError::Protocol(m) => {
+                assert!(m.contains("id 0"), "diagnostic should name id 0: {m}");
+                assert!(m.contains("iod0"), "diagnostic should name the server: {m}");
+            }
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        drop(c);
+        fake.join().unwrap();
+    }
+
+    /// round() must reject a response whose id belongs to a *different*
+    /// request (the misattribution the old wildcard allowed).
+    #[test]
+    fn round_rejects_mismatched_response_id() {
+        let real = LiveCluster::spawn(1);
+        let template = real.client();
+        let (fake_tx, fake_rx) = bounded::<NodeMsg>(8);
+        let fake = std::thread::spawn(move || {
+            while let Ok(NodeMsg::Rpc(frame, reply)) = fake_rx.recv() {
+                // Echo a *wrong* (but nonzero) id.
+                let id = decode_frame_id(&frame).unwrap();
+                let _ = reply.send(encode_response(
+                    RequestId(id.0 + 1000),
+                    &Response::LocalSize { size: 0 },
+                ));
+            }
+        });
+        let c = ClusterClient {
+            server_txs: vec![fake_tx],
+            ..template
+        };
+        let err = c
+            .round(vec![(
+                ServerId(0),
+                Request::GetLocalSize {
+                    handle: FileHandle(1),
+                },
+            )])
+            .unwrap_err();
+        assert!(
+            matches!(&err, PvfsError::Protocol(m) if m.contains("mismatched")),
+            "got {err:?}"
+        );
+        drop(c);
+        fake.join().unwrap();
+    }
+
+    /// A server that never replies must yield PvfsError::Timeout, not a
+    /// hang.
+    #[test]
+    fn wedged_server_rpc_times_out() {
+        let cluster = LiveCluster::spawn(1);
+        let template = cluster.client();
+        // A "server" that accepts requests and never answers.
+        let (wedged_tx, wedged_rx) = bounded::<NodeMsg>(8);
+        let c = ClusterClient {
+            server_txs: vec![wedged_tx],
+            ..template
+        }
+        .with_rpc_timeout(Duration::from_millis(50));
+        let err = c
+            .call(
+                RpcTarget::Server(ServerId(0)),
+                Request::GetLocalSize {
+                    handle: FileHandle(1),
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, PvfsError::Timeout(_)), "got {err:?}");
+        // Same on the fan-out path.
+        let err = c
+            .round(vec![(
+                ServerId(0),
+                Request::GetLocalSize {
+                    handle: FileHandle(1),
+                },
+            )])
+            .unwrap_err();
+        assert!(matches!(err, PvfsError::Timeout(_)), "got {err:?}");
+        drop(wedged_rx);
+    }
+
+    /// Stress: many clients hammer shared handles with contiguous and
+    /// list I/O across every server; per-server stats must account for
+    /// every request exactly (nothing lost, duplicated, or
+    /// misattributed by the worker pools).
+    #[test]
+    fn pooled_servers_account_for_every_request_exactly() {
+        const CLIENTS: u64 = 8;
+        const ROUNDS: u64 = 10;
+        let config = IodConfig {
+            workers: 4,
+            queue_depth: 16,
+            ..IodConfig::default()
+        };
+        let cluster = LiveCluster::spawn_with(4, config);
+        let l = layout(4);
+        let mut handles = Vec::new();
+        for k in 0..CLIENTS {
+            let c = cluster.client();
+            handles.push(std::thread::spawn(move || {
+                // Half the clients share a handle; the rest get their own.
+                let fh = FileHandle(if k % 2 == 0 { 7 } else { 700 + k });
+                for r in 0..ROUNDS {
+                    // One contiguous write on each server's first stripe.
+                    for s in 0..4u32 {
+                        let off = s as u64 * 16;
+                        c.call(
+                            RpcTarget::Server(ServerId(s)),
+                            Request::Write {
+                                handle: fh,
+                                layout: l,
+                                region: Region::new(off, 16),
+                                data: Bytes::from(vec![(k + r) as u8; 16]),
+                            },
+                        )
+                        .unwrap();
+                    }
+                    // One fan-out list read over all four servers.
+                    let regions = RegionList::from_pairs([(0u64, 64u64)]).unwrap();
+                    let reqs = (0..4u32)
+                        .map(|s| {
+                            (
+                                ServerId(s),
+                                Request::ReadList {
+                                    handle: fh,
+                                    layout: l,
+                                    regions: regions.clone(),
+                                },
+                            )
+                        })
+                        .collect();
+                    let responses = c.round(reqs).unwrap();
+                    for resp in responses {
+                        match resp {
+                            Response::Data { data } => assert_eq!(data.len(), 16),
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for s in 0..4u32 {
+            let stats = cluster.server_stats(ServerId(s)).unwrap();
+            assert_eq!(stats.requests, CLIENTS * ROUNDS * 2);
+            assert_eq!(stats.contiguous_requests, CLIENTS * ROUNDS);
+            assert_eq!(stats.list_requests, CLIENTS * ROUNDS);
+            assert_eq!(stats.errors, 0);
+            assert_eq!(stats.bytes_written, CLIENTS * ROUNDS * 16);
+            assert_eq!(stats.bytes_read, CLIENTS * ROUNDS * 16);
+        }
+    }
+
+    /// With pooled (concurrent) servers, the SerialGate must still make
+    /// client read-modify-write sections mutually exclusive: N clients
+    /// each increment a shared counter byte M times under the gate, and
+    /// no increment may be lost.
+    #[test]
+    fn serial_gate_excludes_rmw_sections_with_pooled_servers() {
+        const CLIENTS: u64 = 6;
+        const INCREMENTS: u64 = 20;
+        let config = IodConfig {
+            workers: 4,
+            ..IodConfig::default()
+        };
+        let cluster = LiveCluster::spawn_with(1, config);
+        let l = layout(1);
+        let fh = FileHandle(1);
+        let mut handles = Vec::new();
+        for _ in 0..CLIENTS {
+            let c = cluster.client();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..INCREMENTS {
+                    c.gate().acquire();
+                    let current = match c
+                        .call(
+                            RpcTarget::Server(ServerId(0)),
+                            Request::Read {
+                                handle: fh,
+                                layout: l,
+                                region: Region::new(0, 1),
+                            },
+                        )
+                        .unwrap()
+                    {
+                        Response::Data { data } => data[0],
+                        other => panic!("unexpected {other:?}"),
+                    };
+                    c.call(
+                        RpcTarget::Server(ServerId(0)),
+                        Request::Write {
+                            handle: fh,
+                            layout: l,
+                            region: Region::new(0, 1),
+                            data: Bytes::from(vec![current.wrapping_add(1)]),
+                        },
+                    )
+                    .unwrap();
+                    c.gate().release();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let final_value = match cluster
+            .client()
+            .call(
+                RpcTarget::Server(ServerId(0)),
+                Request::Read {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(0, 1),
+                },
+            )
+            .unwrap()
+        {
+            Response::Data { data } => data[0],
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(final_value as u64, CLIENTS * INCREMENTS);
     }
 }

@@ -1,6 +1,6 @@
 //! Cross-client write serialization.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 /// A gate that admits one holder at a time, used to serialize data
 /// sieving read-modify-write sections across clients (the role the
@@ -21,18 +21,19 @@ impl SerialGate {
 
     /// Block until the gate is free, then hold it.
     pub fn acquire(&self) {
-        let mut locked = self.locked.lock();
+        let mut locked = self.locked.lock().unwrap();
         while *locked {
-            self.cv.wait(&mut locked);
+            locked = self.cv.wait(locked).unwrap();
         }
         *locked = true;
     }
 
     /// Release the gate, waking one waiter.
     pub fn release(&self) {
-        let mut locked = self.locked.lock();
+        let mut locked = self.locked.lock().unwrap();
         debug_assert!(*locked, "release without acquire");
         *locked = false;
+        drop(locked);
         self.cv.notify_one();
     }
 }

@@ -1,6 +1,6 @@
 //! The live in-process PVFS cluster.
 //!
-//! [`LiveCluster::spawn`] starts one thread per I/O daemon plus a
+//! [`LiveCluster::spawn`] starts a **worker pool** per I/O daemon plus a
 //! manager thread, mirroring the PVFS deployment of §2 (daemons on I/O
 //! nodes, one manager, clients talking to both directly). Transport is a
 //! channel-based RPC that carries **encoded wire frames** — requests and
@@ -8,12 +8,30 @@
 //! trailing-data limits are enforced on the live path exactly as they
 //! would be on a socket.
 //!
+//! Concurrency model (see [`cluster`] for details):
+//!
+//! * each daemon is served by `IodConfig::workers` threads (default
+//!   `min(4, cores)`) sharing one request queue bounded at
+//!   `IodConfig::queue_depth` messages (default 64) — the bound is the
+//!   backpressure;
+//! * the daemon state itself is sharded by file handle and counts
+//!   statistics with atomics, so workers serve disjoint handles in
+//!   parallel;
+//! * every client RPC carries a deadline (default
+//!   [`cluster::DEFAULT_RPC_TIMEOUT`]); a wedged server produces
+//!   `PvfsError::Timeout`, never a hang;
+//! * request ids start at 1 — responses with the reserved id 0 are
+//!   unattributable and rejected on multi-request paths.
+//!
 //! The cluster also hosts the [`SerialGate`] clients use to serialize
 //! data-sieving writes (PVFS has no file locking; the paper used an
 //! `MPI_Barrier` loop).
 
+pub mod chan;
 pub mod cluster;
 pub mod gate;
+pub mod pool;
 
-pub use cluster::{ClusterClient, LiveCluster, RpcTarget};
+pub use cluster::{ClusterClient, LiveCluster, RpcTarget, DEFAULT_RPC_TIMEOUT};
 pub use gate::SerialGate;
+pub use pool::WorkerPool;

@@ -1,0 +1,114 @@
+//! Per-daemon worker pools.
+//!
+//! One pool serves one daemon: `workers` threads share a bounded
+//! request queue ([`crate::chan`]) and run the daemon's handler
+//! concurrently. The handler decides when a worker should exit by
+//! returning [`std::ops::ControlFlow::Break`] (the cluster sends one
+//! shutdown message per worker on teardown).
+
+use crate::chan::{bounded, Sender};
+use std::ops::ControlFlow;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A fixed set of worker threads draining one bounded queue.
+pub struct WorkerPool {
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads named `name-w<i>`, each pulling messages
+    /// from a queue bounded at `queue_depth` and passing them to
+    /// `handler`. Workers exit when `handler` breaks or when every
+    /// sender is gone.
+    pub fn spawn<T, F>(
+        name: &str,
+        workers: usize,
+        queue_depth: usize,
+        handler: F,
+    ) -> (Sender<T>, WorkerPool)
+    where
+        T: Send + 'static,
+        F: Fn(T) -> ControlFlow<()> + Send + Sync + 'static,
+    {
+        assert!(workers > 0, "worker pool needs at least one thread");
+        let (tx, rx) = bounded(queue_depth);
+        let handler = Arc::new(handler);
+        let threads = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let handler = handler.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-w{i}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            if handler(msg).is_break() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        (tx, WorkerPool { threads })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Wait for every worker to exit. Callers must first make the
+    /// workers return (shutdown messages or dropping all senders), or
+    /// this blocks forever.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn pool_processes_all_messages_across_workers() {
+        let sum = Arc::new(AtomicU64::new(0));
+        let sum2 = sum.clone();
+        let (tx, pool) = WorkerPool::spawn("t", 4, 8, move |v: u64| {
+            sum2.fetch_add(v, Ordering::Relaxed);
+            ControlFlow::Continue(())
+        });
+        assert_eq!(pool.workers(), 4);
+        for v in 1..=100u64 {
+            tx.send(v).unwrap();
+        }
+        drop(tx);
+        pool.join();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn break_stops_exactly_one_worker() {
+        let served = Arc::new(AtomicU64::new(0));
+        let served2 = served.clone();
+        let (tx, pool) = WorkerPool::spawn("t", 2, 4, move |stop: bool| {
+            if stop {
+                ControlFlow::Break(())
+            } else {
+                served2.fetch_add(1, Ordering::Relaxed);
+                ControlFlow::Continue(())
+            }
+        });
+        tx.send(false).unwrap();
+        // One Break per worker shuts the pool down.
+        tx.send(true).unwrap();
+        tx.send(true).unwrap();
+        drop(tx);
+        pool.join();
+        assert_eq!(served.load(Ordering::Relaxed), 1);
+    }
+}

@@ -65,6 +65,7 @@ const ERR_PROTOCOL: u8 = 5;
 const ERR_STORAGE: u8 = 6;
 const ERR_TRANSPORT: u8 = 7;
 const ERR_NO_SUCH_SERVER: u8 = 8;
+const ERR_TIMEOUT: u8 = 9;
 
 /// Encode a request message to its wire frame (header + trailing data +
 /// bulk payload).
@@ -156,6 +157,27 @@ pub fn encode_message(m: &Message) -> PvfsResult<Bytes> {
     Ok(buf.freeze())
 }
 
+/// Extract the request id from a frame's fixed header without decoding
+/// the body. Returns `Some(id)` when the frame is long enough and its
+/// magic and version check out — the body may still be malformed.
+///
+/// Servers use this to echo the *real* request id on error responses
+/// for frames whose body fails to decode, so clients can attribute the
+/// failure to the request that caused it instead of receiving the
+/// unattributable id 0.
+pub fn decode_frame_id(frame: &Bytes) -> Option<RequestId> {
+    let mut buf = frame.clone();
+    if buf.remaining() < 16 {
+        return None;
+    }
+    if buf.get_u16_le() != MAGIC || buf.get_u8() != VERSION {
+        return None;
+    }
+    let _opcode = buf.get_u8();
+    let _client = buf.get_u32_le();
+    Some(RequestId(buf.get_u64_le()))
+}
+
 /// Decode a request frame produced by [`encode_message`].
 pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
     let magic = get_u16(&mut buf)?;
@@ -164,7 +186,9 @@ pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
     }
     let version = get_u8(&mut buf)?;
     if version != VERSION {
-        return Err(PvfsError::protocol(format!("unsupported version {version}")));
+        return Err(PvfsError::protocol(format!(
+            "unsupported version {version}"
+        )));
     }
     let op = get_u8(&mut buf)?;
     let client = ClientId(get_u32(&mut buf)?);
@@ -252,7 +276,11 @@ pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
             buf.remaining()
         )));
     }
-    Ok(Message { client, id, request })
+    Ok(Message {
+        client,
+        id,
+        request,
+    })
 }
 
 /// Encode a response frame (echoing the request id).
@@ -310,7 +338,9 @@ pub fn decode_response(mut buf: Bytes) -> PvfsResult<(RequestId, Response)> {
     }
     let version = get_u8(&mut buf)?;
     if version != VERSION {
-        return Err(PvfsError::protocol(format!("unsupported version {version}")));
+        return Err(PvfsError::protocol(format!(
+            "unsupported version {version}"
+        )));
     }
     let id = RequestId(get_u64(&mut buf)?);
     let tag = get_u8(&mut buf)?;
@@ -483,7 +513,9 @@ fn put_region(buf: &mut BytesMut, r: Region) {
 }
 
 fn get_region(buf: &mut Bytes) -> PvfsResult<Region> {
-    Ok(Region::new(get_u64(buf)?, get_u64(buf)?))
+    let (offset, len) = (get_u64(buf)?, get_u64(buf)?);
+    Region::try_new(offset, len)
+        .ok_or_else(|| PvfsError::protocol(format!("region {offset}+{len} overflows u64")))
 }
 
 fn put_trailing(buf: &mut BytesMut, regions: &RegionList) {
@@ -550,6 +582,10 @@ fn put_error(buf: &mut BytesMut, e: &PvfsError) {
             buf.put_u8(ERR_NO_SUCH_SERVER);
             buf.put_u32_le(*s);
         }
+        PvfsError::Timeout(m) => {
+            buf.put_u8(ERR_TIMEOUT);
+            put_string_mut(buf, m);
+        }
     }
 }
 
@@ -569,6 +605,7 @@ fn get_error(buf: &mut Bytes) -> PvfsResult<PvfsError> {
         ERR_STORAGE => PvfsError::Storage(get_string(buf)?),
         ERR_TRANSPORT => PvfsError::Transport(get_string(buf)?),
         ERR_NO_SUCH_SERVER => PvfsError::NoSuchServer(get_u32(buf)?),
+        ERR_TIMEOUT => PvfsError::Timeout(get_string(buf)?),
         other => return Err(PvfsError::protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -759,7 +796,11 @@ mod tests {
             runs,
         });
         let encoded = encode_message(&m).unwrap();
-        assert!(encoded.len() <= ETHERNET_MTU, "frame is {} bytes", encoded.len());
+        assert!(
+            encoded.len() <= ETHERNET_MTU,
+            "frame is {} bytes",
+            encoded.len()
+        );
     }
 
     #[test]
@@ -781,7 +822,10 @@ mod tests {
             ]
         );
         let single = VectorRun::contiguous(Region::new(5, 7));
-        assert_eq!(single.regions().collect::<Vec<_>>(), vec![Region::new(5, 7)]);
+        assert_eq!(
+            single.regions().collect::<Vec<_>>(),
+            vec![Region::new(5, 7)]
+        );
     }
 
     #[test]
@@ -793,7 +837,11 @@ mod tests {
             regions,
         });
         let encoded = encode_message(&m).unwrap();
-        assert!(encoded.len() <= ETHERNET_MTU, "frame is {} bytes", encoded.len());
+        assert!(
+            encoded.len() <= ETHERNET_MTU,
+            "frame is {} bytes",
+            encoded.len()
+        );
         // Header layout constant matches the actual codec.
         assert_eq!(encoded.len(), LIST_HEADER_SIZE + 64 * 16);
     }
@@ -882,8 +930,51 @@ mod tests {
         .unwrap();
         for cut in 0..full.len() {
             let truncated = full.slice(0..cut);
-            assert!(decode_message(truncated).is_err(), "cut at {cut} should fail");
+            assert!(
+                decode_message(truncated).is_err(),
+                "cut at {cut} should fail"
+            );
         }
+    }
+
+    /// A frame naming a region whose end overflows u64 must decode to a
+    /// protocol error (Region::try_new), not reach Region::new's panic.
+    #[test]
+    fn overflowing_region_on_the_wire_is_a_protocol_error() {
+        let full = encode_message(&msg(Request::Read {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(0, 8),
+        }))
+        .unwrap();
+        // The region is the last 16 bytes of the frame: offset, len.
+        let mut evil = full.to_vec();
+        let n = evil.len();
+        evil[n - 16..n - 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        evil[n - 8..n].copy_from_slice(&2u64.to_le_bytes());
+        let err = decode_message(Bytes::from(evil)).unwrap_err();
+        assert!(matches!(err, PvfsError::Protocol(m) if m.contains("overflows")));
+    }
+
+    /// decode_frame_id reads ids out of frames whose bodies are
+    /// corrupt, and refuses frames whose headers are unreadable.
+    #[test]
+    fn frame_id_survives_body_corruption_only() {
+        let full = encode_message(&msg(Request::Read {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(0, 8),
+        }))
+        .unwrap();
+        assert_eq!(decode_frame_id(&full), Some(RequestId(77)));
+        // Body truncated: header id still recoverable.
+        assert_eq!(decode_frame_id(&full.slice(0..17)), Some(RequestId(77)));
+        // Header truncated: no id.
+        assert_eq!(decode_frame_id(&full.slice(0..15)), None);
+        // Bad magic: no id.
+        let mut bad = full.to_vec();
+        bad[0] ^= 0xff;
+        assert_eq!(decode_frame_id(&Bytes::from(bad)), None);
     }
 
     #[test]
@@ -928,10 +1019,18 @@ mod tests {
                 path: "/pvfs/file".into(),
                 layout: layout(),
             },
-            Request::Open { path: "/a/b".into() },
-            Request::Remove { path: "/a/b".into() },
-            Request::Close { handle: FileHandle(1) },
-            Request::GetLocalSize { handle: FileHandle(1) },
+            Request::Open {
+                path: "/a/b".into(),
+            },
+            Request::Remove {
+                path: "/a/b".into(),
+            },
+            Request::Close {
+                handle: FileHandle(1),
+            },
+            Request::GetLocalSize {
+                handle: FileHandle(1),
+            },
             Request::Read {
                 handle: FileHandle(1),
                 layout: layout(),
@@ -994,8 +1093,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_layout() -> impl Strategy<Value = StripeLayout> {
-        (0u32..4, 1u32..16, 1u64..1_000_000)
-            .prop_map(|(base, pcount, ssize)| StripeLayout { base, pcount, ssize })
+        (0u32..4, 1u32..16, 1u64..1_000_000).prop_map(|(base, pcount, ssize)| StripeLayout {
+            base,
+            pcount,
+            ssize,
+        })
     }
 
     fn arb_regions() -> impl Strategy<Value = RegionList> {
@@ -1018,7 +1120,11 @@ mod proptests {
                     region: Region::new(off, len),
                 }
             }),
-            (arb_layout(), 0u64..1_000_000, proptest::collection::vec(any::<u8>(), 0..2048))
+            (
+                arb_layout(),
+                0u64..1_000_000,
+                proptest::collection::vec(any::<u8>(), 0..2048)
+            )
                 .prop_map(|(layout, off, data)| Request::Write {
                     handle: FileHandle(1),
                     layout,
@@ -1030,7 +1136,11 @@ mod proptests {
                 layout,
                 regions,
             }),
-            (arb_layout(), arb_regions(), proptest::collection::vec(any::<u8>(), 0..512))
+            (
+                arb_layout(),
+                arb_regions(),
+                proptest::collection::vec(any::<u8>(), 0..512)
+            )
                 .prop_map(|(layout, regions, data)| Request::WriteList {
                     handle: FileHandle(1),
                     layout,

@@ -26,9 +26,10 @@ pub mod codec;
 pub mod limits;
 pub mod message;
 
-pub use codec::{decode_message, decode_response, encode_message, encode_response};
+pub use codec::{
+    decode_frame_id, decode_message, decode_response, encode_message, encode_response,
+};
 pub use limits::{
-    list_request_fits_frame, max_regions_per_frame, ETHERNET_MTU, MAX_LIST_REGIONS,
-    MAX_VECTOR_RUNS,
+    list_request_fits_frame, max_regions_per_frame, ETHERNET_MTU, MAX_LIST_REGIONS, MAX_VECTOR_RUNS,
 };
 pub use message::{Message, Request, Response, VectorRun};

@@ -52,7 +52,10 @@ mod tests {
     fn the_papers_64_region_limit_fits_one_frame() {
         assert!(list_request_fits_frame(MAX_LIST_REGIONS));
         // 44 + 64 * 16 = 1068 <= 1500.
-        assert_eq!(LIST_HEADER_SIZE + MAX_LIST_REGIONS * TRAILING_ENTRY_SIZE, 1068);
+        assert_eq!(
+            LIST_HEADER_SIZE + MAX_LIST_REGIONS * TRAILING_ENTRY_SIZE,
+            1068
+        );
     }
 
     #[test]

@@ -17,7 +17,6 @@
 
 use bytes::Bytes;
 use pvfs_types::{FileHandle, PvfsError, Region, RegionList, RequestId, ServerId, StripeLayout};
-use serde::{Deserialize, Serialize};
 
 /// A strided run of file regions: `count` blocks of `blocklen` bytes
 /// starting `stride` bytes apart, the first at `base`.
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// access patterns "with vector datatypes", eliminating the linear
 /// relationship between region count and request count: a million-region
 /// 1-D cyclic pattern is *one* 32-byte run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VectorRun {
     /// Offset of the first block.
     pub base: u64,
@@ -227,9 +226,7 @@ impl Request {
             Request::Read { .. } => 8 + LAYOUT + 16,
             Request::Write { .. } => 8 + LAYOUT + 16 + 8, // + bulk length prefix
             Request::ReadList { regions, .. } => 8 + LAYOUT + 4 + 16 * regions.count() as u64,
-            Request::WriteList { regions, .. } => {
-                8 + LAYOUT + 4 + 16 * regions.count() as u64 + 8
-            }
+            Request::WriteList { regions, .. } => 8 + LAYOUT + 4 + 16 * regions.count() as u64 + 8,
             Request::ReadVectors { runs, .. } => 8 + LAYOUT + 4 + 32 * runs.len() as u64,
             Request::WriteVectors { runs, .. } => 8 + LAYOUT + 4 + 32 * runs.len() as u64 + 8,
         };
@@ -245,10 +242,12 @@ impl Request {
             Request::Read { layout, region, .. } | Request::Write { layout, region, .. } => {
                 slot_share(layout, server, std::slice::from_ref(region))
             }
-            Request::ReadList { layout, regions, .. }
-            | Request::WriteList { layout, regions, .. } => {
-                slot_share(layout, server, regions.regions())
+            Request::ReadList {
+                layout, regions, ..
             }
+            | Request::WriteList {
+                layout, regions, ..
+            } => slot_share(layout, server, regions.regions()),
             Request::ReadVectors { layout, runs, .. }
             | Request::WriteVectors { layout, runs, .. } => {
                 if server.0 < layout.base || server.0 >= layout.base + layout.pcount {
@@ -350,8 +349,14 @@ mod tests {
     #[test]
     fn metadata_classification() {
         assert!(Request::Open { path: "/a".into() }.is_metadata());
-        assert!(Request::Close { handle: FileHandle(1) }.is_metadata());
-        assert!(!Request::GetLocalSize { handle: FileHandle(1) }.is_metadata());
+        assert!(Request::Close {
+            handle: FileHandle(1)
+        }
+        .is_metadata());
+        assert!(!Request::GetLocalSize {
+            handle: FileHandle(1)
+        }
+        .is_metadata());
         assert!(!Request::Read {
             handle: FileHandle(1),
             layout: layout(),

@@ -18,6 +18,8 @@ use pvfs_disk::{CacheConfig, CostReport, DiskModel, LocalFile};
 use pvfs_proto::{Request, Response};
 use pvfs_types::{FileHandle, PvfsError, Region, RegionList, ServerId, StripeLayout};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Static configuration for one I/O daemon.
 #[derive(Debug, Clone, Copy)]
@@ -26,6 +28,27 @@ pub struct IodConfig {
     pub cache: CacheConfig,
     /// Disk timing model.
     pub disk: DiskModel,
+    /// Worker threads serving this daemon's request queue on the live
+    /// path ([`crate::IoDaemon::handle`] takes `&self`, so workers serve
+    /// concurrently; requests for different handles never contend).
+    pub workers: usize,
+    /// Bound of the daemon's request queue on the live path. Senders
+    /// block once `queue_depth` requests are waiting (backpressure).
+    pub queue_depth: usize,
+    /// Emulated per-request service latency on the live path: when set,
+    /// the worker serving a request stalls this long before replying,
+    /// standing in for the disk + network service time of a real I/O
+    /// daemon (the latency a worker pool overlaps). `None` — the
+    /// default — serves at memory speed. The simulator ignores this; it
+    /// accounts time through [`ServeCost`] instead.
+    pub emulated_latency: Option<std::time::Duration>,
+}
+
+/// Default worker threads per daemon: 4, or fewer on small machines.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1)
 }
 
 impl Default for IodConfig {
@@ -33,6 +56,9 @@ impl Default for IodConfig {
         IodConfig {
             cache: CacheConfig::paper_default(),
             disk: DiskModel::paper_default(),
+            workers: default_workers(),
+            queue_depth: 64,
+            emulated_latency: None,
         }
     }
 }
@@ -75,13 +101,52 @@ pub struct ServerStats {
     pub errors: u64,
 }
 
+/// [`ServerStats`] as relaxed atomics, so concurrently served requests
+/// (the live cluster's worker pool) can count without a stats lock.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    requests: AtomicU64,
+    contiguous_requests: AtomicU64,
+    list_requests: AtomicU64,
+    regions: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            contiguous_requests: self.contiguous_requests.load(Ordering::Relaxed),
+            list_requests: self.list_requests.load(Ordering::Relaxed),
+            regions: self.regions.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Handle-space shards of the local file table. Contention on the live
+/// path is per-shard, so requests for different handles (the common
+/// case — each client file maps to one handle) almost never serialize
+/// against each other.
+const FILE_SHARDS: usize = 16;
+
 /// One PVFS I/O daemon.
+///
+/// Thread-safe: [`IoDaemon::handle`] takes `&self`, and the file table
+/// is sharded by handle so concurrent requests only contend when they
+/// touch handles in the same shard. Statistics are relaxed atomics.
+/// A daemon is a pure state machine either way — single-threaded
+/// callers (the simulator) use it exactly as before.
 #[derive(Debug)]
 pub struct IoDaemon {
     id: ServerId,
     config: IodConfig,
-    files: HashMap<FileHandle, LocalFile>,
-    stats: ServerStats,
+    shards: Vec<Mutex<HashMap<FileHandle, LocalFile>>>,
+    stats: AtomicStats,
 }
 
 impl IoDaemon {
@@ -90,8 +155,10 @@ impl IoDaemon {
         IoDaemon {
             id,
             config,
-            files: HashMap::new(),
-            stats: ServerStats::default(),
+            shards: (0..FILE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            stats: AtomicStats::default(),
         }
     }
 
@@ -105,47 +172,71 @@ impl IoDaemon {
         self.id
     }
 
-    /// Lifetime statistics.
-    pub fn stats(&self) -> ServerStats {
-        self.stats
+    /// This daemon's configuration.
+    pub fn config(&self) -> IodConfig {
+        self.config
     }
 
-    /// Direct access to a handle's local file (verification oracles).
-    pub fn local_file(&self, handle: FileHandle) -> Option<&LocalFile> {
-        self.files.get(&handle)
+    /// Lifetime statistics (a consistent-enough snapshot: each counter
+    /// is exact; cross-counter skew is possible while requests are in
+    /// flight).
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    fn shard(&self, handle: FileHandle) -> &Mutex<HashMap<FileHandle, LocalFile>> {
+        // Handles are sequential small integers; mix the bits so
+        // consecutive handles spread across shards.
+        let mut h = handle.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Run `f` against a handle's local file, if present (verification
+    /// oracles). Holds the handle's shard lock for the duration of `f`.
+    pub fn with_local_file<R>(
+        &self,
+        handle: FileHandle,
+        f: impl FnOnce(&LocalFile) -> R,
+    ) -> Option<R> {
+        let shard = self.shard(handle).lock().unwrap();
+        shard.get(&handle).map(f)
     }
 
     /// Drop all state for a handle (file removal plumbing).
-    pub fn drop_handle(&mut self, handle: FileHandle) {
-        self.files.remove(&handle);
+    pub fn drop_handle(&self, handle: FileHandle) {
+        self.shard(handle).lock().unwrap().remove(&handle);
     }
 
     /// Flush a handle's dirty cache blocks (maintenance entry point for
     /// benchmark setup; returns the disk cost of the write-back).
-    pub fn flush_handle(&mut self, handle: FileHandle) -> CostReport {
-        self.files
+    pub fn flush_handle(&self, handle: FileHandle) -> CostReport {
+        self.shard(handle)
+            .lock()
+            .unwrap()
             .get_mut(&handle)
             .map(|f| f.flush())
             .unwrap_or_default()
     }
 
-    /// Serve one request.
-    pub fn handle(&mut self, request: &Request) -> (Response, ServeCost) {
-        self.stats.requests += 1;
+    /// Serve one request. `&self`: safe to call from many threads at
+    /// once.
+    pub fn handle(&self, request: &Request) -> (Response, ServeCost) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
         let result = self.dispatch(request);
         match result {
             Ok(ok) => ok,
             Err(e) => {
-                self.stats.errors += 1;
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
                 (Response::Error(e), ServeCost::default())
             }
         }
     }
 
-    fn dispatch(&mut self, request: &Request) -> Result<(Response, ServeCost), PvfsError> {
+    fn dispatch(&self, request: &Request) -> Result<(Response, ServeCost), PvfsError> {
         match request {
             Request::GetLocalSize { handle } => {
-                let size = self.files.get(handle).map(|f| f.size()).unwrap_or(0);
+                let size = self.with_local_file(*handle, |f| f.size()).unwrap_or(0);
                 Ok((Response::LocalSize { size }, ServeCost::default()))
             }
             Request::Read {
@@ -153,13 +244,28 @@ impl IoDaemon {
                 layout,
                 region,
             } => {
-                self.stats.contiguous_requests += 1;
+                self.stats
+                    .contiguous_requests
+                    .fetch_add(1, Ordering::Relaxed);
                 let slot = self.slot_in(layout)?;
-                let mut cost = ServeCost { regions: 1, ..ServeCost::default() };
-                let data = self.read_region(*handle, layout, slot, *region, &mut cost);
-                self.stats.regions += 1;
-                self.stats.bytes_read += data.len() as u64;
-                Ok((Response::Data { data: Bytes::from(data) }, cost))
+                let mut cost = ServeCost {
+                    regions: 1,
+                    ..ServeCost::default()
+                };
+                let mut shard = self.shard(*handle).lock().unwrap();
+                let file = file_entry(&mut shard, self.config, *handle);
+                let data = read_region(file, layout, slot, *region, &mut cost);
+                drop(shard);
+                self.stats.regions.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_read
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                Ok((
+                    Response::Data {
+                        data: Bytes::from(data),
+                    },
+                    cost,
+                ))
             }
             Request::Write {
                 handle,
@@ -167,7 +273,9 @@ impl IoDaemon {
                 region,
                 data,
             } => {
-                self.stats.contiguous_requests += 1;
+                self.stats
+                    .contiguous_requests
+                    .fetch_add(1, Ordering::Relaxed);
                 let slot = self.slot_in(layout)?;
                 let expected = layout.bytes_on_slot(*region, slot);
                 if data.len() as u64 != expected {
@@ -176,10 +284,18 @@ impl IoDaemon {
                         data.len()
                     )));
                 }
-                let mut cost = ServeCost { regions: 1, ..ServeCost::default() };
-                let written = self.write_region(*handle, layout, slot, *region, data, &mut cost);
-                self.stats.regions += 1;
-                self.stats.bytes_written += written;
+                let mut cost = ServeCost {
+                    regions: 1,
+                    ..ServeCost::default()
+                };
+                let mut shard = self.shard(*handle).lock().unwrap();
+                let file = file_entry(&mut shard, self.config, *handle);
+                let written = write_region(file, layout, slot, *region, data, &mut cost);
+                drop(shard);
+                self.stats.regions.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_written
+                    .fetch_add(written, Ordering::Relaxed);
                 Ok((Response::Written { bytes: written }, cost))
             }
             Request::ReadList {
@@ -187,7 +303,7 @@ impl IoDaemon {
                 layout,
                 regions,
             } => {
-                self.stats.list_requests += 1;
+                self.stats.list_requests.fetch_add(1, Ordering::Relaxed);
                 self.check_list(regions)?;
                 let slot = self.slot_in(layout)?;
                 let mut cost = ServeCost {
@@ -195,13 +311,25 @@ impl IoDaemon {
                     ..ServeCost::default()
                 };
                 let mut out = Vec::new();
+                let mut shard = self.shard(*handle).lock().unwrap();
+                let file = file_entry(&mut shard, self.config, *handle);
                 for region in regions {
-                    let piece = self.read_region(*handle, layout, slot, *region, &mut cost);
+                    let piece = read_region(file, layout, slot, *region, &mut cost);
                     out.extend_from_slice(&piece);
                 }
-                self.stats.regions += regions.count() as u64;
-                self.stats.bytes_read += out.len() as u64;
-                Ok((Response::Data { data: Bytes::from(out) }, cost))
+                drop(shard);
+                self.stats
+                    .regions
+                    .fetch_add(regions.count() as u64, Ordering::Relaxed);
+                self.stats
+                    .bytes_read
+                    .fetch_add(out.len() as u64, Ordering::Relaxed);
+                Ok((
+                    Response::Data {
+                        data: Bytes::from(out),
+                    },
+                    cost,
+                ))
             }
             Request::WriteList {
                 handle,
@@ -209,13 +337,10 @@ impl IoDaemon {
                 regions,
                 data,
             } => {
-                self.stats.list_requests += 1;
+                self.stats.list_requests.fetch_add(1, Ordering::Relaxed);
                 self.check_list(regions)?;
                 let slot = self.slot_in(layout)?;
-                let expected: u64 = regions
-                    .iter()
-                    .map(|r| layout.bytes_on_slot(*r, slot))
-                    .sum();
+                let expected: u64 = regions.iter().map(|r| layout.bytes_on_slot(*r, slot)).sum();
                 if data.len() as u64 != expected {
                     return Err(PvfsError::protocol(format!(
                         "write_list payload is {} bytes but this server owns {expected}",
@@ -228,14 +353,21 @@ impl IoDaemon {
                 };
                 let mut consumed = 0u64;
                 let mut written = 0u64;
+                let mut shard = self.shard(*handle).lock().unwrap();
+                let file = file_entry(&mut shard, self.config, *handle);
                 for region in regions {
                     let share = layout.bytes_on_slot(*region, slot) as usize;
                     let piece = data.slice(consumed as usize..consumed as usize + share);
                     consumed += share as u64;
-                    written += self.write_region(*handle, layout, slot, *region, &piece, &mut cost);
+                    written += write_region(file, layout, slot, *region, &piece, &mut cost);
                 }
-                self.stats.regions += regions.count() as u64;
-                self.stats.bytes_written += written;
+                drop(shard);
+                self.stats
+                    .regions
+                    .fetch_add(regions.count() as u64, Ordering::Relaxed);
+                self.stats
+                    .bytes_written
+                    .fetch_add(written, Ordering::Relaxed);
                 Ok((Response::Written { bytes: written }, cost))
             }
             Request::ReadVectors {
@@ -243,21 +375,35 @@ impl IoDaemon {
                 layout,
                 runs,
             } => {
-                self.stats.list_requests += 1;
+                self.stats.list_requests.fetch_add(1, Ordering::Relaxed);
                 let slot = self.slot_in(layout)?;
-                let mut cost = ServeCost::default();
-                let mut out = Vec::new();
                 for run in runs {
                     run.validate()?;
+                }
+                let mut cost = ServeCost::default();
+                let mut out = Vec::new();
+                let mut shard = self.shard(*handle).lock().unwrap();
+                let file = file_entry(&mut shard, self.config, *handle);
+                for run in runs {
                     for region in run.regions() {
                         cost.regions += 1;
-                        let piece = self.read_region(*handle, layout, slot, region, &mut cost);
+                        let piece = read_region(file, layout, slot, region, &mut cost);
                         out.extend_from_slice(&piece);
                     }
                 }
-                self.stats.regions += cost.regions;
-                self.stats.bytes_read += out.len() as u64;
-                Ok((Response::Data { data: Bytes::from(out) }, cost))
+                drop(shard);
+                self.stats
+                    .regions
+                    .fetch_add(cost.regions, Ordering::Relaxed);
+                self.stats
+                    .bytes_read
+                    .fetch_add(out.len() as u64, Ordering::Relaxed);
+                Ok((
+                    Response::Data {
+                        data: Bytes::from(out),
+                    },
+                    cost,
+                ))
             }
             Request::WriteVectors {
                 handle,
@@ -265,8 +411,11 @@ impl IoDaemon {
                 runs,
                 data,
             } => {
-                self.stats.list_requests += 1;
+                self.stats.list_requests.fetch_add(1, Ordering::Relaxed);
                 let slot = self.slot_in(layout)?;
+                for run in runs {
+                    run.validate()?;
+                }
                 let expected: u64 = runs
                     .iter()
                     .flat_map(|run| run.regions())
@@ -281,19 +430,24 @@ impl IoDaemon {
                 let mut cost = ServeCost::default();
                 let mut consumed = 0u64;
                 let mut written = 0u64;
+                let mut shard = self.shard(*handle).lock().unwrap();
+                let file = file_entry(&mut shard, self.config, *handle);
                 for run in runs {
-                    run.validate()?;
                     for region in run.regions() {
                         cost.regions += 1;
                         let share = layout.bytes_on_slot(region, slot) as usize;
                         let piece = data.slice(consumed as usize..consumed as usize + share);
                         consumed += share as u64;
-                        written +=
-                            self.write_region(*handle, layout, slot, region, &piece, &mut cost);
+                        written += write_region(file, layout, slot, region, &piece, &mut cost);
                     }
                 }
-                self.stats.regions += cost.regions;
-                self.stats.bytes_written += written;
+                drop(shard);
+                self.stats
+                    .regions
+                    .fetch_add(cost.regions, Ordering::Relaxed);
+                self.stats
+                    .bytes_written
+                    .fetch_add(written, Ordering::Relaxed);
                 Ok((Response::Written { bytes: written }, cost))
             }
             other if other.is_metadata() => Err(PvfsError::protocol(format!(
@@ -332,97 +486,98 @@ impl IoDaemon {
         }
         Ok(())
     }
+}
 
-    /// Read this server's bytes of a logical region, in logical order.
-    ///
-    /// Consecutive stripes a slot owns are packed contiguously in its
-    /// local file, so a logical region spanning many of this server's
-    /// stripes is read as a *single* local access (one lseek + read),
-    /// exactly as the PVFS iod does — and `cost.local_accesses` counts
-    /// these merged runs, the unit the simulator charges per-access
-    /// server time for.
-    fn read_region(
-        &mut self,
-        handle: FileHandle,
-        layout: &StripeLayout,
-        slot: u32,
-        region: Region,
-        cost: &mut ServeCost,
-    ) -> Vec<u8> {
-        let file = self.file_mut(handle);
-        let mut out = Vec::with_capacity(layout.bytes_on_slot(region, slot) as usize);
-        let mut run: Option<(u64, u64)> = None; // (local offset, len)
-        for seg in layout.segments(region) {
-            if seg.slot != slot {
-                continue;
-            }
-            match run {
-                Some((start, len)) if start + len == seg.local_offset => {
-                    run = Some((start, len + seg.logical.len));
-                }
-                Some((start, len)) => {
-                    let (piece, report) = file.read_at(start, len as usize);
-                    cost.merge_disk(report);
-                    out.extend_from_slice(&piece);
-                    run = Some((seg.local_offset, seg.logical.len));
-                }
-                None => run = Some((seg.local_offset, seg.logical.len)),
-            }
-        }
-        if let Some((start, len)) = run {
-            let (piece, report) = file.read_at(start, len as usize);
-            cost.merge_disk(report);
-            out.extend_from_slice(&piece);
-        }
-        out
-    }
+/// The handle's local file in an already-locked shard, created on first
+/// touch.
+fn file_entry(
+    shard: &mut HashMap<FileHandle, LocalFile>,
+    config: IodConfig,
+    handle: FileHandle,
+) -> &mut LocalFile {
+    shard
+        .entry(handle)
+        .or_insert_with(|| LocalFile::new(config.cache, config.disk))
+}
 
-    /// Write this server's bytes of a logical region from `data`
-    /// (consumed in logical order); returns bytes written. Consecutive
-    /// local stripes merge into single local accesses as for reads.
-    fn write_region(
-        &mut self,
-        handle: FileHandle,
-        layout: &StripeLayout,
-        slot: u32,
-        region: Region,
-        data: &Bytes,
-        cost: &mut ServeCost,
-    ) -> u64 {
-        let file = self.file_mut(handle);
-        let mut consumed = 0usize;
-        let mut run: Option<(u64, u64)> = None;
-        for seg in layout.segments(region) {
-            if seg.slot != slot {
-                continue;
-            }
-            match run {
-                Some((start, len)) if start + len == seg.local_offset => {
-                    run = Some((start, len + seg.logical.len));
-                }
-                Some((start, len)) => {
-                    let report = file.write_at(start, &data[consumed..consumed + len as usize]);
-                    cost.merge_disk(report);
-                    consumed += len as usize;
-                    run = Some((seg.local_offset, seg.logical.len));
-                }
-                None => run = Some((seg.local_offset, seg.logical.len)),
-            }
+/// Read this server's bytes of a logical region, in logical order.
+///
+/// Consecutive stripes a slot owns are packed contiguously in its
+/// local file, so a logical region spanning many of this server's
+/// stripes is read as a *single* local access (one lseek + read),
+/// exactly as the PVFS iod does — and `cost.local_accesses` counts
+/// these merged runs, the unit the simulator charges per-access
+/// server time for.
+fn read_region(
+    file: &mut LocalFile,
+    layout: &StripeLayout,
+    slot: u32,
+    region: Region,
+    cost: &mut ServeCost,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(layout.bytes_on_slot(region, slot) as usize);
+    let mut run: Option<(u64, u64)> = None; // (local offset, len)
+    for seg in layout.segments(region) {
+        if seg.slot != slot {
+            continue;
         }
-        if let Some((start, len)) = run {
-            let report = file.write_at(start, &data[consumed..consumed + len as usize]);
-            cost.merge_disk(report);
-            consumed += len as usize;
+        match run {
+            Some((start, len)) if start + len == seg.local_offset => {
+                run = Some((start, len + seg.logical.len));
+            }
+            Some((start, len)) => {
+                let (piece, report) = file.read_at(start, len as usize);
+                cost.merge_disk(report);
+                out.extend_from_slice(&piece);
+                run = Some((seg.local_offset, seg.logical.len));
+            }
+            None => run = Some((seg.local_offset, seg.logical.len)),
         }
-        consumed as u64
     }
+    if let Some((start, len)) = run {
+        let (piece, report) = file.read_at(start, len as usize);
+        cost.merge_disk(report);
+        out.extend_from_slice(&piece);
+    }
+    out
+}
 
-    fn file_mut(&mut self, handle: FileHandle) -> &mut LocalFile {
-        let config = self.config;
-        self.files
-            .entry(handle)
-            .or_insert_with(|| LocalFile::new(config.cache, config.disk))
+/// Write this server's bytes of a logical region from `data`
+/// (consumed in logical order); returns bytes written. Consecutive
+/// local stripes merge into single local accesses as for reads.
+fn write_region(
+    file: &mut LocalFile,
+    layout: &StripeLayout,
+    slot: u32,
+    region: Region,
+    data: &Bytes,
+    cost: &mut ServeCost,
+) -> u64 {
+    let mut consumed = 0usize;
+    let mut run: Option<(u64, u64)> = None;
+    for seg in layout.segments(region) {
+        if seg.slot != slot {
+            continue;
+        }
+        match run {
+            Some((start, len)) if start + len == seg.local_offset => {
+                run = Some((start, len + seg.logical.len));
+            }
+            Some((start, len)) => {
+                let report = file.write_at(start, &data[consumed..consumed + len as usize]);
+                cost.merge_disk(report);
+                consumed += len as usize;
+                run = Some((seg.local_offset, seg.logical.len));
+            }
+            None => run = Some((seg.local_offset, seg.logical.len)),
+        }
     }
+    if let Some((start, len)) = run {
+        let report = file.write_at(start, &data[consumed..consumed + len as usize]);
+        cost.merge_disk(report);
+        consumed += len as usize;
+    }
+    consumed as u64
 }
 
 #[cfg(test)]
@@ -461,7 +616,12 @@ mod tests {
                 region,
                 data: Bytes::from(share.clone()),
             });
-            assert_eq!(resp, Response::Written { bytes: share.len() as u64 });
+            assert_eq!(
+                resp,
+                Response::Written {
+                    bytes: share.len() as u64
+                }
+            );
         }
     }
 
@@ -494,7 +654,9 @@ mod tests {
     }
 
     fn cluster() -> Vec<IoDaemon> {
-        (0..4).map(|i| IoDaemon::with_defaults(ServerId(i))).collect()
+        (0..4)
+            .map(|i| IoDaemon::with_defaults(ServerId(i)))
+            .collect()
     }
 
     #[test]
@@ -510,7 +672,7 @@ mod tests {
     #[test]
     fn read_of_unwritten_range_returns_zeros() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         let (resp, _) = d.handle(&Request::Read {
             handle: fh(),
             layout: l,
@@ -527,7 +689,7 @@ mod tests {
     #[test]
     fn server_only_returns_its_share() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(1));
+        let d = IoDaemon::with_defaults(ServerId(1));
         // Region [0, 40) spans all four servers; server 1 owns [10, 20).
         let (resp, _) = d.handle(&Request::Read {
             handle: fh(),
@@ -543,7 +705,7 @@ mod tests {
     #[test]
     fn write_with_wrong_payload_size_is_rejected() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         let (resp, _) = d.handle(&Request::Write {
             handle: fh(),
             layout: l,
@@ -557,7 +719,7 @@ mod tests {
     #[test]
     fn misrouted_request_is_rejected() {
         let l = StripeLayout::new(0, 2, 10).unwrap();
-        let mut d = IoDaemon::with_defaults(ServerId(5)); // not in layout
+        let d = IoDaemon::with_defaults(ServerId(5)); // not in layout
         let (resp, _) = d.handle(&Request::Read {
             handle: fh(),
             layout: l,
@@ -568,7 +730,7 @@ mod tests {
 
     #[test]
     fn metadata_op_at_iod_is_rejected() {
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         let (resp, _) = d.handle(&Request::Open { path: "/x".into() });
         assert!(matches!(resp, Response::Error(PvfsError::Protocol(_))));
     }
@@ -586,20 +748,30 @@ mod tests {
             layout: l,
             regions: regions.clone(),
         });
-        assert_eq!(resp, Response::Data { data: Bytes::from(vec![2, 3, 4, 5]) });
+        assert_eq!(
+            resp,
+            Response::Data {
+                data: Bytes::from(vec![2, 3, 4, 5])
+            }
+        );
         assert_eq!(cost.regions, 2);
         let (resp, _) = daemons[1].handle(&Request::ReadList {
             handle: fh(),
             layout: l,
             regions,
         });
-        assert_eq!(resp, Response::Data { data: Bytes::from(vec![12, 13, 14, 15]) });
+        assert_eq!(
+            resp,
+            Response::Data {
+                data: Bytes::from(vec![12, 13, 14, 15])
+            }
+        );
     }
 
     #[test]
     fn list_write_scatters_payload() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         // Both regions live entirely on server 0 (first stripe is [0,10)
         // and stripe 4 is [40,50)).
         let regions = RegionList::from_pairs([(40, 5), (0, 5)]).unwrap();
@@ -617,19 +789,29 @@ mod tests {
             layout: l,
             region: Region::new(40, 5),
         });
-        assert_eq!(resp, Response::Data { data: Bytes::from(vec![1u8; 5]) });
+        assert_eq!(
+            resp,
+            Response::Data {
+                data: Bytes::from(vec![1u8; 5])
+            }
+        );
         let (resp, _) = d.handle(&Request::Read {
             handle: fh(),
             layout: l,
             region: Region::new(0, 5),
         });
-        assert_eq!(resp, Response::Data { data: Bytes::from(vec![2u8; 5]) });
+        assert_eq!(
+            resp,
+            Response::Data {
+                data: Bytes::from(vec![2u8; 5])
+            }
+        );
     }
 
     #[test]
     fn oversized_list_is_rejected() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         let regions = RegionList::from_pairs((0..65).map(|i| (i * 100, 1u64))).unwrap();
         let (resp, _) = d.handle(&Request::ReadList {
             handle: fh(),
@@ -642,7 +824,7 @@ mod tests {
     #[test]
     fn get_local_size_tracks_writes() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         let (resp, _) = d.handle(&Request::GetLocalSize { handle: fh() });
         assert_eq!(resp, Response::LocalSize { size: 0 });
         d.handle(&Request::Write {
@@ -658,7 +840,7 @@ mod tests {
     #[test]
     fn stats_count_requests_and_regions() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         d.handle(&Request::Read {
             handle: fh(),
             layout: l,
@@ -680,7 +862,7 @@ mod tests {
     #[test]
     fn handles_are_isolated() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         d.handle(&Request::Write {
             handle: FileHandle(1),
             layout: l,
@@ -692,13 +874,18 @@ mod tests {
             layout: l,
             region: Region::new(0, 5),
         });
-        assert_eq!(resp, Response::Data { data: Bytes::from(vec![0u8; 5]) });
+        assert_eq!(
+            resp,
+            Response::Data {
+                data: Bytes::from(vec![0u8; 5])
+            }
+        );
     }
 
     #[test]
     fn drop_handle_discards_data() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         d.handle(&Request::Write {
             handle: fh(),
             layout: l,
@@ -713,7 +900,7 @@ mod tests {
     #[test]
     fn vector_read_expands_runs_in_order() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         // Stripe 0 is [0,10), stripe 4 is [40,50): both on server 0.
         d.handle(&Request::Write {
             handle: fh(),
@@ -751,7 +938,7 @@ mod tests {
     #[test]
     fn vector_write_scatters_expansion() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         let runs = vec![pvfs_proto::VectorRun {
             base: 0,
             blocklen: 2,
@@ -771,14 +958,19 @@ mod tests {
                 layout: l,
                 region: Region::new(base, 2),
             });
-            assert_eq!(resp, Response::Data { data: Bytes::from(vec![i, i]) });
+            assert_eq!(
+                resp,
+                Response::Data {
+                    data: Bytes::from(vec![i, i])
+                }
+            );
         }
     }
 
     #[test]
     fn vector_write_wrong_payload_rejected() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         let runs = vec![pvfs_proto::VectorRun {
             base: 0,
             blocklen: 2,
@@ -797,7 +989,7 @@ mod tests {
     #[test]
     fn invalid_vector_run_rejected_at_server() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         let runs = vec![pvfs_proto::VectorRun {
             base: 0,
             blocklen: 10,
@@ -809,13 +1001,16 @@ mod tests {
             layout: l,
             runs,
         });
-        assert!(matches!(resp, Response::Error(PvfsError::InvalidArgument(_))));
+        assert!(matches!(
+            resp,
+            Response::Error(PvfsError::InvalidArgument(_))
+        ));
     }
 
     #[test]
     fn list_read_cost_reports_per_region_accesses() {
         let l = layout();
-        let mut d = IoDaemon::with_defaults(ServerId(0));
+        let d = IoDaemon::with_defaults(ServerId(0));
         // Three regions on this server, each within one stripe.
         let regions = RegionList::from_pairs([(0, 4), (40, 4), (80, 4)]).unwrap();
         let (_, cost) = d.handle(&Request::ReadList {

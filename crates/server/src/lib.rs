@@ -21,5 +21,5 @@
 pub mod iod;
 pub mod manager;
 
-pub use iod::{IoDaemon, IodConfig, ServeCost, ServerStats};
+pub use iod::{default_workers, IoDaemon, IodConfig, ServeCost, ServerStats};
 pub use manager::Manager;

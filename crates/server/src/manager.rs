@@ -142,7 +142,9 @@ mod tests {
     fn create_then_open_returns_same_handle_and_layout() {
         let mut m = Manager::new();
         let h = create(&mut m, "/pvfs/a");
-        match m.handle(&Request::Open { path: "/pvfs/a".into() }) {
+        match m.handle(&Request::Open {
+            path: "/pvfs/a".into(),
+        }) {
             Response::Opened { handle, layout: l } => {
                 assert_eq!(handle, h);
                 assert_eq!(l, layout());
@@ -169,7 +171,10 @@ mod tests {
             path: String::new(),
             layout: layout(),
         });
-        assert!(matches!(resp, Response::Error(PvfsError::InvalidArgument(_))));
+        assert!(matches!(
+            resp,
+            Response::Error(PvfsError::InvalidArgument(_))
+        ));
     }
 
     #[test]
@@ -183,13 +188,18 @@ mod tests {
                 ssize: 16,
             },
         });
-        assert!(matches!(resp, Response::Error(PvfsError::InvalidArgument(_))));
+        assert!(matches!(
+            resp,
+            Response::Error(PvfsError::InvalidArgument(_))
+        ));
     }
 
     #[test]
     fn open_missing_file_fails() {
         let mut m = Manager::new();
-        let resp = m.handle(&Request::Open { path: "/nope".into() });
+        let resp = m.handle(&Request::Open {
+            path: "/nope".into(),
+        });
         assert!(matches!(resp, Response::Error(PvfsError::NoSuchFile(_))));
     }
 
@@ -216,7 +226,10 @@ mod tests {
     fn remove_deletes_namespace_entry() {
         let mut m = Manager::new();
         let h = create(&mut m, "/a");
-        assert_eq!(m.handle(&Request::Remove { path: "/a".into() }), Response::Removed);
+        assert_eq!(
+            m.handle(&Request::Remove { path: "/a".into() }),
+            Response::Removed
+        );
         assert_eq!(m.file_count(), 0);
         assert!(m.layout_of(h).is_none());
         let resp = m.handle(&Request::Open { path: "/a".into() });

@@ -130,14 +130,14 @@ impl CostConfig {
     pub fn paper_default() -> CostConfig {
         CostConfig {
             net: NetCost {
-                latency_ns: 60_000,              // 60 µs one-way
-                bandwidth_bps: 12_500_000,       // 100 Mb/s
-                write_ack_stall_ns: 40_000_000,  // 40 ms
+                latency_ns: 60_000,             // 60 µs one-way
+                bandwidth_bps: 12_500_000,      // 100 Mb/s
+                write_ack_stall_ns: 40_000_000, // 40 ms
             },
             client: ClientCost {
-                per_request_ns: 50_000,      // 50 µs
-                per_fragment_ns: 400_000,    // 400 µs
-                memcpy_bps: 400_000_000,     // 400 MB/s
+                per_request_ns: 50_000,   // 50 µs
+                per_fragment_ns: 400_000, // 400 µs
+                memcpy_bps: 400_000_000,  // 400 MB/s
             },
             server: ServerCost {
                 per_request_ns: 300_000, // 300 µs

@@ -394,8 +394,6 @@ impl<'a> Engine<'a> {
         }
     }
 
-
-
     fn run(&mut self) -> PvfsResult<()> {
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
@@ -514,7 +512,13 @@ impl<'a> Engine<'a> {
                     self.serial_waiting.push_back(c);
                 } else {
                     self.serial_held = true;
-                    push_trace(self.trace_limit, &mut self.trace, t, c, TraceKind::SerialAcquired);
+                    push_trace(
+                        self.trace_limit,
+                        &mut self.trace,
+                        t,
+                        c,
+                        TraceKind::SerialAcquired,
+                    );
                     self.queue.push(t, Ev::Step(c));
                 }
                 Ok(())
@@ -574,8 +578,10 @@ impl<'a> Engine<'a> {
         flight.response = Some(response);
         let resp_wire = cost.net.transfer_ns(flight.resp_control + flight.resp_bulk);
         let (_, stx_end) = self.cluster.server_tx[sidx].acquire(cpu_end, resp_wire);
-        self.queue
-            .push(stx_end + cost.net.latency_ns + ack_stall, Ev::Complete(slot));
+        self.queue.push(
+            stx_end + cost.net.latency_ns + ack_stall,
+            Ev::Complete(slot),
+        );
         Ok(())
     }
 
@@ -638,7 +644,12 @@ impl<'a> Engine<'a> {
                 .iter()
                 .map(|d| d.stats().requests)
                 .collect(),
-            server_busy_ns: self.cluster.server_cpu.iter().map(|r| r.busy_ns()).collect(),
+            server_busy_ns: self
+                .cluster
+                .server_cpu
+                .iter()
+                .map(|r| r.busy_ns())
+                .collect(),
             rtt: Histogram::new(),
         };
         let mut users = Vec::with_capacity(self.clients.len());

@@ -22,4 +22,6 @@ mod cluster;
 #[cfg(test)]
 mod tests;
 
-pub use cluster::{metadata_rtt_ns, ClientJob, ClientReport, SimCluster, SimReport, TraceEvent, TraceKind};
+pub use cluster::{
+    metadata_rtt_ns, ClientJob, ClientReport, SimCluster, SimReport, TraceEvent, TraceKind,
+};

@@ -21,7 +21,13 @@ fn strided_request(n: u64, len: u64, stride: u64) -> ListRequest {
     ListRequest::gather(RegionList::from_pairs((0..n).map(|i| (i * stride, len))).unwrap())
 }
 
-fn job(method: Method, kind: IoKind, request: &ListRequest, l: StripeLayout, user: Vec<u8>) -> ClientJob {
+fn job(
+    method: Method,
+    kind: IoKind,
+    request: &ListRequest,
+    l: StripeLayout,
+    user: Vec<u8>,
+) -> ClientJob {
     let cfg = MethodConfig {
         sieve_buffer: 4096,
         ..MethodConfig::paper_default()
@@ -60,7 +66,9 @@ fn simulated_read_returns_correct_bytes() {
 fn simulated_write_lands_correct_bytes() {
     let l = layout(4, 16);
     let request = strided_request(30, 7, 61);
-    let src: Vec<u8> = (0..request.total_len()).map(|i| (i % 13) as u8 + 1).collect();
+    let src: Vec<u8> = (0..request.total_len())
+        .map(|i| (i % 13) as u8 + 1)
+        .collect();
     for method in Method::ALL {
         let mut sim = cluster(4);
         let (_, _) = sim
@@ -71,8 +79,12 @@ fn simulated_write_lands_correct_bytes() {
         for r in request.file.iter() {
             for seg in l.segments(*r) {
                 let d = sim.daemon(seg.server);
-                let file = d.local_file(FH).expect("file exists");
-                let got = file.store().read_vec(seg.local_offset, seg.logical.len as usize);
+                let got = d
+                    .with_local_file(FH, |f| {
+                        f.store()
+                            .read_vec(seg.local_offset, seg.logical.len as usize)
+                    })
+                    .expect("file exists");
                 assert_eq!(
                     got,
                     src[cursor..cursor + seg.logical.len as usize].to_vec(),
@@ -189,7 +201,13 @@ fn sieving_read_time_is_flat_in_access_count() {
         sim.seed_extent(FH, &l, 165_000);
         let user = vec![0u8; request.total_len() as usize];
         let (report, _) = sim
-            .run(vec![job(Method::DataSieving, IoKind::Read, &request, l, user)])
+            .run(vec![job(
+                Method::DataSieving,
+                IoKind::Read,
+                &request,
+                l,
+                user,
+            )])
             .unwrap();
         report.seconds()
     };
@@ -327,8 +345,14 @@ fn unbalanced_serial_section_is_a_deadlock_error() {
     let mut sim = cluster(2);
     let err = sim
         .run(vec![
-            ClientJob { plan: hog, user: vec![] },
-            ClientJob { plan: waiter, user: vec![] },
+            ClientJob {
+                plan: hog,
+                user: vec![],
+            },
+            ClientJob {
+                plan: waiter,
+                user: vec![],
+            },
         ])
         .unwrap_err();
     assert!(err.to_string().contains("deadlock"), "got: {err}");
@@ -370,7 +394,11 @@ fn write_rtts_carry_the_ack_stall() {
         )])
         .unwrap();
     let stall = sim.cost().net.write_ack_stall_ns;
-    assert!(report.rtt.min_ns() >= stall, "{} < {stall}", report.rtt.min_ns());
+    assert!(
+        report.rtt.min_ns() >= stall,
+        "{} < {stall}",
+        report.rtt.min_ns()
+    );
 }
 
 #[test]

@@ -18,11 +18,10 @@
 
 use crate::error::{PvfsError, PvfsResult};
 use crate::region::{Region, RegionList};
-use serde::{Deserialize, Serialize};
 
 /// A recursive datatype describing a (possibly noncontiguous) byte
 /// pattern anchored at a base offset.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Datatype {
     /// `n` contiguous bytes.
     Bytes(u64),

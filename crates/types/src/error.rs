@@ -1,6 +1,5 @@
 //! Error type shared across the workspace.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Convenient result alias used by every fallible PVFS API.
@@ -8,9 +7,9 @@ pub type PvfsResult<T> = Result<T, PvfsError>;
 
 /// Errors surfaced by the PVFS reproduction.
 ///
-/// The enum is deliberately flat and `Serialize`-able so that server-side
-/// failures can travel back over the wire protocol unchanged.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// The enum is deliberately flat so that server-side failures can travel
+/// back over the wire protocol unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PvfsError {
     /// A request or argument violated an API precondition (mismatched
     /// list lengths, zero stripe size, overlapping write regions, ...).
@@ -31,6 +30,10 @@ pub enum PvfsError {
     Transport(String),
     /// A request was addressed to a server that does not exist.
     NoSuchServer(u32),
+    /// An RPC did not complete within the client's deadline (wedged or
+    /// overloaded server). The request may still execute server-side;
+    /// reads are safe to retry, writes are idempotent per region.
+    Timeout(String),
 }
 
 impl fmt::Display for PvfsError {
@@ -44,6 +47,7 @@ impl fmt::Display for PvfsError {
             PvfsError::Storage(m) => write!(f, "storage error: {m}"),
             PvfsError::Transport(m) => write!(f, "transport error: {m}"),
             PvfsError::NoSuchServer(s) => write!(f, "no such I/O server: {s}"),
+            PvfsError::Timeout(m) => write!(f, "rpc timed out: {m}"),
         }
     }
 }
@@ -59,6 +63,11 @@ impl PvfsError {
     /// Shorthand for [`PvfsError::Protocol`].
     pub fn protocol(msg: impl Into<String>) -> Self {
         PvfsError::Protocol(msg.into())
+    }
+
+    /// Shorthand for [`PvfsError::Timeout`].
+    pub fn timeout(msg: impl Into<String>) -> Self {
+        PvfsError::Timeout(msg.into())
     }
 }
 
@@ -76,8 +85,14 @@ mod tests {
             PvfsError::NoSuchFile("/pvfs/a".into()).to_string(),
             "no such file: /pvfs/a"
         );
-        assert_eq!(PvfsError::BadHandle(0xff).to_string(), "bad file handle: 0xff");
-        assert_eq!(PvfsError::NoSuchServer(9).to_string(), "no such I/O server: 9");
+        assert_eq!(
+            PvfsError::BadHandle(0xff).to_string(),
+            "bad file handle: 0xff"
+        );
+        assert_eq!(
+            PvfsError::NoSuchServer(9).to_string(),
+            "no such I/O server: 9"
+        );
     }
 
     #[test]

@@ -3,14 +3,13 @@
 //! All ids are small copyable newtypes so that a `ServerId` can never be
 //! confused with a `ClientId` or a raw index at a call site.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies one I/O daemon (I/O server) in the cluster.
 ///
 /// Servers are numbered `0..n_servers`. The [`crate::StripeLayout`] maps
 /// file offsets onto these ids.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ServerId(pub u32);
 
 impl ServerId {
@@ -28,7 +27,7 @@ impl fmt::Display for ServerId {
 }
 
 /// Identifies one client (compute node / application process).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientId(pub u32);
 
 impl ClientId {
@@ -51,7 +50,7 @@ impl fmt::Display for ClientId {
 /// parameters and I/O daemon locations) at open time; afterwards all data
 /// traffic flows directly between clients and I/O daemons carrying this
 /// handle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileHandle(pub u64);
 
 impl fmt::Display for FileHandle {
@@ -62,7 +61,7 @@ impl fmt::Display for FileHandle {
 
 /// Per-connection monotonically increasing request id used to match
 /// responses to requests on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
 
 impl RequestId {

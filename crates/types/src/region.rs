@@ -9,7 +9,6 @@
 //! list with a file list into equal-length transfer pieces.
 
 use crate::error::{PvfsError, PvfsResult};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A contiguous run of bytes: `[offset, offset + len)`.
@@ -17,7 +16,7 @@ use std::fmt;
 /// Used both for file regions (offset within the file) and memory regions
 /// (offset within a user buffer). Zero-length regions are permitted as
 /// values but most list constructors reject them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Region {
     /// First byte covered.
     pub offset: u64,
@@ -27,12 +26,34 @@ pub struct Region {
 
 impl Region {
     /// Create a region covering `[offset, offset + len)`.
+    ///
+    /// Panics if `offset + len` overflows `u64` — such a region has no
+    /// well-defined [`Region::end`], and the geometric operations
+    /// (`contains`, `overlaps`, `try_merge`, ...) would silently compute
+    /// with a wrapped end. Untrusted inputs (the wire codec) go through
+    /// [`Region::try_new`] instead.
     #[inline]
     pub const fn new(offset: u64, len: u64) -> Region {
+        assert!(
+            offset.checked_add(len).is_some(),
+            "region end overflows u64"
+        );
         Region { offset, len }
     }
 
-    /// One-past-the-last byte covered.
+    /// Create a region, rejecting pairs whose end would overflow `u64`.
+    /// This is the constructor for untrusted (wire) input.
+    #[inline]
+    pub const fn try_new(offset: u64, len: u64) -> Option<Region> {
+        if offset.checked_add(len).is_some() {
+            Some(Region { offset, len })
+        } else {
+            None
+        }
+    }
+
+    /// One-past-the-last byte covered. Cannot overflow: construction
+    /// rejects `offset + len > u64::MAX`.
     #[inline]
     pub const fn end(self) -> u64 {
         self.offset + self.len
@@ -135,7 +156,7 @@ impl fmt::Display for Region {
 /// as *file* descriptions by the planners are usually sorted and disjoint
 /// (checked by [`RegionList::is_sorted_disjoint`]) but the type itself
 /// allows arbitrary order, as the paper's interface does.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RegionList {
     regions: Vec<Region>,
 }
@@ -143,7 +164,9 @@ pub struct RegionList {
 impl RegionList {
     /// Empty list.
     pub const fn new() -> RegionList {
-        RegionList { regions: Vec::new() }
+        RegionList {
+            regions: Vec::new(),
+        }
     }
 
     /// Empty list with reserved capacity.
@@ -241,9 +264,7 @@ impl RegionList {
     /// overlap — the usual shape of file lists produced by access-pattern
     /// generators.
     pub fn is_sorted_disjoint(&self) -> bool {
-        self.regions
-            .windows(2)
-            .all(|w| w[0].end() <= w[1].offset)
+        self.regions.windows(2).all(|w| w[0].end() <= w[1].offset)
     }
 
     /// A copy with adjacent/overlapping regions merged. The input is
@@ -285,9 +306,9 @@ impl RegionList {
     /// several ≤64-region wire requests.
     pub fn chunks(&self, max_regions: usize) -> impl Iterator<Item = RegionList> + '_ {
         assert!(max_regions > 0, "chunk size must be positive");
-        self.regions
-            .chunks(max_regions)
-            .map(|c| RegionList { regions: c.to_vec() })
+        self.regions.chunks(max_regions).map(|c| RegionList {
+            regions: c.to_vec(),
+        })
     }
 
     /// Locate the region containing the `pos`-th byte of the *list's byte
@@ -415,6 +436,22 @@ mod tests {
 
     fn rl(pairs: &[(u64, u64)]) -> RegionList {
         RegionList::from_pairs(pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    #[should_panic(expected = "region end overflows u64")]
+    fn new_rejects_overflowing_end() {
+        let _ = Region::new(u64::MAX - 3, 5);
+    }
+
+    #[test]
+    fn try_new_filters_overflow() {
+        assert_eq!(
+            Region::try_new(u64::MAX - 3, 3),
+            Some(Region::new(u64::MAX - 3, 3))
+        );
+        assert_eq!(Region::try_new(u64::MAX - 3, 4), None);
+        assert_eq!(Region::try_new(u64::MAX, 0), Some(Region::new(u64::MAX, 0)));
     }
 
     #[test]
@@ -621,14 +658,39 @@ mod proptests {
     }
 
     fn arb_list(max: usize) -> impl Strategy<Value = RegionList> {
-        proptest::collection::vec(arb_region(), 1..max)
-            .prop_map(RegionList::from_regions_unchecked)
+        proptest::collection::vec(arb_region(), 1..max).prop_map(RegionList::from_regions_unchecked)
     }
 
     proptest! {
         #[test]
         fn intersect_is_commutative(a in arb_region(), b in arb_region()) {
             prop_assert_eq!(a.intersect(b), b.intersect(a));
+        }
+
+        /// Construction at the top of the address space: `try_new`
+        /// accepts exactly the pairs whose end fits in u64, and the
+        /// geometric operations on accepted boundary regions never see
+        /// a wrapped end.
+        #[test]
+        fn boundary_construction_is_overflow_safe(
+            slack in 0u64..2_000,
+            len in 0u64..2_000,
+        ) {
+            let offset = u64::MAX - slack;
+            match Region::try_new(offset, len) {
+                Some(r) => {
+                    prop_assert!(len <= slack);
+                    prop_assert_eq!(r.end(), offset + len);
+                    prop_assert!(r.end() >= r.offset);
+                    // A wrapped end would make the region "contain"
+                    // low offsets; it must not.
+                    if !r.is_empty() {
+                        prop_assert!(!r.contains_offset(0));
+                        prop_assert!(!r.overlaps(Region::new(0, 1)));
+                    }
+                }
+                None => prop_assert!(len > slack),
+            }
         }
 
         #[test]

@@ -16,13 +16,12 @@
 use crate::error::{PvfsError, PvfsResult};
 use crate::ids::ServerId;
 use crate::region::Region;
-use serde::{Deserialize, Serialize};
 
 /// The paper's default stripe size: 16 KiB.
 pub const DEFAULT_STRIPE_SIZE: u64 = 16 * 1024;
 
 /// Striping parameters for one file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StripeLayout {
     /// First I/O server holding stripe 0.
     pub base: u32,
@@ -35,7 +34,11 @@ pub struct StripeLayout {
 impl StripeLayout {
     /// Create a layout, validating the parameters.
     pub fn new(base: u32, pcount: u32, ssize: u64) -> PvfsResult<StripeLayout> {
-        let l = StripeLayout { base, pcount, ssize };
+        let l = StripeLayout {
+            base,
+            pcount,
+            ssize,
+        };
         l.validate()?;
         Ok(l)
     }
@@ -107,7 +110,10 @@ impl StripeLayout {
         let slot = (g % self.pcount as u64) as u32;
         let local_stripe = g / self.pcount as u64;
         let within = offset % self.ssize;
-        (self.server_at_slot(slot), local_stripe * self.ssize + within)
+        (
+            self.server_at_slot(slot),
+            local_stripe * self.ssize + within,
+        )
     }
 
     /// Inverse of [`to_local`](Self::to_local): map `(slot, local
@@ -269,7 +275,16 @@ mod tests {
     #[test]
     fn to_logical_inverts_to_local() {
         let l = layout(8, 16384);
-        for off in [0u64, 1, 16383, 16384, 131071, 131072, 1_000_000, 123_456_789] {
+        for off in [
+            0u64,
+            1,
+            16383,
+            16384,
+            131071,
+            131072,
+            1_000_000,
+            123_456_789,
+        ] {
             let (server, local) = l.to_local(off);
             let slot = server.0 - l.base;
             assert_eq!(l.to_logical(slot, local), off, "offset {off}");
@@ -332,8 +347,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_layout() -> impl Strategy<Value = StripeLayout> {
-        (0u32..4, 1u32..16, 1u64..100_000)
-            .prop_map(|(base, pcount, ssize)| StripeLayout { base, pcount, ssize })
+        (0u32..4, 1u32..16, 1u64..100_000).prop_map(|(base, pcount, ssize)| StripeLayout {
+            base,
+            pcount,
+            ssize,
+        })
     }
 
     proptest! {

@@ -57,17 +57,29 @@ pub struct FlashIo {
 impl FlashIo {
     /// The benchmark with the memory-lean guard default.
     pub fn new(nprocs: u64) -> FlashIo {
-        FlashIo { nprocs, nguard: 1, blocks: BLOCKS }
+        FlashIo {
+            nprocs,
+            nguard: 1,
+            blocks: BLOCKS,
+        }
     }
 
     /// Full-fidelity FLASH guards (16³ memory blocks).
     pub fn with_real_guards(nprocs: u64) -> FlashIo {
-        FlashIo { nprocs, nguard: 4, blocks: BLOCKS }
+        FlashIo {
+            nprocs,
+            nguard: 4,
+            blocks: BLOCKS,
+        }
     }
 
     /// A scaled-down run with fewer mesh blocks per processor.
     pub fn scaled(nprocs: u64, blocks: u64) -> FlashIo {
-        FlashIo { nprocs, nguard: 1, blocks }
+        FlashIo {
+            nprocs,
+            nguard: 1,
+            blocks,
+        }
     }
 
     /// Block edge including guards.
@@ -212,10 +224,7 @@ mod tests {
             }
         }
         assert_eq!(seen.len() as u64, 3 * f.file_region_count());
-        assert_eq!(
-            seen.iter().max().copied().unwrap() + 4096,
-            f.file_size()
-        );
+        assert_eq!(seen.iter().max().copied().unwrap() + 4096, f.file_size());
     }
 
     #[test]

@@ -177,8 +177,14 @@ mod tests {
         let p = NestedStrided {
             base: 0,
             levels: vec![
-                StrideLevel { count: 3, stride: 1000 },
-                StrideLevel { count: 4, stride: 100 },
+                StrideLevel {
+                    count: 3,
+                    stride: 1000,
+                },
+                StrideLevel {
+                    count: 4,
+                    stride: 100,
+                },
             ],
             block: 16,
         };
@@ -195,8 +201,14 @@ mod tests {
         let p = NestedStrided {
             base: 0,
             levels: vec![
-                StrideLevel { count: 5, stride: 4096 },
-                StrideLevel { count: 3, stride: 512 },
+                StrideLevel {
+                    count: 5,
+                    stride: 4096,
+                },
+                StrideLevel {
+                    count: 3,
+                    stride: 512,
+                },
             ],
             block: 64,
         };
@@ -222,8 +234,14 @@ mod tests {
         let p = NestedStrided {
             base: 0,
             levels: vec![
-                StrideLevel { count: 2, stride: 100 }, // inner span 3*64=192 > 100
-                StrideLevel { count: 3, stride: 64 },
+                StrideLevel {
+                    count: 2,
+                    stride: 100,
+                }, // inner span 3*64=192 > 100
+                StrideLevel {
+                    count: 3,
+                    stride: 64,
+                },
             ],
             block: 16,
         };
@@ -261,8 +279,14 @@ mod proptests {
             NestedStrided {
                 base,
                 levels: vec![
-                    StrideLevel { count: c1, stride: s1 },
-                    StrideLevel { count: c2, stride: s2 },
+                    StrideLevel {
+                        count: c1,
+                        stride: s1,
+                    },
+                    StrideLevel {
+                        count: c2,
+                        stride: s2,
+                    },
                 ],
                 block,
             }

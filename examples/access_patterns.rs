@@ -52,8 +52,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         accesses_per_client: 65_536,
         aggregate_bytes: 256 << 20,
     };
-    inspect("1-D cyclic, client 0", &cyclic.request_for(0)?, IoKind::Read);
-    inspect("1-D cyclic, client 0", &cyclic.request_for(0)?, IoKind::Write);
+    inspect(
+        "1-D cyclic, client 0",
+        &cyclic.request_for(0)?,
+        IoKind::Read,
+    );
+    inspect(
+        "1-D cyclic, client 0",
+        &cyclic.request_for(0)?,
+        IoKind::Write,
+    );
 
     // Block-block: 16 clients.
     let bb = BlockBlock {
@@ -65,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // FLASH I/O (scaled to 8 blocks to keep the table instant).
     let flash = FlashIo::scaled(4, 8);
-    inspect("FLASH checkpoint, proc 0", &flash.request_for(0)?, IoKind::Write);
+    inspect(
+        "FLASH checkpoint, proc 0",
+        &flash.request_for(0)?,
+        IoKind::Write,
+    );
 
     // Tiled visualization.
     let wall = TiledViz::paper();
@@ -76,8 +88,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nested = NestedStrided {
         base: 0,
         levels: vec![
-            StrideLevel { count: 64, stride: 1 << 20 },
-            StrideLevel { count: 32, stride: 8192 },
+            StrideLevel {
+                count: 64,
+                stride: 1 << 20,
+            },
+            StrideLevel {
+                count: 32,
+                stride: 8192,
+            },
         ],
         block: 128,
     };

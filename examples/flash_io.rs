@@ -38,11 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let client = cluster.client();
         writers.push(std::thread::spawn(move || {
             let mut f = PvfsFile::open(&client, "/pvfs/flash.chk").expect("open");
-            let req = FlashIo::scaled(nprocs, blocks).request_for(p).expect("request");
+            let req = FlashIo::scaled(nprocs, blocks)
+                .request_for(p)
+                .expect("request");
             // Fill this proc's mesh with a recognizable value.
             let mut mem = vec![0u8; FlashIo::scaled(nprocs, blocks).mem_bytes() as usize];
             mem.fill(p as u8 + 1);
-            f.write_list(&req.mem, &req.file, &mem, Method::List).expect("checkpoint");
+            f.write_list(&req.mem, &req.file, &mem, Method::List)
+                .expect("checkpoint");
         }));
     }
     for w in writers {
@@ -54,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for p in 0..nprocs {
         let off = flash.file_chunk_offset(3, blocks / 2, p);
         reader.read_at(off, &mut chunk)?;
-        assert!(chunk.iter().all(|b| *b == p as u8 + 1), "proc {p} chunk corrupt");
+        assert!(
+            chunk.iter().all(|b| *b == p as u8 + 1),
+            "proc {p} chunk corrupt"
+        );
     }
     println!("live checkpoint verified across {nprocs} writer threads");
 
@@ -67,15 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let jobs: Vec<ClientJob> = (0..nprocs)
             .map(|p| {
                 let req = flash.request_for(p).expect("request");
-                let plan = pvfs::core::plan(
-                    method,
-                    IoKind::Write,
-                    &req,
-                    FileHandle(7),
-                    layout,
-                    &cfg,
-                )
-                .expect("plan");
+                let plan =
+                    pvfs::core::plan(method, IoKind::Write, &req, FileHandle(7), layout, &cfg)
+                        .expect("plan");
                 ClientJob {
                     plan,
                     user: vec![p as u8 + 1; flash.mem_bytes() as usize],

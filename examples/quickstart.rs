@@ -15,13 +15,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // paper's server count.
     let cluster = LiveCluster::spawn(8);
     let client = cluster.client();
-    println!("spawned a PVFS cluster with {} I/O servers", cluster.n_servers());
+    println!(
+        "spawned a PVFS cluster with {} I/O servers",
+        cluster.n_servers()
+    );
 
     // User-controlled striping (Fig. 2): base node 0, all 8 servers,
     // the paper's default 16 KiB stripe size.
     let layout = StripeLayout::paper_default(8);
     let mut file = PvfsFile::create(&client, "/pvfs/quickstart.dat", layout)?;
-    println!("created {} striped {}-way, {} B stripes", file.path(), layout.pcount, layout.ssize);
+    println!(
+        "created {} striped {}-way, {} B stripes",
+        file.path(),
+        layout.pcount,
+        layout.ssize
+    );
 
     // Contiguous write and read-back.
     let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
@@ -29,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut back = vec![0u8; payload.len()];
     file.read_at(0, &mut back)?;
     assert_eq!(back, payload);
-    println!("contiguous write/read of {} bytes OK (file size {})", payload.len(), file.size()?);
+    println!(
+        "contiguous write/read of {} bytes OK (file size {})",
+        payload.len(),
+        file.size()?
+    );
 
     // A noncontiguous access: every other 1 KiB block, gathered into a
     // contiguous buffer — the paper's pvfs_read_list interface.

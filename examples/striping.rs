@@ -16,9 +16,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("stripe mapping for three layouts over an 8-server cluster:\n");
     for (name, layout) in [
-        ("paper default (8-way, 16 KiB)", StripeLayout::paper_default(8)),
-        ("narrow (4-way from node 2, 4 KiB)", StripeLayout::new(2, 4, 4096)?),
-        ("wide-striped small (8-way, 1 KiB)", StripeLayout::new(0, 8, 1024)?),
+        (
+            "paper default (8-way, 16 KiB)",
+            StripeLayout::paper_default(8),
+        ),
+        (
+            "narrow (4-way from node 2, 4 KiB)",
+            StripeLayout::new(2, 4, 4096)?,
+        ),
+        (
+            "wide-striped small (8-way, 1 KiB)",
+            StripeLayout::new(0, 8, 1024)?,
+        ),
     ] {
         println!("-- {name} --");
         for offset in [0u64, 10_000, 100_000, 1 << 20] {

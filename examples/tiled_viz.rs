@@ -81,8 +81,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let jobs: Vec<ClientJob> = (0..wall.clients())
             .map(|rank| {
                 let req = wall.request_for(rank).expect("tile request");
-                let plan = pvfs::core::plan(method, IoKind::Read, &req, FileHandle(7), layout, &cfg)
-                    .expect("plan");
+                let plan =
+                    pvfs::core::plan(method, IoKind::Read, &req, FileHandle(7), layout, &cfg)
+                        .expect("plan");
                 let len = req.total_len() as usize;
                 ClientJob {
                     plan,

@@ -81,7 +81,9 @@ impl Shell {
     }
 
     fn cmd_create(&mut self, args: &[&str]) -> PvfsResult<String> {
-        let path = *args.first().ok_or_else(|| PvfsError::invalid("create PATH [pcount [ssize [base]]]"))?;
+        let path = *args
+            .first()
+            .ok_or_else(|| PvfsError::invalid("create PATH [pcount [ssize [base]]]"))?;
         let pcount: u32 = parse_or(args.get(1), self.cluster.n_servers())?;
         let ssize: u64 = parse_or(args.get(2), pvfs_types::striping::DEFAULT_STRIPE_SIZE)?;
         let base: u32 = parse_or(args.get(3), 0)?;
@@ -94,7 +96,9 @@ impl Shell {
     }
 
     fn cmd_open(&mut self, args: &[&str]) -> PvfsResult<String> {
-        let path = *args.first().ok_or_else(|| PvfsError::invalid("open PATH"))?;
+        let path = *args
+            .first()
+            .ok_or_else(|| PvfsError::invalid("open PATH"))?;
         let file = PvfsFile::open(&self.cluster.client(), path)?;
         let l = file.layout();
         self.files.insert(path.to_string(), file);
@@ -107,7 +111,9 @@ impl Shell {
     }
 
     fn cmd_close(&mut self, args: &[&str]) -> PvfsResult<String> {
-        let path = *args.first().ok_or_else(|| PvfsError::invalid("close PATH"))?;
+        let path = *args
+            .first()
+            .ok_or_else(|| PvfsError::invalid("close PATH"))?;
         let file = self
             .files
             .remove(path)
@@ -132,7 +138,9 @@ impl Shell {
     }
 
     fn cmd_stat(&mut self, args: &[&str]) -> PvfsResult<String> {
-        let path = *args.first().ok_or_else(|| PvfsError::invalid("stat PATH"))?;
+        let path = *args
+            .first()
+            .ok_or_else(|| PvfsError::invalid("stat PATH"))?;
         let file = self.file_mut(path)?;
         let l = file.layout();
         let size = file.size()?;
@@ -262,13 +270,22 @@ impl Shell {
     }
 
     fn cmd_stats(&mut self) -> PvfsResult<String> {
-        let mut out = String::from("server     requests  contig    list  regions   read B  written B\n");
+        let mut out =
+            String::from("server     requests  contig    list  regions   read B  written B\n");
         for i in 0..self.cluster.n_servers() {
-            let s = self.cluster.server_stats(ServerId(i)).expect("server exists");
+            let s = self
+                .cluster
+                .server_stats(ServerId(i))
+                .expect("server exists");
             let _ = writeln!(
                 out,
                 "iod{i:<7} {:>8} {:>7} {:>7} {:>8} {:>8} {:>10}",
-                s.requests, s.contiguous_requests, s.list_requests, s.regions, s.bytes_read, s.bytes_written
+                s.requests,
+                s.contiguous_requests,
+                s.list_requests,
+                s.regions,
+                s.bytes_read,
+                s.bytes_written
             );
         }
         Ok(out)
@@ -340,7 +357,13 @@ fn render_bytes(buf: &[u8]) -> String {
         let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
         let ascii: String = chunk
             .iter()
-            .map(|&b| if (0x20..0x7f).contains(&b) { b as char } else { '.' })
+            .map(|&b| {
+                if (0x20..0x7f).contains(&b) {
+                    b as char
+                } else {
+                    '.'
+                }
+            })
             .collect();
         let _ = writeln!(out, "{:08x}  {:<47}  |{}|", i * 16, hex.join(" "), ascii);
     }
@@ -429,9 +452,16 @@ mod tests {
     fn bench_compares_all_methods() {
         let mut sh = shell();
         sh.execute("create /b 4 64").unwrap();
-        sh.execute("write /b 0 seed-data-so-reads-return-something").unwrap();
+        sh.execute("write /b 0 seed-data-so-reads-return-something")
+            .unwrap();
         let out = sh.execute("bench /b 0 16 4 16").unwrap();
-        for name in ["Multiple I/O", "Data Sieving I/O", "List I/O", "Hybrid I/O", "Datatype I/O"] {
+        for name in [
+            "Multiple I/O",
+            "Data Sieving I/O",
+            "List I/O",
+            "Hybrid I/O",
+            "Datatype I/O",
+        ] {
             assert!(out.contains(name), "missing {name}: {out}");
         }
     }

@@ -42,9 +42,11 @@ fn live_read(
     let cluster = LiveCluster::spawn(8);
     let client = cluster.client();
     let mut f = PvfsFile::create(&client, "/pvfs/x", layout).unwrap();
-    f.write_at(0, &verify::content(0, file_size as usize)).unwrap();
+    f.write_at(0, &verify::content(0, file_size as usize))
+        .unwrap();
     let mut buf = vec![0u8; request.mem.extent().map(|e| e.end()).unwrap_or(0) as usize];
-    f.read_list(&request.mem, &request.file, &mut buf, method).unwrap();
+    f.read_list(&request.mem, &request.file, &mut buf, method)
+        .unwrap();
     buf
 }
 
@@ -131,8 +133,10 @@ fn flash_checkpoints_agree_between_live_and_sim() {
     let mut sim_file = vec![0u8; file_size];
     for seg in layout.segments(pvfs::types::Region::new(0, file_size as u64)) {
         let daemon = sim.daemon(seg.server);
-        if let Some(f) = daemon.local_file(FH) {
-            let piece = f.store().read_vec(seg.local_offset, seg.logical.len as usize);
+        if let Some(piece) = daemon.with_local_file(FH, |f| {
+            f.store()
+                .read_vec(seg.local_offset, seg.logical.len as usize)
+        }) {
             sim_file[seg.logical.offset as usize..seg.logical.end() as usize]
                 .copy_from_slice(&piece);
         }
@@ -141,7 +145,10 @@ fn flash_checkpoints_agree_between_live_and_sim() {
     // Live: same writes through threads, then a contiguous read-back.
     let cluster = LiveCluster::spawn(8);
     let setup = cluster.client();
-    PvfsFile::create(&setup, "/pvfs/flash", layout).unwrap().close().unwrap();
+    PvfsFile::create(&setup, "/pvfs/flash", layout)
+        .unwrap()
+        .close()
+        .unwrap();
     let mut writers = Vec::new();
     for p in 0..2u64 {
         let client = cluster.client();
@@ -150,7 +157,8 @@ fn flash_checkpoints_agree_between_live_and_sim() {
             let mut f = PvfsFile::open(&client, "/pvfs/flash").unwrap();
             let req = flash.request_for(p).unwrap();
             let mem = verify::content(p * 1_000_000, flash.mem_bytes() as usize);
-            f.write_list(&req.mem, &req.file, &mem, Method::List).unwrap();
+            f.write_list(&req.mem, &req.file, &mem, Method::List)
+                .unwrap();
         }));
     }
     for w in writers {

@@ -19,8 +19,8 @@ fn paper_layout() -> StripeLayout {
 fn list_requests_fit_one_ethernet_packet() {
     // §3.3: 64 regions of trailing data chosen so request + trailing
     // data travel in a single 1500-byte Ethernet packet.
-    let regions = RegionList::from_pairs((0..MAX_LIST_REGIONS as u64).map(|i| (i * 4096, 128)))
-        .unwrap();
+    let regions =
+        RegionList::from_pairs((0..MAX_LIST_REGIONS as u64).map(|i| (i * 4096, 128))).unwrap();
     let frame = encode_message(&Message {
         client: ClientId(0),
         id: RequestId(0),
@@ -44,19 +44,41 @@ fn flash_request_count_formulas() {
 
     // Multiple I/O: (80 blocks)(8x)(8y)(8z)(24 vars) = 983 040
     // requests/processor (every access is an 8-byte double).
-    let multiple = plan(Method::Multiple, IoKind::Write, &request, FileHandle(1), layout, &cfg)
-        .unwrap();
+    let multiple = plan(
+        Method::Multiple,
+        IoKind::Write,
+        &request,
+        FileHandle(1),
+        layout,
+        &cfg,
+    )
+    .unwrap();
     assert_eq!(multiple.stats.rounds, 983_040);
 
     // List I/O: (80 blocks)(24 vars)/64 = 30 requests/processor.
-    let list = plan(Method::List, IoKind::Write, &request, FileHandle(1), layout, &cfg).unwrap();
+    let list = plan(
+        Method::List,
+        IoKind::Write,
+        &request,
+        FileHandle(1),
+        layout,
+        &cfg,
+    )
+    .unwrap();
     assert_eq!(list.stats.rounds, 30);
 
     // Data sieving: data size 7 864 320 bytes/processor < the 32 MB
     // buffer — but the *extent* spans the shared file, so windows scale
     // with the number of clients (the growth the paper measured).
-    let sieve = plan(Method::DataSieving, IoKind::Write, &request, FileHandle(1), layout, &cfg)
-        .unwrap();
+    let sieve = plan(
+        Method::DataSieving,
+        IoKind::Write,
+        &request,
+        FileHandle(1),
+        layout,
+        &cfg,
+    )
+    .unwrap();
     assert_eq!(request.total_len(), 7_864_320);
     assert!(sieve.stats.serial_sections == 1);
 }
@@ -68,10 +90,25 @@ fn tiled_viz_request_count_formulas() {
     let request = wall.request_for(2).unwrap();
     let cfg = MethodConfig::paper_default();
     let layout = paper_layout();
-    let multiple =
-        plan(Method::Multiple, IoKind::Read, &request, FileHandle(1), layout, &cfg).unwrap();
+    let multiple = plan(
+        Method::Multiple,
+        IoKind::Read,
+        &request,
+        FileHandle(1),
+        layout,
+        &cfg,
+    )
+    .unwrap();
     assert_eq!(multiple.stats.rounds, 768);
-    let list = plan(Method::List, IoKind::Read, &request, FileHandle(1), layout, &cfg).unwrap();
+    let list = plan(
+        Method::List,
+        IoKind::Read,
+        &request,
+        FileHandle(1),
+        layout,
+        &cfg,
+    )
+    .unwrap();
     assert_eq!(list.stats.rounds, 12);
 }
 
@@ -88,8 +125,15 @@ fn cyclic_request_counts_scale_linearly_with_accesses() {
             aggregate_bytes: 1 << 26,
         };
         let request = pattern.request_for(0).unwrap();
-        let p = plan(Method::Multiple, IoKind::Read, &request, FileHandle(1), layout, &cfg)
-            .unwrap();
+        let p = plan(
+            Method::Multiple,
+            IoKind::Read,
+            &request,
+            FileHandle(1),
+            layout,
+            &cfg,
+        )
+        .unwrap();
         p.stats.requests
     };
     assert_eq!(count_for(4096) / count_for(1024), 4);
@@ -108,9 +152,24 @@ fn list_io_reduces_requests_by_the_trailing_factor() {
         aggregate_bytes: 1 << 29,
     };
     let request = pattern.request_for(0).unwrap();
-    let multiple =
-        plan(Method::Multiple, IoKind::Write, &request, FileHandle(1), layout, &cfg).unwrap();
-    let list = plan(Method::List, IoKind::Write, &request, FileHandle(1), layout, &cfg).unwrap();
+    let multiple = plan(
+        Method::Multiple,
+        IoKind::Write,
+        &request,
+        FileHandle(1),
+        layout,
+        &cfg,
+    )
+    .unwrap();
+    let list = plan(
+        Method::List,
+        IoKind::Write,
+        &request,
+        FileHandle(1),
+        layout,
+        &cfg,
+    )
+    .unwrap();
     assert_eq!(multiple.stats.rounds / list.stats.rounds, 64);
 }
 
@@ -128,14 +187,21 @@ fn sieving_wire_traffic_is_extent_not_useful_bytes() {
             aggregate_bytes: 1 << 26,
         };
         let request = pattern.request_for(0).unwrap();
-        let p = plan(Method::DataSieving, IoKind::Read, &request, FileHandle(1), layout, &cfg)
-            .unwrap();
+        let p = plan(
+            Method::DataSieving,
+            IoKind::Read,
+            &request,
+            FileHandle(1),
+            layout,
+            &cfg,
+        )
+        .unwrap();
         (p.stats.waste_bytes, p.stats.useful_bytes)
     };
     let (waste8, useful8) = waste_for(8);
     let (waste16, useful16) = waste_for(16);
     assert_eq!(useful8, 2 * useful16); // same file split among more clients
-    // Waste fraction roughly doubles: 7/8 -> 15/16 of the extent.
+                                       // Waste fraction roughly doubles: 7/8 -> 15/16 of the extent.
     let frac8 = waste8 as f64 / (waste8 + useful8) as f64;
     let frac16 = waste16 as f64 / (waste16 + useful16) as f64;
     assert!((frac8 - 0.875).abs() < 0.01, "frac8 {frac8}");
@@ -152,10 +218,24 @@ fn sieving_writes_double_the_traffic_via_rmw() {
         aggregate_bytes: 1 << 24,
     };
     let request = pattern.request_for(0).unwrap();
-    let read =
-        plan(Method::DataSieving, IoKind::Read, &request, FileHandle(1), layout, &cfg).unwrap();
-    let write =
-        plan(Method::DataSieving, IoKind::Write, &request, FileHandle(1), layout, &cfg).unwrap();
+    let read = plan(
+        Method::DataSieving,
+        IoKind::Read,
+        &request,
+        FileHandle(1),
+        layout,
+        &cfg,
+    )
+    .unwrap();
+    let write = plan(
+        Method::DataSieving,
+        IoKind::Write,
+        &request,
+        FileHandle(1),
+        layout,
+        &cfg,
+    )
+    .unwrap();
     assert_eq!(write.stats.wire_bytes(), 2 * read.stats.wire_bytes());
     assert_eq!(write.stats.serial_sections, 1);
     assert_eq!(read.stats.serial_sections, 0);
@@ -174,10 +254,17 @@ fn datatype_io_removes_the_linear_relationship() {
             aggregate_bytes: 1 << 26,
         };
         let request = pattern.request_for(0).unwrap();
-        plan(Method::Datatype, IoKind::Read, &request, FileHandle(1), layout, &cfg)
-            .unwrap()
-            .stats
-            .requests
+        plan(
+            Method::Datatype,
+            IoKind::Read,
+            &request,
+            FileHandle(1),
+            layout,
+            &cfg,
+        )
+        .unwrap()
+        .stats
+        .requests
     };
     // The request count is bounded by the number of I/O servers (one
     // vector request per touched server), never by the region count —

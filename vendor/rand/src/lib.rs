@@ -1,0 +1,203 @@
+//! Minimal reimplementation of the parts of the `rand` crate this
+//! workspace uses, vendored so the build works without crates.io
+//! access. The only generator is [`rngs::StdRng`], a splitmix64 /
+//! xorshift-style PRNG — not cryptographically secure, but fast and
+//! deterministic under [`SeedableRng::seed_from_u64`], which is all the
+//! fuzz tests and benches here require.
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a simple integer seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically seed the generator from a `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`Range` or `RangeInclusive` over
+    /// the common integer types).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(&mut |_| self.next_u64())
+    }
+
+    /// A uniformly random value of a supported type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// True with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard {
+    /// Build a value from 64 random bits.
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for u8 {
+    fn from_u64(bits: u64) -> u8 {
+        bits as u8
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(bits: u64) -> f64 {
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts. The `gen` argument abstracts the
+/// bit source so the trait stays object-safe-free and simple.
+pub trait SampleRange<T> {
+    /// Sample a value uniformly from the range.
+    fn sample(self, gen: &mut dyn FnMut(()) -> u64) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, gen: &mut dyn FnMut(()) -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u128;
+                self.start + (gen(()) as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, gen: &mut dyn FnMut(()) -> u64) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u128 + 1;
+                lo + (gen(()) as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, gen: &mut dyn FnMut(()) -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (gen(()) as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, gen: &mut dyn FnMut(()) -> u64) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (gen(()) as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i32: u32, i64: u64);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, gen: &mut dyn FnMut(()) -> u64) -> f64 {
+        let unit = (gen(()) >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard PRNG: splitmix64-seeded xorshift64*.
+    /// Deterministic for a given seed; NOT cryptographically secure.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // splitmix64 scramble so nearby seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            StdRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64*
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1u64..=8);
+            assert!((1..=8).contains(&w));
+            let u = rng.gen_range(3usize..700);
+            assert!((3..700).contains(&u));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}
