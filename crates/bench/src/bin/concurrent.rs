@@ -10,11 +10,13 @@
 //!
 //! Prints aggregate read throughput for both configurations and the
 //! pool-over-serial speedup. Run with `cargo run --release -p
-//! pvfs-bench --bin concurrent`.
+//! pvfs-bench --bin concurrent [-- --transport chan|tcp]`; the flag
+//! selects in-process channels (default) or real TCP loopback sockets,
+//! so the same run doubles as a chan-vs-tcp transport comparison.
 
 use pvfs_client::PvfsFile;
 use pvfs_core::Method;
-use pvfs_net::LiveCluster;
+use pvfs_net::{LiveCluster, TransportKind};
 use pvfs_server::IodConfig;
 use pvfs_types::StripeLayout;
 use pvfs_workloads::Cyclic;
@@ -36,13 +38,13 @@ const SERVICE_LATENCY: Duration = Duration::from_millis(2);
 /// One full run: spawn a cluster with `workers` threads per daemon,
 /// populate the file, then let 8 client threads read their cyclic
 /// shares for `PASSES` passes. Returns aggregate MiB/s.
-fn run(workers: usize) -> f64 {
+fn run(workers: usize, transport: TransportKind) -> f64 {
     let config = IodConfig {
         workers,
         emulated_latency: Some(SERVICE_LATENCY),
         ..IodConfig::default()
     };
-    let cluster = LiveCluster::spawn_with(SERVERS, config);
+    let cluster = LiveCluster::spawn_transport(SERVERS, config, transport);
     let layout = StripeLayout::new(0, SERVERS, STRIPE).unwrap();
     let pattern = Cyclic {
         clients: CLIENTS,
@@ -90,15 +92,37 @@ fn run(workers: usize) -> f64 {
 }
 
 fn main() {
+    let mut transport = TransportKind::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--transport" => {
+                let v = args.next().unwrap_or_default();
+                transport = TransportKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown transport '{v}' (chan|tcp)");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: concurrent [--transport chan|tcp]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
     println!(
         "concurrent-clients benchmark: {CLIENTS} clients x {ACCESSES_PER_CLIENT} accesses, \
-         {SERVERS} servers, {PASSES} passes of {} MiB aggregate, {:?} emulated service latency",
+         {SERVERS} servers, {PASSES} passes of {} MiB aggregate, {:?} emulated service latency, \
+         {transport} transport",
         AGGREGATE_BYTES >> 20,
         SERVICE_LATENCY
     );
-    let serial = run(1);
+    let serial = run(1, transport);
     println!("workers=1   {serial:>10.1} MiB/s  (one-thread-per-daemon baseline)");
-    let pooled = run(4);
+    let pooled = run(4, transport);
     println!("workers=4   {pooled:>10.1} MiB/s  (per-daemon worker pool)");
     let speedup = pooled / serial;
     println!("speedup     {speedup:>10.2}x");

@@ -1,20 +1,24 @@
 //! Regenerate the paper's measured figures.
 //!
 //! ```text
-//! figures [FIGURE ...] [--scale quick|mid|paper] [--out DIR]
+//! figures [FIGURE ...] [--scale quick|mid|paper] [--out DIR] [--transport chan|tcp]
 //!
-//! FIGURE: fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid all
+//! FIGURE: fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire all
 //! ```
 //!
 //! Writes one CSV per figure into `--out` (default `results/`) and
 //! prints the tables. Simulated seconds come from the calibrated Chiba
 //! City cost model; compare *shapes* with the paper, not absolute
-//! values (see EXPERIMENTS.md).
+//! values (see EXPERIMENTS.md). The `wire` figure instead runs on the
+//! **live** cluster over the transport chosen by `--transport`
+//! (in-process channels or real TCP loopback sockets) and reports the
+//! request frames and bytes the daemons actually received.
 
 use pvfs_bench::figures::{ext_datatype, ext_hybrid};
 use pvfs_bench::{
-    fig10, fig11, fig12, fig15, fig17, fig9, render_bars, render_table, write_csv, Row, Scale,
+    fig10, fig11, fig12, fig15, fig17, fig9, render_bars, render_table, wire, write_csv, Row, Scale,
 };
+use pvfs_net::TransportKind;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -22,6 +26,7 @@ fn main() {
     let mut figures: Vec<String> = Vec::new();
     let mut scale = Scale::Mid;
     let mut out_dir = PathBuf::from("results");
+    let mut transport = TransportKind::Chan;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,10 +40,19 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| "results".into()));
             }
+            "--transport" => {
+                let v = args.next().unwrap_or_default();
+                transport = TransportKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown transport '{v}' (chan|tcp)");
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid | all] \
-                     [--scale quick|mid|paper] [--out DIR]"
+                    "usage: figures [fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire | all] \
+                     [--scale quick|mid|paper] [--out DIR] [--transport chan|tcp]\n\
+                     (--transport selects the live cluster's transport for the `wire` figure;\n\
+                      the fig* figures run on the calibrated simulator)"
                 );
                 return;
             }
@@ -55,6 +69,7 @@ fn main() {
             "fig17",
             "ext-datatype",
             "ext-hybrid",
+            "wire",
         ]
         .map(String::from)
         .to_vec();
@@ -72,6 +87,7 @@ fn main() {
             "fig17" => fig17(scale),
             "ext-datatype" => ext_datatype(scale),
             "ext-hybrid" => ext_hybrid(scale),
+            "wire" => wire(scale, transport),
             other => {
                 eprintln!("unknown figure '{other}'");
                 std::process::exit(2);

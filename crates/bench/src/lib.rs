@@ -11,9 +11,11 @@
 //! doubling as manager), 16 KiB stripes, 100 Mb/s Ethernet.
 
 pub mod figures;
+pub mod live;
 pub mod plot;
 pub mod report;
 
 pub use figures::{fig10, fig11, fig12, fig15, fig17, fig9, Scale};
+pub use live::wire;
 pub use plot::render_bars;
 pub use report::{render_table, write_csv, Row};

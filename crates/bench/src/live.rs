@@ -1,0 +1,74 @@
+//! Live-cluster wire accounting: the paper's request-count argument
+//! measured on a real transport instead of the simulator.
+//!
+//! [`wire`] runs one noncontiguous write per (region count, method)
+//! cell against a live 4-server cluster — over in-process channels or
+//! real TCP loopback sockets ([`TransportKind`]) — and reports what the
+//! daemons actually saw: wall seconds, request frames received
+//! ([`ServerStats::frames_rx`]), and wire bytes in both directions.
+//! List I/O rides ⌈n/64⌉ frames per server where multiple I/O pays one
+//! frame per region, which is the whole §3.3 story; here the ratio is
+//! counted on the wire rather than derived.
+
+use pvfs_client::PvfsFile;
+use pvfs_core::Method;
+use pvfs_net::{LiveCluster, TransportKind};
+use pvfs_server::IodConfig;
+use pvfs_types::{RegionList, ServerId, StripeLayout};
+use std::time::Instant;
+
+use crate::report::Row;
+use crate::Scale;
+
+const SERVERS: u32 = 4;
+const STRIPE: u64 = 16 * 1024;
+const REGION_BYTES: u64 = 128;
+const STRIDE: u64 = 256;
+
+/// Total (frames_rx, bytes_rx + bytes_tx) across every I/O daemon.
+fn wire_totals(cluster: &LiveCluster) -> (u64, u64) {
+    (0..SERVERS)
+        .filter_map(|s| cluster.server_stats(ServerId(s)))
+        .fold((0, 0), |(f, b), st| {
+            (f + st.frames_rx, b + st.bytes_rx + st.bytes_tx)
+        })
+}
+
+/// The `wire` figure: request frames and bytes for a strided
+/// noncontiguous write of `x` regions, list vs multiple I/O, on the
+/// given live transport.
+pub fn wire(scale: Scale, kind: TransportKind) -> Vec<Row> {
+    let region_counts: &[u64] = match scale {
+        Scale::Quick => &[64],
+        Scale::Mid => &[64, 256],
+        Scale::Paper => &[64, 256, 1024],
+    };
+    let mut rows = Vec::new();
+    for &n in region_counts {
+        for (series, method) in [("list", Method::List), ("multiple", Method::Multiple)] {
+            let cluster = LiveCluster::spawn_transport(SERVERS, IodConfig::default(), kind);
+            let client = cluster.client();
+            let layout = StripeLayout::new(0, SERVERS, STRIPE).unwrap();
+            let mut f = PvfsFile::create(&client, "/pvfs/wire", layout).unwrap();
+            let file: RegionList =
+                RegionList::from_pairs((0..n).map(|i| (i * STRIDE, REGION_BYTES))).unwrap();
+            let mem = RegionList::contiguous(0, n * REGION_BYTES);
+            let buf = vec![0x77u8; (n * REGION_BYTES) as usize];
+            let (frames_before, bytes_before) = wire_totals(&cluster);
+            let started = Instant::now();
+            f.write_list(&mem, &file, &buf, method).unwrap();
+            let seconds = started.elapsed().as_secs_f64();
+            let (frames_after, bytes_after) = wire_totals(&cluster);
+            rows.push(Row {
+                figure: "wire",
+                panel: format!("{kind} transport"),
+                series: series.into(),
+                x: n,
+                seconds,
+                requests: frames_after - frames_before,
+                wire_bytes: bytes_after - bytes_before,
+            });
+        }
+    }
+    rows
+}

@@ -1,4 +1,4 @@
-//! Threaded cluster and its RPC transport.
+//! Threaded cluster and its RPC client.
 //!
 //! # Concurrency model
 //!
@@ -12,6 +12,20 @@
 //! a server. The manager stays single-threaded — metadata operations
 //! are rare and order-sensitive.
 //!
+//! # Transports
+//!
+//! The cluster speaks one of two [`Transport`]s, chosen by
+//! [`TransportKind::from_env`] (`PVFS_TRANSPORT=chan|tcp`, default
+//! `chan`) or explicitly via [`LiveCluster::spawn_transport`]:
+//!
+//! * **chan** — every daemon queue is an in-process bounded channel;
+//! * **tcp** — every daemon gets a loopback `TcpListener`
+//!   ([`crate::tcp`]), and clients speak length-prefixed frames over a
+//!   pooled socket per in-flight request.
+//!
+//! [`ClusterClient`] is identical over both: same codec, same request
+//! ids, same deadlines, same diagnostics.
+//!
 //! # RPC discipline
 //!
 //! Request ids start at 1; **id 0 is reserved** for responses that
@@ -23,14 +37,13 @@
 //! [`ClusterClient::round`] path an id-0 response is a hard protocol
 //! error (it could belong to *any* in-flight request). Every receive
 //! carries a deadline ([`ClusterClient::with_rpc_timeout`], default
-//! [`DEFAULT_RPC_TIMEOUT`]) so a wedged server yields
-//! [`PvfsError::Timeout`] instead of hanging the client.
+//! [`DEFAULT_RPC_TIMEOUT`]) that bounds the **total** elapsed time of
+//! the RPC — a TCP response dribbling in over many partial reads is
+//! charged against one deadline, not one per read — so a wedged server
+//! yields [`PvfsError::Timeout`] instead of hanging the client.
 
 use bytes::Bytes;
-use pvfs_proto::{
-    decode_frame_id, decode_message, decode_response, encode_message, encode_response, Message,
-    Request, Response,
-};
+use pvfs_proto::{decode_response, encode_message, encode_response, Message, Request, Response};
 use pvfs_server::{IoDaemon, IodConfig, Manager, ServerStats};
 use pvfs_types::{ClientId, PvfsError, PvfsResult, RequestId, ServerId};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -38,39 +51,37 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::chan::{bounded, RecvTimeoutError, Sender};
+use crate::chan::{bounded, Sender};
 use crate::gate::SerialGate;
 use crate::pool::WorkerPool;
+use crate::tcp::{TcpCluster, TcpTransport};
+use crate::transport::{
+    serve_frame, ChanTransport, NodeMsg, RpcTarget, Transport, TransportKind, WaitError,
+};
 
 /// Default deadline for one RPC before the client reports
 /// [`PvfsError::Timeout`]. Generous: the in-process servers answer in
 /// microseconds unless wedged.
 pub const DEFAULT_RPC_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Where an RPC is addressed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RpcTarget {
-    /// The manager daemon (metadata).
-    Manager,
-    /// An I/O daemon (data).
-    Server(ServerId),
+/// The daemon-side machinery behind a [`LiveCluster`], per transport.
+enum Backend {
+    Chan {
+        server_txs: Vec<Sender<NodeMsg>>,
+        mgr_tx: Sender<NodeMsg>,
+        pools: Vec<WorkerPool>,
+        mgr_thread: Option<JoinHandle<()>>,
+    },
+    Tcp(TcpCluster),
 }
 
-#[derive(Debug)]
-enum NodeMsg {
-    /// An encoded request frame and the channel for the encoded reply.
-    Rpc(Bytes, Sender<Bytes>),
-    Shutdown,
-}
-
-/// A live in-process PVFS cluster: a worker pool per I/O daemon plus a
-/// manager thread. Dropping the cluster shuts every thread down.
+/// A live PVFS cluster: a worker pool per I/O daemon plus a manager,
+/// fronted by a channel or TCP transport. Dropping the cluster shuts
+/// every thread (and listener) down.
 pub struct LiveCluster {
-    server_txs: Vec<Sender<NodeMsg>>,
-    mgr_tx: Sender<NodeMsg>,
     daemons: Vec<Arc<IoDaemon>>,
-    pools: Vec<WorkerPool>,
-    mgr_thread: Option<JoinHandle<()>>,
+    transport: Arc<dyn Transport>,
+    backend: Backend,
     next_client: AtomicU32,
     gate: Arc<SerialGate>,
 }
@@ -83,60 +94,63 @@ impl LiveCluster {
     }
 
     /// Spawn with explicit daemon configuration (including
-    /// [`IodConfig::workers`] and [`IodConfig::queue_depth`]).
+    /// [`IodConfig::workers`] and [`IodConfig::queue_depth`]). The
+    /// transport comes from `PVFS_TRANSPORT` (default: channels).
     pub fn spawn_with(n_servers: u32, config: IodConfig) -> LiveCluster {
+        LiveCluster::spawn_transport(n_servers, config, TransportKind::from_env())
+    }
+
+    /// Spawn with an explicit transport.
+    pub fn spawn_transport(n_servers: u32, config: IodConfig, kind: TransportKind) -> LiveCluster {
         assert!(n_servers > 0, "need at least one I/O server");
-        let mut server_txs = Vec::new();
-        let mut daemons = Vec::new();
-        let mut pools = Vec::new();
-        for i in 0..n_servers {
-            let daemon = Arc::new(IoDaemon::new(ServerId(i), config));
-            let pool_daemon = daemon.clone();
-            let (tx, pool) = WorkerPool::spawn(
-                &format!("iod{i}"),
-                config.workers.max(1),
-                config.queue_depth.max(1),
-                move |msg: NodeMsg| match msg {
-                    NodeMsg::Rpc(frame, reply) => {
-                        let (id, response) = serve_frame(frame, |req| pool_daemon.handle(req).0);
-                        // Emulated service time occupies the worker, the
-                        // way a blocking disk access would; replies only
-                        // after the stall.
-                        if let Some(stall) = config.emulated_latency {
-                            std::thread::sleep(stall);
+        let daemons: Vec<Arc<IoDaemon>> = (0..n_servers)
+            .map(|i| Arc::new(IoDaemon::new(ServerId(i), config)))
+            .collect();
+        let (transport, backend): (Arc<dyn Transport>, Backend) = match kind {
+            TransportKind::Chan => {
+                let (server_txs, pools): (Vec<_>, Vec<_>) = daemons
+                    .iter()
+                    .map(|daemon| spawn_chan_server(daemon.clone(), config))
+                    .unzip();
+                let (mgr_tx, mgr_rx) = bounded::<NodeMsg>(config.queue_depth.max(1));
+                let mgr_thread = std::thread::Builder::new()
+                    .name("pvfs-mgr".into())
+                    .spawn(move || {
+                        let mut manager = Manager::new();
+                        while let Ok(msg) = mgr_rx.recv() {
+                            match msg {
+                                NodeMsg::Rpc(frame, reply) => {
+                                    let (id, response) =
+                                        serve_frame(frame, |req| manager.handle(req));
+                                    let _ = reply.send(encode_response(id, &response));
+                                }
+                                NodeMsg::Shutdown => break,
+                            }
                         }
-                        let _ = reply.send(encode_response(id, &response));
-                        std::ops::ControlFlow::Continue(())
-                    }
-                    NodeMsg::Shutdown => std::ops::ControlFlow::Break(()),
-                },
-            );
-            server_txs.push(tx);
-            daemons.push(daemon);
-            pools.push(pool);
-        }
-        let (mgr_tx, mgr_rx) = bounded::<NodeMsg>(config.queue_depth.max(1));
-        let mgr_thread = std::thread::Builder::new()
-            .name("pvfs-mgr".into())
-            .spawn(move || {
-                let mut manager = Manager::new();
-                while let Ok(msg) = mgr_rx.recv() {
-                    match msg {
-                        NodeMsg::Rpc(frame, reply) => {
-                            let (id, response) = serve_frame(frame, |req| manager.handle(req));
-                            let _ = reply.send(encode_response(id, &response));
-                        }
-                        NodeMsg::Shutdown => break,
-                    }
-                }
-            })
-            .expect("spawn manager thread");
+                    })
+                    .expect("spawn manager thread");
+                (
+                    Arc::new(ChanTransport::new(server_txs.clone(), mgr_tx.clone())),
+                    Backend::Chan {
+                        server_txs,
+                        mgr_tx,
+                        pools,
+                        mgr_thread: Some(mgr_thread),
+                    },
+                )
+            }
+            TransportKind::Tcp => {
+                let tcp = TcpCluster::spawn(&daemons, config);
+                (
+                    Arc::new(TcpTransport::new(tcp.server_addrs(), tcp.mgr_addr())),
+                    Backend::Tcp(tcp),
+                )
+            }
+        };
         LiveCluster {
-            server_txs,
-            mgr_tx,
             daemons,
-            pools,
-            mgr_thread: Some(mgr_thread),
+            transport,
+            backend,
             next_client: AtomicU32::new(0),
             gate: Arc::new(SerialGate::new()),
         }
@@ -144,26 +158,36 @@ impl LiveCluster {
 
     /// Number of I/O servers.
     pub fn n_servers(&self) -> u32 {
-        self.server_txs.len() as u32
+        self.daemons.len() as u32
+    }
+
+    /// Which transport the cluster speaks.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport.kind()
+    }
+
+    /// The client-side transport — the same handle every
+    /// [`ClusterClient`] of this cluster uses.
+    pub fn transport(&self) -> Arc<dyn Transport> {
+        self.transport.clone()
     }
 
     /// Worker threads serving each I/O daemon.
     pub fn workers_per_server(&self) -> usize {
-        self.pools.first().map(|p| p.workers()).unwrap_or(0)
+        match &self.backend {
+            Backend::Chan { pools, .. } => pools.first().map(|p| p.workers()).unwrap_or(0),
+            Backend::Tcp(tcp) => tcp.workers_per_server(),
+        }
     }
 
     /// A new client endpoint (unique client id; cheap to create, cheap
     /// to clone).
     pub fn client(&self) -> ClusterClient {
-        ClusterClient {
-            id: ClientId(self.next_client.fetch_add(1, Ordering::Relaxed)),
-            server_txs: self.server_txs.clone(),
-            mgr_tx: self.mgr_tx.clone(),
-            // Id 0 is reserved for unattributable responses.
-            next_request: Arc::new(AtomicU64::new(1)),
-            gate: self.gate.clone(),
-            rpc_timeout: DEFAULT_RPC_TIMEOUT,
-        }
+        ClusterClient::with_transport(
+            ClientId(self.next_client.fetch_add(1, Ordering::Relaxed)),
+            self.transport.clone(),
+            self.gate.clone(),
+        )
     }
 
     /// Statistics snapshot of one I/O daemon.
@@ -177,50 +201,93 @@ impl LiveCluster {
     }
 }
 
+/// One channel-backed I/O daemon: its bounded queue and worker pool.
+fn spawn_chan_server(daemon: Arc<IoDaemon>, config: IodConfig) -> (Sender<NodeMsg>, WorkerPool) {
+    let name = format!("iod{}", daemon.id().0);
+    WorkerPool::spawn(
+        &name,
+        config.workers.max(1),
+        config.queue_depth.max(1),
+        move |msg: NodeMsg| match msg {
+            NodeMsg::Rpc(frame, reply) => {
+                // The channel transport has no length prefix; its wire
+                // size is the frame itself.
+                daemon.record_wire_rx(frame.len() as u64);
+                let (id, response) = serve_frame(frame, |req| daemon.handle(req).0);
+                // Emulated service time occupies the worker, the way a
+                // blocking disk access would; replies only after the
+                // stall.
+                if let Some(stall) = config.emulated_latency {
+                    std::thread::sleep(stall);
+                }
+                let encoded = encode_response(id, &response);
+                daemon.record_wire_tx(encoded.len() as u64);
+                let _ = reply.send(encoded);
+                std::ops::ControlFlow::Continue(())
+            }
+            NodeMsg::Shutdown => std::ops::ControlFlow::Break(()),
+        },
+    )
+}
+
 impl Drop for LiveCluster {
     fn drop(&mut self) {
-        for (tx, pool) in self.server_txs.iter().zip(&self.pools) {
-            // One Shutdown per worker: each worker consumes exactly one
-            // and exits.
-            for _ in 0..pool.workers() {
-                let _ = tx.send(NodeMsg::Shutdown);
+        // The TCP backend tears itself down (TcpCluster/TcpServer Drop);
+        // the channel backend drains here.
+        if let Backend::Chan {
+            server_txs,
+            mgr_tx,
+            pools,
+            mgr_thread,
+        } = &mut self.backend
+        {
+            for (tx, pool) in server_txs.iter().zip(pools.iter()) {
+                // One Shutdown per worker: each worker consumes exactly
+                // one and exits.
+                for _ in 0..pool.workers() {
+                    let _ = tx.send(NodeMsg::Shutdown);
+                }
+            }
+            let _ = mgr_tx.send(NodeMsg::Shutdown);
+            for pool in pools.drain(..) {
+                pool.join();
+            }
+            if let Some(t) = mgr_thread.take() {
+                let _ = t.join();
             }
         }
-        let _ = self.mgr_tx.send(NodeMsg::Shutdown);
-        for pool in self.pools.drain(..) {
-            pool.join();
-        }
-        if let Some(t) = self.mgr_thread.take() {
-            let _ = t.join();
-        }
     }
 }
 
-/// Decode a frame, serve it, and return the id + response. When the
-/// body fails to decode but the fixed header is readable, the error
-/// response carries the *real* request id so the client can attribute
-/// it; only a frame with an unreadable header falls back to the
-/// reserved id 0.
-fn serve_frame(frame: Bytes, serve: impl FnOnce(&Request) -> Response) -> (RequestId, Response) {
-    let header_id = decode_frame_id(&frame);
-    match decode_message(frame) {
-        Ok(Message { id, request, .. }) => (id, serve(&request)),
-        Err(e) => (header_id.unwrap_or(RequestId(0)), Response::Error(e)),
-    }
-}
-
-/// A client endpoint of a [`LiveCluster`].
+/// A client endpoint of a [`LiveCluster`] (or any [`Transport`]).
 #[derive(Clone)]
 pub struct ClusterClient {
     id: ClientId,
-    server_txs: Vec<Sender<NodeMsg>>,
-    mgr_tx: Sender<NodeMsg>,
+    transport: Arc<dyn Transport>,
     next_request: Arc<AtomicU64>,
     gate: Arc<SerialGate>,
     rpc_timeout: Duration,
 }
 
 impl ClusterClient {
+    /// A client endpoint over an explicit transport. [`LiveCluster::client`]
+    /// is the usual way in; this is the seam for pointing a client at a
+    /// remote cluster's listeners (or a test double).
+    pub fn with_transport(
+        id: ClientId,
+        transport: Arc<dyn Transport>,
+        gate: Arc<SerialGate>,
+    ) -> ClusterClient {
+        ClusterClient {
+            id,
+            transport,
+            // Id 0 is reserved for unattributable responses.
+            next_request: Arc::new(AtomicU64::new(1)),
+            gate,
+            rpc_timeout: DEFAULT_RPC_TIMEOUT,
+        }
+    }
+
     /// This endpoint's client id.
     pub fn id(&self) -> ClientId {
         self.id
@@ -228,7 +295,7 @@ impl ClusterClient {
 
     /// Number of I/O servers reachable.
     pub fn n_servers(&self) -> u32 {
-        self.server_txs.len() as u32
+        self.transport.n_servers()
     }
 
     /// The cluster's serialization gate.
@@ -247,16 +314,6 @@ impl ClusterClient {
         self.rpc_timeout
     }
 
-    fn tx_for(&self, target: RpcTarget) -> PvfsResult<&Sender<NodeMsg>> {
-        match target {
-            RpcTarget::Manager => Ok(&self.mgr_tx),
-            RpcTarget::Server(s) => self
-                .server_txs
-                .get(s.index())
-                .ok_or(PvfsError::NoSuchServer(s.0)),
-        }
-    }
-
     fn encode(&self, request: Request) -> PvfsResult<(RequestId, Bytes)> {
         let id = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
         let frame = encode_message(&Message {
@@ -271,29 +328,22 @@ impl ClusterClient {
     /// `Err`; no reply within the deadline is [`PvfsError::Timeout`].
     pub fn call(&self, target: RpcTarget, request: Request) -> PvfsResult<Response> {
         let (id, frame) = self.encode(request)?;
-        let (reply_tx, reply_rx) = bounded(1);
-        self.tx_for(target)?
-            .send(NodeMsg::Rpc(frame, reply_tx))
-            .map_err(|_| PvfsError::Transport("server thread gone".into()))?;
-        let raw = reply_rx
-            .recv_timeout(self.rpc_timeout)
-            .map_err(|e| match e {
-                RecvTimeoutError::Timeout => PvfsError::timeout(format!(
-                    "no reply to request {id} from {target:?} within {:?}",
-                    self.rpc_timeout
-                )),
-                RecvTimeoutError::Disconnected => {
-                    PvfsError::Transport("server dropped reply".into())
-                }
-            })?;
+        let pending = self.transport.start(target, frame)?;
+        let raw = pending.wait(self.rpc_timeout).map_err(|e| match e {
+            WaitError::Timeout => PvfsError::timeout(format!(
+                "no reply to request {id} from {target:?} within {:?}",
+                self.rpc_timeout
+            )),
+            WaitError::Failed(e) => e,
+        })?;
         let (rid, response) = decode_response(raw)?;
         if rid == id {
             return response.into_result();
         }
         if rid == RequestId(0) {
             // Unattributable error response: only this request awaited
-            // this reply channel, so surfacing the server's error is
-            // safe — but only an *error* is acceptable under id 0.
+            // this reply, so surfacing the server's error is safe — but
+            // only an *error* is acceptable under id 0.
             if let Response::Error(e) = response {
                 return Err(e);
             }
@@ -317,24 +367,20 @@ impl ClusterClient {
         let mut pending = Vec::with_capacity(requests.len());
         for (server, request) in requests {
             let (id, frame) = self.encode(request)?;
-            let (reply_tx, reply_rx) = bounded(1);
-            self.tx_for(RpcTarget::Server(server))?
-                .send(NodeMsg::Rpc(frame, reply_tx))
-                .map_err(|_| {
-                    PvfsError::Transport(format!("server {server} thread gone (request id {id})"))
-                })?;
-            pending.push((server, id, reply_rx));
+            let handle = self
+                .transport
+                .start(RpcTarget::Server(server), frame)
+                .map_err(|e| annotate_round_error(server, id, e))?;
+            pending.push((server, id, handle));
         }
         let mut responses = Vec::with_capacity(pending.len());
-        for (server, id, rx) in pending {
-            let raw = rx.recv_timeout(self.rpc_timeout).map_err(|e| match e {
-                RecvTimeoutError::Timeout => PvfsError::timeout(format!(
+        for (server, id, handle) in pending {
+            let raw = handle.wait(self.rpc_timeout).map_err(|e| match e {
+                WaitError::Timeout => PvfsError::timeout(format!(
                     "no reply to request {id} from server {server} within {:?}",
                     self.rpc_timeout
                 )),
-                RecvTimeoutError::Disconnected => {
-                    PvfsError::Transport(format!("server {server} dropped reply to request {id}"))
-                }
+                WaitError::Failed(e) => annotate_round_error(server, id, e),
             })?;
             let (rid, response) = decode_response(raw)?;
             if rid == RequestId(0) {
@@ -380,10 +426,23 @@ fn annotate_round_error(server: ServerId, id: RequestId, e: PvfsError) -> PvfsEr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pvfs_proto::decode_frame_id;
     use pvfs_types::{FileHandle, Region, RegionList, StripeLayout};
 
     fn layout(n: u32) -> StripeLayout {
         StripeLayout::new(0, n, 16).unwrap()
+    }
+
+    /// A client whose single "server 0" is the given raw channel (the
+    /// manager slot is a dead end); for protocol-violation tests.
+    fn client_over(fake_tx: Sender<NodeMsg>) -> ClusterClient {
+        let (mgr_tx, _mgr_rx) = bounded::<NodeMsg>(1);
+        // _mgr_rx may drop: these tests never address the manager.
+        ClusterClient::with_transport(
+            ClientId(9),
+            Arc::new(ChanTransport::new(vec![fake_tx], mgr_tx)),
+            Arc::new(SerialGate::new()),
+        )
     }
 
     #[test]
@@ -577,6 +636,9 @@ mod tests {
         .unwrap();
         let stats = cluster.server_stats(ServerId(0)).unwrap();
         assert_eq!(stats.requests, 1);
+        assert_eq!(stats.frames_rx, 1, "one RPC is one wire frame");
+        assert!(stats.bytes_rx > 0);
+        assert!(stats.bytes_tx > 0);
         assert!(cluster.server_stats(ServerId(5)).is_none());
     }
 
@@ -598,11 +660,12 @@ mod tests {
         // Truncate the body (keep the 16-byte header + a few bytes) so
         // decode_message fails but decode_frame_id succeeds.
         let corrupted = frame.slice(0..20);
-        let (reply_tx, reply_rx) = bounded(1);
-        c.server_txs[0]
-            .send(NodeMsg::Rpc(corrupted, reply_tx))
+        let raw = cluster
+            .transport()
+            .start(RpcTarget::Server(ServerId(0)), corrupted)
+            .unwrap()
+            .wait(Duration::from_secs(5))
             .unwrap();
-        let raw = reply_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         let (rid, response) = decode_response(raw).unwrap();
         assert_eq!(rid, id, "server must echo the request id from the header");
         assert!(matches!(response, Response::Error(PvfsError::Protocol(_))));
@@ -612,12 +675,12 @@ mod tests {
     #[test]
     fn headerless_garbage_reply_uses_reserved_id() {
         let cluster = LiveCluster::spawn(1);
-        let c = cluster.client();
-        let (reply_tx, reply_rx) = bounded(1);
-        c.server_txs[0]
-            .send(NodeMsg::Rpc(Bytes::from(vec![0xffu8; 7]), reply_tx))
+        let raw = cluster
+            .transport()
+            .start(RpcTarget::Server(ServerId(0)), Bytes::from(vec![0xffu8; 7]))
+            .unwrap()
+            .wait(Duration::from_secs(5))
             .unwrap();
-        let raw = reply_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         let (rid, response) = decode_response(raw).unwrap();
         assert_eq!(rid, RequestId(0));
         assert!(matches!(response, Response::Error(_)));
@@ -627,8 +690,6 @@ mod tests {
     /// with several requests in flight it cannot be attributed.
     #[test]
     fn round_rejects_unattributable_responses() {
-        let cluster = LiveCluster::spawn(1);
-        let real = cluster.client();
         // A fake server that answers everything with id 0.
         let (fake_tx, fake_rx) = bounded::<NodeMsg>(8);
         let fake = std::thread::spawn(move || {
@@ -639,10 +700,7 @@ mod tests {
                 ));
             }
         });
-        let c = ClusterClient {
-            server_txs: vec![fake_tx],
-            ..real
-        };
+        let c = client_over(fake_tx);
         let err = c
             .round(vec![(
                 ServerId(0),
@@ -666,8 +724,6 @@ mod tests {
     /// request (the misattribution the old wildcard allowed).
     #[test]
     fn round_rejects_mismatched_response_id() {
-        let real = LiveCluster::spawn(1);
-        let template = real.client();
         let (fake_tx, fake_rx) = bounded::<NodeMsg>(8);
         let fake = std::thread::spawn(move || {
             while let Ok(NodeMsg::Rpc(frame, reply)) = fake_rx.recv() {
@@ -679,10 +735,7 @@ mod tests {
                 ));
             }
         });
-        let c = ClusterClient {
-            server_txs: vec![fake_tx],
-            ..template
-        };
+        let c = client_over(fake_tx);
         let err = c
             .round(vec![(
                 ServerId(0),
@@ -703,15 +756,9 @@ mod tests {
     /// hang.
     #[test]
     fn wedged_server_rpc_times_out() {
-        let cluster = LiveCluster::spawn(1);
-        let template = cluster.client();
         // A "server" that accepts requests and never answers.
         let (wedged_tx, wedged_rx) = bounded::<NodeMsg>(8);
-        let c = ClusterClient {
-            server_txs: vec![wedged_tx],
-            ..template
-        }
-        .with_rpc_timeout(Duration::from_millis(50));
+        let c = client_over(wedged_tx).with_rpc_timeout(Duration::from_millis(50));
         let err = c
             .call(
                 RpcTarget::Server(ServerId(0)),
@@ -805,6 +852,11 @@ mod tests {
             assert_eq!(stats.errors, 0);
             assert_eq!(stats.bytes_written, CLIENTS * ROUNDS * 16);
             assert_eq!(stats.bytes_read, CLIENTS * ROUNDS * 16);
+            // Wire accounting: one frame per request, no matter the
+            // transport; every frame carries at least its header.
+            assert_eq!(stats.frames_rx, CLIENTS * ROUNDS * 2);
+            assert!(stats.bytes_rx >= stats.frames_rx * 16);
+            assert!(stats.bytes_tx > 0);
         }
     }
 

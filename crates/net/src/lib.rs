@@ -1,12 +1,19 @@
-//! The live in-process PVFS cluster.
+//! The live PVFS cluster and its pluggable RPC transports.
 //!
 //! [`LiveCluster::spawn`] starts a **worker pool** per I/O daemon plus a
-//! manager thread, mirroring the PVFS deployment of §2 (daemons on I/O
-//! nodes, one manager, clients talking to both directly). Transport is a
-//! channel-based RPC that carries **encoded wire frames** — requests and
-//! responses pass through the real `pvfs-proto` codec, so the MTU and
-//! trailing-data limits are enforced on the live path exactly as they
-//! would be on a socket.
+//! manager, mirroring the PVFS deployment of §2 (daemons on I/O nodes,
+//! one manager, clients talking to both directly). The client↔daemon
+//! path is abstracted by the [`Transport`] trait with two
+//! implementations, selected by `PVFS_TRANSPORT=chan|tcp`:
+//!
+//! * **chan** (default) — in-process bounded channels carrying encoded
+//!   wire frames; requests and responses still pass through the real
+//!   `pvfs-proto` codec, so the MTU and trailing-data limits are
+//!   enforced exactly as on a socket;
+//! * **tcp** ([`tcp`]) — real loopback/LAN sockets: length-prefixed
+//!   frames with a hard size cap, per-daemon `TcpListener` acceptors
+//!   feeding the same bounded worker pools, and a client-side pool of
+//!   persistent `TCP_NODELAY` connections.
 //!
 //! Concurrency model (see [`cluster`] for details):
 //!
@@ -18,7 +25,8 @@
 //!   statistics with atomics, so workers serve disjoint handles in
 //!   parallel;
 //! * every client RPC carries a deadline (default
-//!   [`cluster::DEFAULT_RPC_TIMEOUT`]); a wedged server produces
+//!   [`cluster::DEFAULT_RPC_TIMEOUT`]) bounding the **total** elapsed
+//!   time of the RPC; a wedged (or trickling) server produces
 //!   `PvfsError::Timeout`, never a hang;
 //! * request ids start at 1 — responses with the reserved id 0 are
 //!   unattributable and rejected on multi-request paths.
@@ -31,7 +39,11 @@ pub mod chan;
 pub mod cluster;
 pub mod gate;
 pub mod pool;
+pub mod tcp;
+pub mod transport;
 
-pub use cluster::{ClusterClient, LiveCluster, RpcTarget, DEFAULT_RPC_TIMEOUT};
+pub use cluster::{ClusterClient, LiveCluster, DEFAULT_RPC_TIMEOUT};
 pub use gate::SerialGate;
 pub use pool::WorkerPool;
+pub use tcp::TcpTransport;
+pub use transport::{PendingReply, RpcTarget, Transport, TransportKind, WaitError};

@@ -1,0 +1,210 @@
+//! Client side of the TCP transport: a connection pool speaking
+//! length-prefixed frames to the cluster's listeners.
+//!
+//! Connections are created lazily, `TCP_NODELAY` on — list I/O is built
+//! from small header+trailing frames, exactly the traffic Nagle's
+//! algorithm would hold back waiting for a full segment — and parked in
+//! a per-daemon idle stack after each successful RPC, so steady-state
+//! traffic reuses persistent connections instead of paying a handshake
+//! per request. Each in-flight RPC *owns* its connection: a fan-out
+//! [`round`](crate::ClusterClient::round) to one daemon simply checks
+//! out (or dials) several connections, which is what lets the daemon's
+//! worker pool serve the requests in parallel.
+//!
+//! # Deadlines
+//!
+//! [`PendingReply::wait`] computes one deadline up front and charges
+//! every partial read against it ([`DeadlineStream`]). The read timeout
+//! is *never* reset just because bytes arrived — a peer trickling a
+//! response one byte at a time cannot stretch an RPC past its budget.
+//! A connection whose RPC failed or timed out is dropped, not parked:
+//! the response may still arrive later, and a parked connection with a
+//! stale response queued would corrupt the next RPC on it.
+
+use bytes::Bytes;
+use pvfs_types::{PvfsError, PvfsResult};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use super::frame::{read_frame, write_frame};
+use crate::transport::{PendingReply, RpcTarget, Transport, TransportKind, WaitError};
+
+/// A pooled TCP [`Transport`] to one cluster.
+pub struct TcpTransport {
+    inner: Arc<PoolInner>,
+}
+
+struct PoolInner {
+    server_addrs: Vec<SocketAddr>,
+    mgr_addr: SocketAddr,
+    /// One idle-connection stack per server, plus one for the manager
+    /// (last slot). LIFO: the hottest connection is reused first.
+    idle: Vec<Mutex<Vec<TcpStream>>>,
+}
+
+impl TcpTransport {
+    /// A transport dialing the given daemon listeners. No connection is
+    /// made until the first RPC.
+    pub fn new(server_addrs: Vec<SocketAddr>, mgr_addr: SocketAddr) -> TcpTransport {
+        let idle = (0..server_addrs.len() + 1)
+            .map(|_| Mutex::new(Vec::new()))
+            .collect();
+        TcpTransport {
+            inner: Arc::new(PoolInner {
+                server_addrs,
+                mgr_addr,
+                idle,
+            }),
+        }
+    }
+
+    /// Idle (parked) connections across all daemons — diagnostics.
+    pub fn idle_connections(&self) -> usize {
+        self.inner
+            .idle
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .sum()
+    }
+}
+
+impl PoolInner {
+    fn slot(&self, target: RpcTarget) -> PvfsResult<usize> {
+        match target {
+            RpcTarget::Manager => Ok(self.server_addrs.len()),
+            RpcTarget::Server(s) => {
+                if s.index() < self.server_addrs.len() {
+                    Ok(s.index())
+                } else {
+                    Err(PvfsError::NoSuchServer(s.0))
+                }
+            }
+        }
+    }
+
+    fn addr(&self, slot: usize) -> SocketAddr {
+        if slot == self.server_addrs.len() {
+            self.mgr_addr
+        } else {
+            self.server_addrs[slot]
+        }
+    }
+
+    /// Pop an idle connection or dial a fresh one.
+    fn checkout(&self, slot: usize) -> PvfsResult<TcpStream> {
+        if let Some(conn) = self.idle[slot].lock().unwrap().pop() {
+            return Ok(conn);
+        }
+        let addr = self.addr(slot);
+        let conn = TcpStream::connect(addr)
+            .map_err(|e| PvfsError::Transport(format!("connect {addr}: {e}")))?;
+        conn.set_nodelay(true)
+            .map_err(|e| PvfsError::Transport(format!("set TCP_NODELAY on {addr}: {e}")))?;
+        Ok(conn)
+    }
+
+    fn park(&self, slot: usize, conn: TcpStream) {
+        self.idle[slot].lock().unwrap().push(conn);
+    }
+}
+
+impl Transport for TcpTransport {
+    fn n_servers(&self) -> u32 {
+        self.inner.server_addrs.len() as u32
+    }
+
+    fn start(&self, target: RpcTarget, frame: Bytes) -> PvfsResult<Box<dyn PendingReply>> {
+        let slot = self.inner.slot(target)?;
+        let mut conn = self.inner.checkout(slot)?;
+        write_frame(&mut conn, &frame)
+            .map_err(|e| PvfsError::Transport(format!("send to {}: {e}", self.inner.addr(slot))))?;
+        Ok(Box::new(TcpPending {
+            inner: self.inner.clone(),
+            slot,
+            conn,
+        }))
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Tcp
+    }
+}
+
+/// One in-flight TCP RPC, exclusively owning its connection until the
+/// response frame is read (or the RPC fails).
+struct TcpPending {
+    inner: Arc<PoolInner>,
+    slot: usize,
+    conn: TcpStream,
+}
+
+impl PendingReply for TcpPending {
+    fn wait(self: Box<Self>, timeout: Duration) -> Result<Bytes, WaitError> {
+        let deadline = Instant::now() + timeout;
+        let mut stream = DeadlineStream {
+            conn: &self.conn,
+            deadline,
+            timed_out: false,
+        };
+        match read_frame(&mut stream) {
+            Ok(frame) => {
+                // Healthy connection, response fully consumed: park it
+                // for reuse (blocking mode restored first).
+                if self.conn.set_read_timeout(None).is_ok() {
+                    self.inner.park(self.slot, self.conn);
+                }
+                Ok(frame)
+            }
+            Err(e) => {
+                // Drop the connection: it may still deliver a stale
+                // response, which must never reach a future RPC.
+                if stream.timed_out {
+                    Err(WaitError::Timeout)
+                } else {
+                    let peer = self.inner.addr(self.slot);
+                    Err(WaitError::Failed(e.into_pvfs(&format!("server {peer}"))))
+                }
+            }
+        }
+    }
+}
+
+/// A [`Read`] adapter charging every read against one fixed deadline:
+/// before each read the socket timeout is set to the *remaining* budget,
+/// so partial progress never extends the total allowance.
+struct DeadlineStream<'a> {
+    conn: &'a TcpStream,
+    deadline: Instant,
+    timed_out: bool,
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            self.timed_out = true;
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "rpc deadline elapsed",
+            ));
+        }
+        self.conn.set_read_timeout(Some(remaining))?;
+        match self.conn.read(buf) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                self.timed_out = true;
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "rpc deadline elapsed",
+                ))
+            }
+            other => other,
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Server side of the TCP transport: per-daemon listeners feeding the
+//! same [`WorkerPool`]s the channel transport uses.
+//!
+//! One daemon = one `TcpListener` on loopback + one acceptor thread +
+//! one reader thread per accepted connection + the daemon's worker
+//! pool. Readers do nothing but reassemble length-prefixed frames and
+//! push them into the pool's **bounded** queue — the bound is still the
+//! backpressure: when workers fall behind, readers block in `send`,
+//! stop draining their sockets, and TCP flow control pushes back on the
+//! clients.
+//!
+//! Responses go back over the connection the request arrived on. The
+//! write half is wrapped in a mutex so workers finishing out of order
+//! (different requests pipelined on one connection) interleave whole
+//! frames, never partial ones; request ids let the peer attribute them.
+//!
+//! # Shutdown
+//!
+//! [`TcpServer::shutdown`] drains gracefully: stop accepting (flag +
+//! self-connect to unblock `accept`), shut down the read half of every
+//! connection so readers finish handing queued frames to the pool, join
+//! the readers, then send the pool one `Shutdown` message per worker —
+//! those queue *behind* any in-flight requests, so every accepted
+//! request is served and its response written before the pool exits.
+
+use bytes::Bytes;
+use pvfs_proto::{encode_response, Response};
+use pvfs_server::{IoDaemon, IodConfig, Manager};
+use pvfs_types::RequestId;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use super::frame::{read_frame, wire_len, write_frame, FrameError};
+use crate::pool::WorkerPool;
+use crate::transport::serve_frame;
+
+/// How one TCP daemon turns request frames into response frames and
+/// accounts the wire traffic.
+struct ServeHooks {
+    /// Request frame in, encoded response frame out.
+    serve: Box<dyn Fn(Bytes) -> Bytes + Send + Sync>,
+    /// Called with the wire size of every request frame read.
+    on_rx: Box<dyn Fn(u64) + Send + Sync>,
+    /// Called with the wire size of every response frame written.
+    on_tx: Box<dyn Fn(u64) + Send + Sync>,
+}
+
+enum TcpMsg {
+    /// A reassembled request frame and the (shared) write half of the
+    /// connection it arrived on.
+    Rpc(Bytes, Arc<Mutex<TcpStream>>),
+    Shutdown,
+}
+
+/// One TCP-fronted daemon: listener, acceptor, per-connection readers,
+/// worker pool.
+pub(crate) struct TcpServer {
+    addr: SocketAddr,
+    shutting_down: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    pool_tx: crate::chan::Sender<TcpMsg>,
+    pool: Option<WorkerPool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    fn spawn(
+        name: &str,
+        workers: usize,
+        queue_depth: usize,
+        hooks: ServeHooks,
+    ) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let hooks = Arc::new(hooks);
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let worker_hooks = hooks.clone();
+        let (pool_tx, pool) = WorkerPool::spawn(name, workers, queue_depth, move |msg: TcpMsg| {
+            match msg {
+                TcpMsg::Rpc(frame, writer) => {
+                    let reply = (worker_hooks.serve)(frame);
+                    // Whole-frame writes under the connection's write
+                    // lock: pipelined responses interleave per frame.
+                    let mut w = writer.lock().unwrap();
+                    if write_frame(&mut *w, &reply)
+                        .and_then(|()| w.flush())
+                        .is_ok()
+                    {
+                        (worker_hooks.on_tx)(wire_len(&reply));
+                    }
+                    ControlFlow::Continue(())
+                }
+                TcpMsg::Shutdown => ControlFlow::Break(()),
+            }
+        });
+
+        let accept_flag = shutting_down.clone();
+        let accept_conns = conns.clone();
+        let accept_readers = readers.clone();
+        let accept_hooks = hooks.clone();
+        let accept_tx = pool_tx.clone();
+        let accept_name = name.to_string();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("{name}-accept"))
+            .spawn(move || {
+                for (i, stream) in listener.incoming().enumerate() {
+                    if accept_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    let Ok(read_half) = stream.try_clone() else {
+                        continue;
+                    };
+                    accept_conns.lock().unwrap().push(read_half);
+                    let reader = spawn_reader(
+                        format!("{accept_name}-conn{i}"),
+                        stream,
+                        accept_tx.clone(),
+                        accept_hooks.clone(),
+                    );
+                    accept_readers.lock().unwrap().push(reader);
+                }
+            })
+            .expect("spawn tcp acceptor");
+
+        Ok(TcpServer {
+            addr,
+            shutting_down,
+            accept_thread: Some(accept_thread),
+            pool_tx,
+            pool: Some(pool),
+            conns,
+            readers,
+        })
+    }
+
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.pool.as_ref().map(|p| p.workers()).unwrap_or(0)
+    }
+
+    /// Graceful teardown: close the listener, drain in-flight requests,
+    /// join every thread. Idempotent.
+    pub(crate) fn shutdown(&mut self) {
+        let Some(pool) = self.pool.take() else { return };
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // `accept` has no deadline; a throwaway connection unblocks it
+        // so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Stop the readers at their next read; frames already read keep
+        // flowing into the pool (a reader blocked on a full queue
+        // finishes its send first — workers are still draining).
+        for conn in self.conns.lock().unwrap().iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        let readers: Vec<_> = self.readers.lock().unwrap().drain(..).collect();
+        for r in readers {
+            let _ = r.join();
+        }
+        // Every accepted request is now queued; the Shutdown messages
+        // queue behind them, so the pool drains before exiting.
+        for _ in 0..pool.workers() {
+            let _ = self.pool_tx.send(TcpMsg::Shutdown);
+        }
+        pool.join();
+        self.conns.lock().unwrap().clear();
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Read frames off one connection into the pool until the peer hangs
+/// up, dies mid-frame, or violates the frame cap.
+fn spawn_reader(
+    name: String,
+    mut stream: TcpStream,
+    pool_tx: crate::chan::Sender<TcpMsg>,
+    hooks: Arc<ServeHooks>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let writer = Arc::new(Mutex::new(match stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            }));
+            loop {
+                match read_frame(&mut stream) {
+                    Ok(frame) => {
+                        (hooks.on_rx)(wire_len(&frame));
+                        if pool_tx.send(TcpMsg::Rpc(frame, writer.clone())).is_err() {
+                            break;
+                        }
+                    }
+                    Err(FrameError::TooLarge(e)) => {
+                        // The stream cannot be resynchronized after an
+                        // oversized announcement, but the peer deserves
+                        // to know why it is being dropped. Id 0: the
+                        // header was never read.
+                        let reply = encode_response(RequestId(0), &Response::Error(e));
+                        let mut w = writer.lock().unwrap();
+                        if write_frame(&mut *w, &reply)
+                            .and_then(|()| w.flush())
+                            .is_ok()
+                        {
+                            (hooks.on_tx)(wire_len(&reply));
+                        }
+                        let _ = w.shutdown(Shutdown::Both);
+                        break;
+                    }
+                    Err(_) => break, // peer hung up or died mid-frame
+                }
+            }
+        })
+        .expect("spawn tcp reader")
+}
+
+/// The TCP server side of a whole cluster: one [`TcpServer`] per I/O
+/// daemon plus one for the manager.
+pub struct TcpCluster {
+    servers: Vec<TcpServer>,
+    mgr: TcpServer,
+}
+
+impl TcpCluster {
+    /// Put TCP listeners in front of `daemons` and a fresh manager.
+    pub fn spawn(daemons: &[Arc<IoDaemon>], config: IodConfig) -> TcpCluster {
+        let servers = daemons
+            .iter()
+            .map(|daemon| {
+                let serve_daemon = daemon.clone();
+                let rx_daemon = daemon.clone();
+                let tx_daemon = daemon.clone();
+                let name = format!("iod{}", daemon.id().0);
+                TcpServer::spawn(
+                    &name,
+                    config.workers.max(1),
+                    config.queue_depth.max(1),
+                    ServeHooks {
+                        serve: Box::new(move |frame| {
+                            let (id, response) =
+                                serve_frame(frame, |req| serve_daemon.handle(req).0);
+                            // Emulated service time occupies the worker,
+                            // the way a blocking disk access would.
+                            if let Some(stall) = config.emulated_latency {
+                                std::thread::sleep(stall);
+                            }
+                            encode_response(id, &response)
+                        }),
+                        on_rx: Box::new(move |n| rx_daemon.record_wire_rx(n)),
+                        on_tx: Box::new(move |n| tx_daemon.record_wire_tx(n)),
+                    },
+                )
+                .expect("bind tcp i/o daemon")
+            })
+            .collect();
+        // Metadata operations are rare and order-sensitive: a single
+        // worker over a mutexed manager keeps them serialized, exactly
+        // like the dedicated manager thread of the channel backend.
+        let manager = Mutex::new(Manager::new());
+        let mgr = TcpServer::spawn(
+            "pvfs-mgr",
+            1,
+            config.queue_depth.max(1),
+            ServeHooks {
+                serve: Box::new(move |frame| {
+                    let (id, response) =
+                        serve_frame(frame, |req| manager.lock().unwrap().handle(req));
+                    encode_response(id, &response)
+                }),
+                on_rx: Box::new(|_| {}),
+                on_tx: Box::new(|_| {}),
+            },
+        )
+        .expect("bind tcp manager");
+        TcpCluster { servers, mgr }
+    }
+
+    /// Loopback addresses of the I/O daemons, in server-id order.
+    pub fn server_addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(|s| s.addr()).collect()
+    }
+
+    /// Loopback address of the manager.
+    pub fn mgr_addr(&self) -> SocketAddr {
+        self.mgr.addr()
+    }
+
+    pub(crate) fn workers_per_server(&self) -> usize {
+        self.servers.first().map(|s| s.workers()).unwrap_or(0)
+    }
+
+    /// Drain and stop every listener, reader and worker.
+    pub fn shutdown(&mut self) {
+        for s in &mut self.servers {
+            s.shutdown();
+        }
+        self.mgr.shutdown();
+    }
+}

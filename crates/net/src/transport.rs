@@ -1,0 +1,187 @@
+//! The pluggable client↔daemon RPC transport.
+//!
+//! [`Transport`] abstracts how an encoded `pvfs-proto` frame reaches a
+//! daemon and how the encoded response comes back, so
+//! [`ClusterClient`](crate::ClusterClient) — and everything above it
+//! (`PvfsFile`, the plan executor, the benches) — runs unchanged over
+//! the in-process channel transport ([`ChanTransport`]) or real TCP
+//! sockets ([`TcpTransport`](crate::tcp::TcpTransport)).
+//!
+//! An RPC is two phases: [`Transport::start`] ships the request frame
+//! (blocking only on backpressure — a full daemon queue, a full socket
+//! buffer) and returns a [`PendingReply`]; [`PendingReply::wait`]
+//! blocks for the response under a deadline that bounds the *total*
+//! elapsed time, however many partial reads the transport needs. The
+//! split is what lets [`ClusterClient::round`](crate::ClusterClient::round)
+//! fan a whole plan round out before waiting on any reply.
+
+use bytes::Bytes;
+use pvfs_proto::{decode_frame_id, decode_message, Message, Request, Response};
+use pvfs_types::{PvfsError, PvfsResult, RequestId, ServerId};
+use std::time::Duration;
+
+use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
+
+/// Where an RPC is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcTarget {
+    /// The manager daemon (metadata).
+    Manager,
+    /// An I/O daemon (data).
+    Server(ServerId),
+}
+
+/// Which transport a cluster speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process bounded channels (the default).
+    #[default]
+    Chan,
+    /// Length-prefixed frames over loopback/LAN TCP sockets.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Parse a CLI/env spelling (`"chan"` / `"tcp"`).
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        match s {
+            "chan" | "channel" => Some(TransportKind::Chan),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+
+    /// The transport selected by the `PVFS_TRANSPORT` environment
+    /// variable (default [`TransportKind::Chan`]). This is how the
+    /// whole test suite runs over TCP without forking a single test:
+    /// `PVFS_TRANSPORT=tcp cargo test`.
+    pub fn from_env() -> TransportKind {
+        match std::env::var("PVFS_TRANSPORT") {
+            Ok(v) => TransportKind::parse(&v)
+                .unwrap_or_else(|| panic!("PVFS_TRANSPORT={v:?} is not a transport (chan|tcp)")),
+            Err(_) => TransportKind::Chan,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::Chan => write!(f, "chan"),
+            TransportKind::Tcp => write!(f, "tcp"),
+        }
+    }
+}
+
+/// Why a [`PendingReply::wait`] produced no response frame. The caller
+/// owns the context (which server, which request id, what deadline), so
+/// the error itself stays minimal.
+#[derive(Debug)]
+pub enum WaitError {
+    /// No response within the deadline.
+    Timeout,
+    /// The transport failed (peer gone, frame violation, I/O error).
+    Failed(PvfsError),
+}
+
+/// One in-flight RPC: the request frame has been shipped, the response
+/// frame has not yet been consumed.
+pub trait PendingReply: Send {
+    /// Block until the raw response frame arrives, at most `timeout`
+    /// total — a transport that reassembles the response from many
+    /// partial reads must charge them all against one deadline.
+    fn wait(self: Box<Self>, timeout: Duration) -> Result<Bytes, WaitError>;
+}
+
+/// A client-side RPC transport to one cluster.
+pub trait Transport: Send + Sync {
+    /// Number of I/O servers reachable.
+    fn n_servers(&self) -> u32;
+
+    /// Ship one encoded request frame toward `target`; the returned
+    /// handle yields the encoded response. Blocks only on backpressure.
+    fn start(&self, target: RpcTarget, frame: Bytes) -> PvfsResult<Box<dyn PendingReply>>;
+
+    /// Which kind of transport this is (diagnostics / benchmarks).
+    fn kind(&self) -> TransportKind;
+}
+
+/// Decode a frame, serve it, and return the id + response — the
+/// transport-independent server half of one RPC. When the body fails to
+/// decode but the fixed header is readable, the error response carries
+/// the *real* request id so the client can attribute it; only a frame
+/// with an unreadable header falls back to the reserved id 0.
+pub(crate) fn serve_frame(
+    frame: Bytes,
+    serve: impl FnOnce(&Request) -> Response,
+) -> (RequestId, Response) {
+    let header_id = decode_frame_id(&frame);
+    match decode_message(frame) {
+        Ok(Message { id, request, .. }) => (id, serve(&request)),
+        Err(e) => (header_id.unwrap_or(RequestId(0)), Response::Error(e)),
+    }
+}
+
+/// A message to a channel-backed daemon: the encoded request frame and
+/// the channel for the encoded reply.
+#[derive(Debug)]
+pub(crate) enum NodeMsg {
+    Rpc(Bytes, Sender<Bytes>),
+    Shutdown,
+}
+
+/// The in-process transport: every daemon is a bounded channel feeding
+/// its worker pool, every reply comes back on a per-request channel.
+pub struct ChanTransport {
+    server_txs: Vec<Sender<NodeMsg>>,
+    mgr_tx: Sender<NodeMsg>,
+}
+
+impl ChanTransport {
+    pub(crate) fn new(server_txs: Vec<Sender<NodeMsg>>, mgr_tx: Sender<NodeMsg>) -> ChanTransport {
+        ChanTransport { server_txs, mgr_tx }
+    }
+
+    fn tx_for(&self, target: RpcTarget) -> PvfsResult<&Sender<NodeMsg>> {
+        match target {
+            RpcTarget::Manager => Ok(&self.mgr_tx),
+            RpcTarget::Server(s) => self
+                .server_txs
+                .get(s.index())
+                .ok_or(PvfsError::NoSuchServer(s.0)),
+        }
+    }
+}
+
+impl Transport for ChanTransport {
+    fn n_servers(&self) -> u32 {
+        self.server_txs.len() as u32
+    }
+
+    fn start(&self, target: RpcTarget, frame: Bytes) -> PvfsResult<Box<dyn PendingReply>> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx_for(target)?
+            .send(NodeMsg::Rpc(frame, reply_tx))
+            .map_err(|_| PvfsError::Transport("server thread gone".into()))?;
+        Ok(Box::new(ChanPending { reply_rx }))
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Chan
+    }
+}
+
+struct ChanPending {
+    reply_rx: Receiver<Bytes>,
+}
+
+impl PendingReply for ChanPending {
+    fn wait(self: Box<Self>, timeout: Duration) -> Result<Bytes, WaitError> {
+        self.reply_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => WaitError::Timeout,
+            RecvTimeoutError::Disconnected => {
+                WaitError::Failed(PvfsError::Transport("server dropped reply".into()))
+            }
+        })
+    }
+}

@@ -1,0 +1,329 @@
+//! End-to-end tests of the TCP transport over loopback sockets: the
+//! paper's wire-frame arithmetic on real sockets, deadline behavior
+//! against pathological peers, framing violations, pooling, shutdown.
+
+use bytes::Bytes;
+use pvfs_net::tcp::frame::read_frame;
+use pvfs_net::tcp::{TcpCluster, TcpTransport};
+use pvfs_net::{
+    ClusterClient, LiveCluster, RpcTarget, SerialGate, Transport, TransportKind, WaitError,
+};
+use pvfs_proto::{decode_response, encode_message, Message, Request, Response};
+use pvfs_server::{IoDaemon, IodConfig};
+use pvfs_types::{
+    ClientId, FileHandle, PvfsError, Region, RegionList, RequestId, ServerId, StripeLayout,
+};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn layout(n: u32) -> StripeLayout {
+    StripeLayout::new(0, n, 16).unwrap()
+}
+
+fn frames_rx(cluster: &LiveCluster, server: u32) -> u64 {
+    cluster.server_stats(ServerId(server)).unwrap().frames_rx
+}
+
+/// The paper's §3.3 claim, measured on real sockets: a noncontiguous
+/// write of 64 regions is ONE list-I/O request frame on the wire, where
+/// multiple I/O (one contiguous request per region) takes 64.
+#[test]
+fn list_write_of_64_regions_is_one_wire_frame_vs_64() {
+    let cluster = LiveCluster::spawn_transport(1, IodConfig::default(), TransportKind::Tcp);
+    assert_eq!(cluster.transport_kind(), TransportKind::Tcp);
+    let c = cluster.client();
+    let l = layout(1);
+    let fh = FileHandle(42);
+
+    // 64 regions of 4 bytes, stride 8 — the worst case multiple I/O
+    // turns into 64 round trips.
+    let pairs: Vec<(u64, u64)> = (0..64u64).map(|i| (i * 8, 4)).collect();
+    let regions = RegionList::from_pairs(pairs.clone()).unwrap();
+    let data = Bytes::from(vec![0x5au8; 64 * 4]);
+
+    let before = frames_rx(&cluster, 0);
+    let resp = c
+        .call(
+            RpcTarget::Server(ServerId(0)),
+            Request::WriteList {
+                handle: fh,
+                layout: l,
+                regions,
+                data,
+            },
+        )
+        .unwrap();
+    assert_eq!(resp, Response::Written { bytes: 256 });
+    assert_eq!(
+        frames_rx(&cluster, 0) - before,
+        1,
+        "a 64-region list write must be exactly one request frame"
+    );
+
+    // The same access as multiple I/O: one contiguous write per region.
+    let before = frames_rx(&cluster, 0);
+    for (off, len) in pairs {
+        c.call(
+            RpcTarget::Server(ServerId(0)),
+            Request::Write {
+                handle: fh,
+                layout: l,
+                region: Region::new(off, len),
+                data: Bytes::from(vec![0x5au8; len as usize]),
+            },
+        )
+        .unwrap();
+    }
+    assert_eq!(
+        frames_rx(&cluster, 0) - before,
+        64,
+        "multiple I/O pays one request frame per region"
+    );
+}
+
+/// Wire byte accounting is exact: the daemon sees prefix + frame for
+/// each request.
+#[test]
+fn wire_bytes_count_the_length_prefix() {
+    let daemons = vec![Arc::new(IoDaemon::new(ServerId(0), IodConfig::default()))];
+    let tcp = TcpCluster::spawn(&daemons, IodConfig::default());
+    let transport = TcpTransport::new(tcp.server_addrs(), tcp.mgr_addr());
+
+    let frame = encode_message(&Message {
+        client: ClientId(1),
+        id: RequestId(1),
+        request: Request::GetLocalSize {
+            handle: FileHandle(1),
+        },
+    })
+    .unwrap();
+    let wire = 4 + frame.len() as u64;
+    transport
+        .start(RpcTarget::Server(ServerId(0)), frame)
+        .unwrap()
+        .wait(Duration::from_secs(5))
+        .unwrap();
+    let stats = daemons[0].stats();
+    assert_eq!(stats.frames_rx, 1);
+    assert_eq!(stats.bytes_rx, wire);
+    assert!(
+        stats.bytes_tx > 4,
+        "response accounting includes its prefix"
+    );
+}
+
+/// The satellite bugfix regression: a server trickling a response one
+/// byte at a time must NOT reset the deadline on each partial read. The
+/// RPC budget bounds total elapsed time, so the client gives up near
+/// the deadline even though bytes keep arriving.
+#[test]
+fn trickled_response_cannot_stretch_the_rpc_deadline() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        // Consume the request frame so the client is purely waiting.
+        let _ = read_frame(&mut conn).unwrap();
+        // A perfectly valid response... at one byte per 30 ms. Each
+        // byte lands well inside a naive per-read timeout; only a
+        // total-elapsed deadline rejects it.
+        let resp = pvfs_proto::encode_response(RequestId(1), &Response::Closed);
+        let mut wire = (resp.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&resp);
+        for b in wire {
+            if conn.write_all(&[b]).and_then(|()| conn.flush()).is_err() {
+                return; // client hung up, as it should
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    });
+
+    let transport = TcpTransport::new(vec![addr], addr);
+    let frame = encode_message(&Message {
+        client: ClientId(1),
+        id: RequestId(1),
+        request: Request::GetLocalSize {
+            handle: FileHandle(1),
+        },
+    })
+    .unwrap();
+    let pending = transport
+        .start(RpcTarget::Server(ServerId(0)), frame)
+        .unwrap();
+    let start = Instant::now();
+    let err = pending.wait(Duration::from_millis(150)).unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(matches!(err, WaitError::Timeout), "got {err:?}");
+    assert!(
+        elapsed < Duration::from_millis(600),
+        "deadline must bound total time, not per-read time (took {elapsed:?})"
+    );
+    server.join().unwrap();
+}
+
+/// A peer announcing an oversized frame to a daemon gets a typed
+/// id-0 error response and a closed connection — never an allocation.
+#[test]
+fn server_rejects_oversized_announcement_with_typed_error() {
+    let daemons = vec![Arc::new(IoDaemon::new(ServerId(0), IodConfig::default()))];
+    let tcp = TcpCluster::spawn(&daemons, IodConfig::default());
+    let mut conn = TcpStream::connect(tcp.server_addrs()[0]).unwrap();
+    // A hostile ~4 GiB announcement.
+    conn.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    conn.flush().unwrap();
+    let reply = read_frame(&mut conn).expect("server should explain before hanging up");
+    let (rid, response) = decode_response(reply).unwrap();
+    assert_eq!(rid, RequestId(0), "no header was read: reserved id");
+    match response {
+        Response::Error(PvfsError::FrameTooLarge { len, max }) => {
+            assert_eq!(len, u32::MAX as u64);
+            assert!(max < len);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    // And the connection is gone.
+    let mut rest = Vec::new();
+    assert_eq!(conn.read_to_end(&mut rest).unwrap(), 0);
+}
+
+/// A *server* announcing an oversized response frame surfaces to the
+/// client as the typed error, not an OOM or a hang.
+#[test]
+fn client_rejects_oversized_response_announcement() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let _ = read_frame(&mut conn).unwrap();
+        conn.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    });
+    let transport = TcpTransport::new(vec![addr], addr);
+    let frame = encode_message(&Message {
+        client: ClientId(1),
+        id: RequestId(1),
+        request: Request::GetLocalSize {
+            handle: FileHandle(1),
+        },
+    })
+    .unwrap();
+    let err = transport
+        .start(RpcTarget::Server(ServerId(0)), frame)
+        .unwrap()
+        .wait(Duration::from_secs(5))
+        .unwrap_err();
+    match err {
+        WaitError::Failed(PvfsError::FrameTooLarge { len, .. }) => {
+            assert_eq!(len, u32::MAX as u64)
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    server.join().unwrap();
+}
+
+/// Sequential RPCs reuse one persistent connection instead of dialing
+/// per request.
+#[test]
+fn sequential_rpcs_reuse_a_pooled_connection() {
+    let daemons = vec![Arc::new(IoDaemon::new(ServerId(0), IodConfig::default()))];
+    let tcp = TcpCluster::spawn(&daemons, IodConfig::default());
+    let transport = Arc::new(TcpTransport::new(tcp.server_addrs(), tcp.mgr_addr()));
+    let client =
+        ClusterClient::with_transport(ClientId(1), transport.clone(), Arc::new(SerialGate::new()));
+    for _ in 0..5 {
+        client
+            .call(
+                RpcTarget::Server(ServerId(0)),
+                Request::GetLocalSize {
+                    handle: FileHandle(1),
+                },
+            )
+            .unwrap();
+    }
+    assert_eq!(
+        transport.idle_connections(),
+        1,
+        "five sequential RPCs should ride one persistent connection"
+    );
+}
+
+/// Full client/daemon data path over real sockets, including a fan-out
+/// round, then a clean (non-hanging) teardown with the in-flight work
+/// drained.
+#[test]
+fn data_roundtrip_and_graceful_shutdown_over_tcp() {
+    let cluster = LiveCluster::spawn_transport(4, IodConfig::default(), TransportKind::Tcp);
+    let c = cluster.client();
+    let l = layout(4);
+    let fh = FileHandle(7);
+    for s in 0..4u32 {
+        let resp = c
+            .call(
+                RpcTarget::Server(ServerId(s)),
+                Request::Write {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(s as u64 * 16, 16),
+                    data: Bytes::from(vec![s as u8; 16]),
+                },
+            )
+            .unwrap();
+        assert_eq!(resp, Response::Written { bytes: 16 });
+    }
+    let reqs = (0..4u32)
+        .map(|s| {
+            (
+                ServerId(s),
+                Request::Read {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(0, 64),
+                },
+            )
+        })
+        .collect();
+    for (s, resp) in c.round(reqs).unwrap().into_iter().enumerate() {
+        match resp {
+            Response::Data { data } => assert_eq!(data.as_ref(), &[s as u8; 16][..]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // Drop with the transport still holding live pooled connections;
+    // the listeners, readers and pools must all drain and join.
+    drop(cluster);
+}
+
+/// Metadata path (manager) over TCP, end to end.
+#[test]
+fn manager_rpcs_work_over_tcp() {
+    let cluster = LiveCluster::spawn_transport(2, IodConfig::default(), TransportKind::Tcp);
+    let c = cluster.client();
+    let resp = c
+        .call(
+            RpcTarget::Manager,
+            Request::Create {
+                path: "/pvfs/tcp".into(),
+                layout: layout(2),
+            },
+        )
+        .unwrap();
+    let handle = match resp {
+        Response::Created { handle } => handle,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(
+        c.call(RpcTarget::Manager, Request::Close { handle })
+            .unwrap(),
+        Response::Closed
+    );
+    let err = c
+        .call(
+            RpcTarget::Manager,
+            Request::Open {
+                path: "/nope".into(),
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, PvfsError::NoSuchFile(_)));
+}

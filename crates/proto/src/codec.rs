@@ -66,6 +66,7 @@ const ERR_STORAGE: u8 = 6;
 const ERR_TRANSPORT: u8 = 7;
 const ERR_NO_SUCH_SERVER: u8 = 8;
 const ERR_TIMEOUT: u8 = 9;
+const ERR_FRAME_TOO_LARGE: u8 = 10;
 
 /// Encode a request message to its wire frame (header + trailing data +
 /// bulk payload).
@@ -586,6 +587,11 @@ fn put_error(buf: &mut BytesMut, e: &PvfsError) {
             buf.put_u8(ERR_TIMEOUT);
             put_string_mut(buf, m);
         }
+        PvfsError::FrameTooLarge { len, max } => {
+            buf.put_u8(ERR_FRAME_TOO_LARGE);
+            buf.put_u64_le(*len);
+            buf.put_u64_le(*max);
+        }
     }
 }
 
@@ -606,6 +612,10 @@ fn get_error(buf: &mut Bytes) -> PvfsResult<PvfsError> {
         ERR_TRANSPORT => PvfsError::Transport(get_string(buf)?),
         ERR_NO_SUCH_SERVER => PvfsError::NoSuchServer(get_u32(buf)?),
         ERR_TIMEOUT => PvfsError::Timeout(get_string(buf)?),
+        ERR_FRAME_TOO_LARGE => PvfsError::FrameTooLarge {
+            len: get_u64(buf)?,
+            max: get_u64(buf)?,
+        },
         other => return Err(PvfsError::protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -888,6 +898,10 @@ mod tests {
             Response::Error(PvfsError::NoSuchFile("/x".into())),
             Response::Error(PvfsError::NoSuchServer(3)),
             Response::Error(PvfsError::Storage("disk on fire".into())),
+            Response::Error(PvfsError::FrameTooLarge {
+                len: 1 << 40,
+                max: 1 << 20,
+            }),
             Response::Listing {
                 paths: vec!["/pvfs/a".into(), "/pvfs/b".into()],
             },

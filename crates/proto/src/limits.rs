@@ -32,6 +32,22 @@ pub const VECTOR_RUN_SIZE: usize = 32;
 /// (1500 − 44) / 32 = 45.
 pub const MAX_VECTOR_RUNS: usize = (ETHERNET_MTU - LIST_HEADER_SIZE) / VECTOR_RUN_SIZE;
 
+/// Hard cap on the bulk payload (write data / read response data) one
+/// wire frame may carry. Bulk streams *behind* the MTU-bounded request
+/// header on a real network; on the framed TCP transport it travels in
+/// the same length-prefixed frame, so the frame cap must budget for it.
+/// 64 MiB comfortably exceeds any per-round per-server share the
+/// planner produces while keeping a malformed length prefix from
+/// turning into a multi-gigabyte allocation.
+pub const MAX_BULK_BYTES: usize = 64 << 20;
+
+/// Hard cap on one length-prefixed wire frame of the TCP transport:
+/// the MTU-bounded control part (header + trailing data, see
+/// [`list_request_fits_frame`]) plus the [`MAX_BULK_BYTES`] bulk
+/// budget. A peer announcing more is rejected with
+/// `PvfsError::FrameTooLarge` before any allocation happens.
+pub const MAX_WIRE_FRAME: usize = ETHERNET_MTU + MAX_BULK_BYTES;
+
 /// How many trailing-data regions fit a frame of `mtu` bytes.
 pub const fn max_regions_per_frame(mtu: usize) -> usize {
     (mtu - LIST_HEADER_SIZE) / TRAILING_ENTRY_SIZE

@@ -99,6 +99,15 @@ pub struct ServerStats {
     pub bytes_written: u64,
     /// Requests answered with an error.
     pub errors: u64,
+    /// Wire bytes received by this daemon's transport (request frames;
+    /// on TCP this includes the length prefixes).
+    pub bytes_rx: u64,
+    /// Wire bytes sent by this daemon's transport (response frames).
+    pub bytes_tx: u64,
+    /// Request frames received by this daemon's transport. The paper's
+    /// ⌈n/64⌉ claim is about exactly this counter: one list request
+    /// frame moves up to 64 regions.
+    pub frames_rx: u64,
 }
 
 /// [`ServerStats`] as relaxed atomics, so concurrently served requests
@@ -112,6 +121,9 @@ struct AtomicStats {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     errors: AtomicU64,
+    bytes_rx: AtomicU64,
+    bytes_tx: AtomicU64,
+    frames_rx: AtomicU64,
 }
 
 impl AtomicStats {
@@ -124,6 +136,9 @@ impl AtomicStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
+            bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
+            frames_rx: self.frames_rx.load(Ordering::Relaxed),
         }
     }
 }
@@ -217,6 +232,20 @@ impl IoDaemon {
             .get_mut(&handle)
             .map(|f| f.flush())
             .unwrap_or_default()
+    }
+
+    /// Account one request frame arriving on this daemon's transport
+    /// (`wire_bytes` = frame plus any transport framing overhead). The
+    /// transport layer calls this, not the daemon itself — a daemon
+    /// served in-process by the simulator never sees wire traffic.
+    pub fn record_wire_rx(&self, wire_bytes: u64) {
+        self.stats.frames_rx.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_rx.fetch_add(wire_bytes, Ordering::Relaxed);
+    }
+
+    /// Account one response frame leaving on this daemon's transport.
+    pub fn record_wire_tx(&self, wire_bytes: u64) {
+        self.stats.bytes_tx.fetch_add(wire_bytes, Ordering::Relaxed);
     }
 
     /// Serve one request. `&self`: safe to call from many threads at

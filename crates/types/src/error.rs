@@ -34,6 +34,15 @@ pub enum PvfsError {
     /// overloaded server). The request may still execute server-side;
     /// reads are safe to retry, writes are idempotent per region.
     Timeout(String),
+    /// A peer announced a wire frame larger than the transport's hard
+    /// cap. The frame is rejected *before* any allocation: a malformed
+    /// or malicious length prefix must not become an OOM.
+    FrameTooLarge {
+        /// Announced frame length.
+        len: u64,
+        /// The transport's maximum frame length.
+        max: u64,
+    },
 }
 
 impl fmt::Display for PvfsError {
@@ -48,6 +57,9 @@ impl fmt::Display for PvfsError {
             PvfsError::Transport(m) => write!(f, "transport error: {m}"),
             PvfsError::NoSuchServer(s) => write!(f, "no such I/O server: {s}"),
             PvfsError::Timeout(m) => write!(f, "rpc timed out: {m}"),
+            PvfsError::FrameTooLarge { len, max } => {
+                write!(f, "wire frame of {len} bytes exceeds the {max}-byte cap")
+            }
         }
     }
 }
