@@ -3,7 +3,7 @@
 //! ```text
 //! figures [FIGURE ...] [--scale quick|mid|paper] [--out DIR] [--transport chan|tcp]
 //!
-//! FIGURE: fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire all
+//! FIGURE: fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos all
 //! ```
 //!
 //! Writes one CSV per figure into `--out` (default `results/`) and
@@ -12,11 +12,14 @@
 //! values (see EXPERIMENTS.md). The `wire` figure instead runs on the
 //! **live** cluster over the transport chosen by `--transport`
 //! (in-process channels or real TCP loopback sockets) and reports the
-//! request frames and bytes the daemons actually received.
+//! request frames and bytes the daemons actually received. The `chaos`
+//! figure is also live: list-I/O goodput under 0–20% injected
+//! transport faults, retries on vs off.
 
 use pvfs_bench::figures::{ext_datatype, ext_hybrid};
 use pvfs_bench::{
-    fig10, fig11, fig12, fig15, fig17, fig9, render_bars, render_table, wire, write_csv, Row, Scale,
+    chaos, fig10, fig11, fig12, fig15, fig17, fig9, render_bars, render_table, wire, write_csv,
+    Row, Scale,
 };
 use pvfs_net::TransportKind;
 use std::path::PathBuf;
@@ -49,10 +52,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire | all] \
+                    "usage: figures [fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos | all] \
                      [--scale quick|mid|paper] [--out DIR] [--transport chan|tcp]\n\
-                     (--transport selects the live cluster's transport for the `wire` figure;\n\
-                      the fig* figures run on the calibrated simulator)"
+                     (--transport selects the live cluster's transport for the `wire` and `chaos`\n\
+                      figures; the fig* figures run on the calibrated simulator)"
                 );
                 return;
             }
@@ -70,6 +73,7 @@ fn main() {
             "ext-datatype",
             "ext-hybrid",
             "wire",
+            "chaos",
         ]
         .map(String::from)
         .to_vec();
@@ -88,6 +92,7 @@ fn main() {
             "ext-datatype" => ext_datatype(scale),
             "ext-hybrid" => ext_hybrid(scale),
             "wire" => wire(scale, transport),
+            "chaos" => chaos(scale, transport),
             other => {
                 eprintln!("unknown figure '{other}'");
                 std::process::exit(2);

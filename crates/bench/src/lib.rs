@@ -16,6 +16,6 @@ pub mod plot;
 pub mod report;
 
 pub use figures::{fig10, fig11, fig12, fig15, fig17, fig9, Scale};
-pub use live::wire;
+pub use live::{chaos, wire};
 pub use plot::render_bars;
 pub use report::{render_table, write_csv, Row};

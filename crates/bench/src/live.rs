@@ -12,10 +12,10 @@
 
 use pvfs_client::PvfsFile;
 use pvfs_core::Method;
-use pvfs_net::{LiveCluster, TransportKind};
+use pvfs_net::{FaultPlan, LiveCluster, RetryPolicy, TransportKind};
 use pvfs_server::IodConfig;
 use pvfs_types::{RegionList, ServerId, StripeLayout};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::report::Row;
 use crate::Scale;
@@ -67,6 +67,94 @@ pub fn wire(scale: Scale, kind: TransportKind) -> Vec<Row> {
                 seconds,
                 requests: frames_after - frames_before,
                 wire_bytes: bytes_after - bytes_before,
+            });
+        }
+    }
+    rows
+}
+
+/// The `chaos` figure: list-I/O goodput against a hostile cluster.
+///
+/// Runs strided list write+read iterations (64 regions × 128 B each
+/// way, byte-verified) at injected fault rates of 0–20% — split
+/// 2:2:1 over drop/disconnect/corrupt — with retries on (default
+/// policy, 6 attempts) vs off (fail-fast). `wire_bytes` counts only
+/// *verified* bytes, so the retry-off series loses goodput exactly
+/// where ops die; the retry-on series must keep it byte-for-byte and
+/// pay for it in `requests` (RPC attempts, retries included).
+pub fn chaos(scale: Scale, kind: TransportKind) -> Vec<Row> {
+    let iterations: u64 = match scale {
+        Scale::Quick => 4,
+        Scale::Mid => 16,
+        Scale::Paper => 64,
+    };
+    let rates_pct: &[u64] = &[0, 5, 10, 20];
+    let n: u64 = 64;
+    let mut rows = Vec::new();
+    for &pct in rates_pct {
+        let rate = pct as f64 / 100.0;
+        let retry_on = RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        };
+        for (series, policy) in [("retry-on", retry_on), ("retry-off", RetryPolicy::none())] {
+            let mut cluster = LiveCluster::spawn_transport(SERVERS, IodConfig::default(), kind);
+            cluster.inject_faults(FaultPlan {
+                drop: rate * 0.4,
+                disconnect: rate * 0.4,
+                corrupt: rate * 0.2,
+                seed: 1000 + pct,
+                ..FaultPlan::default()
+            });
+            // Short deadline so retry-off failures cost milliseconds,
+            // not the default 10 s, at the highest rates.
+            let client = cluster
+                .client()
+                .with_retry_policy(policy)
+                .with_rpc_timeout(Duration::from_secs(2));
+            let layout = StripeLayout::new(0, SERVERS, STRIPE).unwrap();
+            let mut f = PvfsFile::create(&client, "/pvfs/chaos", layout).unwrap();
+            let file: RegionList =
+                RegionList::from_pairs((0..n).map(|i| (i * STRIDE, REGION_BYTES))).unwrap();
+            let mem = RegionList::contiguous(0, n * REGION_BYTES);
+            let attempts_before = client.stats().attempts;
+            let mut verified_bytes = 0u64;
+            let started = Instant::now();
+            for it in 0..iterations {
+                let buf =
+                    vec![(it as u8).wrapping_mul(29).wrapping_add(3); (n * REGION_BYTES) as usize];
+                if f.write_list(&mem, &file, &buf, Method::List).is_err() {
+                    continue; // retry-off casualty: no goodput this round
+                }
+                let mut back = vec![0u8; buf.len()];
+                if f.read_list(&mem, &file, &mut back, Method::List).is_err() {
+                    continue;
+                }
+                if back == buf {
+                    verified_bytes += 2 * buf.len() as u64;
+                } else {
+                    assert!(
+                        series == "retry-off",
+                        "retry-on must never pass corrupted data through"
+                    );
+                }
+            }
+            let seconds = started.elapsed().as_secs_f64();
+            if series == "retry-on" {
+                assert_eq!(
+                    verified_bytes,
+                    iterations * 2 * n * REGION_BYTES,
+                    "retry-on must survive {pct}% faults with full goodput"
+                );
+            }
+            rows.push(Row {
+                figure: "chaos",
+                panel: format!("{kind} transport"),
+                series: series.into(),
+                x: pct,
+                seconds,
+                requests: client.stats().attempts - attempts_before,
+                wire_bytes: verified_bytes,
             });
         }
     }

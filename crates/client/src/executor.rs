@@ -30,6 +30,17 @@ pub struct ExecReport {
     pub copy_bytes: u64,
     /// Serial sections entered.
     pub serial_sections: u64,
+    /// RPC attempts made (first tries plus retries) — mirrors
+    /// [`pvfs_net::ClientStats`] over this plan's execution.
+    pub attempts: u64,
+    /// Re-sent RPCs after a transient failure. Zero on a healthy
+    /// cluster; bounded by the [`pvfs_net::RetryPolicy`] otherwise.
+    pub retries: u64,
+    /// Total milliseconds slept in retry backoff.
+    pub backoff_ms: u64,
+    /// Faults injected by the transport's fault plan (zero unless
+    /// `PVFS_FAULTS` or [`pvfs_net::FaultyTransport`] is in play).
+    pub faults_injected: u64,
 }
 
 /// Execute a plan to completion against the live cluster.
@@ -47,6 +58,7 @@ pub fn execute_plan(
         temps: &mut temps,
     };
     let mut report = ExecReport::default();
+    let stats_before = client.stats();
     let mut holding_gate = false;
     let result = (|| -> PvfsResult<()> {
         while let Some(step) = plan.next_step() {
@@ -105,5 +117,10 @@ pub fn execute_plan(
     if holding_gate {
         client.gate().release();
     }
+    let retry = client.stats().since(&stats_before);
+    report.attempts = retry.attempts;
+    report.retries = retry.retries;
+    report.backoff_ms = retry.backoff_ms;
+    report.faults_injected = retry.faults_injected;
     result.map(|()| report)
 }

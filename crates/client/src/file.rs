@@ -133,6 +133,19 @@ impl PvfsFile {
         self.client.rpc_timeout()
     }
 
+    /// Set the retry policy for this file's RPCs — how many attempts,
+    /// how much backoff, and how large a per-op time budget transient
+    /// failures get before they surface. `RetryPolicy::none()` fails
+    /// fast on the first error.
+    pub fn set_retry_policy(&mut self, policy: pvfs_net::RetryPolicy) {
+        self.client = self.client.clone().with_retry_policy(policy);
+    }
+
+    /// The retry policy currently in force for this file.
+    pub fn retry_policy(&self) -> pvfs_net::RetryPolicy {
+        self.client.retry_policy()
+    }
+
     /// The logical file size, computed from the I/O daemons' local file
     /// sizes — the manager stays off the data path.
     pub fn size(&self) -> PvfsResult<u64> {

@@ -249,6 +249,90 @@ fn concurrent_sieving_writers_serialize_safely() {
     }
 }
 
+/// The acceptance test of the hostile-cluster PR at the file API level:
+/// every noncontiguous method roundtrips byte-exact through ~5% mixed
+/// injected faults, and the `ExecReport` shows the retries that
+/// absorbed them — bounded by the policy, invisible to the data.
+#[test]
+fn list_io_survives_five_percent_faults_with_retries_reported() {
+    let mut cluster = LiveCluster::spawn(4);
+    cluster.inject_faults(pvfs_net::FaultPlan {
+        drop: 0.02,
+        disconnect: 0.02,
+        corrupt: 0.01,
+        seed: 31,
+        ..pvfs_net::FaultPlan::default()
+    });
+    let client = cluster.client();
+    let layout = StripeLayout::new(0, 4, 16).unwrap();
+
+    let mut total_retries = 0u64;
+    let mut total_attempts = 0u64;
+    let mut total_requests = 0u64;
+    for (i, method) in Method::ALL.into_iter().enumerate() {
+        let path = format!("/pvfs/chaos{i}");
+        let mut f = PvfsFile::create(&client, &path, layout).unwrap();
+        f.set_method_config(MethodConfig {
+            sieve_buffer: 128,
+            ..MethodConfig::paper_default()
+        });
+        // 40 regions of 7 bytes every 31 — crosses every server many
+        // times, so faults land on the fan-out rounds.
+        let file = RegionList::from_pairs((0..40u64).map(|k| (k * 31, 7))).unwrap();
+        let mem = RegionList::contiguous(0, file.total_len());
+        let src = pattern(file.total_len() as usize, i as u8);
+        let w = f.write_list(&mem, &file, &src, method).unwrap();
+
+        let mut back = vec![0u8; src.len()];
+        let r = f.read_list(&mem, &file, &mut back, method).unwrap();
+        assert_eq!(back, src, "chaos roundtrip corrupted data for {method}");
+
+        for report in [&w, &r] {
+            total_retries += report.retries;
+            total_attempts += report.attempts;
+            total_requests += report.requests;
+            assert!(
+                report.attempts >= report.requests,
+                "every wire request is at least one attempt"
+            );
+            assert_eq!(
+                report.attempts - report.requests,
+                report.retries,
+                "attempts beyond the requests are exactly the retries"
+            );
+        }
+    }
+    assert!(
+        total_retries > 0,
+        "seeded 5% faults over {total_requests} requests must force retries"
+    );
+    let max = u64::from(pvfs_net::RetryPolicy::default().max_attempts);
+    assert!(
+        total_attempts <= total_requests * max,
+        "attempts bounded: {total_attempts} > {total_requests} * {max}"
+    );
+}
+
+#[test]
+fn retry_policy_is_inherited_and_tunable_per_file() {
+    let cluster = LiveCluster::spawn(2);
+    let client = cluster.client();
+    let layout = StripeLayout::new(0, 2, 16).unwrap();
+    let mut f = PvfsFile::create(&client, "/pvfs/retry", layout).unwrap();
+    // A fresh client (and hence the file) starts on the PVFS_RETRY
+    // policy, defaulting to RetryPolicy::default() when unset.
+    let inherited = pvfs_net::RetryPolicy::from_env();
+    assert_eq!(f.retry_policy(), inherited);
+    f.set_retry_policy(pvfs_net::RetryPolicy::none());
+    assert_eq!(f.retry_policy().max_attempts, 1);
+    assert_eq!(client.retry_policy(), inherited);
+    // Still works with retries off (no faults to absorb).
+    f.write_at(0, b"fail-fast").unwrap();
+    let mut buf = vec![0u8; 9];
+    f.read_at(0, &mut buf).unwrap();
+    assert_eq!(&buf, b"fail-fast");
+}
+
 #[test]
 fn rpc_timeout_is_inherited_and_tunable_per_file() {
     let cluster = LiveCluster::spawn(2);

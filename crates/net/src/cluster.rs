@@ -49,11 +49,13 @@ use pvfs_types::{ClientId, PvfsError, PvfsResult, RequestId, ServerId};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::chan::{bounded, Sender};
+use crate::fault::{FaultPlan, FaultyTransport};
 use crate::gate::SerialGate;
 use crate::pool::WorkerPool;
+use crate::retry::{AtomicClientStats, Backoff, ClientStats, RetryPolicy};
 use crate::tcp::{TcpCluster, TcpTransport};
 use crate::transport::{
     serve_frame, ChanTransport, NodeMsg, RpcTarget, Transport, TransportKind, WaitError,
@@ -147,6 +149,14 @@ impl LiveCluster {
                 )
             }
         };
+        // One env var turns any suite into a chaos suite: wrap the real
+        // transport in the seeded fault injector.
+        let transport = match FaultPlan::from_env() {
+            Some(plan) if plan.is_active() => {
+                Arc::new(FaultyTransport::new(transport, plan)) as Arc<dyn Transport>
+            }
+            _ => transport,
+        };
         LiveCluster {
             daemons,
             transport,
@@ -154,6 +164,14 @@ impl LiveCluster {
             next_client: AtomicU32::new(0),
             gate: Arc::new(SerialGate::new()),
         }
+    }
+
+    /// Wrap this cluster's transport in a chaos layer injecting `plan`
+    /// (the programmatic equivalent of `PVFS_FAULTS`; layers stack).
+    /// Call before creating clients — existing [`ClusterClient`]s keep
+    /// the transport they were built with.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.transport = Arc::new(FaultyTransport::new(self.transport.clone(), plan));
     }
 
     /// Number of I/O servers.
@@ -267,6 +285,8 @@ pub struct ClusterClient {
     next_request: Arc<AtomicU64>,
     gate: Arc<SerialGate>,
     rpc_timeout: Duration,
+    retry: RetryPolicy,
+    stats: Arc<AtomicClientStats>,
 }
 
 impl ClusterClient {
@@ -285,6 +305,8 @@ impl ClusterClient {
             next_request: Arc::new(AtomicU64::new(1)),
             gate,
             rpc_timeout: DEFAULT_RPC_TIMEOUT,
+            retry: RetryPolicy::from_env(),
+            stats: Arc::new(AtomicClientStats::default()),
         }
     }
 
@@ -314,6 +336,24 @@ impl ClusterClient {
         self.rpc_timeout
     }
 
+    /// This endpoint with a different retry policy
+    /// ([`RetryPolicy::none`] turns retries off).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> ClusterClient {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy currently in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Reliability counters of this endpoint and all its clones:
+    /// attempts, retries, backoff slept, faults the transport injected.
+    pub fn stats(&self) -> ClientStats {
+        self.stats.snapshot(self.transport.faults_injected())
+    }
+
     fn encode(&self, request: Request) -> PvfsResult<(RequestId, Bytes)> {
         let id = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
         let frame = encode_message(&Message {
@@ -326,7 +366,38 @@ impl ClusterClient {
 
     /// One synchronous RPC. Errors returned by the server come back as
     /// `Err`; no reply within the deadline is [`PvfsError::Timeout`].
+    ///
+    /// Transient failures ([`PvfsError::is_retryable`]) of idempotent
+    /// requests ([`Request::is_idempotent`]) are retried under this
+    /// endpoint's [`RetryPolicy`], each attempt on a fresh request id.
     pub fn call(&self, target: RpcTarget, request: Request) -> PvfsResult<Response> {
+        let started = Instant::now();
+        let mut backoff: Option<Backoff> = None;
+        let mut attempt = 1u32;
+        loop {
+            self.stats.record_attempts(1);
+            let err = match self.call_once(target, request.clone()) {
+                Ok(response) => return Ok(response),
+                Err(e) => e,
+            };
+            if !err.is_retryable()
+                || !request.is_idempotent()
+                || attempt >= self.retry.max_attempts
+                || started.elapsed() >= self.retry.budget
+            {
+                return Err(err);
+            }
+            let delay = backoff
+                .get_or_insert_with(|| self.new_backoff())
+                .next_delay();
+            self.stats.record_retries(1, delay);
+            std::thread::sleep(delay);
+            attempt += 1;
+        }
+    }
+
+    /// One attempt of one RPC: ship, wait, decode, attribute.
+    fn call_once(&self, target: RpcTarget, request: Request) -> PvfsResult<Response> {
         let (id, frame) = self.encode(request)?;
         let pending = self.transport.start(target, frame)?;
         let raw = pending.wait(self.rpc_timeout).map_err(|e| match e {
@@ -363,48 +434,125 @@ impl ClusterClient {
     /// response carrying the reserved id 0 is a hard protocol error on
     /// this path: with several requests in flight it could belong to
     /// any of them, so it must never be matched to one.
+    ///
+    /// # Partial-round recovery
+    ///
+    /// When some ops of a round fail transiently, only the *failed* ops
+    /// are re-sent (fresh request ids), only to the servers that failed
+    /// — responses already collected are kept and the healthy servers
+    /// see no duplicate traffic. This is safe because every data-path
+    /// request is idempotent ([`Request::is_idempotent`]): replaying
+    /// the failed subset cannot corrupt regions whose writes already
+    /// applied. A deterministic error (or an exhausted
+    /// [`RetryPolicy`]) aborts the round with that error.
     pub fn round(&self, requests: Vec<(ServerId, Request)>) -> PvfsResult<Vec<Response>> {
-        let mut pending = Vec::with_capacity(requests.len());
-        for (server, request) in requests {
-            let (id, frame) = self.encode(request)?;
-            let handle = self
-                .transport
-                .start(RpcTarget::Server(server), frame)
-                .map_err(|e| annotate_round_error(server, id, e))?;
-            pending.push((server, id, handle));
-        }
-        let mut responses = Vec::with_capacity(pending.len());
-        for (server, id, handle) in pending {
-            let raw = handle.wait(self.rpc_timeout).map_err(|e| match e {
-                WaitError::Timeout => PvfsError::timeout(format!(
-                    "no reply to request {id} from server {server} within {:?}",
-                    self.rpc_timeout
-                )),
-                WaitError::Failed(e) => annotate_round_error(server, id, e),
-            })?;
-            let (rid, response) = decode_response(raw)?;
-            if rid == RequestId(0) {
-                return Err(PvfsError::protocol(format!(
-                    "server {server} answered request {id} with the unattributable id 0 \
-                     ({})",
-                    match response {
-                        Response::Error(e) => format!("server error: {e}"),
-                        other => format!("response {other:?}"),
-                    }
-                )));
+        let mut results: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..requests.len()).collect();
+        let started = Instant::now();
+        let mut backoff: Option<Backoff> = None;
+        let mut attempt = 1u32;
+        loop {
+            self.stats.record_attempts(pending.len() as u64);
+            let mut failures = self.round_attempt(&requests, &pending, &mut results);
+            if failures.is_empty() {
+                return Ok(results
+                    .into_iter()
+                    .map(|r| r.expect("every op resolved"))
+                    .collect());
             }
-            if rid != id {
-                return Err(PvfsError::protocol(format!(
-                    "server {server} answered request {id} with mismatched response id {rid}"
-                )));
+            if let Some((_, e)) = failures
+                .iter()
+                .find(|(i, e)| !e.is_retryable() || !requests[*i].1.is_idempotent())
+            {
+                return Err(e.clone());
             }
-            responses.push(
-                response
-                    .into_result()
-                    .map_err(|e| annotate_round_error(server, id, e))?,
-            );
+            if attempt >= self.retry.max_attempts || started.elapsed() >= self.retry.budget {
+                return Err(failures.swap_remove(0).1);
+            }
+            let delay = backoff
+                .get_or_insert_with(|| self.new_backoff())
+                .next_delay();
+            self.stats.record_retries(failures.len() as u64, delay);
+            std::thread::sleep(delay);
+            pending = failures.into_iter().map(|(i, _)| i).collect();
+            pending.sort_unstable();
+            attempt += 1;
         }
-        Ok(responses)
+    }
+
+    /// One fan-out attempt over the `pending` subset of `requests`:
+    /// ship every op first, then wait on every reply, filling `results`
+    /// and returning the `(index, error)` of each op that failed.
+    fn round_attempt(
+        &self,
+        requests: &[(ServerId, Request)],
+        pending: &[usize],
+        results: &mut [Option<Response>],
+    ) -> Vec<(usize, PvfsError)> {
+        let mut failures = Vec::new();
+        let mut inflight = Vec::with_capacity(pending.len());
+        for &i in pending {
+            let (server, request) = &requests[i];
+            match self.encode(request.clone()) {
+                Err(e) => failures.push((i, e)),
+                Ok((id, frame)) => match self.transport.start(RpcTarget::Server(*server), frame) {
+                    Err(e) => failures.push((i, annotate_round_error(*server, id, e))),
+                    Ok(handle) => inflight.push((i, *server, id, handle)),
+                },
+            }
+        }
+        for (i, server, id, handle) in inflight {
+            match self.collect_reply(server, id, handle) {
+                Ok(response) => results[i] = Some(response),
+                Err(e) => failures.push((i, e)),
+            }
+        }
+        failures
+    }
+
+    /// Wait for and validate one fan-out reply.
+    fn collect_reply(
+        &self,
+        server: ServerId,
+        id: RequestId,
+        handle: Box<dyn crate::transport::PendingReply>,
+    ) -> PvfsResult<Response> {
+        let raw = handle.wait(self.rpc_timeout).map_err(|e| match e {
+            WaitError::Timeout => PvfsError::timeout(format!(
+                "no reply to request {id} from server {server} within {:?}",
+                self.rpc_timeout
+            )),
+            WaitError::Failed(e) => annotate_round_error(server, id, e),
+        })?;
+        let (rid, response) =
+            decode_response(raw).map_err(|e| annotate_round_error(server, id, e))?;
+        if rid == RequestId(0) {
+            return Err(PvfsError::protocol(format!(
+                "server {server} answered request {id} with the unattributable id 0 \
+                 ({})",
+                match response {
+                    Response::Error(e) => format!("server error: {e}"),
+                    other => format!("response {other:?}"),
+                }
+            )));
+        }
+        if rid != id {
+            return Err(PvfsError::protocol(format!(
+                "server {server} answered request {id} with mismatched response id {rid}"
+            )));
+        }
+        response
+            .into_result()
+            .map_err(|e| annotate_round_error(server, id, e))
+    }
+
+    /// A fresh per-operation backoff sequence, seeded from the request
+    /// counter so serial runs are reproducible.
+    fn new_backoff(&self) -> Backoff {
+        Backoff::new(
+            self.retry,
+            RequestId(self.next_request.load(Ordering::Relaxed)),
+        )
     }
 }
 

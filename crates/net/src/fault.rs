@@ -1,0 +1,592 @@
+//! Deterministic fault injection at the transport seam.
+//!
+//! [`FaultyTransport`] wraps any [`Transport`] and injects seeded,
+//! reproducible faults according to a [`FaultPlan`] — which is how the
+//! whole tree becomes a chaos suite without forking a single test:
+//! `PVFS_FAULTS="drop:0.02,disconnect:0.02,corrupt:0.01" cargo test`
+//! wraps every [`LiveCluster`](crate::LiveCluster) transport, channel
+//! or TCP alike, and the retry machinery in
+//! [`ClusterClient`](crate::ClusterClient) has to absorb the abuse with
+//! byte-exact data intact.
+//!
+//! # Fault taxonomy
+//!
+//! | fault        | where it bites                 | client-visible error      |
+//! |--------------|--------------------------------|---------------------------|
+//! | `drop`       | request frame lost on send     | `Transport` at `start`    |
+//! | `delay`      | request stalled in flight      | none (latency only)       |
+//! | `disconnect` | connection cut before response | `Transport` at `wait`     |
+//! | `corrupt`    | response frame mangled in flight | `Protocol` at decode    |
+//! | `wedge`      | response never arrives         | `Timeout` after deadline  |
+//!
+//! `disconnect`, `corrupt` and `wedge` all forward the request to the
+//! real transport first, so the server *does* execute it — exactly the
+//! ambiguous may-have-executed case
+//! ([`PvfsError::is_definitely_not_executed`]) that makes per-region
+//! write idempotency load-bearing for retries. `drop` never forwards:
+//! the server provably saw nothing.
+//!
+//! # Scope and determinism
+//!
+//! Faults hit only the data path ([`RpcTarget::Server`]); manager RPCs
+//! pass through untouched, because metadata mutations (`Create`,
+//! `Remove`, `Close`) are not idempotent and are therefore never
+//! retried (see [`pvfs_proto::Request::is_idempotent`]).
+//!
+//! Sampling uses one seeded [`StdRng`] stream, so a serial caller — a
+//! single client issuing rounds — sees an identical fault sequence on
+//! every run with the same plan. Concurrent clients interleave their
+//! draws nondeterministically, but the *number* of injected faults per
+//! rate stays statistically pinned and [`FaultPlan::limit`] can bound
+//! it exactly.
+
+use bytes::Bytes;
+use pvfs_types::{PvfsError, PvfsResult};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::transport::{PendingReply, RpcTarget, Transport, TransportKind, WaitError};
+
+/// Which fault an injection point chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The request frame is lost before reaching the server.
+    Drop,
+    /// The request is stalled for [`FaultPlan::delay_for`], then sent.
+    Delay,
+    /// The request is delivered, the connection dies before the
+    /// response comes back.
+    Disconnect,
+    /// The response frame is truncated mid-body in flight.
+    Corrupt,
+    /// The response never arrives; the client's deadline fires.
+    Wedge,
+}
+
+/// A seeded, rate-based plan of transport faults.
+///
+/// Parsed from the `PVFS_FAULTS` environment variable (or built
+/// directly by tests/benches). The spec is a comma-separated list of
+/// `kind:rate` entries plus optional `key=value` knobs:
+///
+/// ```text
+/// PVFS_FAULTS="drop:0.02,disconnect:0.02,corrupt:0.01,seed=7"
+/// PVFS_FAULTS="wedge:1.0,target=2,limit=1"       # exactly one wedge, server 2 only
+/// PVFS_FAULTS="delay:0.1:5ms"                    # 10% of requests stalled 5 ms
+/// ```
+///
+/// Rates are probabilities in `[0, 1]` per request; their sum must not
+/// exceed 1.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability a request frame is dropped.
+    pub drop: f64,
+    /// Probability a request is delayed by [`FaultPlan::delay_for`].
+    pub delay: f64,
+    /// How long a `delay` fault stalls the request.
+    pub delay_for: Duration,
+    /// Probability the connection dies after delivery, before the
+    /// response.
+    pub disconnect: f64,
+    /// Probability the response frame is corrupted in flight.
+    pub corrupt: f64,
+    /// Probability the response never arrives (deadline path).
+    pub wedge: f64,
+    /// RNG seed: same plan + same seed + serial caller = same faults.
+    pub seed: u64,
+    /// Restrict injection to this server id (`target=N`). `None` hits
+    /// every I/O server. The manager is never hit either way.
+    pub target: Option<u32>,
+    /// Inject at most this many faults in total (`limit=N`), then pass
+    /// everything through clean. `delay` counts against the limit too.
+    pub limit: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            drop: 0.0,
+            delay: 0.0,
+            delay_for: Duration::from_millis(2),
+            disconnect: 0.0,
+            corrupt: 0.0,
+            wedge: 0.0,
+            seed: 0x9c_0ffee,
+            target: None,
+            limit: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parse a `PVFS_FAULTS` spec. `Err` carries a human-readable
+    /// reason naming the offending token.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            if let Some((key, value)) = token.split_once('=') {
+                match key.trim() {
+                    "seed" => {
+                        plan.seed = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("seed {value:?} is not a u64"))?;
+                    }
+                    "target" => {
+                        plan.target = Some(
+                            value
+                                .trim()
+                                .parse()
+                                .map_err(|_| format!("target {value:?} is not a server id"))?,
+                        );
+                    }
+                    "limit" => {
+                        plan.limit = Some(
+                            value
+                                .trim()
+                                .parse()
+                                .map_err(|_| format!("limit {value:?} is not a count"))?,
+                        );
+                    }
+                    other => return Err(format!("unknown fault option {other:?}")),
+                }
+                continue;
+            }
+            let mut parts = token.split(':');
+            let kind = parts.next().unwrap_or_default();
+            let rate: f64 = parts
+                .next()
+                .ok_or_else(|| format!("fault {token:?} is missing its rate"))?
+                .parse()
+                .map_err(|_| format!("fault {token:?} has a malformed rate"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("fault {token:?} rate must be within [0, 1]"));
+            }
+            match kind {
+                "drop" => plan.drop = rate,
+                "delay" => {
+                    plan.delay = rate;
+                    if let Some(ms) = parts.next() {
+                        let ms = ms.trim_end_matches("ms");
+                        plan.delay_for = Duration::from_millis(
+                            ms.parse()
+                                .map_err(|_| format!("delay duration {token:?} is malformed"))?,
+                        );
+                    }
+                }
+                "disconnect" => plan.disconnect = rate,
+                "corrupt" => plan.corrupt = rate,
+                "wedge" => plan.wedge = rate,
+                other => {
+                    return Err(format!(
+                        "unknown fault kind {other:?} (drop|delay|disconnect|corrupt|wedge)"
+                    ))
+                }
+            }
+            if parts.next().is_some() && kind != "delay" {
+                return Err(format!("fault {token:?} has trailing fields"));
+            }
+        }
+        if plan.total_rate() > 1.0 {
+            return Err(format!("fault rates sum to {} (> 1.0)", plan.total_rate()));
+        }
+        Ok(plan)
+    }
+
+    /// The plan selected by the `PVFS_FAULTS` environment variable, or
+    /// `None` when unset/empty. Panics on a malformed spec — a typo'd
+    /// chaos run must not silently test nothing.
+    pub fn from_env() -> Option<FaultPlan> {
+        match std::env::var("PVFS_FAULTS") {
+            Ok(v) if !v.trim().is_empty() => Some(
+                FaultPlan::parse(&v)
+                    .unwrap_or_else(|e| panic!("PVFS_FAULTS={v:?} is not a fault plan: {e}")),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Sum of all fault probabilities.
+    pub fn total_rate(&self) -> f64 {
+        self.drop + self.delay + self.disconnect + self.corrupt + self.wedge
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.total_rate() > 0.0 && self.limit != Some(0)
+    }
+
+    /// Map one uniform draw in `[0, 1)` to a fault (or none): the
+    /// rates partition the unit interval.
+    fn pick(&self, u: f64) -> Option<FaultKind> {
+        let mut edge = self.drop;
+        if u < edge {
+            return Some(FaultKind::Drop);
+        }
+        edge += self.delay;
+        if u < edge {
+            return Some(FaultKind::Delay);
+        }
+        edge += self.disconnect;
+        if u < edge {
+            return Some(FaultKind::Disconnect);
+        }
+        edge += self.corrupt;
+        if u < edge {
+            return Some(FaultKind::Corrupt);
+        }
+        edge += self.wedge;
+        if u < edge {
+            return Some(FaultKind::Wedge);
+        }
+        None
+    }
+}
+
+/// Lifetime injection counters of one [`FaultyTransport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Faults injected, total.
+    pub injected: u64,
+    /// Request frames dropped.
+    pub drops: u64,
+    /// Requests delayed.
+    pub delays: u64,
+    /// Connections cut before the response.
+    pub disconnects: u64,
+    /// Response frames corrupted.
+    pub corrupts: u64,
+    /// Responses wedged into the timeout path.
+    pub wedges: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicFaultCounts {
+    injected: AtomicU64,
+    drops: AtomicU64,
+    delays: AtomicU64,
+    disconnects: AtomicU64,
+    corrupts: AtomicU64,
+    wedges: AtomicU64,
+}
+
+impl AtomicFaultCounts {
+    fn snapshot(&self) -> FaultCounts {
+        FaultCounts {
+            injected: self.injected.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            corrupts: self.corrupts.load(Ordering::Relaxed),
+            wedges: self.wedges.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A [`Transport`] wrapper injecting [`FaultPlan`] faults into the data
+/// path. See the module docs for the taxonomy.
+pub struct FaultyTransport {
+    inner: Arc<dyn Transport>,
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    counts: Arc<AtomicFaultCounts>,
+}
+
+impl FaultyTransport {
+    /// Wrap `inner`, injecting faults per `plan`.
+    pub fn new(inner: Arc<dyn Transport>, plan: FaultPlan) -> FaultyTransport {
+        let rng = Mutex::new(StdRng::seed_from_u64(plan.seed));
+        FaultyTransport {
+            inner,
+            plan,
+            rng,
+            counts: Arc::new(AtomicFaultCounts::default()),
+        }
+    }
+
+    /// Injection counters so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts.snapshot()
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide whether this RPC gets a fault, honoring target filtering
+    /// and the global limit. Claiming against the limit is atomic, so
+    /// `limit=1` injects exactly one fault even under concurrency.
+    fn roll(&self, target: RpcTarget) -> Option<FaultKind> {
+        let server = match target {
+            RpcTarget::Manager => return None,
+            RpcTarget::Server(s) => s,
+        };
+        if self.plan.target.is_some_and(|t| t != server.0) {
+            return None;
+        }
+        let u = {
+            let mut rng = self.rng.lock().unwrap();
+            rng.gen::<f64>()
+        };
+        let kind = self.plan.pick(u)?;
+        if let Some(limit) = self.plan.limit {
+            let mut cur = self.counts.injected.load(Ordering::Relaxed);
+            loop {
+                if cur >= limit {
+                    return None;
+                }
+                match self.counts.injected.compare_exchange(
+                    cur,
+                    cur + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        } else {
+            self.counts.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        let counter = match kind {
+            FaultKind::Drop => &self.counts.drops,
+            FaultKind::Delay => &self.counts.delays,
+            FaultKind::Disconnect => &self.counts.disconnects,
+            FaultKind::Corrupt => &self.counts.corrupts,
+            FaultKind::Wedge => &self.counts.wedges,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn n_servers(&self) -> u32 {
+        self.inner.n_servers()
+    }
+
+    fn start(&self, target: RpcTarget, frame: Bytes) -> PvfsResult<Box<dyn PendingReply>> {
+        let Some(kind) = self.roll(target) else {
+            return self.inner.start(target, frame);
+        };
+        match kind {
+            FaultKind::Drop => Err(PvfsError::Transport(format!(
+                "injected fault: request frame to {target:?} dropped"
+            ))),
+            FaultKind::Delay => {
+                std::thread::sleep(self.plan.delay_for);
+                self.inner.start(target, frame)
+            }
+            // The remaining faults deliver the request — the server
+            // executes it — and sabotage only the response path.
+            FaultKind::Disconnect => Ok(Box::new(DisconnectPending {
+                inner: self.inner.start(target, frame)?,
+                target,
+            })),
+            FaultKind::Corrupt => Ok(Box::new(CorruptPending {
+                inner: self.inner.start(target, frame)?,
+            })),
+            FaultKind::Wedge => Ok(Box::new(WedgedPending {
+                _inner: self.inner.start(target, frame)?,
+            })),
+        }
+    }
+
+    fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.counts.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// The request was delivered, but the connection "dies" before the
+/// response: the real reply is awaited (so server-side effects and
+/// accounting happen) and then discarded.
+struct DisconnectPending {
+    inner: Box<dyn PendingReply>,
+    target: RpcTarget,
+}
+
+impl PendingReply for DisconnectPending {
+    fn wait(self: Box<Self>, timeout: Duration) -> Result<Bytes, WaitError> {
+        let _ = self.inner.wait(timeout);
+        Err(WaitError::Failed(PvfsError::Transport(format!(
+            "injected fault: connection to {:?} lost before the response",
+            self.target
+        ))))
+    }
+}
+
+/// The response frame is truncated mid-body, the way a flaky link or a
+/// buggy NIC would mangle it. Truncation (rather than a random bit
+/// flip) guarantees the codec *detects* the damage — a flip in bulk
+/// data would decode cleanly and silently corrupt user bytes, which no
+/// transport can catch without checksums.
+struct CorruptPending {
+    inner: Box<dyn PendingReply>,
+}
+
+impl PendingReply for CorruptPending {
+    fn wait(self: Box<Self>, timeout: Duration) -> Result<Bytes, WaitError> {
+        let frame = self.inner.wait(timeout)?;
+        Ok(frame.slice(0..frame.len() / 2))
+    }
+}
+
+/// The response never arrives: the request was delivered (and executed)
+/// but `wait` burns the full deadline and reports a timeout, exercising
+/// the same path as a wedged server.
+struct WedgedPending {
+    _inner: Box<dyn PendingReply>,
+}
+
+impl PendingReply for WedgedPending {
+    fn wait(self: Box<Self>, timeout: Duration) -> Result<Bytes, WaitError> {
+        std::thread::sleep(timeout);
+        Err(WaitError::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rates_and_options() {
+        let p = FaultPlan::parse("drop:0.02,disconnect:0.02,corrupt:0.01,seed=7").unwrap();
+        assert_eq!(p.drop, 0.02);
+        assert_eq!(p.disconnect, 0.02);
+        assert_eq!(p.corrupt, 0.01);
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.target, None);
+        assert_eq!(p.limit, None);
+        assert!(p.is_active());
+
+        let p = FaultPlan::parse("wedge:1.0,target=2,limit=1").unwrap();
+        assert_eq!(p.wedge, 1.0);
+        assert_eq!(p.target, Some(2));
+        assert_eq!(p.limit, Some(1));
+
+        let p = FaultPlan::parse("delay:0.5:25ms").unwrap();
+        assert_eq!(p.delay, 0.5);
+        assert_eq!(p.delay_for, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop:1.5").is_err());
+        assert!(FaultPlan::parse("explode:0.1").is_err());
+        assert!(FaultPlan::parse("seed=banana").is_err());
+        assert!(
+            FaultPlan::parse("drop:0.9,corrupt:0.9").is_err(),
+            "rates over 1.0"
+        );
+        assert!(FaultPlan::parse("drop:0.1:5ms").is_err(), "trailing field");
+    }
+
+    #[test]
+    fn empty_spec_is_inert() {
+        let p = FaultPlan::parse("").unwrap();
+        assert!(!p.is_active());
+        assert_eq!(p.total_rate(), 0.0);
+    }
+
+    #[test]
+    fn pick_partitions_the_unit_interval() {
+        let p = FaultPlan {
+            drop: 0.1,
+            delay: 0.1,
+            disconnect: 0.1,
+            corrupt: 0.1,
+            wedge: 0.1,
+            ..FaultPlan::default()
+        };
+        assert_eq!(p.pick(0.05), Some(FaultKind::Drop));
+        assert_eq!(p.pick(0.15), Some(FaultKind::Delay));
+        assert_eq!(p.pick(0.25), Some(FaultKind::Disconnect));
+        assert_eq!(p.pick(0.35), Some(FaultKind::Corrupt));
+        assert_eq!(p.pick(0.45), Some(FaultKind::Wedge));
+        assert_eq!(p.pick(0.55), None);
+        assert_eq!(p.pick(0.999), None);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        // Two transports with identical plans must make identical
+        // decisions for an identical serial call sequence.
+        let plan = FaultPlan {
+            drop: 0.5,
+            seed: 42,
+            ..FaultPlan::default()
+        };
+        let a = FaultyTransport::new(Arc::new(NullTransport), plan.clone());
+        let b = FaultyTransport::new(Arc::new(NullTransport), plan);
+        let decisions = |t: &FaultyTransport| -> Vec<bool> {
+            (0..64)
+                .map(|_| t.roll(RpcTarget::Server(pvfs_types::ServerId(0))).is_some())
+                .collect()
+        };
+        let da = decisions(&a);
+        assert_eq!(da, decisions(&b));
+        assert!(da.iter().any(|&f| f), "50% over 64 draws must fire");
+        assert!(!da.iter().all(|&f| f), "...but not every time");
+    }
+
+    #[test]
+    fn manager_and_foreign_targets_are_spared() {
+        let plan = FaultPlan {
+            drop: 1.0,
+            target: Some(3),
+            ..FaultPlan::default()
+        };
+        let t = FaultyTransport::new(Arc::new(NullTransport), plan);
+        assert_eq!(t.roll(RpcTarget::Manager), None);
+        assert_eq!(t.roll(RpcTarget::Server(pvfs_types::ServerId(1))), None);
+        assert_eq!(
+            t.roll(RpcTarget::Server(pvfs_types::ServerId(3))),
+            Some(FaultKind::Drop)
+        );
+    }
+
+    #[test]
+    fn limit_caps_total_injections() {
+        let plan = FaultPlan {
+            drop: 1.0,
+            limit: Some(2),
+            ..FaultPlan::default()
+        };
+        let t = FaultyTransport::new(Arc::new(NullTransport), plan);
+        let fired: usize = (0..10)
+            .filter(|_| t.roll(RpcTarget::Server(pvfs_types::ServerId(0))).is_some())
+            .count();
+        assert_eq!(fired, 2);
+        assert_eq!(t.counts().injected, 2);
+        assert_eq!(t.faults_injected(), 2);
+    }
+
+    /// A transport that must never be reached by these unit tests.
+    struct NullTransport;
+
+    impl Transport for NullTransport {
+        fn n_servers(&self) -> u32 {
+            4
+        }
+        fn start(&self, _: RpcTarget, _: Bytes) -> PvfsResult<Box<dyn PendingReply>> {
+            panic!("NullTransport::start must not be called")
+        }
+        fn kind(&self) -> TransportKind {
+            TransportKind::Chan
+        }
+    }
+}

@@ -34,16 +34,37 @@
 //! The cluster also hosts the [`SerialGate`] clients use to serialize
 //! data-sieving writes (PVFS has no file locking; the paper used an
 //! `MPI_Barrier` loop).
+//!
+//! # Surviving a hostile cluster
+//!
+//! Transient faults are normal operating conditions, not exceptions:
+//!
+//! * [`fault`] — `PVFS_FAULTS="drop:0.02,disconnect:0.02,corrupt:0.01"`
+//!   wraps any transport in a seeded, deterministic fault injector
+//!   ([`FaultyTransport`]), turning every suite into a chaos suite;
+//! * [`retry`] — every [`ClusterClient`] retries transient failures
+//!   ([`pvfs_types::PvfsError::is_retryable`]) of idempotent requests
+//!   under a [`RetryPolicy`] (bounded attempts, decorrelated-jitter
+//!   backoff, per-op budget; `PVFS_RETRY=off` disables). A failed
+//!   fan-out round re-sends **only the failed ops** — healthy servers
+//!   see no duplicate traffic;
+//! * the TCP connection pool self-heals: a stale parked connection
+//!   (server closed it while idle) is evicted and transparently
+//!   re-dialed, replaying the in-flight idempotent request once.
 
 pub mod chan;
 pub mod cluster;
+pub mod fault;
 pub mod gate;
 pub mod pool;
+pub mod retry;
 pub mod tcp;
 pub mod transport;
 
 pub use cluster::{ClusterClient, LiveCluster, DEFAULT_RPC_TIMEOUT};
+pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultyTransport};
 pub use gate::SerialGate;
 pub use pool::WorkerPool;
+pub use retry::{ClientStats, RetryPolicy};
 pub use tcp::TcpTransport;
 pub use transport::{PendingReply, RpcTarget, Transport, TransportKind, WaitError};

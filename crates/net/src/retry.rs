@@ -1,0 +1,296 @@
+//! Client-side retry policy: bounded attempts, exponential backoff with
+//! decorrelated jitter, and a per-operation deadline budget.
+//!
+//! The policy only ever replays RPCs that are safe to replay: the error
+//! must be transient ([`PvfsError::is_retryable`]) *and* the request
+//! idempotent ([`pvfs_proto::Request::is_idempotent`]) — reads have no
+//! side effects and writes are idempotent per region, so a request that
+//! "may have executed" ([`PvfsError::is_definitely_not_executed`] =
+//! `false`) is still safe to send again. Metadata mutations (`Create`,
+//! `Remove`, `Close`) are never replayed.
+//!
+//! Backoff follows the decorrelated-jitter scheme: each sleep is a
+//! uniform draw from `[base, 3 * previous]`, clamped to
+//! [`RetryPolicy::max_backoff`]. Compared with plain exponential
+//! doubling this spreads concurrent clients' retries apart instead of
+//! letting them re-collide in synchronized waves.
+
+use pvfs_types::RequestId;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// When and how a [`ClusterClient`](crate::ClusterClient) retries
+/// failed RPCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, the first one included. `1`
+    /// disables retries.
+    pub max_attempts: u32,
+    /// Lower bound (and first-retry scale) of the backoff sleep.
+    pub base_backoff: Duration,
+    /// Upper clamp of any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Wall-clock budget per operation across all attempts and sleeps;
+    /// once exceeded, the last error surfaces instead of a new attempt.
+    pub budget: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            budget: Duration::from_secs(30),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every error surfaces on the first attempt.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The policy selected by the `PVFS_RETRY` environment variable.
+    ///
+    /// * unset — [`RetryPolicy::default`] (retries on);
+    /// * `off` / `0` — [`RetryPolicy::none`];
+    /// * `attempts=6,base=2ms,cap=200ms,budget=60s` — explicit knobs,
+    ///   each optional, over the defaults.
+    ///
+    /// Panics on a malformed spec, like the other `PVFS_*` variables: a
+    /// typo'd chaos run must not silently change the policy under test.
+    pub fn from_env() -> RetryPolicy {
+        match std::env::var("PVFS_RETRY") {
+            Ok(v) => RetryPolicy::parse(&v)
+                .unwrap_or_else(|e| panic!("PVFS_RETRY={v:?} is not a retry policy: {e}")),
+            Err(_) => RetryPolicy::default(),
+        }
+    }
+
+    /// Parse a `PVFS_RETRY` spec (see [`RetryPolicy::from_env`]).
+    pub fn parse(spec: &str) -> Result<RetryPolicy, String> {
+        let spec = spec.trim();
+        if spec == "off" || spec == "0" {
+            return Ok(RetryPolicy::none());
+        }
+        let mut policy = RetryPolicy::default();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {token:?}"))?;
+            match key.trim() {
+                "attempts" => {
+                    policy.max_attempts = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("attempts {value:?} is not a count"))?;
+                    if policy.max_attempts == 0 {
+                        return Err("attempts must be at least 1".into());
+                    }
+                }
+                "base" => policy.base_backoff = parse_duration(value)?,
+                "cap" => policy.max_backoff = parse_duration(value)?,
+                "budget" => policy.budget = parse_duration(value)?,
+                other => return Err(format!("unknown retry option {other:?}")),
+            }
+        }
+        Ok(policy)
+    }
+
+    /// Whether this policy ever retries.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+}
+
+/// Parse `"250ms"` / `"2s"` / bare milliseconds.
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let (digits, scale) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1000)
+    } else {
+        (s, 1)
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| Duration::from_millis(n * scale))
+        .map_err(|_| format!("duration {s:?} is malformed (try 250ms or 2s)"))
+}
+
+/// The decorrelated-jitter backoff sequence for one operation's
+/// retries. Seeded per operation so a serial test run is reproducible.
+pub(crate) struct Backoff {
+    policy: RetryPolicy,
+    prev: Duration,
+    rng: StdRng,
+}
+
+impl Backoff {
+    pub(crate) fn new(policy: RetryPolicy, seed: RequestId) -> Backoff {
+        Backoff {
+            policy,
+            prev: policy.base_backoff,
+            rng: StdRng::seed_from_u64(seed.0 ^ 0xb0ff_0ff5),
+        }
+    }
+
+    /// The next sleep: uniform in `[base, 3 * previous]`, clamped to
+    /// the cap.
+    pub(crate) fn next_delay(&mut self) -> Duration {
+        let base = self.policy.base_backoff.as_micros() as u64;
+        let hi = (self.prev.as_micros() as u64)
+            .saturating_mul(3)
+            .max(base + 1);
+        let cap = self.policy.max_backoff.as_micros() as u64;
+        let drawn = base + self.rng.next_u64() % (hi - base);
+        let delay = Duration::from_micros(drawn.min(cap.max(base)));
+        self.prev = delay;
+        delay
+    }
+}
+
+/// What a client endpoint's RPCs cost in reliability currency: the
+/// measured counterpart of [`RetryPolicy`]. Shared by every clone of
+/// the endpoint (a `PvfsFile` counts into the client it came from).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// RPC attempts issued (first tries and retries alike).
+    pub attempts: u64,
+    /// Attempts that were retries of a failed op.
+    pub retries: u64,
+    /// Total milliseconds slept in retry backoff.
+    pub backoff_ms: u64,
+    /// Faults the transport injected (0 on a clean transport).
+    pub faults_injected: u64,
+}
+
+impl ClientStats {
+    /// Counter-wise difference (`self - earlier`): what happened
+    /// between two snapshots.
+    pub fn since(&self, earlier: &ClientStats) -> ClientStats {
+        ClientStats {
+            attempts: self.attempts - earlier.attempts,
+            retries: self.retries - earlier.retries,
+            backoff_ms: self.backoff_ms - earlier.backoff_ms,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+        }
+    }
+}
+
+/// [`ClientStats`] as relaxed atomics, shared across endpoint clones.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicClientStats {
+    attempts: AtomicU64,
+    retries: AtomicU64,
+    backoff_ms: AtomicU64,
+}
+
+impl AtomicClientStats {
+    pub(crate) fn record_attempts(&self, n: u64) {
+        self.attempts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retries(&self, n: u64, backoff: Duration) {
+        self.retries.fetch_add(n, Ordering::Relaxed);
+        self.backoff_ms
+            .fetch_add(backoff.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, faults_injected: u64) -> ClientStats {
+        ClientStats {
+            attempts: self.attempts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
+            faults_injected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_retries_are_on_and_bounded() {
+        let p = RetryPolicy::default();
+        assert!(p.enabled());
+        assert!(p.max_attempts >= 2);
+        assert!(p.base_backoff <= p.max_backoff);
+    }
+
+    #[test]
+    fn parse_off_and_knobs() {
+        assert_eq!(RetryPolicy::parse("off").unwrap(), RetryPolicy::none());
+        assert_eq!(RetryPolicy::parse("0").unwrap(), RetryPolicy::none());
+        let p = RetryPolicy::parse("attempts=6,base=2ms,cap=200ms,budget=60s").unwrap();
+        assert_eq!(p.max_attempts, 6);
+        assert_eq!(p.base_backoff, Duration::from_millis(2));
+        assert_eq!(p.max_backoff, Duration::from_millis(200));
+        assert_eq!(p.budget, Duration::from_secs(60));
+        assert!(RetryPolicy::parse("attempts=0").is_err());
+        assert!(RetryPolicy::parse("banana=1").is_err());
+        assert!(RetryPolicy::parse("base=soon").is_err());
+    }
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_reproducible() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        let draws = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(policy, RequestId(seed));
+            (0..32).map(|_| b.next_delay()).collect()
+        };
+        let a = draws(7);
+        assert_eq!(a, draws(7), "same seed, same sequence");
+        assert_ne!(a, draws(8), "different seeds diverge");
+        for d in &a {
+            assert!(*d >= policy.base_backoff, "below base: {d:?}");
+            assert!(*d <= policy.max_backoff, "above cap: {d:?}");
+        }
+        assert!(
+            a.iter().collect::<std::collections::HashSet<_>>().len() > 8,
+            "jitter must actually vary the draws"
+        );
+    }
+
+    #[test]
+    fn stats_since_subtracts_counterwise() {
+        let early = ClientStats {
+            attempts: 10,
+            retries: 2,
+            backoff_ms: 5,
+            faults_injected: 1,
+        };
+        let late = ClientStats {
+            attempts: 25,
+            retries: 6,
+            backoff_ms: 30,
+            faults_injected: 4,
+        };
+        assert_eq!(
+            late.since(&early),
+            ClientStats {
+                attempts: 15,
+                retries: 4,
+                backoff_ms: 25,
+                faults_injected: 3,
+            }
+        );
+    }
+}

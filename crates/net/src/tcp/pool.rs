@@ -20,6 +20,26 @@
 //! A connection whose RPC failed or timed out is dropped, not parked:
 //! the response may still arrive later, and a parked connection with a
 //! stale response queued would corrupt the next RPC on it.
+//!
+//! # Self-healing (the stale-keepalive race)
+//!
+//! A parked connection can go stale while idle — the server restarts,
+//! times it out, or closes it between RPCs. The pool heals both ways
+//! this surfaces, transparently and at most once per RPC:
+//!
+//! * the **send** fails — the stale connection is evicted and the
+//!   frame goes out on a freshly dialed one ([`Transport::start`]);
+//! * the send "succeeds" (into the local socket buffer) but the read
+//!   side reports the peer gone **before any response byte** arrives —
+//!   [`TcpPending::wait`] re-dials, re-sends the kept request frame,
+//!   and waits out the *remaining* deadline on the new connection.
+//!
+//! The replay is safe for the same reason client-level retries are:
+//! every data-path request is idempotent (reads are side-effect free,
+//! writes idempotent per region). Once a single response byte has
+//! arrived, no replay happens — the failure surfaces as a transport
+//! error and the client-level [`RetryPolicy`](crate::RetryPolicy)
+//! decides.
 
 use bytes::Bytes;
 use pvfs_types::{PvfsError, PvfsResult};
@@ -28,7 +48,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use super::frame::{read_frame, write_frame};
+use super::frame::{read_frame, write_frame, FrameError};
 use crate::transport::{PendingReply, RpcTarget, Transport, TransportKind, WaitError};
 
 /// A pooled TCP [`Transport`] to one cluster.
@@ -92,11 +112,13 @@ impl PoolInner {
         }
     }
 
-    /// Pop an idle connection or dial a fresh one.
-    fn checkout(&self, slot: usize) -> PvfsResult<TcpStream> {
-        if let Some(conn) = self.idle[slot].lock().unwrap().pop() {
-            return Ok(conn);
-        }
+    /// Pop an idle (possibly stale) connection, if any is parked.
+    fn checkout_idle(&self, slot: usize) -> Option<TcpStream> {
+        self.idle[slot].lock().unwrap().pop()
+    }
+
+    /// Dial a fresh connection.
+    fn dial(&self, slot: usize) -> PvfsResult<TcpStream> {
         let addr = self.addr(slot);
         let conn = TcpStream::connect(addr)
             .map_err(|e| PvfsError::Transport(format!("connect {addr}: {e}")))?;
@@ -117,13 +139,32 @@ impl Transport for TcpTransport {
 
     fn start(&self, target: RpcTarget, frame: Bytes) -> PvfsResult<Box<dyn PendingReply>> {
         let slot = self.inner.slot(target)?;
-        let mut conn = self.inner.checkout(slot)?;
-        write_frame(&mut conn, &frame)
-            .map_err(|e| PvfsError::Transport(format!("send to {}: {e}", self.inner.addr(slot))))?;
+        // Prefer a parked connection; if the send fails on it, the
+        // connection went stale while idle — evict it (drop) and heal
+        // by re-dialing. Only a fresh connection's failure is fatal.
+        let (conn, reused) = match self.inner.checkout_idle(slot) {
+            Some(mut conn) => match write_frame(&mut conn, &frame) {
+                Ok(()) => (Some(conn), true),
+                Err(_) => (None, false),
+            },
+            None => (None, false),
+        };
+        let conn = match conn {
+            Some(conn) => conn,
+            None => {
+                let mut conn = self.inner.dial(slot)?;
+                write_frame(&mut conn, &frame).map_err(|e| {
+                    PvfsError::Transport(format!("send to {}: {e}", self.inner.addr(slot)))
+                })?;
+                conn
+            }
+        };
         Ok(Box::new(TcpPending {
             inner: self.inner.clone(),
             slot,
             conn,
+            frame,
+            reused,
         }))
     }
 
@@ -133,41 +174,98 @@ impl Transport for TcpTransport {
 }
 
 /// One in-flight TCP RPC, exclusively owning its connection until the
-/// response frame is read (or the RPC fails).
+/// response frame is read (or the RPC fails). Keeps the request frame
+/// so the stale-keepalive race can be replayed once on a fresh
+/// connection.
 struct TcpPending {
     inner: Arc<PoolInner>,
     slot: usize,
     conn: TcpStream,
+    frame: Bytes,
+    /// Whether `conn` came from the idle pool (only then may the
+    /// peer-gone-before-any-byte race be healed by replaying).
+    reused: bool,
 }
 
 impl PendingReply for TcpPending {
-    fn wait(self: Box<Self>, timeout: Duration) -> Result<Bytes, WaitError> {
+    fn wait(mut self: Box<Self>, timeout: Duration) -> Result<Bytes, WaitError> {
         let deadline = Instant::now() + timeout;
-        let mut stream = DeadlineStream {
-            conn: &self.conn,
-            deadline,
-            timed_out: false,
-        };
-        match read_frame(&mut stream) {
-            Ok(frame) => {
-                // Healthy connection, response fully consumed: park it
-                // for reuse (blocking mode restored first).
-                if self.conn.set_read_timeout(None).is_ok() {
-                    self.inner.park(self.slot, self.conn);
+        loop {
+            let mut stream = DeadlineStream {
+                conn: &self.conn,
+                deadline,
+                timed_out: false,
+                got_bytes: false,
+            };
+            let error = match read_frame(&mut stream) {
+                Ok(frame) => {
+                    // Healthy connection, response fully consumed: park
+                    // it for reuse (blocking mode restored first).
+                    if self.conn.set_read_timeout(None).is_ok() {
+                        self.inner.park(self.slot, self.conn);
+                    }
+                    return Ok(frame);
                 }
-                Ok(frame)
+                Err(e) => e,
+            };
+            // On any error the connection is dropped, never parked: it
+            // may still deliver a stale response, which must never
+            // reach a future RPC.
+            if stream.timed_out {
+                return Err(WaitError::Timeout);
             }
-            Err(e) => {
-                // Drop the connection: it may still deliver a stale
-                // response, which must never reach a future RPC.
-                if stream.timed_out {
-                    Err(WaitError::Timeout)
-                } else {
-                    let peer = self.inner.addr(self.slot);
-                    Err(WaitError::Failed(e.into_pvfs(&format!("server {peer}"))))
+            // Stale-keepalive race: a pooled connection whose peer went
+            // away before ANY response byte arrived. The server closed
+            // it while it sat idle — replay once on a fresh connection,
+            // under the same deadline.
+            if self.reused && !stream.got_bytes && peer_went_away(&error) {
+                match self.redial_and_resend() {
+                    Ok(()) => continue,
+                    Err(e) => return Err(WaitError::Failed(e)),
                 }
             }
+            let peer = self.inner.addr(self.slot);
+            return Err(WaitError::Failed(
+                error.into_pvfs(&format!("server {peer}")),
+            ));
         }
+    }
+}
+
+impl TcpPending {
+    /// Replace the stale connection with a freshly dialed one carrying
+    /// a re-send of the kept request frame.
+    fn redial_and_resend(&mut self) -> PvfsResult<()> {
+        let mut conn = self.inner.dial(self.slot)?;
+        write_frame(&mut conn, &self.frame).map_err(|e| {
+            PvfsError::Transport(format!(
+                "resend to {} after stale connection: {e}",
+                self.inner.addr(self.slot)
+            ))
+        })?;
+        self.conn = conn;
+        // The fresh connection gets no second replay.
+        self.reused = false;
+        Ok(())
+    }
+}
+
+/// Whether a frame-read failure means the peer is gone (as opposed to a
+/// protocol violation like an oversized announcement). Clean EOF on the
+/// frame boundary and connection-level resets both qualify — which one
+/// the stale-keepalive race produces depends on whether our send raced
+/// the peer's FIN or its RST.
+fn peer_went_away(e: &FrameError) -> bool {
+    match e {
+        FrameError::Closed => true,
+        FrameError::Io(io) => matches!(
+            io.kind(),
+            io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+        ),
+        FrameError::TooLarge(_) => false,
     }
 }
 
@@ -178,6 +276,9 @@ struct DeadlineStream<'a> {
     conn: &'a TcpStream,
     deadline: Instant,
     timed_out: bool,
+    /// Whether any response byte has arrived (a partially received
+    /// response rules out the stale-connection replay).
+    got_bytes: bool,
 }
 
 impl Read for DeadlineStream<'_> {
@@ -203,6 +304,12 @@ impl Read for DeadlineStream<'_> {
                     io::ErrorKind::TimedOut,
                     "rpc deadline elapsed",
                 ))
+            }
+            Ok(n) => {
+                if n > 0 {
+                    self.got_bytes = true;
+                }
+                Ok(n)
             }
             other => other,
         }

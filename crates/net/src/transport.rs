@@ -104,6 +104,13 @@ pub trait Transport: Send + Sync {
 
     /// Which kind of transport this is (diagnostics / benchmarks).
     fn kind(&self) -> TransportKind;
+
+    /// Faults injected by this transport so far. Real transports never
+    /// inject; only the chaos wrapper
+    /// ([`FaultyTransport`](crate::FaultyTransport)) overrides this.
+    fn faults_injected(&self) -> u64 {
+        0
+    }
 }
 
 /// Decode a frame, serve it, and return the id + response — the

@@ -1,0 +1,309 @@
+//! Chaos tests: the retry machinery against injected transport faults.
+//!
+//! These are the tentpole tests of the hostile-cluster PR. Fault
+//! injection is seeded and (for the surgical tests) bounded with
+//! `limit=N`, so every run sees the same faults — a failure here
+//! reproduces exactly.
+
+use bytes::Bytes;
+use pvfs_net::{FaultPlan, LiveCluster, RetryPolicy, RpcTarget, TransportKind};
+use pvfs_proto::{Request, Response};
+use pvfs_server::IodConfig;
+use pvfs_types::{FileHandle, PvfsError, Region, ServerId, StripeLayout};
+use std::time::{Duration, Instant};
+
+fn layout(n: u32) -> StripeLayout {
+    StripeLayout::new(0, n, 16).unwrap()
+}
+
+fn frames_rx(cluster: &LiveCluster, server: u32) -> u64 {
+    cluster.server_stats(ServerId(server)).unwrap().frames_rx
+}
+
+/// The partial-round recovery contract, pinned exactly: when one op of
+/// a 4-way fan-out fails, the retry re-sends ONLY that op — the three
+/// healthy daemons must not see a second frame. `disconnect` forwards
+/// the request before killing the reply, so the faulted daemon executes
+/// twice (which is why per-region write idempotency is load-bearing).
+#[test]
+fn partial_round_retry_resends_only_failed_ops() {
+    let mut cluster = LiveCluster::spawn_with(4, IodConfig::default());
+    cluster.inject_faults(FaultPlan {
+        disconnect: 1.0,
+        target: Some(2),
+        limit: Some(1),
+        ..FaultPlan::default()
+    });
+    let c = cluster.client();
+    let l = layout(4);
+    let fh = FileHandle(11);
+
+    let requests: Vec<(ServerId, Request)> = (0..4u32)
+        .map(|s| {
+            (
+                ServerId(s),
+                Request::Write {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(s as u64 * 16, 16),
+                    data: Bytes::from(vec![s as u8; 16]),
+                },
+            )
+        })
+        .collect();
+    let responses = c.round(requests).unwrap();
+    assert!(responses
+        .iter()
+        .all(|r| *r == Response::Written { bytes: 16 }));
+
+    // Healthy daemons: exactly one frame each. Faulted daemon: two —
+    // the disconnected attempt executed, then the retry did again.
+    for healthy in [0u32, 1, 3] {
+        assert_eq!(
+            frames_rx(&cluster, healthy),
+            1,
+            "daemon {healthy} was healthy and must not be retried"
+        );
+    }
+    assert_eq!(frames_rx(&cluster, 2), 2, "faulted daemon sees the replay");
+
+    // And the data survived, byte-exact, across the partial retry.
+    for s in 0..4u32 {
+        let resp = c
+            .call(
+                RpcTarget::Server(ServerId(s)),
+                Request::Read {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(0, 64),
+                },
+            )
+            .unwrap();
+        match resp {
+            Response::Data { data } => assert_eq!(data.as_ref(), &[s as u8; 16][..]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    let stats = c.stats();
+    // 4 ops + 1 re-sent + 4 verification reads = 9 attempts.
+    assert_eq!(stats.attempts, 9);
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.faults_injected, 1);
+}
+
+/// Byte-exact strided write/read traffic through ~5% mixed faults, on
+/// both transports. The retry policy must absorb every injected fault
+/// transparently — same data back, bounded attempts, retries observed.
+fn chaos_roundtrip(kind: TransportKind) {
+    let mut cluster = LiveCluster::spawn_transport(4, IodConfig::default(), kind);
+    cluster.inject_faults(FaultPlan {
+        drop: 0.02,
+        disconnect: 0.02,
+        corrupt: 0.01,
+        seed: 77,
+        ..FaultPlan::default()
+    });
+    let c = cluster.client();
+    let l = layout(4);
+    let fh = FileHandle(23);
+
+    // 64 strided writes of 16 bytes, one stripe unit each, round-robin
+    // across the daemons; then read each back and verify.
+    for i in 0..64u64 {
+        let fill = (i as u8) ^ 0xa5;
+        let resp = c
+            .call(
+                RpcTarget::Server(ServerId((i % 4) as u32)),
+                Request::Write {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(i * 16, 16),
+                    data: Bytes::from(vec![fill; 16]),
+                },
+            )
+            .unwrap();
+        assert_eq!(resp, Response::Written { bytes: 16 });
+    }
+    for i in 0..64u64 {
+        let fill = (i as u8) ^ 0xa5;
+        let resp = c
+            .call(
+                RpcTarget::Server(ServerId((i % 4) as u32)),
+                Request::Read {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(i * 16, 16),
+                },
+            )
+            .unwrap();
+        match resp {
+            Response::Data { data } => {
+                assert_eq!(data.as_ref(), &[fill; 16][..], "op {i} data corrupted")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    let stats = c.stats();
+    assert!(
+        stats.faults_injected > 0,
+        "5% over 128+ RPCs must inject something (seeded: deterministic)"
+    );
+    assert_eq!(
+        stats.retries,
+        stats.attempts - 128,
+        "every attempt beyond the 128 ops is a retry"
+    );
+    assert!(
+        stats.retries >= stats.faults_injected - stats.retries,
+        "most faults must surface as retries"
+    );
+    assert!(
+        stats.attempts <= 128 + 128 * (u64::from(RetryPolicy::default().max_attempts) - 1),
+        "attempts stay bounded by the policy"
+    );
+}
+
+#[test]
+fn chaos_roundtrip_over_chan() {
+    chaos_roundtrip(TransportKind::Chan);
+}
+
+#[test]
+fn chaos_roundtrip_over_tcp() {
+    chaos_roundtrip(TransportKind::Tcp);
+}
+
+/// `PVFS_RETRY=off` semantics: with retries disabled the injected fault
+/// surfaces to the caller as its typed error, and nothing was retried.
+#[test]
+fn retry_off_surfaces_the_injected_fault() {
+    let mut cluster = LiveCluster::spawn_with(2, IodConfig::default());
+    cluster.inject_faults(FaultPlan {
+        drop: 1.0,
+        limit: Some(1),
+        ..FaultPlan::default()
+    });
+    let c = cluster.client().with_retry_policy(RetryPolicy::none());
+    let l = layout(2);
+
+    let err = c
+        .call(
+            RpcTarget::Server(ServerId(0)),
+            Request::Write {
+                handle: FileHandle(5),
+                layout: l,
+                region: Region::new(0, 8),
+                data: Bytes::from(vec![1u8; 8]),
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, PvfsError::Transport(_)), "got {err:?}");
+    assert!(err.is_retryable(), "a drop is transient...");
+    assert!(
+        !err.is_definitely_not_executed(),
+        "...and ambiguous from the variant alone"
+    );
+    let stats = c.stats();
+    assert_eq!(stats.attempts, 1, "fail-fast: one attempt only");
+    assert_eq!(stats.retries, 0);
+
+    // The limit is spent; the same call now sails through.
+    let resp = c
+        .call(
+            RpcTarget::Server(ServerId(0)),
+            Request::Write {
+                handle: FileHandle(5),
+                layout: l,
+                region: Region::new(0, 8),
+                data: Bytes::from(vec![1u8; 8]),
+            },
+        )
+        .unwrap();
+    assert_eq!(resp, Response::Written { bytes: 8 });
+}
+
+/// A wedged response burns the whole (shortened) deadline, surfaces as
+/// `Timeout`, and the retry then succeeds — with backoff actually slept
+/// and recorded between the attempts.
+#[test]
+fn wedge_times_out_then_retry_succeeds_with_backoff() {
+    let mut cluster = LiveCluster::spawn_with(1, IodConfig::default());
+    cluster.inject_faults(FaultPlan {
+        wedge: 1.0,
+        limit: Some(1),
+        ..FaultPlan::default()
+    });
+    let timeout = Duration::from_millis(60);
+    let c = cluster
+        .client()
+        .with_rpc_timeout(timeout)
+        .with_retry_policy(RetryPolicy {
+            base_backoff: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        });
+    let started = Instant::now();
+    let resp = c
+        .call(
+            RpcTarget::Server(ServerId(0)),
+            Request::GetLocalSize {
+                handle: FileHandle(1),
+            },
+        )
+        .unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(resp, Response::LocalSize { size: 0 });
+    assert!(
+        elapsed >= timeout,
+        "the wedged attempt must burn its deadline (took {elapsed:?})"
+    );
+    let stats = c.stats();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.attempts, 2);
+    assert!(
+        stats.backoff_ms >= 5,
+        "backoff must be slept and recorded (got {} ms)",
+        stats.backoff_ms
+    );
+    assert_eq!(stats.faults_injected, 1);
+}
+
+/// The retry budget is a hard wall: a permanently dead target stops
+/// costing attempts once the budget is spent, even with attempts left.
+#[test]
+fn retry_budget_bounds_total_time() {
+    let mut cluster = LiveCluster::spawn_with(1, IodConfig::default());
+    cluster.inject_faults(FaultPlan {
+        drop: 1.0,
+        ..FaultPlan::default()
+    });
+    let c = cluster.client().with_retry_policy(RetryPolicy {
+        max_attempts: u32::MAX,
+        base_backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(20),
+        budget: Duration::from_millis(100),
+    });
+    let started = Instant::now();
+    let err = c
+        .call(
+            RpcTarget::Server(ServerId(0)),
+            Request::GetLocalSize {
+                handle: FileHandle(1),
+            },
+        )
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(err.is_retryable());
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "budget must cut the loop (took {elapsed:?})"
+    );
+    let stats = c.stats();
+    assert!(stats.attempts >= 2, "the budget allows a few attempts");
+    assert!(
+        stats.attempts < 100,
+        "but nowhere near unbounded ({} attempts)",
+        stats.attempts
+    );
+}

@@ -1,0 +1,233 @@
+//! Deterministic fuzz of the TCP frame decode path (satellite of the
+//! hostile-cluster PR): seeded random corruption — truncations, bit
+//! flips, length-lying prefixes — must always surface as *typed* errors
+//! ([`FrameError`] from the framing layer, `PvfsError` from the codec),
+//! never as a panic, a hang, or an oversized allocation.
+//!
+//! The corpus is real encoded traffic (every request/response shape the
+//! protocol has, including list I/O with trailing region data), so the
+//! mutations exercise the actual header/trailing/bulk boundaries rather
+//! than arbitrary noise. Seeds are fixed: a failure reproduces exactly.
+
+use bytes::Bytes;
+use pvfs_net::tcp::frame::{read_frame, write_frame, FrameError, LEN_PREFIX};
+use pvfs_proto::{
+    decode_message, decode_response, encode_message, encode_response, Message, Request, Response,
+    MAX_WIRE_FRAME,
+};
+use pvfs_types::{ClientId, FileHandle, PvfsError, Region, RegionList, RequestId, StripeLayout};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn layout() -> StripeLayout {
+    StripeLayout::new(0, 4, 64).unwrap()
+}
+
+/// Every request shape on the wire, including trailing region lists and
+/// bulk write data.
+fn corpus_requests() -> Vec<Request> {
+    let l = layout();
+    let fh = FileHandle(7);
+    let regions = RegionList::from_pairs((0..16u64).map(|i| (i * 24, 8))).unwrap();
+    vec![
+        Request::Create {
+            path: "/pvfs/fuzzed".into(),
+            layout: l,
+        },
+        Request::Open {
+            path: "/pvfs/fuzzed".into(),
+        },
+        Request::Close { handle: fh },
+        Request::Remove {
+            path: "/pvfs/fuzzed".into(),
+        },
+        Request::ListDir,
+        Request::GetLocalSize { handle: fh },
+        Request::Read {
+            handle: fh,
+            layout: l,
+            region: Region::new(40, 200),
+        },
+        Request::Write {
+            handle: fh,
+            layout: l,
+            region: Region::new(8, 32),
+            data: Bytes::from(vec![0xd7u8; 32]),
+        },
+        Request::ReadList {
+            handle: fh,
+            layout: l,
+            regions: regions.clone(),
+        },
+        Request::WriteList {
+            handle: fh,
+            layout: l,
+            regions,
+            data: Bytes::from((0..128u8).collect::<Vec<u8>>()),
+        },
+    ]
+}
+
+fn corpus_responses() -> Vec<Response> {
+    vec![
+        Response::Created {
+            handle: FileHandle(9),
+        },
+        Response::Opened {
+            handle: FileHandle(9),
+            layout: layout(),
+        },
+        Response::Closed,
+        Response::Removed,
+        Response::Listing {
+            paths: vec!["/pvfs/a".into(), "/pvfs/bb".into()],
+        },
+        Response::LocalSize { size: 123_456 },
+        Response::Written { bytes: 4096 },
+        Response::Data {
+            data: Bytes::from(vec![0x3cu8; 96]),
+        },
+        Response::Error(PvfsError::NoSuchFile("/pvfs/gone".into())),
+    ]
+}
+
+/// Every frame in the corpus, already length-prefix framed for the wire.
+fn corpus_wire() -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    for (i, req) in corpus_requests().into_iter().enumerate() {
+        frames.push(
+            encode_message(&Message {
+                client: ClientId(3),
+                id: RequestId(i as u64 + 1),
+                request: req,
+            })
+            .unwrap(),
+        );
+    }
+    for (i, resp) in corpus_responses().into_iter().enumerate() {
+        frames.push(encode_response(RequestId(i as u64 + 100), &resp));
+    }
+    frames
+        .into_iter()
+        .map(|f| {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &f).unwrap();
+            wire
+        })
+        .collect()
+}
+
+/// Feed mangled wire bytes through the full decode stack. The only
+/// acceptable outcomes are a typed frame error or a frame that then
+/// either decodes or fails with a typed `PvfsError` — never a panic.
+fn decode_stack(wire: &[u8]) {
+    let mut r = wire;
+    loop {
+        match read_frame(&mut r) {
+            Ok(frame) => {
+                // Both interpretations must be panic-free: a mangled
+                // stream does not say which peer sent it.
+                let _ = decode_message(frame.clone());
+                let _ = decode_response(frame);
+            }
+            Err(FrameError::Closed) => break,
+            Err(FrameError::TooLarge(PvfsError::FrameTooLarge { len, max })) => {
+                assert!(len > max, "TooLarge must only fire over the cap");
+                break;
+            }
+            Err(FrameError::TooLarge(other)) => {
+                panic!("TooLarge must carry FrameTooLarge, got {other:?}")
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+}
+
+/// Truncating a valid frame at EVERY byte boundary yields `Closed` (cut
+/// before the first byte), a typed I/O error (cut mid-frame), or — when
+/// the cut lands past the announced frame — a clean decode. Exhaustive,
+/// not sampled: truncation is the failure disconnect injection produces.
+#[test]
+fn every_truncation_point_is_a_typed_error() {
+    for wire in corpus_wire() {
+        for cut in 0..wire.len() {
+            let t = &wire[..cut];
+            let mut r = t;
+            match read_frame(&mut r) {
+                Ok(frame) => {
+                    // Only possible when the whole announced frame fit
+                    // before the cut (cut inside a *following* frame is
+                    // impossible here — one frame per wire buffer).
+                    assert_eq!(cut, wire.len(), "short read produced a full frame");
+                    let _ = decode_message(frame);
+                }
+                Err(FrameError::Closed) => assert_eq!(cut, 0, "Closed only at a frame boundary"),
+                Err(FrameError::Io(e)) => {
+                    assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "{e}")
+                }
+                Err(FrameError::TooLarge(_)) => {
+                    panic!("truncation cannot announce an oversized frame")
+                }
+            }
+        }
+    }
+}
+
+/// Seeded bit flips anywhere in the wire image (prefix or body): the
+/// decode stack must never panic and never allocate past the cap. This
+/// is the corruption class the `corrupt` fault injects plus worse —
+/// injected corruption only truncates, flips also hit the prefix.
+#[test]
+fn random_bit_flips_never_panic() {
+    let corpus = corpus_wire();
+    let mut rng = StdRng::seed_from_u64(0xf1f1_f1f1);
+    for round in 0..2_000usize {
+        let mut wire = corpus[round % corpus.len()].clone();
+        // 1..=4 independent bit flips per round.
+        for _ in 0..rng.gen_range(1usize..=4) {
+            let byte = rng.gen_range(0usize..wire.len());
+            let bit = rng.gen_range(0u32..8);
+            wire[byte] ^= 1 << bit;
+        }
+        decode_stack(&wire);
+    }
+}
+
+/// Length-lying prefixes: the prefix is rewritten to a random value
+/// (including far past the real body and past the global cap) while the
+/// body stays put. Oversized announcements must be the typed
+/// `FrameTooLarge` with nothing allocated; undersized ones must decode
+/// or fail typed; overlong-but-capped ones must die as mid-frame EOF.
+#[test]
+fn length_lying_prefixes_are_typed_errors() {
+    let corpus = corpus_wire();
+    let mut rng = StdRng::seed_from_u64(0x11ed_cafe);
+    for round in 0..2_000usize {
+        let mut wire = corpus[round % corpus.len()].clone();
+        let body_len = wire.len() - LEN_PREFIX;
+        let lie: u32 = match round % 4 {
+            // Undersized: frame boundary lands mid-message.
+            0 => rng.gen_range(0u32..=body_len as u32),
+            // Overlong but under the cap: read runs off the stream end.
+            1 => rng.gen_range(body_len as u32 + 1..=MAX_WIRE_FRAME as u32),
+            // Just over the cap.
+            2 => rng.gen_range(MAX_WIRE_FRAME as u32 + 1..=MAX_WIRE_FRAME as u32 + 9000),
+            // Anywhere in u32 space, including ~4 GiB.
+            _ => rng.gen::<u64>() as u32,
+        };
+        wire[..LEN_PREFIX].copy_from_slice(&lie.to_le_bytes());
+        decode_stack(&wire);
+    }
+}
+
+/// Random garbage streams (not derived from any valid frame) through
+/// the whole stack, plus the pathological empty-and-tiny prefixes.
+#[test]
+fn arbitrary_garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xbad_f00d);
+    for _ in 0..2_000usize {
+        let len = rng.gen_range(0usize..512);
+        let wire: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
+        decode_stack(&wire);
+    }
+}

@@ -108,10 +108,21 @@ fn wire_bytes_count_the_length_prefix() {
     let stats = daemons[0].stats();
     assert_eq!(stats.frames_rx, 1);
     assert_eq!(stats.bytes_rx, wire);
-    assert!(
-        stats.bytes_tx > 4,
-        "response accounting includes its prefix"
-    );
+    // The worker records bytes_tx *after* the response hits the socket,
+    // so the client can observe the reply a beat before the counter
+    // lands — poll briefly instead of racing it.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let tx = daemons[0].stats().bytes_tx;
+        if tx > 4 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "response accounting must include its prefix (bytes_tx = {tx})"
+        );
+        std::thread::yield_now();
+    }
 }
 
 /// The satellite bugfix regression: a server trickling a response one
@@ -246,6 +257,63 @@ fn sequential_rpcs_reuse_a_pooled_connection() {
         1,
         "five sequential RPCs should ride one persistent connection"
     );
+}
+
+/// The satellite bugfix regression: a parked connection the server
+/// closed while it sat idle must not fail the next RPC. The fake server
+/// here serves exactly ONE frame per connection and then hangs up, so
+/// every reuse of a pooled connection hits the stale-keepalive race —
+/// either the send fails outright (evict + fresh dial) or the send lands
+/// in the local socket buffer and the read sees the peer gone before any
+/// response byte (re-dial + replay). Both heal transparently.
+#[test]
+fn second_rpc_after_server_side_disconnect_succeeds() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        // Serve 3 one-shot connections: first RPC, then up to two heals.
+        let mut served = 0u32;
+        while served < 3 {
+            let Ok((mut conn, _)) = listener.accept() else {
+                return served;
+            };
+            let frame = match read_frame(&mut conn) {
+                Ok(f) => f,
+                Err(_) => continue, // client probed a dead conn race
+            };
+            let msg = pvfs_proto::decode_message(frame).unwrap();
+            let resp = pvfs_proto::encode_response(msg.id, &Response::LocalSize { size: 0 });
+            let mut wire = (resp.len() as u32).to_le_bytes().to_vec();
+            wire.extend_from_slice(&resp);
+            conn.write_all(&wire).unwrap();
+            conn.flush().unwrap();
+            served += 1;
+            // Hang up: the client will park this now-dead connection.
+            drop(conn);
+        }
+        served
+    });
+
+    let transport = TcpTransport::new(vec![addr], addr);
+    for i in 1..=3u64 {
+        let frame = encode_message(&Message {
+            client: ClientId(1),
+            id: RequestId(i),
+            request: Request::GetLocalSize {
+                handle: FileHandle(1),
+            },
+        })
+        .unwrap();
+        let reply = transport
+            .start(RpcTarget::Server(ServerId(0)), frame)
+            .unwrap()
+            .wait(Duration::from_secs(5))
+            .unwrap_or_else(|e| panic!("rpc {i} after server-side disconnect failed: {e:?}"));
+        let (rid, resp) = decode_response(reply).unwrap();
+        assert_eq!(rid, RequestId(i));
+        assert_eq!(resp, Response::LocalSize { size: 0 });
+    }
+    assert_eq!(server.join().unwrap(), 3);
 }
 
 /// Full client/daemon data path over real sockets, including a fan-out

@@ -178,6 +178,20 @@ impl Request {
         )
     }
 
+    /// True when replaying this request is harmless even if an earlier
+    /// attempt already executed server-side: reads and size queries
+    /// have no side effects, and data writes are idempotent per region
+    /// (re-applying the same bytes to the same regions is a no-op).
+    /// Only the namespace mutations — `Create`, `Remove`, `Close` —
+    /// change their answer on replay, so the retry machinery
+    /// (`pvfs-net`) refuses to resend exactly those.
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(
+            self,
+            Request::Create { .. } | Request::Remove { .. } | Request::Close { .. }
+        )
+    }
+
     /// True for write-path operations (used by cost accounting).
     pub fn is_write(&self) -> bool {
         matches!(

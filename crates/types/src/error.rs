@@ -32,7 +32,10 @@ pub enum PvfsError {
     NoSuchServer(u32),
     /// An RPC did not complete within the client's deadline (wedged or
     /// overloaded server). The request may still execute server-side;
-    /// reads are safe to retry, writes are idempotent per region.
+    /// replay is nevertheless safe — reads have no side effects and
+    /// writes are idempotent per region — which is exactly the contract
+    /// [`PvfsError::is_retryable`] encodes and the chaos suites
+    /// (`PVFS_FAULTS`) verify with byte-exact data checks.
     Timeout(String),
     /// A peer announced a wire frame larger than the transport's hard
     /// cap. The frame is rejected *before* any allocation: a malformed
@@ -81,6 +84,61 @@ impl PvfsError {
     pub fn timeout(msg: impl Into<String>) -> Self {
         PvfsError::Timeout(msg.into())
     }
+
+    /// Whether retrying the failed RPC can plausibly succeed.
+    ///
+    /// Retryable errors are the *transient* ones — the transport died,
+    /// the deadline elapsed, or a frame was mangled in flight:
+    ///
+    /// * [`PvfsError::Transport`] — connection reset, peer gone,
+    ///   dropped reply; a fresh connection may work.
+    /// * [`PvfsError::Timeout`] — the server was wedged or overloaded;
+    ///   it may answer the next attempt.
+    /// * [`PvfsError::Protocol`] — a corrupt frame (either direction)
+    ///   or an unattributable/mismatched response id; the next attempt
+    ///   travels on clean frames with a fresh request id.
+    ///
+    /// Everything else is *deterministic*: the server looked at a
+    /// well-formed request and said no ([`PvfsError::NoSuchFile`],
+    /// [`PvfsError::AlreadyExists`], [`PvfsError::BadHandle`],
+    /// [`PvfsError::InvalidArgument`], [`PvfsError::Storage`]), the
+    /// request was unroutable ([`PvfsError::NoSuchServer`]), or a frame
+    /// exceeds the hard cap ([`PvfsError::FrameTooLarge`]). Replaying
+    /// those yields the same answer and only masks bugs.
+    ///
+    /// Replaying a retryable data op is safe even though the original
+    /// attempt *may* have executed server-side
+    /// ([`PvfsError::is_definitely_not_executed`]): reads have no side
+    /// effects, and writes are idempotent per region — re-applying the
+    /// same bytes to the same region is a no-op. The chaos tests
+    /// (`PVFS_FAULTS`) assert this with byte-exact verification.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PvfsError::Transport(_) | PvfsError::Timeout(_) | PvfsError::Protocol(_)
+        )
+    }
+
+    /// Whether the failed RPC *definitely did not* execute server-side.
+    ///
+    /// `true` means the failure proves non-execution: the request never
+    /// found a server ([`PvfsError::NoSuchServer`]), or the server
+    /// looked at it and refused without touching state (argument
+    /// validation, namespace errors, storage refusal), or a frame cap
+    /// rejected it before transmission ([`PvfsError::FrameTooLarge`]).
+    ///
+    /// `false` is the ambiguous zone a retry policy must assume the
+    /// worst about: on [`PvfsError::Timeout`] and
+    /// [`PvfsError::Transport`] the request may have been served with
+    /// the reply lost, and on [`PvfsError::Protocol`] the *response*
+    /// may have been the mangled half. Only idempotent operations may
+    /// be replayed after these.
+    pub fn is_definitely_not_executed(&self) -> bool {
+        !matches!(
+            self,
+            PvfsError::Transport(_) | PvfsError::Timeout(_) | PvfsError::Protocol(_)
+        )
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +175,63 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(PvfsError::protocol("bad magic"));
         assert!(e.to_string().contains("bad magic"));
+    }
+
+    /// Every variant, classified. Transient transport-ish failures are
+    /// retryable and ambiguous about execution; deterministic refusals
+    /// are neither.
+    #[test]
+    fn retry_classification_covers_every_variant() {
+        let transient = [
+            PvfsError::Transport("reset".into()),
+            PvfsError::Timeout("wedged".into()),
+            PvfsError::Protocol("corrupt frame".into()),
+        ];
+        for e in &transient {
+            assert!(e.is_retryable(), "{e} must be retryable");
+            assert!(
+                !e.is_definitely_not_executed(),
+                "{e} may have executed server-side"
+            );
+        }
+        let deterministic = [
+            PvfsError::invalid("zero stripe"),
+            PvfsError::NoSuchFile("/pvfs/x".into()),
+            PvfsError::AlreadyExists("/pvfs/x".into()),
+            PvfsError::BadHandle(7),
+            PvfsError::Storage("refused".into()),
+            PvfsError::NoSuchServer(9),
+            PvfsError::FrameTooLarge {
+                len: 1 << 40,
+                max: 1 << 20,
+            },
+        ];
+        for e in &deterministic {
+            assert!(!e.is_retryable(), "{e} must not be retryable");
+            assert!(e.is_definitely_not_executed(), "{e} proves non-execution");
+        }
+    }
+
+    /// The two classifications partition the error space: an error is
+    /// retryable exactly when it might have executed anyway — the
+    /// combination a retry policy must treat as "replay only if
+    /// idempotent".
+    #[test]
+    fn retryable_iff_execution_is_ambiguous() {
+        let all = [
+            PvfsError::invalid("x"),
+            PvfsError::NoSuchFile("x".into()),
+            PvfsError::AlreadyExists("x".into()),
+            PvfsError::BadHandle(1),
+            PvfsError::protocol("x"),
+            PvfsError::Storage("x".into()),
+            PvfsError::Transport("x".into()),
+            PvfsError::NoSuchServer(1),
+            PvfsError::timeout("x"),
+            PvfsError::FrameTooLarge { len: 2, max: 1 },
+        ];
+        for e in &all {
+            assert_eq!(e.is_retryable(), !e.is_definitely_not_executed(), "{e}");
+        }
     }
 }
