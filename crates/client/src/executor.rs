@@ -16,7 +16,7 @@ use pvfs_types::{PvfsError, PvfsResult};
 
 /// What actually happened while executing a plan — the measured
 /// counterpart of [`pvfs_core::PlanStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecReport {
     /// Rounds executed.
     pub rounds: u64,
@@ -41,6 +41,60 @@ pub struct ExecReport {
     /// Faults injected by the transport's fault plan (zero unless
     /// `PVFS_FAULTS` or [`pvfs_net::FaultyTransport`] is in play).
     pub faults_injected: u64,
+    /// Wire requests this client issued, broken down per I/O daemon
+    /// (indexed by `ServerId`; the vector grows to the highest daemon
+    /// addressed). The per-daemon fan-in is the collective-I/O claim:
+    /// under two-phase each daemon hears from exactly one aggregator,
+    /// where independent list I/O has every rank knocking on every
+    /// daemon.
+    pub requests_by_server: Vec<u64>,
+    /// Bytes this rank shipped through the client-side exchange fabric
+    /// (collective two-phase only; zero for independent methods).
+    /// Exchange traffic is memory-to-memory between ranks — comparing
+    /// it against `bytes_sent`/`bytes_received` shows how much wire
+    /// traffic the aggregation phase replaced.
+    pub exchange_bytes: u64,
+    /// Exchange messages this rank sent (collective two-phase only).
+    pub exchange_msgs: u64,
+}
+
+impl ExecReport {
+    /// Accumulate another report into this one, counter by counter —
+    /// used by multi-plan operations (a collective op runs one plan per
+    /// aggregator window) to report a single total.
+    pub fn absorb(&mut self, other: &ExecReport) {
+        self.rounds += other.rounds;
+        self.requests += other.requests;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.copy_bytes += other.copy_bytes;
+        self.serial_sections += other.serial_sections;
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.backoff_ms += other.backoff_ms;
+        self.faults_injected += other.faults_injected;
+        self.exchange_bytes += other.exchange_bytes;
+        self.exchange_msgs += other.exchange_msgs;
+        if self.requests_by_server.len() < other.requests_by_server.len() {
+            self.requests_by_server
+                .resize(other.requests_by_server.len(), 0);
+        }
+        for (mine, theirs) in self
+            .requests_by_server
+            .iter_mut()
+            .zip(&other.requests_by_server)
+        {
+            *mine += theirs;
+        }
+    }
+
+    fn bump_server(&mut self, server: pvfs_types::ServerId) {
+        let idx = server.0 as usize;
+        if self.requests_by_server.len() <= idx {
+            self.requests_by_server.resize(idx + 1, 0);
+        }
+        self.requests_by_server[idx] += 1;
+    }
 }
 
 /// Execute a plan to completion against the live cluster.
@@ -66,6 +120,9 @@ pub fn execute_plan(
                 Step::Round(ops) => {
                     report.rounds += 1;
                     report.requests += ops.len() as u64;
+                    for wire in &ops {
+                        report.bump_server(wire.server);
+                    }
                     let requests: Vec<_> = ops
                         .iter()
                         .map(|wire| {

@@ -50,7 +50,7 @@ pub use plan::{
 };
 pub use request::ListRequest;
 
-use pvfs_types::{FileHandle, PvfsResult, StripeLayout};
+use pvfs_types::{FileHandle, PvfsError, PvfsResult, StripeLayout};
 
 /// Compile a noncontiguous request into an access plan under `method`.
 ///
@@ -72,5 +72,31 @@ pub fn plan(
         Method::List => listio::plan(kind, request, handle, layout, config),
         Method::Hybrid => hybrid::plan(kind, request, handle, layout, config),
         Method::Datatype => pattern::plan(kind, request, handle, layout, config),
+        Method::TwoPhase => Err(PvfsError::invalid(
+            "two-phase I/O is collective: it needs every rank's request, \
+             not one rank's plan — use pvfs_collective::CollectiveFile::\
+             {read_all, write_all}",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod dispatch_tests {
+    use super::*;
+
+    #[test]
+    fn two_phase_refuses_single_rank_planning() {
+        let request = ListRequest::contiguous(0, 0, 64);
+        let layout = StripeLayout::new(0, 4, 16).unwrap();
+        let err = plan(
+            Method::TwoPhase,
+            IoKind::Write,
+            &request,
+            FileHandle(1),
+            layout,
+            &MethodConfig::paper_default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("CollectiveFile"), "{err}");
     }
 }

@@ -1,5 +1,6 @@
 //! Cross-client write serialization.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// A gate that admits one holder at a time, used to serialize data
@@ -7,10 +8,16 @@ use std::sync::{Condvar, Mutex};
 /// paper's `MPI_Barrier` for-loop plays). Fairness follows wake-up
 /// order; the invariant that matters for correctness is mutual
 /// exclusion of the RMW windows.
+///
+/// The gate counts its [`acquisitions`](SerialGate::acquisitions) so
+/// tests can pin down *absence* of serialization: collective two-phase
+/// writes promise disjoint file domains, and the equivalence suite
+/// asserts the gate was never taken while they ran.
 #[derive(Debug, Default)]
 pub struct SerialGate {
     locked: Mutex<bool>,
     cv: Condvar,
+    acquisitions: AtomicU64,
 }
 
 impl SerialGate {
@@ -26,6 +33,12 @@ impl SerialGate {
             locked = self.cv.wait(locked).unwrap();
         }
         *locked = true;
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many times the gate has been taken since creation.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions.load(Ordering::Relaxed)
     }
 
     /// Release the gate, waking one waiter.
@@ -47,10 +60,35 @@ mod tests {
     #[test]
     fn acquire_release_single_thread() {
         let g = SerialGate::new();
+        assert_eq!(g.acquisitions(), 0);
         g.acquire();
         g.release();
         g.acquire();
         g.release();
+        assert_eq!(g.acquisitions(), 2);
+    }
+
+    #[test]
+    fn contended_acquisitions_are_all_counted() {
+        let gate = Arc::new(SerialGate::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let gate = gate.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    gate.acquire();
+                    std::thread::yield_now();
+                    gate.release();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every successful acquire is counted exactly once, even under
+        // heavy contention — the counter is what lets tests assert a
+        // gate was (or was never) taken.
+        assert_eq!(gate.acquisitions(), 8 * 50);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   sieving I/O, list I/O, hybrid, datatype I/O).
 //! * [`net`] — the live in-process threaded cluster.
 //! * [`client`] — the PVFS client library (`open`/`read_list`/...).
+//! * [`collective`] — collective two-phase I/O: an in-process
+//!   communicator, stripe-aligned file domains, and aggregator
+//!   read/write engines (`CollectiveFile::{read_all, write_all}`).
 //! * [`sim`] / [`simcluster`] — the discrete-event simulator used to
 //!   regenerate the paper's figures at paper scale.
 //! * [`workloads`] — the paper's access-pattern generators (1-D cyclic,
@@ -48,6 +51,7 @@
 pub mod shell;
 
 pub use pvfs_client as client;
+pub use pvfs_collective as collective;
 pub use pvfs_core as core;
 pub use pvfs_disk as disk;
 pub use pvfs_net as net;
