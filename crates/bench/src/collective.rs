@@ -164,13 +164,14 @@ fn run_two_phase(
 }
 
 /// One independent run: every rank writes its own request concurrently
-/// under `method` (list I/O or serialized data sieving).
+/// under `method` (list I/O or serialized data sieving). Returns the
+/// per-rank reports so callers can merge latency distributions.
 fn run_independent(
     kind: TransportKind,
     layout: StripeLayout,
     reqs: &[ListRequest],
     method: Method,
-) -> (f64, u64, u64, Vec<u64>) {
+) -> (f64, u64, u64, Vec<u64>, Vec<ExecReport>) {
     let cluster = LiveCluster::spawn_transport(SERVERS, iod_config(), kind);
     let client = cluster.client();
     PvfsFile::create(&client, "/pvfs/independent", layout)
@@ -188,18 +189,25 @@ fn run_independent(
             thread::spawn(move || {
                 let mut f = PvfsFile::open(&client, "/pvfs/independent").unwrap();
                 let buf = payload(&req);
-                f.write_list(&req.mem, &req.file, &buf, method).unwrap();
+                f.write_list(&req.mem, &req.file, &buf, method).unwrap()
             })
         })
         .collect();
-    for h in handles {
-        h.join().unwrap();
-    }
+    let reports: Vec<ExecReport> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let seconds = started.elapsed().as_secs_f64();
     let (f1, b1) = totals(&cluster);
     let d1 = per_daemon(&cluster);
     let daemons = d0.iter().zip(&d1).map(|(a, b)| b - a).collect();
-    (seconds, f1 - f0, b1 - b0, daemons)
+    (seconds, f1 - f0, b1 - b0, daemons, reports)
+}
+
+/// All ranks' RPC latency samples merged into one distribution.
+fn merged_latency(reports: &[ExecReport]) -> pvfs_types::Histogram {
+    let mut out = pvfs_types::Histogram::new();
+    for r in reports {
+        out.merge(&r.rpc_latency);
+    }
+    out
 }
 
 /// The `collective` figure. See the module docs for what is asserted.
@@ -243,7 +251,7 @@ pub fn collective(scale: Scale, kind: TransportKind) -> Vec<Row> {
             assert!(reports.iter().all(|r| r.serial_sections == 0));
             let exchange: u64 = reports.iter().map(|r| r.exchange_bytes).sum();
 
-            let (li_secs, li_frames, li_bytes, li_daemons) =
+            let (li_secs, li_frames, li_bytes, li_daemons, li_reports) =
                 run_independent(kind, layout, &reqs, Method::List);
             let independent_floor: u64 = reqs
                 .iter()
@@ -278,29 +286,69 @@ pub fn collective(scale: Scale, kind: TransportKind) -> Vec<Row> {
                 );
             }
 
-            let (ds_secs, ds_frames, ds_bytes, _) =
+            let (ds_secs, ds_frames, ds_bytes, _, ds_reports) =
                 run_independent(kind, layout, &reqs, Method::DataSieving);
 
+            // Two-phase phase breakdown, summed across ranks: where the
+            // collective's wall time actually goes.
+            let (plan_ns, xchg_ns, wire_ns, merge_ns) =
+                reports
+                    .iter()
+                    .fold((0u64, 0u64, 0u64, 0u64), |(p, e, w, m), r| {
+                        (
+                            p + r.phase_plan_ns,
+                            e + r.phase_exchange_ns,
+                            w + r.phase_wire_ns,
+                            m + r.phase_merge_ns,
+                        )
+                    });
             eprintln!(
                 "collective/{} x{clients}: requests/daemon two-phase={tp_daemons:?} \
-                 list={li_daemons:?}  exchange={exchange}B",
-                workload.name()
+                 list={li_daemons:?}  exchange={exchange}B  phases(ms): \
+                 plan={:.2} exchange={:.2} wire={:.2} merge={:.2}",
+                workload.name(),
+                plan_ns as f64 / 1e6,
+                xchg_ns as f64 / 1e6,
+                wire_ns as f64 / 1e6,
+                merge_ns as f64 / 1e6,
             );
             let panel = format!("{} · {kind}", workload.name());
-            for (series, secs, frames, bytes) in [
-                ("two-phase", tp_secs, tp_frames, tp_bytes),
-                ("list", li_secs, li_frames, li_bytes),
-                ("sieve", ds_secs, ds_frames, ds_bytes),
+            for (series, secs, frames, bytes, lat) in [
+                (
+                    "two-phase",
+                    tp_secs,
+                    tp_frames,
+                    tp_bytes,
+                    merged_latency(&reports),
+                ),
+                (
+                    "list",
+                    li_secs,
+                    li_frames,
+                    li_bytes,
+                    merged_latency(&li_reports),
+                ),
+                (
+                    "sieve",
+                    ds_secs,
+                    ds_frames,
+                    ds_bytes,
+                    merged_latency(&ds_reports),
+                ),
             ] {
-                rows.push(Row {
-                    figure: "collective",
-                    panel: panel.clone(),
-                    series: series.into(),
-                    x: clients as u64,
-                    seconds: secs,
-                    requests: frames,
-                    wire_bytes: bytes,
-                });
+                rows.push(
+                    Row {
+                        figure: "collective",
+                        panel: panel.clone(),
+                        series: series.into(),
+                        x: clients as u64,
+                        seconds: secs,
+                        requests: frames,
+                        wire_bytes: bytes,
+                        ..Row::default()
+                    }
+                    .with_latency(&lat),
+                );
             }
         }
     }

@@ -172,6 +172,7 @@ fn art_row(
         seconds: outcome.seconds,
         requests: outcome.requests,
         wire_bytes: outcome.wire_bytes,
+        ..Row::default()
     }
 }
 
@@ -314,6 +315,7 @@ pub fn fig15(scale: Scale) -> Vec<Row> {
                 seconds: outcome.seconds,
                 requests: outcome.requests,
                 wire_bytes: outcome.wire_bytes,
+                ..Row::default()
             });
         }
     }
@@ -345,6 +347,7 @@ pub fn fig17(_scale: Scale) -> Vec<Row> {
                 seconds,
                 requests: outcome.requests,
                 wire_bytes: outcome.wire_bytes,
+                ..Row::default()
             });
         }
     }
@@ -417,6 +420,7 @@ pub fn ext_hybrid(scale: Scale) -> Vec<Row> {
                 seconds: outcome.seconds,
                 requests: outcome.requests,
                 wire_bytes: outcome.wire_bytes,
+                ..Row::default()
             });
         }
         // Auto-tuned hybrid: derives its gap threshold from the request.
@@ -440,6 +444,7 @@ pub fn ext_hybrid(scale: Scale) -> Vec<Row> {
                 seconds: outcome.seconds,
                 requests: outcome.requests,
                 wire_bytes: outcome.wire_bytes,
+                ..Row::default()
             });
         }
     }

@@ -56,18 +56,22 @@ pub fn wire(scale: Scale, kind: TransportKind) -> Vec<Row> {
             let buf = vec![0x77u8; (n * REGION_BYTES) as usize];
             let (frames_before, bytes_before) = wire_totals(&cluster);
             let started = Instant::now();
-            f.write_list(&mem, &file, &buf, method).unwrap();
+            let report = f.write_list(&mem, &file, &buf, method).unwrap();
             let seconds = started.elapsed().as_secs_f64();
             let (frames_after, bytes_after) = wire_totals(&cluster);
-            rows.push(Row {
-                figure: "wire",
-                panel: format!("{kind} transport"),
-                series: series.into(),
-                x: n,
-                seconds,
-                requests: frames_after - frames_before,
-                wire_bytes: bytes_after - bytes_before,
-            });
+            rows.push(
+                Row {
+                    figure: "wire",
+                    panel: format!("{kind} transport"),
+                    series: series.into(),
+                    x: n,
+                    seconds,
+                    requests: frames_after - frames_before,
+                    wire_bytes: bytes_after - bytes_before,
+                    ..Row::default()
+                }
+                .with_latency(&report.rpc_latency),
+            );
         }
     }
     rows
@@ -118,6 +122,7 @@ pub fn chaos(scale: Scale, kind: TransportKind) -> Vec<Row> {
                 RegionList::from_pairs((0..n).map(|i| (i * STRIDE, REGION_BYTES))).unwrap();
             let mem = RegionList::contiguous(0, n * REGION_BYTES);
             let attempts_before = client.stats().attempts;
+            let latency_before = client.latency_snapshot();
             let mut verified_bytes = 0u64;
             let started = Instant::now();
             for it in 0..iterations {
@@ -147,15 +152,19 @@ pub fn chaos(scale: Scale, kind: TransportKind) -> Vec<Row> {
                     "retry-on must survive {pct}% faults with full goodput"
                 );
             }
-            rows.push(Row {
-                figure: "chaos",
-                panel: format!("{kind} transport"),
-                series: series.into(),
-                x: pct,
-                seconds,
-                requests: client.stats().attempts - attempts_before,
-                wire_bytes: verified_bytes,
-            });
+            rows.push(
+                Row {
+                    figure: "chaos",
+                    panel: format!("{kind} transport"),
+                    series: series.into(),
+                    x: pct,
+                    seconds,
+                    requests: client.stats().attempts - attempts_before,
+                    wire_bytes: verified_bytes,
+                    ..Row::default()
+                }
+                .with_latency(&client.latency_snapshot().since(&latency_before)),
+            );
         }
     }
     rows

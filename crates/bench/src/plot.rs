@@ -75,6 +75,7 @@ mod tests {
             seconds,
             requests: 0,
             wire_bytes: 0,
+            ..Row::default()
         }
     }
 

@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// One measured point of a figure.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Row {
     /// Figure id, e.g. `"fig9"`.
     pub figure: &'static str,
@@ -20,16 +20,44 @@ pub struct Row {
     pub requests: u64,
     /// Total bytes that crossed the network.
     pub wire_bytes: u64,
+    /// Client-perceived RPC latency percentiles in nanoseconds, from
+    /// [`pvfs_client::ExecReport::rpc_latency`]. Zero for simulator
+    /// figures, which model time instead of measuring it.
+    pub p50_ns: u64,
+    /// See [`Row::p50_ns`].
+    pub p95_ns: u64,
+    /// See [`Row::p50_ns`].
+    pub p99_ns: u64,
+}
+
+impl Row {
+    /// Fill the latency columns from a measured distribution.
+    pub fn with_latency(mut self, h: &pvfs_types::Histogram) -> Row {
+        self.p50_ns = h.percentile_ns(0.50);
+        self.p95_ns = h.percentile_ns(0.95);
+        self.p99_ns = h.percentile_ns(0.99);
+        self
+    }
 }
 
 /// Serialize rows as CSV (with header) to `path`.
 pub fn write_csv(rows: &[Row], path: &Path) -> std::io::Result<()> {
-    let mut out = String::from("figure,panel,series,x,seconds,requests,wire_bytes\n");
+    let mut out =
+        String::from("figure,panel,series,x,seconds,requests,wire_bytes,p50_ns,p95_ns,p99_ns\n");
     for r in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{:.6},{},{}",
-            r.figure, r.panel, r.series, r.x, r.seconds, r.requests, r.wire_bytes
+            "{},{},{},{},{:.6},{},{},{},{},{}",
+            r.figure,
+            r.panel,
+            r.series,
+            r.x,
+            r.seconds,
+            r.requests,
+            r.wire_bytes,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns
         );
     }
     if let Some(dir) = path.parent() {
@@ -49,18 +77,21 @@ pub fn render_table(rows: &[Row]) -> String {
         let _ = writeln!(out, "--- {} / {panel} ---", rows[0].figure);
         let _ = writeln!(
             out,
-            "{:<10} {:>20} {:>14} {:>12} {:>14}",
-            "x", "series", "seconds", "requests", "wire MB"
+            "{:<10} {:>20} {:>14} {:>12} {:>14} {:>9} {:>9} {:>9}",
+            "x", "series", "seconds", "requests", "wire MB", "p50 µs", "p95 µs", "p99 µs"
         );
         for r in rows.iter().filter(|r| r.panel == panel) {
             let _ = writeln!(
                 out,
-                "{:<10} {:>20} {:>14.3} {:>12} {:>14.2}",
+                "{:<10} {:>20} {:>14.3} {:>12} {:>14.2} {:>9.1} {:>9.1} {:>9.1}",
                 r.x,
                 r.series,
                 r.seconds,
                 r.requests,
-                r.wire_bytes as f64 / 1e6
+                r.wire_bytes as f64 / 1e6,
+                r.p50_ns as f64 / 1000.0,
+                r.p95_ns as f64 / 1000.0,
+                r.p99_ns as f64 / 1000.0
             );
         }
         out.push('\n');
@@ -81,6 +112,7 @@ mod tests {
             seconds: s,
             requests: 10,
             wire_bytes: 1_000_000,
+            ..Row::default()
         }
     }
 
@@ -92,8 +124,26 @@ mod tests {
         write_csv(&rows, &path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("figure,panel,series"));
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("p50_ns,p95_ns,p99_ns"));
         assert_eq!(text.lines().count(), 3);
-        assert!(text.contains("figX,a,s2,1,1.500000,10,1000000"));
+        assert!(text.contains("figX,a,s2,1,1.500000,10,1000000,0,0,0"));
+    }
+
+    #[test]
+    fn with_latency_fills_the_percentile_columns() {
+        let mut h = pvfs_types::Histogram::new();
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        let r = row("a", "s1", 1, 0.5).with_latency(&h);
+        assert!(r.p50_ns > 0);
+        assert!(r.p99_ns >= r.p50_ns);
+        let t = render_table(&[r]);
+        assert!(t.contains("p99 µs"), "{t}");
     }
 
     #[test]

@@ -12,7 +12,8 @@ use pvfs_core::exec::{
 use pvfs_core::{AccessPlan, Step};
 use pvfs_net::ClusterClient;
 use pvfs_proto::Response;
-use pvfs_types::{PvfsError, PvfsResult};
+use pvfs_types::{Histogram, PvfsError, PvfsResult};
+use std::time::Instant;
 
 /// What actually happened while executing a plan — the measured
 /// counterpart of [`pvfs_core::PlanStats`].
@@ -56,6 +57,22 @@ pub struct ExecReport {
     pub exchange_bytes: u64,
     /// Exchange messages this rank sent (collective two-phase only).
     pub exchange_msgs: u64,
+    /// Client-perceived latency of every successful RPC this execution
+    /// issued (ship → reply decoded), from the endpoint's
+    /// [`pvfs_net::RpcLatency`] tracker — `percentile_ns(0.5/0.95/0.99)`
+    /// are the p50/p95/p99 columns of the bench reports.
+    pub rpc_latency: Histogram,
+    /// Nanoseconds spent planning (access-plan construction; collective
+    /// engines fill this — plain `execute_plan` receives a built plan).
+    pub phase_plan_ns: u64,
+    /// Nanoseconds spent in the inter-client exchange phase
+    /// (collective two-phase only).
+    pub phase_exchange_ns: u64,
+    /// Nanoseconds spent inside wire rounds (RPC fan-out + collect).
+    pub phase_wire_ns: u64,
+    /// Nanoseconds spent merging/copying data between buffers (the
+    /// scatter/gather memcpy phase).
+    pub phase_merge_ns: u64,
 }
 
 impl ExecReport {
@@ -75,6 +92,11 @@ impl ExecReport {
         self.faults_injected += other.faults_injected;
         self.exchange_bytes += other.exchange_bytes;
         self.exchange_msgs += other.exchange_msgs;
+        self.rpc_latency.merge(&other.rpc_latency);
+        self.phase_plan_ns += other.phase_plan_ns;
+        self.phase_exchange_ns += other.phase_exchange_ns;
+        self.phase_wire_ns += other.phase_wire_ns;
+        self.phase_merge_ns += other.phase_merge_ns;
         if self.requests_by_server.len() < other.requests_by_server.len() {
             self.requests_by_server
                 .resize(other.requests_by_server.len(), 0);
@@ -113,6 +135,7 @@ pub fn execute_plan(
     };
     let mut report = ExecReport::default();
     let stats_before = client.stats();
+    let latency_before = client.latency_snapshot();
     let mut holding_gate = false;
     let result = (|| -> PvfsResult<()> {
         while let Some(step) = plan.next_step() {
@@ -131,7 +154,9 @@ pub fn execute_plan(
                             (wire.server, req)
                         })
                         .collect();
+                    let round_started = Instant::now();
                     let responses = client.round(requests)?;
+                    report.phase_wire_ns += round_started.elapsed().as_nanos() as u64;
                     for (wire, response) in ops.iter().zip(responses) {
                         match response {
                             Response::Data { data } => {
@@ -156,7 +181,9 @@ pub fn execute_plan(
                 }
                 Step::Copy(pairs) => {
                     report.copy_bytes += copy_bytes(&pairs);
+                    let copy_started = Instant::now();
                     apply_copies(&pairs, &mut bufs);
+                    report.phase_merge_ns += copy_started.elapsed().as_nanos() as u64;
                 }
                 Step::SerialBegin => {
                     client.gate().acquire();
@@ -179,5 +206,8 @@ pub fn execute_plan(
     report.retries = retry.retries;
     report.backoff_ms = retry.backoff_ms;
     report.faults_injected = retry.faults_injected;
+    // The endpoint tracker is shared across clones and plans; the delta
+    // isolates exactly the RPCs this execution issued.
+    report.rpc_latency = client.latency_snapshot().since(&latency_before);
     result.map(|()| report)
 }

@@ -12,8 +12,11 @@
 //! * `PVFS_CB_BUFFER` — each aggregator's staging-buffer bound, e.g.
 //!   `16m`, `512k`, or a raw byte count. Default 16 MiB.
 //!
-//! Malformed values panic, matching how the other `PVFS_` variables
-//! fail fast rather than silently running a misconfigured experiment.
+//! Malformed values surface as [`PvfsError::Config`] — a typed error
+//! the collective entry points propagate, so a misconfigured experiment
+//! fails with a diagnosable message instead of aborting the process.
+
+use pvfs_types::{PvfsError, PvfsResult};
 
 /// Default per-aggregator staging-buffer bound: 16 MiB, ROMIO's
 /// long-standing `cb_buffer_size` default.
@@ -44,16 +47,16 @@ impl Default for CollectiveConfig {
 
 impl CollectiveConfig {
     /// Defaults overridden by `PVFS_AGGREGATORS` / `PVFS_CB_BUFFER`.
-    /// Panics on malformed values.
-    pub fn from_env() -> Self {
+    /// Malformed values are a [`PvfsError::Config`].
+    pub fn from_env() -> PvfsResult<Self> {
         let mut cfg = CollectiveConfig::default();
         if let Ok(v) = std::env::var("PVFS_AGGREGATORS") {
-            cfg.aggregators = Some(parse_aggregators(&v));
+            cfg.aggregators = Some(parse_aggregators(&v)?);
         }
         if let Ok(v) = std::env::var("PVFS_CB_BUFFER") {
-            cfg.cb_buffer = parse_size(&v);
+            cfg.cb_buffer = parse_size(&v)?;
         }
-        cfg
+        Ok(cfg)
     }
 
     /// The aggregator count actually used for a job of `ranks` clients
@@ -71,18 +74,23 @@ impl CollectiveConfig {
 }
 
 /// Parse `PVFS_AGGREGATORS`: a positive integer.
-pub fn parse_aggregators(s: &str) -> usize {
-    let n: usize = s
-        .trim()
-        .parse()
-        .unwrap_or_else(|_| panic!("PVFS_AGGREGATORS: expected a positive integer, got {s:?}"));
-    assert!(n >= 1, "PVFS_AGGREGATORS must be at least 1, got {s:?}");
-    n
+pub fn parse_aggregators(s: &str) -> PvfsResult<usize> {
+    let n: usize = s.trim().parse().map_err(|_| {
+        PvfsError::config(format!(
+            "PVFS_AGGREGATORS: expected a positive integer, got {s:?}"
+        ))
+    })?;
+    if n < 1 {
+        return Err(PvfsError::config(format!(
+            "PVFS_AGGREGATORS must be at least 1, got {s:?}"
+        )));
+    }
+    Ok(n)
 }
 
 /// Parse `PVFS_CB_BUFFER`: a byte count with an optional `k`/`m`/`g`
 /// suffix (case-insensitive), e.g. `16m`, `512K`, `1048576`.
-pub fn parse_size(s: &str) -> u64 {
+pub fn parse_size(s: &str) -> PvfsResult<u64> {
     let t = s.trim().to_ascii_lowercase();
     let (digits, mult) = match t.strip_suffix(['k', 'm', 'g']) {
         Some(d) => {
@@ -95,19 +103,32 @@ pub fn parse_size(s: &str) -> u64 {
         }
         None => (t.as_str(), 1),
     };
-    let n: u64 = digits.parse().unwrap_or_else(|_| {
-        panic!("PVFS_CB_BUFFER: expected bytes like 16m/512k/1048576, got {s:?}")
-    });
+    let n: u64 = digits.parse().map_err(|_| {
+        PvfsError::config(format!(
+            "PVFS_CB_BUFFER: expected bytes like 16m/512k/1048576, got {s:?}"
+        ))
+    })?;
     let bytes = n
         .checked_mul(mult)
-        .unwrap_or_else(|| panic!("PVFS_CB_BUFFER: {s:?} overflows"));
-    assert!(bytes > 0, "PVFS_CB_BUFFER must be positive, got {s:?}");
-    bytes
+        .ok_or_else(|| PvfsError::config(format!("PVFS_CB_BUFFER: {s:?} overflows u64")))?;
+    if bytes == 0 {
+        return Err(PvfsError::config(format!(
+            "PVFS_CB_BUFFER must be positive, got {s:?}"
+        )));
+    }
+    Ok(bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn config_err(e: PvfsError) -> String {
+        match e {
+            PvfsError::Config(msg) => msg,
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
 
     #[test]
     fn default_is_one_aggregator_per_daemon_16m() {
@@ -118,28 +139,53 @@ mod tests {
 
     #[test]
     fn parse_size_suffixes() {
-        assert_eq!(parse_size("16m"), 16 * 1024 * 1024);
-        assert_eq!(parse_size("512K"), 512 * 1024);
-        assert_eq!(parse_size("1g"), 1024 * 1024 * 1024);
-        assert_eq!(parse_size(" 4096 "), 4096);
+        assert_eq!(parse_size("16m").unwrap(), 16 * 1024 * 1024);
+        assert_eq!(parse_size("512K").unwrap(), 512 * 1024);
+        assert_eq!(parse_size("1g").unwrap(), 1024 * 1024 * 1024);
+        assert_eq!(parse_size(" 4096 ").unwrap(), 4096);
     }
 
     #[test]
-    #[should_panic(expected = "PVFS_CB_BUFFER")]
-    fn parse_size_rejects_garbage() {
-        parse_size("lots");
+    fn parse_size_rejects_garbage_with_a_typed_error() {
+        let msg = config_err(parse_size("lots").unwrap_err());
+        assert!(msg.contains("PVFS_CB_BUFFER"), "{msg}");
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
+    fn parse_size_rejects_empty() {
+        let msg = config_err(parse_size("").unwrap_err());
+        assert!(msg.contains("PVFS_CB_BUFFER"), "{msg}");
+        // A bare suffix has no digits either.
+        assert!(parse_size("m").is_err());
+        assert!(parse_size("   ").is_err());
+    }
+
+    #[test]
     fn parse_size_rejects_zero() {
-        parse_size("0");
+        let msg = config_err(parse_size("0").unwrap_err());
+        assert!(msg.contains("positive"), "{msg}");
+        assert!(parse_size("0k").is_err());
     }
 
     #[test]
-    #[should_panic(expected = "PVFS_AGGREGATORS")]
-    fn parse_aggregators_rejects_zero() {
-        parse_aggregators("0");
+    fn parse_size_rejects_overflow() {
+        // u64::MAX kibibytes overflows the multiply.
+        let msg = config_err(parse_size("18446744073709551615k").unwrap_err());
+        assert!(msg.contains("overflow"), "{msg}");
+        // ...and a number too big for u64 at all fails the parse.
+        assert!(parse_size("99999999999999999999999").is_err());
+        // The largest representable value still parses.
+        assert_eq!(parse_size("18446744073709551615").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn parse_aggregators_rejects_zero_junk_and_empty() {
+        let msg = config_err(parse_aggregators("0").unwrap_err());
+        assert!(msg.contains("PVFS_AGGREGATORS"), "{msg}");
+        assert!(parse_aggregators("four").is_err());
+        assert!(parse_aggregators("").is_err());
+        assert!(parse_aggregators("-2").is_err());
+        assert_eq!(parse_aggregators(" 4 ").unwrap(), 4);
     }
 
     #[test]

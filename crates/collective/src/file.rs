@@ -45,6 +45,7 @@ use pvfs_core::{Method, PieceMap};
 use pvfs_net::ClusterClient;
 use pvfs_types::{PvfsError, PvfsResult, Region, RegionList, StripeLayout};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// One hop of exchanged data: file regions and their bytes,
 /// concatenated in region-list order.
@@ -110,7 +111,7 @@ impl CollectiveFile {
         Ok(CollectiveFile {
             file,
             comm,
-            config: CollectiveConfig::from_env(),
+            config: CollectiveConfig::from_env()?,
         })
     }
 
@@ -125,7 +126,7 @@ impl CollectiveFile {
         Ok(CollectiveFile {
             file,
             comm,
-            config: CollectiveConfig::from_env(),
+            config: CollectiveConfig::from_env()?,
         })
     }
 
@@ -173,17 +174,22 @@ impl CollectiveFile {
         buf: &[u8],
     ) -> PvfsResult<ExecReport> {
         let comm_before = self.comm.stats();
+        let plan_started = Instant::now();
         let local = validate_local(mem, file, buf.len());
+        let mut plan_ns = plan_started.elapsed().as_nanos() as u64;
         // First collective: share every rank's file list (and argument
         // validity, so a bad rank aborts the group instead of hanging
         // it).
+        let exchange_started = Instant::now();
         let shared: Vec<(RegionList, bool)> = self.comm.allgather((file.clone(), local.is_ok()));
+        let mut exchange_ns = exchange_started.elapsed().as_nanos() as u64;
         if shared.iter().any(|(_, ok)| !ok) {
             local?;
             return Err(PvfsError::invalid(
                 "collective write aborted: invalid arguments on another rank",
             ));
         }
+        let plan_started = Instant::now();
         let pieces = local.expect("checked above");
         let all_files: Vec<RegionList> = shared.into_iter().map(|(f, _)| f).collect();
         let dmap = DomainMap::new(self.file.layout(), self.comm.size(), &self.config)?;
@@ -211,7 +217,10 @@ impl CollectiveFile {
                 msg: b,
             })
             .collect();
+        plan_ns += plan_started.elapsed().as_nanos() as u64;
+        let exchange_started = Instant::now();
         let inbox = self.comm.exchange::<PieceBatch>(outbox);
+        exchange_ns += exchange_started.elapsed().as_nanos() as u64;
 
         // I/O phase (aggregator ranks only): merge received pieces per
         // stripe slot, stage one cb_buffer window at a time, write each
@@ -225,7 +234,9 @@ impl CollectiveFile {
 
         // Completion collective: every rank learns whether every domain
         // landed (and no rank outruns the writes).
+        let exchange_started = Instant::now();
         let flags = self.comm.allgather(result.is_ok());
+        exchange_ns += exchange_started.elapsed().as_nanos() as u64;
         result?;
         if !flags.iter().all(|ok| *ok) {
             return Err(PvfsError::protocol(
@@ -235,6 +246,8 @@ impl CollectiveFile {
         let comm_delta = self.comm.stats().since(&comm_before);
         report.exchange_bytes = comm_delta.bytes_sent;
         report.exchange_msgs = comm_delta.msgs_sent;
+        report.phase_plan_ns += plan_ns;
+        report.phase_exchange_ns += exchange_ns;
         Ok(report)
     }
 
@@ -248,17 +261,23 @@ impl CollectiveFile {
         buf: &mut [u8],
     ) -> PvfsResult<ExecReport> {
         let comm_before = self.comm.stats();
+        let plan_started = Instant::now();
         let local = validate_local(mem, file, buf.len());
+        let mut plan_ns = plan_started.elapsed().as_nanos() as u64;
+        let exchange_started = Instant::now();
         let shared: Vec<(RegionList, bool)> = self.comm.allgather((file.clone(), local.is_ok()));
+        let mut exchange_ns = exchange_started.elapsed().as_nanos() as u64;
         if shared.iter().any(|(_, ok)| !ok) {
             local?;
             return Err(PvfsError::invalid(
                 "collective read aborted: invalid arguments on another rank",
             ));
         }
+        let plan_started = Instant::now();
         let pieces = local.expect("checked above");
         let all_files: Vec<RegionList> = shared.into_iter().map(|(f, _)| f).collect();
         let dmap = DomainMap::new(self.file.layout(), self.comm.size(), &self.config)?;
+        plan_ns += plan_started.elapsed().as_nanos() as u64;
 
         // I/O phase (aggregators): read each domain window once, carve
         // the staging buffer into per-rank batches.
@@ -275,7 +294,9 @@ impl CollectiveFile {
         // Outcome collective *before* the scatter: if any domain read
         // failed no rank enters the exchange, and every rank returns an
         // error instead of scattering partial data.
+        let exchange_started = Instant::now();
         let flags = self.comm.allgather(result.is_ok());
+        exchange_ns += exchange_started.elapsed().as_nanos() as u64;
         result?;
         if !flags.iter().all(|ok| *ok) {
             return Err(PvfsError::protocol(
@@ -295,7 +316,10 @@ impl CollectiveFile {
                 msg: b,
             })
             .collect();
+        let exchange_started = Instant::now();
         let inbox = self.comm.exchange::<PieceBatch>(outbox);
+        exchange_ns += exchange_started.elapsed().as_nanos() as u64;
+        let merge_started = Instant::now();
         let map = PieceMap::new(pieces);
         let mut slices = Vec::new();
         for env in inbox {
@@ -311,9 +335,12 @@ impl CollectiveFile {
                 }
             }
         }
+        report.phase_merge_ns += merge_started.elapsed().as_nanos() as u64;
         let comm_delta = self.comm.stats().since(&comm_before);
         report.exchange_bytes = comm_delta.bytes_sent;
         report.exchange_msgs = comm_delta.msgs_sent;
+        report.phase_plan_ns += plan_ns;
+        report.phase_exchange_ns += exchange_ns;
         Ok(report)
     }
 

@@ -41,8 +41,19 @@ impl SparseStore {
     }
 
     /// Read `buf.len()` bytes starting at `offset`. Holes and bytes past
-    /// the end read as zero.
+    /// the end read as zero — including bytes past `u64::MAX`, which are
+    /// unaddressable and therefore permanent holes.
     pub fn read_at(&self, offset: u64, buf: &mut [u8]) {
+        // Clamp before the chunk math: `offset + pos` must not wrap, or
+        // a read near u64::MAX would alias chunk 0.
+        let addressable = u64::MAX - offset;
+        let buf = if (buf.len() as u64) > addressable {
+            let (head, tail) = buf.split_at_mut(addressable as usize);
+            tail.fill(0);
+            head
+        } else {
+            buf
+        };
         let mut pos = 0usize;
         while pos < buf.len() {
             let abs = offset + pos as u64;
@@ -65,8 +76,17 @@ impl SparseStore {
     }
 
     /// Write `data` at `offset`, materializing chunks as needed and
-    /// growing the file size.
+    /// growing the file size. The store's address space ends at
+    /// `u64::MAX - 1` (`size` is one past the highest byte, and must
+    /// itself fit in a `u64`); bytes that would land past it are
+    /// dropped rather than wrapped around to offset 0.
     pub fn write_at(&mut self, offset: u64, data: &[u8]) {
+        let addressable = u64::MAX - offset;
+        let data = if (data.len() as u64) > addressable {
+            &data[..addressable as usize]
+        } else {
+            data
+        };
         if data.is_empty() {
             return;
         }
@@ -198,6 +218,30 @@ mod tests {
         let mut s = SparseStore::new();
         s.write_at(0, b"x");
         assert_eq!(s.resident_bytes(), CHUNK_SIZE as u64);
+    }
+
+    #[test]
+    fn read_at_the_edge_of_the_address_space_does_not_wrap() {
+        let s = SparseStore::new();
+        // Previously `offset + pos` overflowed here: panic in debug,
+        // wraparound to chunk 0 in release.
+        assert_eq!(s.read_vec(u64::MAX - 2, 8), vec![0u8; 8]);
+        assert_eq!(s.read_vec(u64::MAX, 4), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn write_at_the_edge_of_the_address_space_clamps_not_wraps() {
+        let mut s = SparseStore::new();
+        s.write_at(0, b"low");
+        // Only the 4 addressable bytes land; the tail is dropped, not
+        // wrapped around onto offset 0.
+        s.write_at(u64::MAX - 4, b"ABCDEFGH");
+        assert_eq!(s.size(), u64::MAX);
+        assert_eq!(s.read_vec(u64::MAX - 4, 4), b"ABCD");
+        assert_eq!(s.read_vec(0, 3), b"low");
+        // A write starting past the last writable offset is a no-op.
+        s.write_at(u64::MAX, b"Z");
+        assert_eq!(s.size(), u64::MAX);
     }
 }
 

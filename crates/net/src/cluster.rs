@@ -43,9 +43,12 @@
 //! yields [`PvfsError::Timeout`] instead of hanging the client.
 
 use bytes::Bytes;
-use pvfs_proto::{decode_response, encode_message, encode_response, Message, Request, Response};
+use pvfs_proto::{
+    decode_response, encode_message, encode_response, frame_is_stats_scrape, Message, Request,
+    Response,
+};
 use pvfs_server::{IoDaemon, IodConfig, Manager, ServerStats};
-use pvfs_types::{ClientId, PvfsError, PvfsResult, RequestId, ServerId};
+use pvfs_types::{ClientId, Histogram, PvfsError, PvfsResult, RequestId, ServerId, StatsSnapshot};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -54,6 +57,7 @@ use std::time::{Duration, Instant};
 use crate::chan::{bounded, Sender};
 use crate::fault::{FaultPlan, FaultyTransport};
 use crate::gate::SerialGate;
+use crate::latency::RpcLatency;
 use crate::pool::WorkerPool;
 use crate::retry::{AtomicClientStats, Backoff, ClientStats, RetryPolicy};
 use crate::tcp::{TcpCluster, TcpTransport};
@@ -121,18 +125,41 @@ impl LiveCluster {
                         let mut manager = Manager::new();
                         while let Ok(msg) = mgr_rx.recv() {
                             match msg {
-                                NodeMsg::Rpc(frame, reply) => {
+                                NodeMsg::Rpc(frame, reply, _queued_at) => {
+                                    // Stats scrapes observe without
+                                    // perturbing: no wire or timing
+                                    // accounting for their own frames.
+                                    let scrape = frame_is_stats_scrape(&frame);
+                                    if !scrape {
+                                        manager.record_wire_rx(frame.len() as u64);
+                                    }
+                                    let served_at = Instant::now();
                                     let (id, response) =
                                         serve_frame(frame, |req| manager.handle(req));
-                                    let _ = reply.send(encode_response(id, &response));
+                                    let encoded = encode_response(id, &response);
+                                    if !scrape {
+                                        manager.record_service(served_at.elapsed());
+                                        manager.record_wire_tx(encoded.len() as u64);
+                                    }
+                                    let _ = reply.send(encoded);
                                 }
                                 NodeMsg::Shutdown => break,
                             }
                         }
                     })
                     .expect("spawn manager thread");
+                let queue_marks: Vec<Arc<dyn Fn() + Send + Sync>> = daemons
+                    .iter()
+                    .map(|d| {
+                        let d = d.clone();
+                        Arc::new(move || d.note_queued()) as Arc<dyn Fn() + Send + Sync>
+                    })
+                    .collect();
                 (
-                    Arc::new(ChanTransport::new(server_txs.clone(), mgr_tx.clone())),
+                    Arc::new(
+                        ChanTransport::new(server_txs.clone(), mgr_tx.clone())
+                            .with_queue_marks(queue_marks),
+                    ),
                     Backend::Chan {
                         server_txs,
                         mgr_tx,
@@ -213,6 +240,13 @@ impl LiveCluster {
         self.daemons.get(server.index()).map(|d| d.stats())
     }
 
+    /// Full in-process statistics snapshot of one I/O daemon — the same
+    /// [`StatsSnapshot`] the `GetStats` RPC returns, counters and
+    /// histograms included.
+    pub fn stats_snapshot(&self, server: ServerId) -> Option<StatsSnapshot> {
+        self.daemons.get(server.index()).map(|d| d.stats_snapshot())
+    }
+
     /// The cluster-wide serialization gate (data sieving writes).
     pub fn gate(&self) -> Arc<SerialGate> {
         self.gate.clone()
@@ -227,10 +261,18 @@ fn spawn_chan_server(daemon: Arc<IoDaemon>, config: IodConfig) -> (Sender<NodeMs
         config.workers.max(1),
         config.queue_depth.max(1),
         move |msg: NodeMsg| match msg {
-            NodeMsg::Rpc(frame, reply) => {
-                // The channel transport has no length prefix; its wire
-                // size is the frame itself.
-                daemon.record_wire_rx(frame.len() as u64);
+            NodeMsg::Rpc(frame, reply, queued_at) => {
+                // Stats scrapes are pure observers: no wire accounting,
+                // no queue/service samples, so the snapshot they carry
+                // back equals the in-process one byte for byte.
+                let scrape = frame_is_stats_scrape(&frame);
+                if !scrape {
+                    // The channel transport has no length prefix; its
+                    // wire size is the frame itself.
+                    daemon.record_wire_rx(frame.len() as u64);
+                    daemon.begin_service(queued_at.elapsed());
+                }
+                let served_at = Instant::now();
                 let (id, response) = serve_frame(frame, |req| daemon.handle(req).0);
                 // Emulated service time occupies the worker, the way a
                 // blocking disk access would; replies only after the
@@ -239,7 +281,10 @@ fn spawn_chan_server(daemon: Arc<IoDaemon>, config: IodConfig) -> (Sender<NodeMs
                     std::thread::sleep(stall);
                 }
                 let encoded = encode_response(id, &response);
-                daemon.record_wire_tx(encoded.len() as u64);
+                if !scrape {
+                    daemon.end_service(served_at.elapsed());
+                    daemon.record_wire_tx(encoded.len() as u64);
+                }
                 let _ = reply.send(encoded);
                 std::ops::ControlFlow::Continue(())
             }
@@ -250,6 +295,18 @@ fn spawn_chan_server(daemon: Arc<IoDaemon>, config: IodConfig) -> (Sender<NodeMs
 
 impl Drop for LiveCluster {
     fn drop(&mut self) {
+        // PVFS_STATS=dump: one JSON line per daemon to stderr at
+        // teardown, so any run (bench, shell, test) can be scraped
+        // post-hoc without instrumenting the caller.
+        if std::env::var("PVFS_STATS").as_deref() == Ok("dump") {
+            for daemon in &self.daemons {
+                eprintln!(
+                    "{{\"daemon\":\"iod{}\",\"stats\":{}}}",
+                    daemon.id().0,
+                    daemon.stats_snapshot().to_json()
+                );
+            }
+        }
         // The TCP backend tears itself down (TcpCluster/TcpServer Drop);
         // the channel backend drains here.
         if let Backend::Chan {
@@ -287,6 +344,7 @@ pub struct ClusterClient {
     rpc_timeout: Duration,
     retry: RetryPolicy,
     stats: Arc<AtomicClientStats>,
+    latency: Arc<RpcLatency>,
 }
 
 impl ClusterClient {
@@ -298,6 +356,7 @@ impl ClusterClient {
         transport: Arc<dyn Transport>,
         gate: Arc<SerialGate>,
     ) -> ClusterClient {
+        let latency = Arc::new(RpcLatency::new(transport.n_servers()));
         ClusterClient {
             id,
             transport,
@@ -307,6 +366,7 @@ impl ClusterClient {
             rpc_timeout: DEFAULT_RPC_TIMEOUT,
             retry: RetryPolicy::from_env(),
             stats: Arc::new(AtomicClientStats::default()),
+            latency,
         }
     }
 
@@ -354,6 +414,20 @@ impl ClusterClient {
         self.stats.snapshot(self.transport.faults_injected())
     }
 
+    /// Per-server, per-op-class RPC latency histograms of this endpoint
+    /// and all its clones (successful RPCs only; each attempt's latency
+    /// stands alone — backoff sleeps are counted separately in
+    /// [`ClusterClient::stats`]).
+    pub fn latency(&self) -> &RpcLatency {
+        &self.latency
+    }
+
+    /// This endpoint's whole RPC latency distribution, merged across
+    /// servers and classes.
+    pub fn latency_snapshot(&self) -> Histogram {
+        self.latency.snapshot_all()
+    }
+
     fn encode(&self, request: Request) -> PvfsResult<(RequestId, Bytes)> {
         let id = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
         let frame = encode_message(&Message {
@@ -398,6 +472,8 @@ impl ClusterClient {
 
     /// One attempt of one RPC: ship, wait, decode, attribute.
     fn call_once(&self, target: RpcTarget, request: Request) -> PvfsResult<Response> {
+        let class = request.op_class();
+        let shipped_at = Instant::now();
         let (id, frame) = self.encode(request)?;
         let pending = self.transport.start(target, frame)?;
         let raw = pending.wait(self.rpc_timeout).map_err(|e| match e {
@@ -409,6 +485,7 @@ impl ClusterClient {
         })?;
         let (rid, response) = decode_response(raw)?;
         if rid == id {
+            self.latency.record(target, class, shipped_at.elapsed());
             return response.into_result();
         }
         if rid == RequestId(0) {
@@ -493,17 +570,28 @@ impl ClusterClient {
         let mut inflight = Vec::with_capacity(pending.len());
         for &i in pending {
             let (server, request) = &requests[i];
+            let class = request.op_class();
             match self.encode(request.clone()) {
                 Err(e) => failures.push((i, e)),
-                Ok((id, frame)) => match self.transport.start(RpcTarget::Server(*server), frame) {
-                    Err(e) => failures.push((i, annotate_round_error(*server, id, e))),
-                    Ok(handle) => inflight.push((i, *server, id, handle)),
-                },
+                Ok((id, frame)) => {
+                    let shipped_at = Instant::now();
+                    match self.transport.start(RpcTarget::Server(*server), frame) {
+                        Err(e) => failures.push((i, annotate_round_error(*server, id, e))),
+                        Ok(handle) => inflight.push((i, *server, id, class, shipped_at, handle)),
+                    }
+                }
             }
         }
-        for (i, server, id, handle) in inflight {
+        for (i, server, id, class, shipped_at, handle) in inflight {
             match self.collect_reply(server, id, handle) {
-                Ok(response) => results[i] = Some(response),
+                Ok(response) => {
+                    // Latency is measured from each op's own ship time:
+                    // the client-perceived completion latency under
+                    // fan-out concurrency.
+                    self.latency
+                        .record(RpcTarget::Server(server), class, shipped_at.elapsed());
+                    results[i] = Some(response);
+                }
                 Err(e) => failures.push((i, e)),
             }
         }
@@ -841,7 +929,7 @@ mod tests {
         // A fake server that answers everything with id 0.
         let (fake_tx, fake_rx) = bounded::<NodeMsg>(8);
         let fake = std::thread::spawn(move || {
-            while let Ok(NodeMsg::Rpc(_, reply)) = fake_rx.recv() {
+            while let Ok(NodeMsg::Rpc(_, reply, _)) = fake_rx.recv() {
                 let _ = reply.send(encode_response(
                     RequestId(0),
                     &Response::Error(PvfsError::protocol("scrambled")),
@@ -874,7 +962,7 @@ mod tests {
     fn round_rejects_mismatched_response_id() {
         let (fake_tx, fake_rx) = bounded::<NodeMsg>(8);
         let fake = std::thread::spawn(move || {
-            while let Ok(NodeMsg::Rpc(frame, reply)) = fake_rx.recv() {
+            while let Ok(NodeMsg::Rpc(frame, reply, _)) = fake_rx.recv() {
                 // Echo a *wrong* (but nonzero) id.
                 let id = decode_frame_id(&frame).unwrap();
                 let _ = reply.send(encode_response(

@@ -1,0 +1,158 @@
+//! Client-side RPC latency accounting.
+//!
+//! Every [`ClusterClient`](crate::ClusterClient) (and all its clones —
+//! the tracker is shared the way [`crate::ClientStats`] is) records the
+//! wall-clock latency of each successful RPC into one
+//! [`SharedHistogram`] per *(server, operation class)* pair, plus a
+//! per-class set for manager traffic. Latency here is the full client
+//! view — encode, ship, queue at the server, serve, reply, decode — the
+//! quantity the paper's client-perceived throughput figures divide by.
+//!
+//! Recording is lock-free (relaxed atomics) so the fan-out path of
+//! [`ClusterClient::round`](crate::ClusterClient::round) never
+//! serializes on a stats mutex.
+
+use pvfs_proto::OpClass;
+use pvfs_types::{Histogram, SharedHistogram};
+use std::time::Duration;
+
+use crate::transport::RpcTarget;
+
+/// Per-(server, op-class) latency histograms of one client endpoint.
+#[derive(Debug)]
+pub struct RpcLatency {
+    /// `servers[s][class.index()]` — one histogram per I/O daemon and
+    /// class.
+    servers: Vec<[SharedHistogram; 3]>,
+    /// Manager traffic, per class (manager ops are all `Meta` today,
+    /// but the symmetry keeps the indexing honest).
+    manager: [SharedHistogram; 3],
+}
+
+fn three() -> [SharedHistogram; 3] {
+    [
+        SharedHistogram::new(),
+        SharedHistogram::new(),
+        SharedHistogram::new(),
+    ]
+}
+
+impl RpcLatency {
+    /// A tracker for a cluster of `n_servers` I/O daemons.
+    pub fn new(n_servers: u32) -> RpcLatency {
+        RpcLatency {
+            servers: (0..n_servers).map(|_| three()).collect(),
+            manager: three(),
+        }
+    }
+
+    fn slot(&self, target: RpcTarget) -> Option<&[SharedHistogram; 3]> {
+        match target {
+            RpcTarget::Manager => Some(&self.manager),
+            RpcTarget::Server(s) => self.servers.get(s.index()),
+        }
+    }
+
+    /// Record one successful RPC's client-perceived latency.
+    pub fn record(&self, target: RpcTarget, class: OpClass, took: Duration) {
+        if let Some(slot) = self.slot(target) {
+            slot[class.index()].record_duration(took);
+        }
+    }
+
+    /// Number of I/O daemons tracked.
+    pub fn n_servers(&self) -> u32 {
+        self.servers.len() as u32
+    }
+
+    /// Latency distribution of one (target, class) pair.
+    pub fn snapshot(&self, target: RpcTarget, class: OpClass) -> Histogram {
+        self.slot(target)
+            .map(|s| s[class.index()].snapshot())
+            .unwrap_or_default()
+    }
+
+    /// All classes of one target merged.
+    pub fn snapshot_target(&self, target: RpcTarget) -> Histogram {
+        let mut out = Histogram::new();
+        if let Some(slot) = self.slot(target) {
+            for h in slot {
+                out.merge(&h.snapshot());
+            }
+        }
+        out
+    }
+
+    /// One class merged across every I/O daemon and the manager.
+    pub fn snapshot_class(&self, class: OpClass) -> Histogram {
+        let mut out = self.manager[class.index()].snapshot();
+        for slot in &self.servers {
+            out.merge(&slot[class.index()].snapshot());
+        }
+        out
+    }
+
+    /// Everything merged: the endpoint's whole RPC latency
+    /// distribution.
+    pub fn snapshot_all(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for class in OpClass::ALL {
+            out.merge(&self.snapshot_class(class));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pvfs_types::ServerId;
+
+    #[test]
+    fn records_are_attributed_to_server_and_class() {
+        let lat = RpcLatency::new(2);
+        lat.record(
+            RpcTarget::Server(ServerId(0)),
+            OpClass::Read,
+            Duration::from_micros(100),
+        );
+        lat.record(
+            RpcTarget::Server(ServerId(1)),
+            OpClass::Write,
+            Duration::from_micros(200),
+        );
+        lat.record(RpcTarget::Manager, OpClass::Meta, Duration::from_micros(5));
+        assert_eq!(
+            lat.snapshot(RpcTarget::Server(ServerId(0)), OpClass::Read)
+                .count(),
+            1
+        );
+        assert_eq!(
+            lat.snapshot(RpcTarget::Server(ServerId(0)), OpClass::Write)
+                .count(),
+            0
+        );
+        assert_eq!(
+            lat.snapshot_target(RpcTarget::Server(ServerId(1))).count(),
+            1
+        );
+        assert_eq!(lat.snapshot_class(OpClass::Meta).count(), 1);
+        assert_eq!(lat.snapshot_all().count(), 3);
+    }
+
+    #[test]
+    fn unknown_server_records_are_dropped_not_panicked() {
+        let lat = RpcLatency::new(1);
+        lat.record(
+            RpcTarget::Server(ServerId(9)),
+            OpClass::Read,
+            Duration::from_micros(1),
+        );
+        assert_eq!(lat.snapshot_all().count(), 0);
+        assert_eq!(
+            lat.snapshot(RpcTarget::Server(ServerId(9)), OpClass::Read)
+                .count(),
+            0
+        );
+    }
+}

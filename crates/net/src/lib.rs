@@ -56,6 +56,7 @@ pub mod chan;
 pub mod cluster;
 pub mod fault;
 pub mod gate;
+pub mod latency;
 pub mod pool;
 pub mod retry;
 pub mod tcp;
@@ -64,6 +65,7 @@ pub mod transport;
 pub use cluster::{ClusterClient, LiveCluster, DEFAULT_RPC_TIMEOUT};
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultyTransport};
 pub use gate::SerialGate;
+pub use latency::RpcLatency;
 pub use pool::WorkerPool;
 pub use retry::{ClientStats, RetryPolicy};
 pub use tcp::TcpTransport;

@@ -24,7 +24,7 @@
 //! request is served and its response written before the pool exits.
 
 use bytes::Bytes;
-use pvfs_proto::{encode_response, Response};
+use pvfs_proto::{encode_response, frame_is_stats_scrape, Response};
 use pvfs_server::{IoDaemon, IodConfig, Manager};
 use pvfs_types::RequestId;
 use std::io::Write;
@@ -33,13 +33,16 @@ use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use super::frame::{read_frame, wire_len, write_frame, FrameError};
 use crate::pool::WorkerPool;
 use crate::transport::serve_frame;
 
 /// How one TCP daemon turns request frames into response frames and
-/// accounts the wire traffic.
+/// accounts the wire traffic plus queue/service timing. Stats scrape
+/// frames (`GetStats`/`ResetStats`) bypass every hook except `serve`,
+/// so a scraped snapshot equals the in-process one byte for byte.
 struct ServeHooks {
     /// Request frame in, encoded response frame out.
     serve: Box<dyn Fn(Bytes) -> Bytes + Send + Sync>,
@@ -47,12 +50,18 @@ struct ServeHooks {
     on_rx: Box<dyn Fn(u64) + Send + Sync>,
     /// Called with the wire size of every response frame written.
     on_tx: Box<dyn Fn(u64) + Send + Sync>,
+    /// Called when a request frame enters the worker-pool queue.
+    on_queued: Box<dyn Fn() + Send + Sync>,
+    /// Called with the queue wait when a worker dequeues a request.
+    on_begin: Box<dyn Fn(Duration) + Send + Sync>,
+    /// Called with the service time when a worker finishes a request.
+    on_end: Box<dyn Fn(Duration) + Send + Sync>,
 }
 
 enum TcpMsg {
-    /// A reassembled request frame and the (shared) write half of the
-    /// connection it arrived on.
-    Rpc(Bytes, Arc<Mutex<TcpStream>>),
+    /// A reassembled request frame, the (shared) write half of the
+    /// connection it arrived on, and when the frame entered the queue.
+    Rpc(Bytes, Arc<Mutex<TcpStream>>, Instant),
     Shutdown,
 }
 
@@ -85,14 +94,23 @@ impl TcpServer {
         let worker_hooks = hooks.clone();
         let (pool_tx, pool) = WorkerPool::spawn(name, workers, queue_depth, move |msg: TcpMsg| {
             match msg {
-                TcpMsg::Rpc(frame, writer) => {
+                TcpMsg::Rpc(frame, writer, queued_at) => {
+                    let scrape = frame_is_stats_scrape(&frame);
+                    if !scrape {
+                        (worker_hooks.on_begin)(queued_at.elapsed());
+                    }
+                    let served_at = Instant::now();
                     let reply = (worker_hooks.serve)(frame);
+                    if !scrape {
+                        (worker_hooks.on_end)(served_at.elapsed());
+                    }
                     // Whole-frame writes under the connection's write
                     // lock: pipelined responses interleave per frame.
                     let mut w = writer.lock().unwrap();
                     if write_frame(&mut *w, &reply)
                         .and_then(|()| w.flush())
                         .is_ok()
+                        && !scrape
                     {
                         (worker_hooks.on_tx)(wire_len(&reply));
                     }
@@ -206,8 +224,14 @@ fn spawn_reader(
             loop {
                 match read_frame(&mut stream) {
                     Ok(frame) => {
-                        (hooks.on_rx)(wire_len(&frame));
-                        if pool_tx.send(TcpMsg::Rpc(frame, writer.clone())).is_err() {
+                        if !frame_is_stats_scrape(&frame) {
+                            (hooks.on_rx)(wire_len(&frame));
+                            (hooks.on_queued)();
+                        }
+                        if pool_tx
+                            .send(TcpMsg::Rpc(frame, writer.clone(), Instant::now()))
+                            .is_err()
+                        {
                             break;
                         }
                     }
@@ -250,6 +274,9 @@ impl TcpCluster {
                 let serve_daemon = daemon.clone();
                 let rx_daemon = daemon.clone();
                 let tx_daemon = daemon.clone();
+                let queued_daemon = daemon.clone();
+                let begin_daemon = daemon.clone();
+                let end_daemon = daemon.clone();
                 let name = format!("iod{}", daemon.id().0);
                 TcpServer::spawn(
                     &name,
@@ -268,6 +295,9 @@ impl TcpCluster {
                         }),
                         on_rx: Box::new(move |n| rx_daemon.record_wire_rx(n)),
                         on_tx: Box::new(move |n| tx_daemon.record_wire_tx(n)),
+                        on_queued: Box::new(move || queued_daemon.note_queued()),
+                        on_begin: Box::new(move |waited| begin_daemon.begin_service(waited)),
+                        on_end: Box::new(move |took| end_daemon.end_service(took)),
                     },
                 )
                 .expect("bind tcp i/o daemon")
@@ -276,7 +306,11 @@ impl TcpCluster {
         // Metadata operations are rare and order-sensitive: a single
         // worker over a mutexed manager keeps them serialized, exactly
         // like the dedicated manager thread of the channel backend.
-        let manager = Mutex::new(Manager::new());
+        let manager = Arc::new(Mutex::new(Manager::new()));
+        let serve_mgr = manager.clone();
+        let rx_mgr = manager.clone();
+        let tx_mgr = manager.clone();
+        let end_mgr = manager;
         let mgr = TcpServer::spawn(
             "pvfs-mgr",
             1,
@@ -284,11 +318,16 @@ impl TcpCluster {
             ServeHooks {
                 serve: Box::new(move |frame| {
                     let (id, response) =
-                        serve_frame(frame, |req| manager.lock().unwrap().handle(req));
+                        serve_frame(frame, |req| serve_mgr.lock().unwrap().handle(req));
                     encode_response(id, &response)
                 }),
-                on_rx: Box::new(|_| {}),
-                on_tx: Box::new(|_| {}),
+                on_rx: Box::new(move |n| rx_mgr.lock().unwrap().record_wire_rx(n)),
+                on_tx: Box::new(move |n| tx_mgr.lock().unwrap().record_wire_tx(n)),
+                // The manager's single worker has no meaningful queue
+                // gauge; its service time is the whole story.
+                on_queued: Box::new(|| {}),
+                on_begin: Box::new(|_| {}),
+                on_end: Box::new(move |took| end_mgr.lock().unwrap().record_service(took)),
             },
         )
         .expect("bind tcp manager");

@@ -16,9 +16,12 @@
 //! fan a whole plan round out before waiting on any reply.
 
 use bytes::Bytes;
-use pvfs_proto::{decode_frame_id, decode_message, Message, Request, Response};
+use pvfs_proto::{
+    decode_frame_id, decode_message, frame_is_stats_scrape, Message, Request, Response,
+};
 use pvfs_types::{PvfsError, PvfsResult, RequestId, ServerId};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
 
@@ -129,11 +132,12 @@ pub(crate) fn serve_frame(
     }
 }
 
-/// A message to a channel-backed daemon: the encoded request frame and
-/// the channel for the encoded reply.
+/// A message to a channel-backed daemon: the encoded request frame, the
+/// channel for the encoded reply, and when the frame was enqueued (the
+/// worker derives queue wait from it).
 #[derive(Debug)]
 pub(crate) enum NodeMsg {
-    Rpc(Bytes, Sender<Bytes>),
+    Rpc(Bytes, Sender<Bytes>, Instant),
     Shutdown,
 }
 
@@ -142,11 +146,28 @@ pub(crate) enum NodeMsg {
 pub struct ChanTransport {
     server_txs: Vec<Sender<NodeMsg>>,
     mgr_tx: Sender<NodeMsg>,
+    /// Per-server queue-depth marks, called as a frame enters a daemon
+    /// queue ([`IoDaemon::note_queued`](pvfs_server::IoDaemon::note_queued)
+    /// behind a closure). Empty for bare transports built in tests.
+    queue_marks: Vec<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl ChanTransport {
     pub(crate) fn new(server_txs: Vec<Sender<NodeMsg>>, mgr_tx: Sender<NodeMsg>) -> ChanTransport {
-        ChanTransport { server_txs, mgr_tx }
+        ChanTransport {
+            server_txs,
+            mgr_tx,
+            queue_marks: Vec::new(),
+        }
+    }
+
+    /// Attach per-server queue-depth marks (index = server id).
+    pub(crate) fn with_queue_marks(
+        mut self,
+        marks: Vec<Arc<dyn Fn() + Send + Sync>>,
+    ) -> ChanTransport {
+        self.queue_marks = marks;
+        self
     }
 
     fn tx_for(&self, target: RpcTarget) -> PvfsResult<&Sender<NodeMsg>> {
@@ -167,8 +188,18 @@ impl Transport for ChanTransport {
 
     fn start(&self, target: RpcTarget, frame: Bytes) -> PvfsResult<Box<dyn PendingReply>> {
         let (reply_tx, reply_rx) = bounded(1);
+        // Stats scrapes are observers: they skip the queue-depth gauge
+        // (and all daemon-side accounting) so the snapshot they fetch
+        // equals the in-process one.
+        if let RpcTarget::Server(s) = target {
+            if !frame_is_stats_scrape(&frame) {
+                if let Some(mark) = self.queue_marks.get(s.index()) {
+                    mark();
+                }
+            }
+        }
         self.tx_for(target)?
-            .send(NodeMsg::Rpc(frame, reply_tx))
+            .send(NodeMsg::Rpc(frame, reply_tx, Instant::now()))
             .map_err(|_| PvfsError::Transport("server thread gone".into()))?;
         Ok(Box::new(ChanPending { reply_rx }))
     }

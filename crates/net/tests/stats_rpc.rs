@@ -1,0 +1,273 @@
+//! The `GetStats` control RPC must be a faithful, invisible observer on
+//! every transport: the snapshot a client scrapes over the wire equals
+//! the in-process [`ServerStats`] snapshot byte for byte on every
+//! counter, scraping repeatedly changes nothing, and `ResetStats` hands
+//! back the counters it zeroes.
+
+use bytes::Bytes;
+use pvfs_net::{ClusterClient, LiveCluster, RpcTarget, TransportKind};
+use pvfs_proto::{OpClass, Request, Response};
+use pvfs_server::{IodConfig, ServerStats};
+use pvfs_types::{FileHandle, Region, ServerId, StatsSnapshot, StripeLayout};
+
+fn layout(n: u32) -> StripeLayout {
+    StripeLayout::new(0, n, 16).unwrap()
+}
+
+fn scrape(client: &ClusterClient, target: RpcTarget) -> StatsSnapshot {
+    match client.call(target, Request::GetStats).unwrap() {
+        Response::Stats(s) => *s,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// Drive a little traffic, then compare the scraped snapshot against
+/// the in-process view counter for counter.
+fn assert_scrape_matches_in_process(kind: TransportKind) {
+    let cluster = LiveCluster::spawn_transport(2, IodConfig::default(), kind);
+    let client = cluster.client();
+    let l = layout(2);
+    let fh = FileHandle(1);
+    client
+        .call(
+            RpcTarget::Server(ServerId(0)),
+            Request::Write {
+                handle: fh,
+                layout: l,
+                region: Region::new(0, 16),
+                data: Bytes::from(vec![7u8; 16]),
+            },
+        )
+        .unwrap();
+    client
+        .call(
+            RpcTarget::Server(ServerId(0)),
+            Request::Read {
+                handle: fh,
+                layout: l,
+                region: Region::new(0, 16),
+            },
+        )
+        .unwrap();
+
+    let scraped = scrape(&client, RpcTarget::Server(ServerId(0)));
+    let direct: ServerStats = cluster.server_stats(ServerId(0)).unwrap();
+    let direct_counters = [
+        ("requests", direct.requests),
+        ("contiguous_requests", direct.contiguous_requests),
+        ("list_requests", direct.list_requests),
+        ("regions", direct.regions),
+        ("bytes_read", direct.bytes_read),
+        ("bytes_written", direct.bytes_written),
+        ("errors", direct.errors),
+        ("bytes_rx", direct.bytes_rx),
+        ("bytes_tx", direct.bytes_tx),
+        ("frames_rx", direct.frames_rx),
+    ];
+    for ((name, over_wire), (dname, in_process)) in scraped.counters().iter().zip(direct_counters) {
+        assert_eq!(name, &dname, "counter order must match ServerStats");
+        assert_eq!(
+            *over_wire, in_process,
+            "[{kind}] {name}: scraped {over_wire} != in-process {in_process}"
+        );
+    }
+    assert_eq!(scraped.requests, 2);
+    assert_eq!(scraped.contiguous_requests, 2);
+    assert_eq!(scraped.bytes_written, 16);
+    assert_eq!(scraped.bytes_read, 16);
+    assert!(scraped.frames_rx >= 2);
+    // The served requests left queue-wait and service-time samples; the
+    // scrape itself must not have added any.
+    assert_eq!(scraped.queue_wait.count(), 2, "[{kind}] queue_wait samples");
+    assert_eq!(
+        scraped.service_time.count(),
+        2,
+        "[{kind}] service_time samples"
+    );
+    assert!(scraped.workers >= 1);
+
+    // Scraping is idempotent and invisible: a second scrape sees the
+    // identical snapshot (gauges included — the cluster is quiescent).
+    let again = scrape(&client, RpcTarget::Server(ServerId(0)));
+    assert_eq!(again, scraped, "[{kind}] scrape perturbed the counters");
+
+    // The other daemon saw no data traffic at all.
+    let idle = scrape(&client, RpcTarget::Server(ServerId(1)));
+    assert_eq!(idle.requests, 0);
+    assert_eq!(idle.frames_rx, 0);
+}
+
+#[test]
+fn scraped_stats_match_in_process_over_chan() {
+    assert_scrape_matches_in_process(TransportKind::Chan);
+}
+
+#[test]
+fn scraped_stats_match_in_process_over_tcp() {
+    assert_scrape_matches_in_process(TransportKind::Tcp);
+}
+
+fn assert_manager_scrape_works(kind: TransportKind) {
+    let cluster = LiveCluster::spawn_transport(1, IodConfig::default(), kind);
+    let client = cluster.client();
+    client
+        .call(
+            RpcTarget::Manager,
+            Request::Create {
+                path: "/pvfs/s".into(),
+                layout: layout(1),
+            },
+        )
+        .unwrap();
+    client
+        .call(
+            RpcTarget::Manager,
+            Request::Open {
+                path: "/pvfs/s".into(),
+            },
+        )
+        .unwrap();
+    let snap = scrape(&client, RpcTarget::Manager);
+    assert_eq!(snap.requests, 2, "[{kind}] create + open, scrape excluded");
+    assert_eq!(snap.errors, 0);
+    assert_eq!(snap.workers, 1);
+    assert_eq!(snap.bytes_read, 0, "manager never serves data");
+    assert!(snap.frames_rx >= 2, "[{kind}] manager wire accounting");
+    assert!(snap.bytes_rx > 0);
+    assert!(snap.bytes_tx > 0);
+    assert_eq!(snap.service_time.count(), 2);
+    // A second scrape is identical: the probe is invisible.
+    assert_eq!(scrape(&client, RpcTarget::Manager), snap);
+}
+
+#[test]
+fn manager_scrape_over_chan() {
+    assert_manager_scrape_works(TransportKind::Chan);
+}
+
+#[test]
+fn manager_scrape_over_tcp() {
+    assert_manager_scrape_works(TransportKind::Tcp);
+}
+
+fn assert_reset_returns_pre_reset(kind: TransportKind) {
+    let cluster = LiveCluster::spawn_transport(1, IodConfig::default(), kind);
+    let client = cluster.client();
+    let l = layout(1);
+    client
+        .call(
+            RpcTarget::Server(ServerId(0)),
+            Request::Write {
+                handle: FileHandle(1),
+                layout: l,
+                region: Region::new(0, 8),
+                data: Bytes::from(vec![1u8; 8]),
+            },
+        )
+        .unwrap();
+    let pre = match client
+        .call(RpcTarget::Server(ServerId(0)), Request::ResetStats)
+        .unwrap()
+    {
+        Response::Stats(s) => *s,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(pre.requests, 1, "[{kind}] pre-reset snapshot");
+    assert_eq!(pre.bytes_written, 8);
+    let post = scrape(&client, RpcTarget::Server(ServerId(0)));
+    assert_eq!(post.requests, 0, "[{kind}] counters zeroed");
+    assert_eq!(post.bytes_written, 0);
+    assert_eq!(post.queue_wait.count(), 0);
+    assert_eq!(post.service_time.count(), 0);
+}
+
+#[test]
+fn reset_stats_over_chan() {
+    assert_reset_returns_pre_reset(TransportKind::Chan);
+}
+
+#[test]
+fn reset_stats_over_tcp() {
+    assert_reset_returns_pre_reset(TransportKind::Tcp);
+}
+
+/// Client-side latency histograms: every successful RPC lands one
+/// sample in the right (server, class) bucket, on both transports.
+fn assert_client_latency_attribution(kind: TransportKind) {
+    let cluster = LiveCluster::spawn_transport(2, IodConfig::default(), kind);
+    let client = cluster.client();
+    let l = layout(2);
+    let fh = FileHandle(4);
+    client
+        .call(
+            RpcTarget::Server(ServerId(0)),
+            Request::Write {
+                handle: fh,
+                layout: l,
+                region: Region::new(0, 16),
+                data: Bytes::from(vec![3u8; 16]),
+            },
+        )
+        .unwrap();
+    // A fan-out round of reads over both servers.
+    let reqs = (0..2)
+        .map(|s| {
+            (
+                ServerId(s),
+                Request::Read {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(0, 32),
+                },
+            )
+        })
+        .collect();
+    client.round(reqs).unwrap();
+    client
+        .call(
+            RpcTarget::Manager,
+            Request::Create {
+                path: "/lat".into(),
+                layout: l,
+            },
+        )
+        .unwrap();
+
+    let lat = client.latency();
+    assert_eq!(
+        lat.snapshot(RpcTarget::Server(ServerId(0)), OpClass::Write)
+            .count(),
+        1,
+        "[{kind}] write sample on server 0"
+    );
+    assert_eq!(
+        lat.snapshot(RpcTarget::Server(ServerId(0)), OpClass::Read)
+            .count(),
+        1,
+        "[{kind}] round read sample on server 0"
+    );
+    assert_eq!(
+        lat.snapshot(RpcTarget::Server(ServerId(1)), OpClass::Read)
+            .count(),
+        1,
+        "[{kind}] round read sample on server 1"
+    );
+    assert_eq!(
+        lat.snapshot(RpcTarget::Manager, OpClass::Meta).count(),
+        1,
+        "[{kind}] manager create sample"
+    );
+    let all = client.latency_snapshot();
+    assert_eq!(all.count(), 4);
+    assert!(all.max_ns() > 0, "latencies are real durations");
+}
+
+#[test]
+fn client_latency_attribution_over_chan() {
+    assert_client_latency_attribution(TransportKind::Chan);
+}
+
+#[test]
+fn client_latency_attribution_over_tcp() {
+    assert_client_latency_attribution(TransportKind::Tcp);
+}

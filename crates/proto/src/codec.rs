@@ -25,7 +25,8 @@ use crate::limits::{list_request_fits_frame, MAX_LIST_REGIONS, MAX_VECTOR_RUNS};
 use crate::message::{Message, Request, Response, VectorRun};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pvfs_types::{
-    ClientId, FileHandle, PvfsError, PvfsResult, Region, RegionList, RequestId, StripeLayout,
+    ClientId, FileHandle, Histogram, PvfsError, PvfsResult, Region, RegionList, RequestId,
+    StatsSnapshot, StripeLayout,
 };
 
 const MAGIC: u16 = 0x5056; // "PV"
@@ -44,6 +45,8 @@ const OP_WRITE_LIST: u8 = 9;
 const OP_READ_VECTORS: u8 = 10;
 const OP_WRITE_VECTORS: u8 = 11;
 const OP_LIST_DIR: u8 = 12;
+const OP_GET_STATS: u8 = 13;
+const OP_RESET_STATS: u8 = 14;
 
 // Response opcodes.
 const RESP_CREATED: u8 = 1;
@@ -55,6 +58,7 @@ const RESP_DATA: u8 = 6;
 const RESP_WRITTEN: u8 = 7;
 const RESP_ERROR: u8 = 8;
 const RESP_LISTING: u8 = 9;
+const RESP_STATS: u8 = 10;
 
 // Error variant tags.
 const ERR_INVALID_ARGUMENT: u8 = 1;
@@ -67,6 +71,7 @@ const ERR_TRANSPORT: u8 = 7;
 const ERR_NO_SUCH_SERVER: u8 = 8;
 const ERR_TIMEOUT: u8 = 9;
 const ERR_FRAME_TOO_LARGE: u8 = 10;
+const ERR_CONFIG: u8 = 11;
 
 /// Encode a request message to its wire frame (header + trailing data +
 /// bulk payload).
@@ -154,8 +159,21 @@ pub fn encode_message(m: &Message) -> PvfsResult<Bytes> {
             buf.put_u64_le(data.len() as u64);
             buf.put_slice(data);
         }
+        Request::GetStats | Request::ResetStats => {}
     }
     Ok(buf.freeze())
+}
+
+/// True when `frame` is a well-formed header whose opcode is a stats
+/// scrape (`GetStats`/`ResetStats`). Transports use this to keep the
+/// observer out of the observation: scrape frames are excluded from a
+/// daemon's `bytes_rx`/`bytes_tx`/`frames_rx` accounting, so a scraped
+/// snapshot equals an in-process snapshot taken at the same moment.
+pub fn frame_is_stats_scrape(frame: &Bytes) -> bool {
+    frame.len() >= 4
+        && frame[0..2] == MAGIC.to_le_bytes()
+        && frame[2] == VERSION
+        && (frame[3] == OP_GET_STATS || frame[3] == OP_RESET_STATS)
 }
 
 /// Extract the request id from a frame's fixed header without decoding
@@ -269,6 +287,8 @@ pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
                 data,
             }
         }
+        OP_GET_STATS => Request::GetStats,
+        OP_RESET_STATS => Request::ResetStats,
         other => return Err(PvfsError::protocol(format!("unknown opcode {other}"))),
     };
     if buf.has_remaining() {
@@ -321,6 +341,10 @@ pub fn encode_response(id: RequestId, resp: &Response) -> Bytes {
         Response::Written { bytes } => {
             buf.put_u8(RESP_WRITTEN);
             buf.put_u64_le(*bytes);
+        }
+        Response::Stats(snap) => {
+            buf.put_u8(RESP_STATS);
+            put_stats(&mut buf, snap);
         }
         Response::Error(e) => {
             buf.put_u8(RESP_ERROR);
@@ -375,6 +399,7 @@ pub fn decode_response(mut buf: Bytes) -> PvfsResult<(RequestId, Response)> {
         RESP_WRITTEN => Response::Written {
             bytes: get_u64(&mut buf)?,
         },
+        RESP_STATS => Response::Stats(Box::new(get_stats(&mut buf)?)),
         RESP_ERROR => Response::Error(get_error(&mut buf)?),
         other => return Err(PvfsError::protocol(format!("unknown response tag {other}"))),
     };
@@ -459,6 +484,8 @@ fn opcode(r: &Request) -> u8 {
         Request::WriteList { .. } => OP_WRITE_LIST,
         Request::ReadVectors { .. } => OP_READ_VECTORS,
         Request::WriteVectors { .. } => OP_WRITE_VECTORS,
+        Request::GetStats => OP_GET_STATS,
+        Request::ResetStats => OP_RESET_STATS,
     }
 }
 
@@ -541,6 +568,73 @@ fn get_trailing(buf: &mut Bytes) -> PvfsResult<RegionList> {
         .map_err(|e| PvfsError::protocol(format!("invalid trailing data: {e}")))
 }
 
+fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
+    for (_, v) in s.counters() {
+        buf.put_u64_le(v);
+    }
+    buf.put_u64_le(s.workers);
+    buf.put_u64_le(s.busy_workers);
+    buf.put_u64_le(s.queue_depth);
+    put_histogram(buf, &s.queue_wait);
+    put_histogram(buf, &s.service_time);
+}
+
+fn get_stats(buf: &mut Bytes) -> PvfsResult<StatsSnapshot> {
+    // Counters travel in StatsSnapshot::counters() order.
+    Ok(StatsSnapshot {
+        requests: get_u64(buf)?,
+        contiguous_requests: get_u64(buf)?,
+        list_requests: get_u64(buf)?,
+        regions: get_u64(buf)?,
+        bytes_read: get_u64(buf)?,
+        bytes_written: get_u64(buf)?,
+        errors: get_u64(buf)?,
+        bytes_rx: get_u64(buf)?,
+        bytes_tx: get_u64(buf)?,
+        frames_rx: get_u64(buf)?,
+        workers: get_u64(buf)?,
+        busy_workers: get_u64(buf)?,
+        queue_depth: get_u64(buf)?,
+        queue_wait: get_histogram(buf)?,
+        service_time: get_histogram(buf)?,
+    })
+}
+
+/// Histograms ship sparse: `sum (16B, lo/hi u64 halves) | min (8B) |
+/// max (8B) | n (4B) | n × (bucket index 4B, count 8B)` — 36 bytes plus
+/// 12 per occupied bucket, so a stats response stays a small control
+/// frame.
+fn put_histogram(buf: &mut BytesMut, h: &Histogram) {
+    buf.put_u64_le(h.sum_ns() as u64);
+    buf.put_u64_le((h.sum_ns() >> 64) as u64);
+    buf.put_u64_le(h.min_ns());
+    buf.put_u64_le(h.max_ns());
+    let sparse = h.to_sparse();
+    buf.put_u32_le(sparse.len() as u32);
+    for (i, c) in sparse {
+        buf.put_u32_le(i);
+        buf.put_u64_le(c);
+    }
+}
+
+fn get_histogram(buf: &mut Bytes) -> PvfsResult<Histogram> {
+    let sum_lo = get_u64(buf)?;
+    let sum_hi = get_u64(buf)?;
+    let sum = (sum_hi as u128) << 64 | sum_lo as u128;
+    let min = get_u64(buf)?;
+    let max = get_u64(buf)?;
+    let n = get_u32(buf)? as usize;
+    if n > 1024 {
+        return Err(PvfsError::protocol("absurd histogram bucket count"));
+    }
+    let mut sparse = Vec::with_capacity(n);
+    for _ in 0..n {
+        sparse.push((get_u32(buf)?, get_u64(buf)?));
+    }
+    Histogram::from_sparse(&sparse, sum, min, max)
+        .ok_or_else(|| PvfsError::protocol("invalid histogram buckets on wire"))
+}
+
 fn get_bulk(buf: &mut Bytes) -> PvfsResult<Bytes> {
     let len = get_u64(buf)? as usize;
     if buf.remaining() < len {
@@ -592,6 +686,10 @@ fn put_error(buf: &mut BytesMut, e: &PvfsError) {
             buf.put_u64_le(*len);
             buf.put_u64_le(*max);
         }
+        PvfsError::Config(m) => {
+            buf.put_u8(ERR_CONFIG);
+            put_string_mut(buf, m);
+        }
     }
 }
 
@@ -616,6 +714,7 @@ fn get_error(buf: &mut Bytes) -> PvfsResult<PvfsError> {
             len: get_u64(buf)?,
             max: get_u64(buf)?,
         },
+        ERR_CONFIG => PvfsError::Config(get_string(buf)?),
         other => return Err(PvfsError::protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -691,6 +790,74 @@ mod tests {
             handle: FileHandle(42),
         });
         roundtrip(Request::ListDir);
+    }
+
+    #[test]
+    fn roundtrip_stats_ops() {
+        roundtrip(Request::GetStats);
+        roundtrip(Request::ResetStats);
+    }
+
+    #[test]
+    fn stats_response_roundtrips_exactly() {
+        let mut snap = StatsSnapshot {
+            requests: 1_000_003,
+            contiguous_requests: 17,
+            list_requests: 999_986,
+            regions: 63_999_104,
+            bytes_read: u64::MAX / 3,
+            bytes_written: 42,
+            errors: 7,
+            bytes_rx: 1 << 40,
+            bytes_tx: (1 << 40) + 1,
+            frames_rx: 2_000_000,
+            workers: 8,
+            busy_workers: 3,
+            queue_depth: 12,
+            ..Default::default()
+        };
+        for v in [0u64, 900, 1_000_000, 30_000_000_000] {
+            snap.queue_wait.record(v);
+        }
+        snap.service_time.record(123_456_789);
+        let encoded = encode_response(RequestId(5), &Response::Stats(Box::new(snap.clone())));
+        let (id, decoded) = decode_response(encoded).unwrap();
+        assert_eq!(id, RequestId(5));
+        match decoded {
+            Response::Stats(back) => {
+                assert_eq!(*back, snap);
+                assert_eq!(back.queue_wait.mean_ns(), snap.queue_wait.mean_ns());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Empty histograms survive too.
+        let empty = StatsSnapshot::default();
+        let encoded = encode_response(RequestId(6), &Response::Stats(Box::new(empty.clone())));
+        let (_, decoded) = decode_response(encoded).unwrap();
+        assert_eq!(decoded, Response::Stats(Box::new(empty)));
+    }
+
+    #[test]
+    fn stats_scrape_frames_are_recognized() {
+        for (req, is_scrape) in [
+            (Request::GetStats, true),
+            (Request::ResetStats, true),
+            (Request::ListDir, false),
+            (Request::Open { path: "/a".into() }, false),
+        ] {
+            let frame = encode_message(&msg(req.clone())).unwrap();
+            assert_eq!(
+                frame_is_stats_scrape(&frame),
+                is_scrape,
+                "misclassified {}",
+                req.op_name()
+            );
+        }
+        // Garbage and short frames are never scrapes.
+        assert!(!frame_is_stats_scrape(&Bytes::copy_from_slice(b"PV")));
+        assert!(!frame_is_stats_scrape(&Bytes::copy_from_slice(
+            b"\xff\xff\x01\x0d_____________"
+        )));
     }
 
     #[test]
@@ -902,6 +1069,7 @@ mod tests {
                 len: 1 << 40,
                 max: 1 << 20,
             }),
+            Response::Error(PvfsError::Config("PVFS_CB_BUFFER: junk".into())),
             Response::Listing {
                 paths: vec!["/pvfs/a".into(), "/pvfs/b".into()],
             },
@@ -1078,6 +1246,8 @@ mod tests {
                 runs,
                 data: Bytes::from(vec![0u8; 2400]),
             },
+            Request::GetStats,
+            Request::ResetStats,
         ];
         for request in cases {
             let m = msg(request);

@@ -28,9 +28,10 @@ pub mod message;
 
 pub use codec::{
     decode_frame_id, decode_message, decode_response, encode_message, encode_response,
+    frame_is_stats_scrape,
 };
 pub use limits::{
     list_request_fits_frame, max_regions_per_frame, ETHERNET_MTU, MAX_BULK_BYTES, MAX_LIST_REGIONS,
     MAX_VECTOR_RUNS, MAX_WIRE_FRAME,
 };
-pub use message::{Message, Request, Response, VectorRun};
+pub use message::{Message, OpClass, Request, Response, VectorRun};

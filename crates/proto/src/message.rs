@@ -163,6 +163,17 @@ pub enum Request {
         runs: Vec<VectorRun>,
         data: Bytes,
     },
+
+    // ---- control operations (any daemon, manager included) ----
+    /// Scrape the daemon's counters, gauges and latency histograms.
+    /// Answered with [`Response::Stats`]; the snapshot excludes the
+    /// scrape itself so it matches an in-process snapshot taken at the
+    /// same moment.
+    GetStats,
+    /// Zero the daemon's counters and histograms, returning the
+    /// snapshot taken just before the reset (so no sample is ever
+    /// unobservable).
+    ResetStats,
 }
 
 impl Request {
@@ -243,6 +254,7 @@ impl Request {
             Request::WriteList { regions, .. } => 8 + LAYOUT + 4 + 16 * regions.count() as u64 + 8,
             Request::ReadVectors { runs, .. } => 8 + LAYOUT + 4 + 32 * runs.len() as u64,
             Request::WriteVectors { runs, .. } => 8 + LAYOUT + 4 + 32 * runs.len() as u64 + 8,
+            Request::GetStats | Request::ResetStats => 0,
         };
         ENVELOPE + body
     }
@@ -292,6 +304,63 @@ impl Request {
             Request::WriteList { .. } => "write_list",
             Request::ReadVectors { .. } => "read_vectors",
             Request::WriteVectors { .. } => "write_vectors",
+            Request::GetStats => "get_stats",
+            Request::ResetStats => "reset_stats",
+        }
+    }
+
+    /// The latency class this request is accounted under in the
+    /// client's per-server histograms: metadata control traffic, reads,
+    /// or writes. Stats scrapes ride with metadata — they are small
+    /// control frames with the same cost shape.
+    pub fn op_class(&self) -> OpClass {
+        if self.is_write() {
+            OpClass::Write
+        } else if matches!(
+            self,
+            Request::Read { .. } | Request::ReadList { .. } | Request::ReadVectors { .. }
+        ) {
+            OpClass::Read
+        } else {
+            OpClass::Meta
+        }
+    }
+}
+
+/// Coarse request classes for latency accounting. Finer per-op
+/// histograms would multiply storage 12× for little insight: the paper's
+/// methodology distinguishes exactly control traffic from data reads and
+/// writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Namespace + control operations (manager ops, size and stats
+    /// queries).
+    Meta,
+    /// Data reads (`Read`/`ReadList`/`ReadVectors`).
+    Read,
+    /// Data writes (`Write`/`WriteList`/`WriteVectors`).
+    Write,
+}
+
+impl OpClass {
+    /// All classes, in display order.
+    pub const ALL: [OpClass; 3] = [OpClass::Meta, OpClass::Read, OpClass::Write];
+
+    /// Short stable name for tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Meta => "meta",
+            OpClass::Read => "read",
+            OpClass::Write => "write",
+        }
+    }
+
+    /// Position in [`OpClass::ALL`] (array-indexed per-class storage).
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::Meta => 0,
+            OpClass::Read => 1,
+            OpClass::Write => 2,
         }
     }
 }
@@ -329,6 +398,9 @@ pub enum Response {
     /// Write acknowledged; `bytes` is the number of payload bytes
     /// applied.
     Written { bytes: u64 },
+    /// Counters, gauges and latency histograms scraped by
+    /// [`Request::GetStats`] / [`Request::ResetStats`].
+    Stats(Box<pvfs_types::StatsSnapshot>),
     /// The operation failed server-side.
     Error(PvfsError),
 }
@@ -484,6 +556,55 @@ mod tests {
             .op_name(),
             "write_list"
         );
+    }
+
+    #[test]
+    fn stats_ops_are_classified_as_control() {
+        for r in [Request::GetStats, Request::ResetStats] {
+            assert!(!r.is_metadata(), "{:?} is servable by I/O daemons", r);
+            assert!(r.is_idempotent(), "{:?} is safe to replay", r);
+            assert!(!r.is_write());
+            assert_eq!(r.region_count(), 0);
+            assert_eq!(r.bulk_len(), 0);
+            assert_eq!(r.server_share(ServerId(0)), 0);
+            assert_eq!(r.op_class(), OpClass::Meta);
+        }
+        assert_eq!(Request::GetStats.op_name(), "get_stats");
+        assert_eq!(Request::ResetStats.op_name(), "reset_stats");
+    }
+
+    #[test]
+    fn op_class_partitions_the_protocol() {
+        let h = FileHandle(1);
+        assert_eq!(
+            Request::Open { path: "/x".into() }.op_class(),
+            OpClass::Meta
+        );
+        assert_eq!(
+            Request::GetLocalSize { handle: h }.op_class(),
+            OpClass::Meta
+        );
+        assert_eq!(
+            Request::Read {
+                handle: h,
+                layout: layout(),
+                region: Region::new(0, 4)
+            }
+            .op_class(),
+            OpClass::Read
+        );
+        assert_eq!(
+            Request::WriteList {
+                handle: h,
+                layout: layout(),
+                regions: RegionList::contiguous(0, 1),
+                data: Bytes::new()
+            }
+            .op_class(),
+            OpClass::Write
+        );
+        assert_eq!(OpClass::Meta.name(), "meta");
+        assert_eq!(OpClass::ALL.len(), 3);
     }
 
     #[test]

@@ -16,10 +16,14 @@
 use bytes::Bytes;
 use pvfs_disk::{CacheConfig, CostReport, DiskModel, LocalFile};
 use pvfs_proto::{Request, Response};
-use pvfs_types::{FileHandle, PvfsError, Region, RegionList, ServerId, StripeLayout};
+use pvfs_types::{
+    FileHandle, PvfsError, Region, RegionList, ServerId, SharedHistogram, StatsSnapshot,
+    StripeLayout,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Static configuration for one I/O daemon.
 #[derive(Debug, Clone, Copy)]
@@ -162,6 +166,19 @@ pub struct IoDaemon {
     config: IodConfig,
     shards: Vec<Mutex<HashMap<FileHandle, LocalFile>>>,
     stats: AtomicStats,
+    /// Time requests spent parked in the transport queue before a
+    /// worker picked them up. Recorded by the transport via
+    /// [`IoDaemon::begin_service`]; a daemon driven in-process (the
+    /// simulator) has no queue and leaves this empty.
+    queue_wait: SharedHistogram,
+    /// Wall-clock service time per request, recorded by the transport
+    /// via [`IoDaemon::end_service`].
+    service_time: SharedHistogram,
+    /// Workers currently inside [`IoDaemon::handle`] (live gauge).
+    busy_workers: AtomicU64,
+    /// Requests accepted by the transport but not yet picked up by a
+    /// worker (live queue-depth gauge).
+    inflight: AtomicU64,
 }
 
 impl IoDaemon {
@@ -174,6 +191,10 @@ impl IoDaemon {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             stats: AtomicStats::default(),
+            queue_wait: SharedHistogram::new(),
+            service_time: SharedHistogram::new(),
+            busy_workers: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
         }
     }
 
@@ -248,9 +269,94 @@ impl IoDaemon {
         self.stats.bytes_tx.fetch_add(wire_bytes, Ordering::Relaxed);
     }
 
+    /// The transport accepted a request onto this daemon's queue. Bumps
+    /// the live queue-depth gauge; paired with [`IoDaemon::begin_service`].
+    pub fn note_queued(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker dequeued a request after it `waited` in the queue.
+    /// Records queue wait and moves the request from the queue gauge to
+    /// the busy-worker gauge; paired with [`IoDaemon::end_service`].
+    pub fn begin_service(&self, waited: Duration) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.busy_workers.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait.record_duration(waited);
+    }
+
+    /// A worker finished serving a request in `took` wall-clock time.
+    pub fn end_service(&self, took: Duration) {
+        self.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        self.service_time.record_duration(took);
+    }
+
+    /// Everything the `GetStats` control RPC reports: the
+    /// [`ServerStats`] counters (field for field), the worker-pool
+    /// gauges, and the queue-wait / service-time distributions.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let s = self.stats.snapshot();
+        StatsSnapshot {
+            requests: s.requests,
+            contiguous_requests: s.contiguous_requests,
+            list_requests: s.list_requests,
+            regions: s.regions,
+            bytes_read: s.bytes_read,
+            bytes_written: s.bytes_written,
+            errors: s.errors,
+            bytes_rx: s.bytes_rx,
+            bytes_tx: s.bytes_tx,
+            frames_rx: s.frames_rx,
+            workers: self.config.workers as u64,
+            busy_workers: self.busy_workers.load(Ordering::Relaxed),
+            queue_depth: self.inflight.load(Ordering::Relaxed),
+            queue_wait: self.queue_wait.snapshot(),
+            service_time: self.service_time.snapshot(),
+        }
+    }
+
+    /// Zero the lifetime counters and distributions (`ResetStats`).
+    /// The live gauges (queue depth, busy workers) describe current
+    /// state, not history, and are left alone.
+    pub fn reset_stats(&self) {
+        for c in [
+            &self.stats.requests,
+            &self.stats.contiguous_requests,
+            &self.stats.list_requests,
+            &self.stats.regions,
+            &self.stats.bytes_read,
+            &self.stats.bytes_written,
+            &self.stats.errors,
+            &self.stats.bytes_rx,
+            &self.stats.bytes_tx,
+            &self.stats.frames_rx,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.queue_wait.reset();
+        self.service_time.reset();
+    }
+
     /// Serve one request. `&self`: safe to call from many threads at
     /// once.
     pub fn handle(&self, request: &Request) -> (Response, ServeCost) {
+        // Stats scrapes answer before any counter moves: a monitoring
+        // poll must observe the daemon, not perturb it, so the snapshot
+        // a client scrapes equals the in-process snapshot byte for
+        // byte. ResetStats hands back the counters it is about to zero.
+        match request {
+            Request::GetStats => {
+                return (
+                    Response::Stats(Box::new(self.stats_snapshot())),
+                    ServeCost::default(),
+                );
+            }
+            Request::ResetStats => {
+                let snap = self.stats_snapshot();
+                self.reset_stats();
+                return (Response::Stats(Box::new(snap)), ServeCost::default());
+            }
+            _ => {}
+        }
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         let result = self.dispatch(request);
         match result {
@@ -886,6 +992,96 @@ mod tests {
         assert_eq!(s.contiguous_requests, 1);
         assert_eq!(s.list_requests, 1);
         assert_eq!(s.regions, 4);
+    }
+
+    #[test]
+    fn get_stats_reports_counters_without_counting_itself() {
+        let l = layout();
+        let d = IoDaemon::with_defaults(ServerId(0));
+        d.handle(&Request::Read {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 5),
+        });
+        let (resp, cost) = d.handle(&Request::GetStats);
+        assert_eq!(cost, ServeCost::default());
+        let snap = match resp {
+            Response::Stats(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(snap.requests, 1, "the scrape itself must not count");
+        assert_eq!(snap.contiguous_requests, 1);
+        assert_eq!(snap.bytes_read, 5);
+        assert_eq!(snap.workers, d.config().workers as u64);
+        // Scraping again changes nothing: the probe is invisible.
+        let (resp, _) = d.handle(&Request::GetStats);
+        match resp {
+            Response::Stats(s) => assert_eq!(*s, *snap),
+            other => panic!("unexpected {other:?}"),
+        }
+        // And matches the in-process ServerStats view counter for
+        // counter.
+        let in_process = d.stats();
+        for ((name, scraped), direct) in snap.counters().iter().zip([
+            in_process.requests,
+            in_process.contiguous_requests,
+            in_process.list_requests,
+            in_process.regions,
+            in_process.bytes_read,
+            in_process.bytes_written,
+            in_process.errors,
+            in_process.bytes_rx,
+            in_process.bytes_tx,
+            in_process.frames_rx,
+        ]) {
+            assert_eq!(*scraped, direct, "{name} diverged");
+        }
+    }
+
+    #[test]
+    fn reset_stats_returns_the_pre_reset_snapshot() {
+        let l = layout();
+        let d = IoDaemon::with_defaults(ServerId(0));
+        d.handle(&Request::Write {
+            handle: fh(),
+            layout: l,
+            region: Region::new(0, 5),
+            data: Bytes::from(vec![1u8; 5]),
+        });
+        d.begin_service(Duration::from_micros(10));
+        d.end_service(Duration::from_micros(50));
+        let (resp, _) = d.handle(&Request::ResetStats);
+        let snap = match resp {
+            Response::Stats(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.bytes_written, 5);
+        assert_eq!(snap.queue_wait.count(), 1);
+        assert_eq!(snap.service_time.count(), 1);
+        let after = d.stats();
+        assert_eq!(after.requests, 0);
+        assert_eq!(after.bytes_written, 0);
+        assert_eq!(d.stats_snapshot().queue_wait.count(), 0);
+    }
+
+    #[test]
+    fn service_lifecycle_moves_the_gauges() {
+        let d = IoDaemon::with_defaults(ServerId(0));
+        d.note_queued();
+        d.note_queued();
+        let snap = d.stats_snapshot();
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.busy_workers, 0);
+        d.begin_service(Duration::from_micros(3));
+        let snap = d.stats_snapshot();
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.busy_workers, 1);
+        assert_eq!(snap.queue_wait.count(), 1);
+        d.end_service(Duration::from_micros(9));
+        let snap = d.stats_snapshot();
+        assert_eq!(snap.busy_workers, 0);
+        assert_eq!(snap.service_time.count(), 1);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! manager off the data path exactly as PVFS does.
 
 use pvfs_proto::{Request, Response};
-use pvfs_types::{FileHandle, PvfsError, StripeLayout};
+use pvfs_types::{FileHandle, PvfsError, SharedHistogram, StatsSnapshot, StripeLayout};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 #[derive(Debug, Clone)]
 struct MetaEntry {
@@ -18,12 +20,26 @@ struct MetaEntry {
     open_count: u64,
 }
 
+/// Manager-side counters. Atomics so the transport layer can account
+/// wire traffic through `&Manager` while the dispatch loop holds the
+/// namespace mutably.
+#[derive(Debug, Default)]
+struct ManagerStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    bytes_rx: AtomicU64,
+    bytes_tx: AtomicU64,
+    frames_rx: AtomicU64,
+}
+
 /// The PVFS manager daemon.
 #[derive(Debug, Default)]
 pub struct Manager {
     next_handle: u64,
     by_path: HashMap<String, MetaEntry>,
     by_handle: HashMap<FileHandle, String>,
+    stats: ManagerStats,
+    service_time: SharedHistogram,
 }
 
 impl Manager {
@@ -33,6 +49,8 @@ impl Manager {
             next_handle: 1,
             by_path: HashMap::new(),
             by_handle: HashMap::new(),
+            stats: ManagerStats::default(),
+            service_time: SharedHistogram::new(),
         }
     }
 
@@ -47,11 +65,73 @@ impl Manager {
         self.by_path.get(path).map(|e| e.layout)
     }
 
+    /// Account one request frame arriving on the manager's transport.
+    pub fn record_wire_rx(&self, wire_bytes: u64) {
+        self.stats.frames_rx.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_rx.fetch_add(wire_bytes, Ordering::Relaxed);
+    }
+
+    /// Account one response frame leaving on the manager's transport.
+    pub fn record_wire_tx(&self, wire_bytes: u64) {
+        self.stats.bytes_tx.fetch_add(wire_bytes, Ordering::Relaxed);
+    }
+
+    /// Record how long one metadata request took to serve (wall clock,
+    /// recorded by the transport loop around [`Manager::handle`]).
+    pub fn record_service(&self, took: Duration) {
+        self.service_time.record_duration(took);
+    }
+
+    /// Everything the `GetStats` control RPC reports for the manager.
+    /// Data-path counters stay zero — the manager never touches file
+    /// data — and its single dispatch loop reports one worker.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            bytes_rx: self.stats.bytes_rx.load(Ordering::Relaxed),
+            bytes_tx: self.stats.bytes_tx.load(Ordering::Relaxed),
+            frames_rx: self.stats.frames_rx.load(Ordering::Relaxed),
+            workers: 1,
+            service_time: self.service_time.snapshot(),
+            ..StatsSnapshot::default()
+        }
+    }
+
+    /// Zero the manager's counters and service-time distribution.
+    pub fn reset_stats(&self) {
+        for c in [
+            &self.stats.requests,
+            &self.stats.errors,
+            &self.stats.bytes_rx,
+            &self.stats.bytes_tx,
+            &self.stats.frames_rx,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.service_time.reset();
+    }
+
     /// Serve one metadata request.
     pub fn handle(&mut self, request: &Request) -> Response {
+        // Stats scrapes answer before any counter moves, so a scraped
+        // snapshot equals the in-process one byte for byte.
+        match request {
+            Request::GetStats => return Response::Stats(Box::new(self.stats_snapshot())),
+            Request::ResetStats => {
+                let snap = self.stats_snapshot();
+                self.reset_stats();
+                return Response::Stats(Box::new(snap));
+            }
+            _ => {}
+        }
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
         match self.dispatch(request) {
             Ok(resp) => resp,
-            Err(e) => Response::Error(e),
+            Err(e) => {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+                Response::Error(e)
+            }
         }
     }
 
@@ -95,7 +175,17 @@ impl Manager {
                     .get(handle)
                     .ok_or(PvfsError::BadHandle(handle.0))?;
                 let entry = self.by_path.get_mut(path).expect("index consistency");
-                entry.open_count = entry.open_count.saturating_sub(1);
+                // An unbalanced close used to saturating_sub to zero
+                // silently, hiding client refcount bugs. Refuse it: the
+                // reference count must mirror the open/close pairing.
+                if entry.open_count == 0 {
+                    let path = path.clone();
+                    return Err(PvfsError::invalid(format!(
+                        "close of {path} (handle {}) without a matching open",
+                        handle.0
+                    )));
+                }
+                entry.open_count -= 1;
                 Ok(Response::Closed)
             }
             Request::ListDir => {
@@ -220,6 +310,50 @@ mod tests {
             handle: FileHandle(999),
         });
         assert!(matches!(resp, Response::Error(PvfsError::BadHandle(_))));
+    }
+
+    #[test]
+    fn unbalanced_close_is_a_typed_error() {
+        let mut m = Manager::new();
+        let h = create(&mut m, "/a");
+        assert_eq!(m.handle(&Request::Close { handle: h }), Response::Closed);
+        // The create's open is now balanced; a second close has no
+        // matching open and must be refused, not silently absorbed.
+        let resp = m.handle(&Request::Close { handle: h });
+        assert!(matches!(
+            resp,
+            Response::Error(PvfsError::InvalidArgument(_))
+        ));
+        // The refusal is visible in the stats the Stats RPC reports.
+        assert_eq!(m.stats_snapshot().errors, 1);
+        // Open/close still balances afterwards.
+        assert!(matches!(
+            m.handle(&Request::Open { path: "/a".into() }),
+            Response::Opened { .. }
+        ));
+        assert_eq!(m.handle(&Request::Close { handle: h }), Response::Closed);
+    }
+
+    #[test]
+    fn manager_serves_the_stats_rpc_without_counting_it() {
+        let mut m = Manager::new();
+        create(&mut m, "/a");
+        m.handle(&Request::Open { path: "/a".into() });
+        let snap = match m.handle(&Request::GetStats) {
+            Response::Stats(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(snap.requests, 2, "the scrape itself must not count");
+        assert_eq!(snap.errors, 0);
+        assert_eq!(snap.workers, 1);
+        assert_eq!(snap.bytes_read, 0, "manager never touches data");
+        // ResetStats returns the pre-reset view, then zeroes.
+        let pre = match m.handle(&Request::ResetStats) {
+            Response::Stats(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(pre.requests, 2);
+        assert_eq!(m.stats_snapshot().requests, 0);
     }
 
     #[test]

@@ -1,239 +1,32 @@
-//! Latency metrics: a log-bucketed histogram for request round-trip
-//! times.
+//! Latency metrics for the simulator.
 //!
-//! The paper reports per-test wall times; the simulator can say more —
-//! per-request RTT distributions expose *why* a configuration is slow
-//! (client-chain bound vs server-queue bound), which is how
-//! EXPERIMENTS.md dissects the block-block list-I/O upturn.
+//! The log-bucketed [`Histogram`] used to live here; it now sits in
+//! [`pvfs_types::metrics`] so the live transports, the `GetStats`
+//! control RPC and the simulator all speak the same distribution type
+//! (and the merge/percentile property tests travel with it). This
+//! module re-exports it under the historical path — simulator callers
+//! keep writing `pvfs_sim::Histogram`.
 
-/// A histogram over nanosecond durations with logarithmic buckets
-/// (2 buckets per octave, ~41% resolution), cheap enough to record
-/// every request of a 30-million-request simulation.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    /// bucket i covers [2^(i/2), 2^((i+1)/2)) ns, with bucket 0
-    /// holding everything below 1 ns.
-    buckets: Vec<u64>,
-    count: u64,
-    sum: u128,
-    min: u64,
-    max: u64,
-}
-
-const BUCKETS: usize = 128; // covers past 2^63 ns
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Histogram {
-        Histogram {
-            buckets: vec![0; BUCKETS],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
-    }
-
-    fn bucket_of(ns: u64) -> usize {
-        if ns == 0 {
-            return 0;
-        }
-        // 2 buckets per power of two, split at √2·2^k.
-        let lg2 = 63 - ns.leading_zeros() as u64; // floor(log2)
-        let half = u64::from(ns as f64 >= (1u64 << lg2) as f64 * std::f64::consts::SQRT_2);
-        ((2 * lg2 + half) as usize).min(BUCKETS - 1)
-    }
-
-    /// Representative (geometric-ish) value of bucket `i`.
-    fn bucket_value(i: usize) -> u64 {
-        if i == 0 {
-            return 1;
-        }
-        let lg2 = (i / 2) as u32;
-        let base = 1u64 << lg2;
-        if i.is_multiple_of(2) {
-            // [2^k, sqrt2·2^k): midpoint ~1.19·2^k
-            (base as f64 * 1.19) as u64
-        } else {
-            (base as f64 * 1.68) as u64
-        }
-    }
-
-    /// Record one duration.
-    pub fn record(&mut self, ns: u64) {
-        self.buckets[Self::bucket_of(ns)] += 1;
-        self.count += 1;
-        self.sum += ns as u128;
-        self.min = self.min.min(ns);
-        self.max = self.max.max(ns);
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            (self.sum / self.count as u128) as u64
-        }
-    }
-
-    /// Smallest recorded value (0 when empty).
-    pub fn min_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Largest recorded value.
-    pub fn max_ns(&self) -> u64 {
-        self.max
-    }
-
-    /// Approximate percentile (0.0..=1.0) in nanoseconds, resolved to
-    /// bucket granularity (~±20%).
-    pub fn percentile_ns(&self, p: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b;
-            if seen >= target {
-                return Self::bucket_value(i).clamp(self.min, self.max);
-            }
-        }
-        self.max
-    }
-
-    /// One-line summary for reports.
-    pub fn summary(&self) -> String {
-        format!(
-            "n={} min={:.3}ms p50={:.3}ms p99={:.3}ms max={:.3}ms mean={:.3}ms",
-            self.count,
-            self.min_ns() as f64 / 1e6,
-            self.percentile_ns(0.50) as f64 / 1e6,
-            self.percentile_ns(0.99) as f64 / 1e6,
-            self.max_ns() as f64 / 1e6,
-            self.mean_ns() as f64 / 1e6,
-        )
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram::new()
-    }
-}
+pub use pvfs_types::metrics::Histogram;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The simulator's contract with the shared histogram: recording
+    /// every request of a multi-million-request run must stay exact on
+    /// count/mean and order-of-magnitude on percentiles.
     #[test]
-    fn empty_histogram() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean_ns(), 0);
-        assert_eq!(h.percentile_ns(0.5), 0);
-        assert_eq!(h.min_ns(), 0);
-    }
-
-    #[test]
-    fn single_sample() {
+    fn simulator_usage_survives_the_lift() {
         let mut h = Histogram::new();
-        h.record(1_000_000);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.mean_ns(), 1_000_000);
-        assert_eq!(h.min_ns(), 1_000_000);
-        assert_eq!(h.max_ns(), 1_000_000);
-        // Percentiles clamp to observed range.
-        assert_eq!(h.percentile_ns(0.5), 1_000_000);
-        assert_eq!(h.percentile_ns(0.999), 1_000_000);
-    }
-
-    #[test]
-    fn percentiles_are_order_of_magnitude_correct() {
-        let mut h = Histogram::new();
-        // 99 fast samples at ~1ms, 1 slow at ~1s.
         for _ in 0..99 {
             h.record(1_000_000);
         }
         h.record(1_000_000_000);
+        assert_eq!(h.count(), 100);
         let p50 = h.percentile_ns(0.5);
         assert!((500_000..2_000_000).contains(&p50), "p50={p50}");
-        let p995 = h.percentile_ns(0.995);
-        assert!(p995 > 100_000_000, "p995={p995}");
-    }
-
-    #[test]
-    fn mean_is_exact() {
-        let mut h = Histogram::new();
-        for v in [10u64, 20, 30, 40] {
-            h.record(v);
-        }
-        assert_eq!(h.mean_ns(), 25);
-    }
-
-    #[test]
-    fn merge_combines_everything() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        a.record(100);
-        b.record(1_000_000);
-        b.record(50);
-        a.merge(&b);
-        assert_eq!(a.count(), 3);
-        assert_eq!(a.min_ns(), 50);
-        assert_eq!(a.max_ns(), 1_000_000);
-    }
-
-    #[test]
-    fn zero_duration_is_representable() {
-        let mut h = Histogram::new();
-        h.record(0);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.min_ns(), 0);
-    }
-
-    #[test]
-    fn bucket_monotonicity() {
-        // Bucket index must be nondecreasing in the value.
-        let mut prev = 0;
-        for shift in 0..40 {
-            for frac in [0u64, 1, 3] {
-                let v = (1u64 << shift) + frac * (1u64 << shift) / 4;
-                let b = Histogram::bucket_of(v);
-                assert!(b >= prev || v < (1 << shift), "v={v} b={b} prev={prev}");
-                prev = prev.max(b);
-            }
-        }
-    }
-
-    #[test]
-    fn summary_is_human_readable() {
-        let mut h = Histogram::new();
-        h.record(2_000_000);
-        let s = h.summary();
-        assert!(s.contains("n=1"));
-        assert!(s.contains("ms"));
+        assert!(h.percentile_ns(0.995) > 100_000_000);
+        assert!(h.summary().contains("n=100"));
     }
 }

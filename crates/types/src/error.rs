@@ -46,6 +46,11 @@ pub enum PvfsError {
         /// The transport's maximum frame length.
         max: u64,
     },
+    /// A configuration knob (environment variable, config string) was
+    /// malformed: junk digits, a zero where a positive value is
+    /// required, an overflowing size. Surfaced as a typed error so
+    /// library callers can report it instead of aborting the process.
+    Config(String),
 }
 
 impl fmt::Display for PvfsError {
@@ -63,6 +68,7 @@ impl fmt::Display for PvfsError {
             PvfsError::FrameTooLarge { len, max } => {
                 write!(f, "wire frame of {len} bytes exceeds the {max}-byte cap")
             }
+            PvfsError::Config(m) => write!(f, "bad configuration: {m}"),
         }
     }
 }
@@ -85,6 +91,11 @@ impl PvfsError {
         PvfsError::Timeout(msg.into())
     }
 
+    /// Shorthand for [`PvfsError::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        PvfsError::Config(msg.into())
+    }
+
     /// Whether retrying the failed RPC can plausibly succeed.
     ///
     /// Retryable errors are the *transient* ones — the transport died,
@@ -102,9 +113,11 @@ impl PvfsError {
     /// well-formed request and said no ([`PvfsError::NoSuchFile`],
     /// [`PvfsError::AlreadyExists`], [`PvfsError::BadHandle`],
     /// [`PvfsError::InvalidArgument`], [`PvfsError::Storage`]), the
-    /// request was unroutable ([`PvfsError::NoSuchServer`]), or a frame
-    /// exceeds the hard cap ([`PvfsError::FrameTooLarge`]). Replaying
-    /// those yields the same answer and only masks bugs.
+    /// request was unroutable ([`PvfsError::NoSuchServer`]), a frame
+    /// exceeds the hard cap ([`PvfsError::FrameTooLarge`]), or local
+    /// configuration was malformed before any request left the process
+    /// ([`PvfsError::Config`]). Replaying those yields the same answer
+    /// and only masks bugs.
     ///
     /// Replaying a retryable data op is safe even though the original
     /// attempt *may* have executed server-side
@@ -205,6 +218,7 @@ mod tests {
                 len: 1 << 40,
                 max: 1 << 20,
             },
+            PvfsError::config("PVFS_CB_BUFFER: junk"),
         ];
         for e in &deterministic {
             assert!(!e.is_retryable(), "{e} must not be retryable");
@@ -229,6 +243,7 @@ mod tests {
             PvfsError::NoSuchServer(1),
             PvfsError::timeout("x"),
             PvfsError::FrameTooLarge { len: 2, max: 1 },
+            PvfsError::config("x"),
         ];
         for e in &all {
             assert_eq!(e.is_retryable(), !e.is_definitely_not_executed(), "{e}");

@@ -12,6 +12,9 @@
 //! * [`Datatype`] — MPI-like datatype descriptors (the paper's §5 future
 //!   work) that compress regular access patterns and flatten to region
 //!   lists.
+//! * [`Histogram`] / [`SharedHistogram`] / [`StatsSnapshot`] — the
+//!   latency-metrics vocabulary shared by the simulator, the live
+//!   transports and the `GetStats` control RPC.
 //! * ids and error types used across the wire protocol, servers and
 //!   clients.
 //!
@@ -21,11 +24,13 @@
 pub mod datatype;
 pub mod error;
 pub mod ids;
+pub mod metrics;
 pub mod region;
 pub mod striping;
 
 pub use datatype::Datatype;
 pub use error::{PvfsError, PvfsResult};
 pub use ids::{ClientId, FileHandle, RequestId, ServerId};
+pub use metrics::{Histogram, SharedHistogram, StatsSnapshot};
 pub use region::{align_lists, Region, RegionList, TransferPiece};
 pub use striping::{StripeLayout, StripeSegment};

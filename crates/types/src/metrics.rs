@@ -1,0 +1,579 @@
+//! Latency metrics shared across the workspace: a log-bucketed
+//! histogram, a lock-free recording wrapper, and the stats snapshot
+//! every daemon can report over the wire.
+//!
+//! The paper reports per-test wall times; this reproduction can say
+//! more — per-request RTT distributions expose *why* a configuration is
+//! slow (client-chain bound vs server-queue bound), which is how
+//! EXPERIMENTS.md dissects the block-block list-I/O upturn. The same
+//! [`Histogram`] serves the simulator's 30-million-request runs and the
+//! live path's per-RPC accounting; [`SharedHistogram`] is the
+//! concurrent face used by `&self` recorders (worker pools, cloned
+//! clients), and [`StatsSnapshot`] is the unit the `GetStats` control
+//! RPC ships back to an observer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A histogram over nanosecond durations with logarithmic buckets
+/// (2 buckets per octave, ~41% resolution), cheap enough to record
+/// every request of a 30-million-request simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// bucket i covers [2^(i/2), 2^((i+1)/2)) ns, with bucket 0
+    /// holding everything below 1 ns.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const BUCKETS: usize = 128; // covers past 2^63 ns
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            return 0;
+        }
+        // 2 buckets per power of two, split at √2·2^k.
+        let lg2 = 63 - ns.leading_zeros() as u64; // floor(log2)
+        let half = u64::from(ns as f64 >= (1u64 << lg2) as f64 * std::f64::consts::SQRT_2);
+        ((2 * lg2 + half) as usize).min(BUCKETS - 1)
+    }
+
+    /// Representative (geometric-ish) value of bucket `i`.
+    fn bucket_value(i: usize) -> u64 {
+        if i == 0 {
+            return 1;
+        }
+        let lg2 = (i / 2) as u32;
+        let base = 1u64 << lg2;
+        if i.is_multiple_of(2) {
+            // [2^k, sqrt2·2^k): midpoint ~1.19·2^k
+            (base as f64 * 1.19) as u64
+        } else {
+            (base as f64 * 1.68) as u64
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum += ns as u128;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values in nanoseconds (the codec ships
+    /// it so means survive the wire).
+    pub fn sum_ns(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate percentile (0.0..=1.0) in nanoseconds, resolved to
+    /// bucket granularity (~±20%).
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// One-line summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} min={:.3}ms p50={:.3}ms p99={:.3}ms max={:.3}ms mean={:.3}ms",
+            self.count,
+            self.min_ns() as f64 / 1e6,
+            self.percentile_ns(0.50) as f64 / 1e6,
+            self.percentile_ns(0.99) as f64 / 1e6,
+            self.max_ns() as f64 / 1e6,
+            self.mean_ns() as f64 / 1e6,
+        )
+    }
+
+    /// The nonzero buckets as `(index, count)` pairs — the sparse form
+    /// the wire codec ships (most of the 128 buckets are empty).
+    pub fn to_sparse(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuild a histogram from its sparse wire form. Returns `None`
+    /// for out-of-range bucket indices (untrusted input); `min`/`max`
+    /// are trusted as shipped, with the empty histogram normalized.
+    pub fn from_sparse(sparse: &[(u32, u64)], sum: u128, min: u64, max: u64) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        for &(i, c) in sparse {
+            let slot = h.buckets.get_mut(i as usize)?;
+            *slot = slot.checked_add(c)?;
+            h.count = h.count.checked_add(c)?;
+        }
+        if h.count > 0 {
+            h.sum = sum;
+            h.min = min;
+            h.max = max;
+        }
+        Some(h)
+    }
+
+    /// The samples recorded since `earlier` was snapshotted from the
+    /// same monotonically-growing histogram. Buckets, count and sum
+    /// subtract exactly; min/max cannot (old extremes may predate the
+    /// interval), so they are re-derived from the surviving buckets'
+    /// representative bounds — the same ±bucket resolution percentiles
+    /// already have.
+    pub fn since(&self, earlier: &Histogram) -> Histogram {
+        let mut d = Histogram::new();
+        for (i, (a, b)) in self.buckets.iter().zip(&earlier.buckets).enumerate() {
+            d.buckets[i] = a.saturating_sub(*b);
+            d.count += d.buckets[i];
+        }
+        d.sum = self.sum.saturating_sub(earlier.sum);
+        if d.count > 0 {
+            let first = d.buckets.iter().position(|&c| c != 0).unwrap_or(0);
+            let last = d.buckets.iter().rposition(|&c| c != 0).unwrap_or(0);
+            d.min = Self::bucket_value(first).max(self.min);
+            d.max = Self::bucket_value(last).min(self.max).max(d.min);
+        }
+        d
+    }
+
+    /// Compact JSON object (counts in ns) for machine-readable dumps.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"mean_ns\":{}}}",
+            self.count(),
+            self.min_ns(),
+            self.percentile_ns(0.50),
+            self.percentile_ns(0.95),
+            self.percentile_ns(0.99),
+            self.max_ns(),
+            self.mean_ns(),
+        )
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// A [`Histogram`] that can be recorded into through `&self` from many
+/// threads at once: one relaxed atomic per bucket, plus atomic
+/// count/sum/min/max. Recording is a handful of uncontended relaxed
+/// atomic ops — cheap enough for every RPC on the live path; snapshots
+/// are not linearizable across fields (a recorder may be mid-flight),
+/// which per-request accounting tolerates by design.
+#[derive(Debug)]
+pub struct SharedHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// ns sum in u64: >500 years of accumulated latency before wrap.
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl SharedHistogram {
+    /// An empty shared histogram.
+    pub fn new() -> SharedHistogram {
+        SharedHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration in nanoseconds.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Histogram::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.min.fetch_min(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record an elapsed [`std::time::Duration`].
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of samples so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An owned point-in-time copy.
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            h.buckets[i] = b.load(Ordering::Relaxed);
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed) as u128;
+        h.min = self.min.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        // Normalize torn reads: the aggregate fields may lag or lead the
+        // buckets; keep the invariants percentile_ns relies on.
+        if h.count == 0 {
+            h.buckets.iter_mut().for_each(|b| *b = 0);
+            h.sum = 0;
+            h.min = u64::MAX;
+            h.max = 0;
+        }
+        h
+    }
+
+    /// Zero every bucket and aggregate (the `ResetStats` RPC).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for SharedHistogram {
+    fn default() -> Self {
+        SharedHistogram::new()
+    }
+}
+
+/// Everything one daemon reports through the `GetStats` control RPC:
+/// the raw request/byte counters (identical to the in-process
+/// `ServerStats` snapshot, field for field), worker-pool gauges, and
+/// the queue-wait / service-time latency distributions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total requests served (data + metadata, not stats scrapes).
+    pub requests: u64,
+    /// Contiguous `Read`/`Write` requests.
+    pub contiguous_requests: u64,
+    /// List-I/O (`ReadList`/`WriteList`/vector) requests.
+    pub list_requests: u64,
+    /// File regions touched across all list requests.
+    pub regions: u64,
+    /// Payload bytes read from storage.
+    pub bytes_read: u64,
+    /// Payload bytes written to storage.
+    pub bytes_written: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Wire bytes received (stats scrapes excluded — see the codec's
+    /// observer-effect note).
+    pub bytes_rx: u64,
+    /// Wire bytes sent.
+    pub bytes_tx: u64,
+    /// Wire frames received.
+    pub frames_rx: u64,
+    /// Worker threads configured for this daemon's pool.
+    pub workers: u64,
+    /// Workers serving a request at snapshot time (gauge).
+    pub busy_workers: u64,
+    /// Frames received but not yet fully served (gauge: queued + in
+    /// service).
+    pub queue_depth: u64,
+    /// Time from frame arrival to a worker picking it up.
+    pub queue_wait: Histogram,
+    /// Time a worker spent serving the request (decode + execute +
+    /// encode).
+    pub service_time: Histogram,
+}
+
+impl StatsSnapshot {
+    /// The counter fields in `ServerStats` order, paired with their
+    /// names — the unit the byte-for-byte equivalence tests compare and
+    /// the tables print.
+    pub fn counters(&self) -> [(&'static str, u64); 10] {
+        [
+            ("requests", self.requests),
+            ("contiguous_requests", self.contiguous_requests),
+            ("list_requests", self.list_requests),
+            ("regions", self.regions),
+            ("bytes_read", self.bytes_read),
+            ("bytes_written", self.bytes_written),
+            ("errors", self.errors),
+            ("bytes_rx", self.bytes_rx),
+            ("bytes_tx", self.bytes_tx),
+            ("frames_rx", self.frames_rx),
+        ]
+    }
+
+    /// The snapshot as one JSON object (no external deps; the schema is
+    /// documented in README § Observability).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (name, v) in self.counters() {
+            out.push_str(&format!("\"{name}\":{v},"));
+        }
+        out.push_str(&format!(
+            "\"workers\":{},\"busy_workers\":{},\"queue_depth\":{},\"queue_wait\":{},\"service_time\":{}}}",
+            self.workers,
+            self.busy_workers,
+            self.queue_depth,
+            self.queue_wait.to_json(),
+            self.service_time.to_json(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0);
+        assert_eq!(h.percentile_ns(0.5), 0);
+        assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean_ns(), 1_000_000);
+        assert_eq!(h.min_ns(), 1_000_000);
+        assert_eq!(h.max_ns(), 1_000_000);
+        // Percentiles clamp to observed range.
+        assert_eq!(h.percentile_ns(0.5), 1_000_000);
+        assert_eq!(h.percentile_ns(0.999), 1_000_000);
+    }
+
+    #[test]
+    fn percentiles_are_order_of_magnitude_correct() {
+        let mut h = Histogram::new();
+        // 99 fast samples at ~1ms, 1 slow at ~1s.
+        for _ in 0..99 {
+            h.record(1_000_000);
+        }
+        h.record(1_000_000_000);
+        let p50 = h.percentile_ns(0.5);
+        assert!((500_000..2_000_000).contains(&p50), "p50={p50}");
+        let p995 = h.percentile_ns(0.995);
+        assert!(p995 > 100_000_000, "p995={p995}");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.mean_ns(), 25);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        b.record(50);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min_ns(), 50);
+        assert_eq!(a.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn zero_duration_is_representable() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn bucket_monotonicity() {
+        // Bucket index must be nondecreasing in the value.
+        let mut prev = 0;
+        for shift in 0..40 {
+            for frac in [0u64, 1, 3] {
+                let v = (1u64 << shift) + frac * (1u64 << shift) / 4;
+                let b = Histogram::bucket_of(v);
+                assert!(b >= prev || v < (1 << shift), "v={v} b={b} prev={prev}");
+                prev = prev.max(b);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_is_human_readable() {
+        let mut h = Histogram::new();
+        h.record(2_000_000);
+        let s = h.summary();
+        assert!(s.contains("n=1"));
+        assert!(s.contains("ms"));
+    }
+
+    #[test]
+    fn sparse_roundtrip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 1_000, 1_000_000, u64::MAX / 2] {
+            h.record(v);
+        }
+        let back = Histogram::from_sparse(&h.to_sparse(), h.sum, h.min, h.max).unwrap();
+        assert_eq!(back, h);
+        // Percentiles survive the trip too.
+        assert_eq!(back.percentile_ns(0.5), h.percentile_ns(0.5));
+    }
+
+    #[test]
+    fn sparse_rejects_bogus_indices() {
+        assert!(Histogram::from_sparse(&[(9999, 1)], 1, 1, 1).is_none());
+        // Empty sparse → normalized empty histogram.
+        let h = Histogram::from_sparse(&[], 0, 0, 0).unwrap();
+        assert_eq!(h, Histogram::new());
+    }
+
+    #[test]
+    fn since_isolates_the_interval() {
+        let mut h = Histogram::new();
+        h.record(1_000);
+        h.record(2_000);
+        let before = h.clone();
+        h.record(1_000_000);
+        h.record(2_000_000);
+        let d = h.since(&before);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.mean_ns(), 1_500_000);
+        // Min/max are bucket-resolution but must bracket the interval's
+        // samples, not the old ones.
+        assert!(d.min_ns() > 100_000, "min={}", d.min_ns());
+        assert!(d.max_ns() >= 1_500_000, "max={}", d.max_ns());
+        // Self-diff is empty.
+        assert_eq!(h.since(&h).count(), 0);
+    }
+
+    #[test]
+    fn shared_histogram_matches_serial_recording() {
+        let shared = SharedHistogram::new();
+        let mut serial = Histogram::new();
+        for v in [5u64, 50, 500, 5_000, 50_000] {
+            shared.record(v);
+            serial.record(v);
+        }
+        assert_eq!(shared.snapshot(), serial);
+        shared.reset();
+        assert_eq!(shared.snapshot(), Histogram::new());
+        assert_eq!(shared.count(), 0);
+    }
+
+    #[test]
+    fn shared_histogram_concurrent_records_all_land() {
+        use std::sync::Arc;
+        let shared = Arc::new(SharedHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record(1 + t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = shared.snapshot();
+        assert_eq!(snap.count(), 4_000);
+        assert_eq!(snap.min_ns(), 1);
+        assert_eq!(snap.max_ns(), 4_000);
+    }
+
+    #[test]
+    fn stats_snapshot_json_shape() {
+        let mut s = StatsSnapshot {
+            requests: 7,
+            bytes_rx: 123,
+            workers: 4,
+            ..Default::default()
+        };
+        s.service_time.record(1_000_000);
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"requests\":7"), "{json}");
+        assert!(json.contains("\"bytes_rx\":123"), "{json}");
+        assert!(json.contains("\"service_time\":{\"count\":1"), "{json}");
+        // Counter order is the ServerStats field order.
+        let names: Vec<&str> = s.counters().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names[0], "requests");
+        assert_eq!(names[9], "frames_rx");
+    }
+}

@@ -127,13 +127,27 @@ impl Region {
     }
 
     /// The region translated by `delta` (may be negative).
+    ///
+    /// Panics when the translated offset would leave `u64` in either
+    /// direction — shifting below zero or past `u64::MAX - len` has no
+    /// well-defined result, and the unchecked subtraction used to wrap
+    /// to a huge bogus region in release builds. Callers holding
+    /// untrusted deltas go through [`Region::try_shifted`], mirroring
+    /// the [`Region::new`] / [`Region::try_new`] pair.
     pub fn shifted(self, delta: i64) -> Region {
+        self.try_shifted(delta)
+            .expect("shifted region leaves the u64 offset space")
+    }
+
+    /// The region translated by `delta`, or `None` when the translated
+    /// offset would underflow zero or its end would overflow `u64`.
+    pub fn try_shifted(self, delta: i64) -> Option<Region> {
         let offset = if delta >= 0 {
-            self.offset + delta as u64
+            self.offset.checked_add(delta as u64)?
         } else {
-            self.offset - delta.unsigned_abs()
+            self.offset.checked_sub(delta.unsigned_abs())?
         };
-        Region::new(offset, self.len)
+        Region::try_new(offset, self.len)
     }
 
     /// The prefix of at most `n` bytes and the remainder.
@@ -518,6 +532,38 @@ mod tests {
         let r = Region::new(100, 10);
         assert_eq!(r.shifted(5), Region::new(105, 10));
         assert_eq!(r.shifted(-50), Region::new(50, 10));
+    }
+
+    /// Regression: a negative delta larger than the offset used to wrap
+    /// the unchecked subtraction in release builds, producing a huge
+    /// bogus region instead of failing.
+    #[test]
+    fn region_shift_rejects_underflow() {
+        let r = Region::new(100, 10);
+        assert_eq!(r.try_shifted(-101), None);
+        assert_eq!(r.try_shifted(-100), Some(Region::new(0, 10)));
+        assert_eq!(r.try_shifted(i64::MIN), None);
+    }
+
+    /// Regression: a large positive delta could push the offset past the
+    /// point where `offset + len` fits in `u64`, tripping `Region::new`'s
+    /// overflow assert (or wrapping, pre-guard) rather than failing
+    /// cleanly.
+    #[test]
+    fn region_shift_rejects_overflow() {
+        let r = Region::new(u64::MAX - 20, 10);
+        assert_eq!(r.try_shifted(20), None); // offset + delta overflows u64
+        assert_eq!(r.try_shifted(15), None); // offset fits, end does not
+        assert_eq!(
+            r.try_shifted(10),
+            Some(Region::new(u64::MAX - 10, 10)) // end lands exactly on u64::MAX
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shifted region leaves the u64 offset space")]
+    fn region_shift_panics_on_underflow() {
+        let _ = Region::new(100, 10).shifted(-101);
     }
 
     #[test]

@@ -18,8 +18,9 @@
 
 use crate::client::PvfsFile;
 use crate::core::Method;
-use crate::net::LiveCluster;
-use crate::types::{PvfsError, PvfsResult, RegionList, ServerId, StripeLayout};
+use crate::net::{LiveCluster, RpcTarget};
+use crate::proto::{Request, Response};
+use crate::types::{PvfsError, PvfsResult, RegionList, ServerId, StatsSnapshot, StripeLayout};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -67,7 +68,7 @@ impl Shell {
             "readp" => self.cmd_readp(&args),
             "method" => self.cmd_method(&args),
             "bench" => self.cmd_bench(&args),
-            "stats" => self.cmd_stats(),
+            "stats" => self.cmd_stats(&args),
             other => Err(PvfsError::invalid(format!(
                 "unknown command '{other}' (try 'help')"
             ))),
@@ -276,17 +277,41 @@ impl Shell {
         Ok(out)
     }
 
-    fn cmd_stats(&mut self) -> PvfsResult<String> {
+    /// Scrape every daemon (and the manager) over the `GetStats` RPC —
+    /// the same path an external monitoring tool would use — and render
+    /// counters plus queue-wait/service-time percentiles. `stats json`
+    /// emits the machine-readable form instead.
+    fn cmd_stats(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let client = self.cluster.client();
+        let scrape = |target: RpcTarget| -> PvfsResult<StatsSnapshot> {
+            match client.call(target, Request::GetStats)? {
+                Response::Stats(s) => Ok(*s),
+                other => Err(PvfsError::protocol(format!(
+                    "unexpected response to GetStats: {other:?}"
+                ))),
+            }
+        };
+        let snaps: Vec<StatsSnapshot> = (0..self.cluster.n_servers())
+            .map(|i| scrape(RpcTarget::Server(ServerId(i))))
+            .collect::<PvfsResult<_>>()?;
+        let mgr = scrape(RpcTarget::Manager)?;
+
+        if args.first() == Some(&"json") {
+            let mut out = String::from("[");
+            for (i, s) in snaps.iter().enumerate() {
+                let _ = write!(out, "{{\"daemon\":\"iod{i}\",\"stats\":{}}},", s.to_json());
+            }
+            let _ = write!(out, "{{\"daemon\":\"mgr\",\"stats\":{}}}]", mgr.to_json());
+            return Ok(out);
+        }
+
         let mut out =
             String::from("server     requests  contig    list  regions   read B  written B\n");
-        for i in 0..self.cluster.n_servers() {
-            let s = self
-                .cluster
-                .server_stats(ServerId(i))
-                .expect("server exists");
+        for (i, s) in snaps.iter().enumerate() {
+            let name = format!("iod{i}");
             let _ = writeln!(
                 out,
-                "iod{i:<7} {:>8} {:>7} {:>7} {:>8} {:>8} {:>10}",
+                "{name:<10} {:>8} {:>7} {:>7} {:>8} {:>8} {:>10}",
                 s.requests,
                 s.contiguous_requests,
                 s.list_requests,
@@ -295,6 +320,38 @@ impl Shell {
                 s.bytes_written
             );
         }
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>7} {:>7} {:>8} {:>8} {:>10}",
+            "mgr", mgr.requests, 0, 0, 0, mgr.bytes_read, mgr.bytes_written
+        );
+        let _ = writeln!(
+            out,
+            "\nlatency (µs)            p50      p95      p99  samples"
+        );
+        let us = |ns: u64| ns as f64 / 1000.0;
+        for (i, s) in snaps.iter().enumerate() {
+            for (what, h) in [("queue-wait", &s.queue_wait), ("service", &s.service_time)] {
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:>8.1} {:>8.1} {:>8.1} {:>8}",
+                    format!("iod{i} {what}"),
+                    us(h.percentile_ns(0.50)),
+                    us(h.percentile_ns(0.95)),
+                    us(h.percentile_ns(0.99)),
+                    h.count()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8.1} {:>8.1} {:>8.1} {:>8}",
+            "mgr service",
+            us(mgr.service_time.percentile_ns(0.50)),
+            us(mgr.service_time.percentile_ns(0.95)),
+            us(mgr.service_time.percentile_ns(0.99)),
+            mgr.service_time.count()
+        );
         Ok(out)
     }
 }
@@ -310,7 +367,7 @@ const HELP: &str = "commands:
   readp PATH OFFSET COUNT LEN STRIDE    strided noncontiguous read
   method [multiple|sieve|list|hybrid|datatype]   select the access method
   bench PATH OFFSET COUNT LEN STRIDE    compare all methods on a pattern
-  stats                                 per-server I/O daemon statistics
+  stats [json]                          per-server statistics scraped over the GetStats RPC
   help                                  this text";
 
 fn parse<T: std::str::FromStr>(arg: Option<&&str>, name: &str) -> PvfsResult<T> {
@@ -481,6 +538,27 @@ mod tests {
         let out = sh.execute("stats").unwrap();
         assert!(out.contains("iod0"), "{out}");
         assert!(out.lines().count() >= 5, "{out}");
+        // The scrape includes the manager and the latency percentiles.
+        assert!(out.contains("mgr"), "{out}");
+        assert!(out.contains("latency (µs)"), "{out}");
+        assert!(out.contains("iod0 queue-wait"), "{out}");
+        assert!(out.contains("iod0 service"), "{out}");
+    }
+
+    #[test]
+    fn stats_json_is_machine_readable() {
+        let mut sh = shell();
+        sh.execute("create /j 2 64").unwrap();
+        sh.execute("write /j 0 payload").unwrap();
+        let out = sh.execute("stats json").unwrap();
+        assert!(out.starts_with('[') && out.ends_with(']'), "{out}");
+        assert!(out.contains("\"daemon\":\"iod0\""), "{out}");
+        assert!(out.contains("\"daemon\":\"mgr\""), "{out}");
+        assert!(out.contains("\"requests\":"), "{out}");
+        assert!(out.contains("\"p99_ns\":"), "{out}");
+        // Scraping must not perturb the counters it reports.
+        let again = sh.execute("stats json").unwrap();
+        assert_eq!(again, out, "a scrape perturbed the stats");
     }
 
     #[test]
