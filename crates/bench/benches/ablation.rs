@@ -152,7 +152,7 @@ fn ablate_cache(c: &mut Criterion) {
             let mut f = LocalFile::new(cfg, DiskModel::paper_default());
             let mut disk_ns = 0u64;
             for i in 0..512u64 {
-                let (_, r) = f.read_at(i * 4096, 4096);
+                let (_, r) = f.read_at(i * 4096, 4096).unwrap();
                 disk_ns += r.disk_ns;
             }
             disk_ns
@@ -179,11 +179,11 @@ fn ablate_cache(c: &mut Criterion) {
             for round in 0..64u64 {
                 for _ in 0..3 {
                     for h in 0..128u64 {
-                        let (_, r) = f.read_at(h * 4096, 64);
+                        let (_, r) = f.read_at(h * 4096, 64).unwrap();
                         hits += r.cache.hit_blocks;
                     }
                 }
-                let (_, r) = f.read_at((1000 + round * 200) * 4096, 200 * 4096);
+                let (_, r) = f.read_at((1000 + round * 200) * 4096, 200 * 4096).unwrap();
                 hits += r.cache.hit_blocks;
             }
             hits

@@ -84,7 +84,9 @@ impl Scale {
         }
     }
 
-    fn flash_blocks(self) -> u64 {
+    /// FLASH blocks per process at this scale (Fig. 15 and the
+    /// `durability` figure share the workload).
+    pub fn flash_blocks(self) -> u64 {
         match self {
             Scale::Quick => 2,
             Scale::Mid => 20,

@@ -12,6 +12,7 @@
 
 use pvfs_client::PvfsFile;
 use pvfs_core::Method;
+use pvfs_disk::{ScratchDir, StorageConfig, SyncPolicy};
 use pvfs_net::{FaultPlan, LiveCluster, RetryPolicy, TransportKind};
 use pvfs_server::IodConfig;
 use pvfs_types::{RegionList, ServerId, StripeLayout};
@@ -71,6 +72,104 @@ pub fn wire(scale: Scale, kind: TransportKind) -> Vec<Row> {
                     ..Row::default()
                 }
                 .with_latency(&report.rpc_latency),
+            );
+        }
+    }
+    rows
+}
+
+/// The `durability` figure: what durable storage costs on the data
+/// path.
+///
+/// Two noncontiguous write workloads — the 1-D cyclic strided pattern
+/// and a FLASH checkpoint (every rank's 80-variable list write) — each
+/// followed by a [`PvfsFile::sync`] barrier, against the in-memory
+/// backend and the file backend at each sync policy. `requests` counts
+/// the daemons' fsync calls, so the series separate exactly where the
+/// storage engine pays: `mem` and `file (never)` fsync only at the
+/// barrier, `file (always)` once per journaled batch.
+pub fn durability(scale: Scale, kind: TransportKind) -> Vec<Row> {
+    let backends: &[(&str, Option<SyncPolicy>)] = &[
+        ("mem", None),
+        ("file (never)", Some(SyncPolicy::Never)),
+        (
+            "file (interval)",
+            Some(SyncPolicy::Interval(Duration::from_millis(100))),
+        ),
+        ("file (always)", Some(SyncPolicy::Always)),
+    ];
+    // (panel, x, the per-client list writes of one checkpoint:
+    // memory list, file list, user buffer)
+    type ListWrite = (RegionList, RegionList, Vec<u8>);
+    let mut workloads: Vec<(String, u64, Vec<ListWrite>)> = Vec::new();
+    let region_counts: &[u64] = match scale {
+        Scale::Quick => &[64],
+        Scale::Mid => &[64, 256],
+        Scale::Paper => &[64, 256, 1024],
+    };
+    for &n in region_counts {
+        let file: RegionList =
+            RegionList::from_pairs((0..n).map(|i| (i * STRIDE, REGION_BYTES))).unwrap();
+        let mem = RegionList::contiguous(0, n * REGION_BYTES);
+        let buf = vec![0x5au8; (n * REGION_BYTES) as usize];
+        workloads.push((format!("cyclic ({kind})"), n, vec![(mem, file, buf)]));
+    }
+    let nprocs: u64 = match scale {
+        Scale::Quick => 2,
+        Scale::Mid => 4,
+        Scale::Paper => 8,
+    };
+    let flash = pvfs_workloads::FlashIo::scaled(nprocs, scale.flash_blocks());
+    let ranks = (0..nprocs)
+        .map(|p| {
+            let req = flash.request_for(p).unwrap();
+            let data = vec![(p as u8) | 0x40; flash.mem_bytes() as usize];
+            (req.mem, req.file, data)
+        })
+        .collect();
+    workloads.push((format!("flash ({kind})"), nprocs, ranks));
+
+    let mut rows = Vec::new();
+    for (panel, x, writes) in &workloads {
+        for (series, policy) in backends {
+            let scratch = ScratchDir::new("bench-dur");
+            let storage = match policy {
+                None => StorageConfig::Mem,
+                Some(sync) => StorageConfig::File {
+                    dir: scratch.path().to_path_buf(),
+                    sync: *sync,
+                },
+            };
+            let cluster = LiveCluster::spawn_storage(SERVERS, IodConfig::default(), kind, storage);
+            let client = cluster.client();
+            let layout = StripeLayout::new(0, SERVERS, STRIPE).unwrap();
+            let mut f = PvfsFile::create(&client, "/pvfs/durability", layout).unwrap();
+            let (_, bytes_before) = wire_totals(&cluster);
+            let mut latency = pvfs_types::Histogram::new();
+            let started = Instant::now();
+            for (mem, file, buf) in writes {
+                let report = f.write_list(mem, file, buf, Method::List).unwrap();
+                latency.merge(&report.rpc_latency);
+            }
+            f.sync().unwrap();
+            let seconds = started.elapsed().as_secs_f64();
+            let (_, bytes_after) = wire_totals(&cluster);
+            let fsyncs: u64 = (0..SERVERS)
+                .filter_map(|s| cluster.daemon(ServerId(s)))
+                .map(|d| d.stats_snapshot().fsyncs)
+                .sum();
+            rows.push(
+                Row {
+                    figure: "durability",
+                    panel: panel.clone(),
+                    series: (*series).into(),
+                    x: *x,
+                    seconds,
+                    requests: fsyncs,
+                    wire_bytes: bytes_after - bytes_before,
+                    ..Row::default()
+                }
+                .with_latency(&latency),
             );
         }
     }

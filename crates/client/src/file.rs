@@ -169,6 +169,31 @@ impl PvfsFile {
         Ok(size)
     }
 
+    /// Force this file's bytes to stable storage on every I/O daemon in
+    /// its layout.
+    ///
+    /// On file-backed daemons (`PVFS_STORAGE=file:<dir>`) each server
+    /// fsyncs its local stripe file and checkpoints the write-ahead
+    /// journal; the return value is the total number of bytes made
+    /// durable by this call, summed across servers. Memory-backed
+    /// daemons answer immediately with 0 — there is nothing to persist.
+    pub fn sync(&self) -> PvfsResult<u64> {
+        let mut durable = 0u64;
+        for slot in 0..self.layout.pcount {
+            let server = self.layout.server_at_slot(slot);
+            match self.client.call(
+                RpcTarget::Server(server),
+                Request::Sync {
+                    handle: self.handle,
+                },
+            )? {
+                Response::Synced { durable: local } => durable += local,
+                other => return Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+            }
+        }
+        Ok(durable)
+    }
+
     /// Contiguous write at `offset`.
     pub fn write_at(&mut self, offset: u64, data: &[u8]) -> PvfsResult<ExecReport> {
         if data.is_empty() {

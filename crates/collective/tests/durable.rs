@@ -1,0 +1,80 @@
+//! Collective durability: under `PVFS_SYNC=always` every aggregator's
+//! list write commits its intent record before the RPC acks, so by the
+//! time `write_all` returns to *any* rank the whole collective pattern
+//! is on stable storage — a cluster crash immediately afterwards loses
+//! nothing.
+
+use pvfs_client::PvfsFile;
+use pvfs_collective::{CollectiveFile, Communicator};
+use pvfs_disk::{ScratchDir, StorageConfig, SyncPolicy};
+use pvfs_net::{LiveCluster, TransportKind};
+use pvfs_server::IodConfig;
+use pvfs_types::{Region, RegionList, StripeLayout};
+use std::thread;
+
+fn fill(rank: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (rank * 37 + i * 11 + 5) as u8).collect()
+}
+
+#[test]
+fn write_all_is_durable_at_return_under_sync_always() {
+    let dir = ScratchDir::new("coll-durable");
+    let storage = StorageConfig::File {
+        dir: dir.path().to_path_buf(),
+        sync: SyncPolicy::Always,
+    };
+    let pcount = 4;
+    let layout = StripeLayout::new(0, pcount, 64).unwrap();
+    let ranks = 4usize;
+    // Rank r owns every 4th 64-byte block — a cyclic pattern that makes
+    // every aggregator exchange with every rank.
+    let patterns: Vec<RegionList> = (0..ranks)
+        .map(|r| {
+            (0..8u64)
+                .map(|k| Region::new((k * ranks as u64 + r as u64) * 64, 64))
+                .collect()
+        })
+        .collect();
+
+    {
+        let cluster = LiveCluster::spawn_storage(
+            pcount,
+            IodConfig::default(),
+            TransportKind::Chan,
+            storage.clone(),
+        );
+        let handles: Vec<_> = Communicator::group(ranks)
+            .into_iter()
+            .zip(patterns.clone())
+            .map(|(comm, pattern)| {
+                let client = cluster.client();
+                thread::spawn(move || {
+                    let rank = comm.rank();
+                    let mut cf =
+                        CollectiveFile::create(&client, "/pvfs/durable", layout, comm).unwrap();
+                    let data = fill(rank, pattern.total_len() as usize);
+                    let mem = RegionList::contiguous(0, data.len() as u64);
+                    cf.write_all(&mem, &pattern, &data).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // No sync, no flush: the cluster dies right here. Everything
+        // write_all acknowledged must already be durable.
+    }
+
+    let cluster =
+        LiveCluster::spawn_storage(pcount, IodConfig::default(), TransportKind::Chan, storage);
+    let client = cluster.client();
+    let mut f = PvfsFile::create(&client, "/pvfs/durable", layout).unwrap();
+    for (rank, pattern) in patterns.iter().enumerate() {
+        let expect = fill(rank, pattern.total_len() as usize);
+        let mut got = vec![0u8; expect.len()];
+        let mem = RegionList::contiguous(0, got.len() as u64);
+        f.read_list(&mem, pattern, &mut got, pvfs_core::Method::List)
+            .unwrap();
+        assert_eq!(got, expect, "rank {rank}'s collective write was lost");
+    }
+}

@@ -14,16 +14,31 @@
 //!   accesses that miss the cache (calibrated to the paper's 9 GB
 //!   Quantum Atlas IV SCSI disks).
 //!
-//! Reads and writes always succeed functionally; alongside the data they
-//! return a [`CostReport`] that the discrete-event simulator converts to
-//! virtual time. The live threaded cluster simply ignores the report.
+//! Reads and writes return a [`CostReport`] that the discrete-event
+//! simulator converts to virtual time; the live threaded cluster simply
+//! ignores the report.
+//!
+//! The byte content itself sits behind the [`StorageBackend`] seam:
+//! [`SparseStore`] is the volatile in-memory backend, and [`FileStore`]
+//! is the durable one — a real local file per handle plus a write-ahead
+//! intent journal ([`journal`]) that makes noncontiguous list writes
+//! all-or-nothing across a crash (`PVFS_STORAGE=file:<dir>`,
+//! `PVFS_SYNC=never|interval:<ms>|always`).
 
+pub mod backend;
 pub mod cache;
+pub mod filestore;
+pub mod journal;
 pub mod localfile;
 pub mod model;
+pub mod scratch;
 pub mod store;
 
+pub use backend::{CrashPoint, StorageBackend, StorageConfig, StorageMetrics, SyncPolicy};
 pub use cache::{BufferCache, CacheConfig, CacheOutcome, CachePolicy};
+pub use filestore::FileStore;
+pub use journal::{Journal, JournalRecord};
 pub use localfile::{CostReport, LocalFile};
 pub use model::DiskModel;
+pub use scratch::ScratchDir;
 pub use store::SparseStore;

@@ -1,8 +1,10 @@
 //! One I/O daemon's local file: content + cache residency + disk cost.
 
+use crate::backend::{CrashPoint, StorageBackend};
 use crate::cache::{BufferCache, CacheConfig, CacheOutcome};
 use crate::model::{DiskModel, HeadTracker};
 use crate::store::SparseStore;
+use pvfs_types::PvfsResult;
 
 /// Cost of one storage operation, reported alongside its functional
 /// result. The discrete-event simulator turns `disk_ns` into virtual
@@ -29,28 +31,40 @@ impl CostReport {
     }
 }
 
-/// A local file under one I/O daemon: sparse content, an LRU buffer
-/// cache residency model, and a disk timing model with head tracking.
-#[derive(Debug, Clone)]
+/// A local file under one I/O daemon: a [`StorageBackend`] for the
+/// bytes (memory or durable file+journal), an LRU buffer cache
+/// residency model, and a disk timing model with head tracking.
+#[derive(Debug)]
 pub struct LocalFile {
-    store: SparseStore,
+    store: Box<dyn StorageBackend>,
     cache: BufferCache,
     model: DiskModel,
     head: HeadTracker,
 }
 
 impl LocalFile {
-    /// New empty file with the given cache and disk parameters.
+    /// New empty memory-backed file with the given cache and disk
+    /// parameters.
     pub fn new(cache_config: CacheConfig, model: DiskModel) -> LocalFile {
+        LocalFile::with_backend(cache_config, model, Box::new(SparseStore::new()))
+    }
+
+    /// A file over an explicit backend (the durable
+    /// [`FileStore`](crate::FileStore), a test double, ...).
+    pub fn with_backend(
+        cache_config: CacheConfig,
+        model: DiskModel,
+        store: Box<dyn StorageBackend>,
+    ) -> LocalFile {
         LocalFile {
-            store: SparseStore::new(),
+            store,
             cache: BufferCache::new(cache_config),
             model,
             head: HeadTracker::new(),
         }
     }
 
-    /// New empty file with paper-default cache and disk.
+    /// New empty memory-backed file with paper-default cache and disk.
     pub fn with_defaults() -> LocalFile {
         LocalFile::new(CacheConfig::paper_default(), DiskModel::paper_default())
     }
@@ -60,9 +74,17 @@ impl LocalFile {
         self.store.size()
     }
 
-    /// Direct store access for tests and verification oracles.
-    pub fn store(&self) -> &SparseStore {
-        &self.store
+    /// The storage backend (accounting, crash injection, oracles).
+    pub fn backend(&self) -> &dyn StorageBackend {
+        self.store.as_ref()
+    }
+
+    /// Read `len` bytes at `offset` without touching the cache model or
+    /// cost accounting — the verification-oracle path.
+    pub fn peek_vec(&self, offset: u64, len: usize) -> Vec<u8> {
+        self.store
+            .read_vec(offset, len)
+            .expect("oracle read failed")
     }
 
     /// Cache statistics.
@@ -72,23 +94,35 @@ impl LocalFile {
 
     /// Read `len` bytes at `offset` (zero-filled past EOF), reporting
     /// cost.
-    pub fn read_at(&mut self, offset: u64, len: usize) -> (Vec<u8>, CostReport) {
-        let data = self.store.read_vec(offset, len);
+    pub fn read_at(&mut self, offset: u64, len: usize) -> PvfsResult<(Vec<u8>, CostReport)> {
+        let data = self.store.read_vec(offset, len)?;
         let report = self.charge_read(offset, len as u64);
-        (data, report)
+        Ok((data, report))
     }
 
     /// Read into a caller-provided buffer.
-    pub fn read_into(&mut self, offset: u64, buf: &mut [u8]) -> CostReport {
-        self.store.read_at(offset, buf);
-        self.charge_read(offset, buf.len() as u64)
+    pub fn read_into(&mut self, offset: u64, buf: &mut [u8]) -> PvfsResult<CostReport> {
+        self.store.read_at(offset, buf)?;
+        Ok(self.charge_read(offset, buf.len() as u64))
     }
 
     /// Write `data` at `offset`, reporting cost.
-    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> CostReport {
-        let prev_size = self.store.size();
-        self.store.write_at(offset, data);
-        self.charge_write(offset, data.len() as u64, prev_size)
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> PvfsResult<CostReport> {
+        self.write_batch(&[(offset, data)])
+    }
+
+    /// Apply a whole request's runs as one batch — all-or-nothing
+    /// across a crash on durable backends (one journal record), plain
+    /// in-order writes on memory.
+    pub fn write_batch(&mut self, runs: &[(u64, &[u8])]) -> PvfsResult<CostReport> {
+        let mut prev_size = self.store.size();
+        self.store.write_batch(runs)?;
+        let mut report = CostReport::default();
+        for (offset, data) in runs {
+            report.merge(self.charge_write(*offset, data.len() as u64, prev_size));
+            prev_size = prev_size.max(offset.saturating_add(data.len() as u64));
+        }
+        Ok(report)
     }
 
     fn charge_write(&mut self, offset: u64, len: u64, prev_size: u64) -> CostReport {
@@ -102,7 +136,8 @@ impl LocalFile {
         // read-fill of that block. Fresh files (writes at/past the old
         // EOF block) never read-fill — pages are allocated zeroed.
         let bs = self.cache.config().block_size;
-        let unaligned = !offset.is_multiple_of(bs) || !(offset + len).is_multiple_of(bs);
+        let unaligned =
+            !offset.is_multiple_of(bs) || !offset.saturating_add(len).is_multiple_of(bs);
         let block_start = (offset / bs) * bs;
         if unaligned && cache.miss_blocks > 0 && block_start < prev_size {
             let sequential = self.head.observe(offset, len);
@@ -177,9 +212,23 @@ impl LocalFile {
         }
     }
 
+    /// Durability barrier: flush the cache model (its write-back cost
+    /// is the report) and fsync the backend. Returns the bytes now
+    /// durable.
+    pub fn sync(&mut self) -> PvfsResult<(u64, CostReport)> {
+        let report = self.flush();
+        let durable = self.store.sync()?;
+        Ok((durable, report))
+    }
+
     /// Truncate the file.
-    pub fn truncate(&mut self, size: u64) {
-        self.store.truncate(size);
+    pub fn truncate(&mut self, size: u64) -> PvfsResult<()> {
+        self.store.truncate(size)
+    }
+
+    /// Arm a storage crash (test fault injection; no-op on memory).
+    pub fn inject_crash(&mut self, point: CrashPoint) {
+        self.store.inject_crash(point);
     }
 }
 
@@ -194,8 +243,8 @@ mod tests {
     #[test]
     fn read_write_roundtrip() {
         let mut f = LocalFile::with_defaults();
-        f.write_at(100, b"parallel virtual file system");
-        let (data, _) = f.read_at(100, 28);
+        f.write_at(100, b"parallel virtual file system").unwrap();
+        let (data, _) = f.read_at(100, 28).unwrap();
         assert_eq!(&data, b"parallel virtual file system");
         assert_eq!(f.size(), 128);
     }
@@ -203,12 +252,12 @@ mod tests {
     #[test]
     fn cold_read_costs_disk_time_warm_read_does_not() {
         let mut f = small_file();
-        f.write_at(0, &[1u8; 64]);
-        let (_, warm) = f.read_at(0, 64); // resident from write-allocate
+        f.write_at(0, &[1u8; 64]).unwrap();
+        let (_, warm) = f.read_at(0, 64).unwrap(); // resident from write-allocate
         assert_eq!(warm.disk_ns, 0);
         assert_eq!(warm.cache.hit_blocks, 4);
         // A never-touched range costs positioning + transfer.
-        let (_, cold) = f.read_at(1024, 64);
+        let (_, cold) = f.read_at(1024, 64).unwrap();
         assert!(cold.disk_ns > 0);
         assert_eq!(cold.cache.miss_blocks, 4);
     }
@@ -216,7 +265,7 @@ mod tests {
     #[test]
     fn aligned_write_is_absorbed_by_cache() {
         let mut f = small_file(); // 16-byte blocks
-        let r = f.write_at(0, &[7u8; 32]); // aligned, 2 blocks
+        let r = f.write_at(0, &[7u8; 32]).unwrap(); // aligned, 2 blocks
         assert_eq!(r.disk_ns, 0);
         assert_eq!(r.bytes_written, 32);
     }
@@ -228,28 +277,28 @@ mod tests {
         // benchmarks write fresh files, and their cost is modeled by
         // the server-side write path, not phantom disk reads.
         let mut f = small_file();
-        let r = f.write_at(3, &[7u8; 10]);
+        let r = f.write_at(3, &[7u8; 10]).unwrap();
         assert_eq!(r.disk_ns, 0);
     }
 
     #[test]
     fn unaligned_overwrite_of_cold_existing_data_pays_read_fill() {
         let mut f = small_file();
-        f.write_at(0, &[1u8; 128]); // materialize data
-                                    // Evict everything by touching other blocks beyond capacity.
+        f.write_at(0, &[1u8; 128]).unwrap(); // materialize data
+                                             // Evict everything by touching other blocks beyond capacity.
         for i in 0..16u64 {
-            f.read_at(1024 + i * 16, 16);
+            f.read_at(1024 + i * 16, 16).unwrap();
         }
-        let r = f.write_at(3, &[7u8; 6]); // unaligned, block holds data
+        let r = f.write_at(3, &[7u8; 6]).unwrap(); // unaligned, block holds data
         assert!(r.disk_ns > 0);
     }
 
     #[test]
     fn eviction_of_dirty_blocks_charges_writeback() {
         let mut f = LocalFile::new(CacheConfig::tiny(2), DiskModel::paper_default());
-        f.write_at(0, &[1u8; 16]);
-        f.write_at(16, &[1u8; 16]);
-        let r = f.write_at(32, &[1u8; 16]); // evicts a dirty block
+        f.write_at(0, &[1u8; 16]).unwrap();
+        f.write_at(16, &[1u8; 16]).unwrap();
+        let r = f.write_at(32, &[1u8; 16]).unwrap(); // evicts a dirty block
         assert!(r.cache.writeback_blocks >= 1);
         assert!(r.disk_ns > 0);
     }
@@ -257,7 +306,7 @@ mod tests {
     #[test]
     fn flush_costs_proportional_to_dirty_blocks() {
         let mut f = small_file();
-        f.write_at(0, &[1u8; 64]); // 4 dirty blocks
+        f.write_at(0, &[1u8; 64]).unwrap(); // 4 dirty blocks
         let r1 = f.flush();
         assert!(r1.disk_ns > 0);
         let r2 = f.flush();
@@ -267,8 +316,8 @@ mod tests {
     #[test]
     fn zero_length_ops_are_free() {
         let mut f = small_file();
-        assert_eq!(f.write_at(0, b""), CostReport::default());
-        let (d, r) = f.read_at(0, 0);
+        assert_eq!(f.write_at(0, b"").unwrap(), CostReport::default());
+        let (d, r) = f.read_at(0, 0).unwrap();
         assert!(d.is_empty());
         assert_eq!(r, CostReport::default());
     }
@@ -276,10 +325,10 @@ mod tests {
     #[test]
     fn read_into_matches_read_at() {
         let mut f = LocalFile::with_defaults();
-        f.write_at(0, &[9u8; 100]);
-        let (a, _) = f.read_at(10, 50);
+        f.write_at(0, &[9u8; 100]).unwrap();
+        let (a, _) = f.read_at(10, 50).unwrap();
         let mut b = vec![0u8; 50];
-        f.read_into(10, &mut b);
+        f.read_into(10, &mut b).unwrap();
         assert_eq!(a, b);
     }
 
@@ -320,9 +369,13 @@ mod tests {
         let mut seq_ns = 0;
         let mut rnd_ns = 0;
         for i in 0..16u64 {
-            seq_ns += seq.read_at(i * 16, 16).1.disk_ns;
+            seq_ns += seq.read_at(i * 16, 16).unwrap().1.disk_ns;
             // Jump around with a stride that defeats head tracking.
-            rnd_ns += scattered.read_at(((i * 7) % 16) * 1024, 16).1.disk_ns;
+            rnd_ns += scattered
+                .read_at(((i * 7) % 16) * 1024, 16)
+                .unwrap()
+                .1
+                .disk_ns;
         }
         assert!(seq_ns < rnd_ns, "seq {seq_ns} vs random {rnd_ns}");
     }
@@ -333,15 +386,15 @@ mod tests {
         cfg.readahead_blocks = 4;
         let mut f = LocalFile::new(cfg, DiskModel::paper_default());
         // First read misses and positions the head...
-        let (_, r0) = f.read_at(0, 16);
+        let (_, r0) = f.read_at(0, 16).unwrap();
         assert_eq!(r0.cache.miss_blocks, 1);
         // ...the second sequential read misses but triggers read-ahead,
         // so the following sequential reads hit at zero disk cost.
-        f.read_at(16, 16);
-        let (_, r2) = f.read_at(32, 16);
+        f.read_at(16, 16).unwrap();
+        let (_, r2) = f.read_at(32, 16).unwrap();
         assert_eq!(r2.cache.hit_blocks, 1, "readahead should have prefetched");
         assert_eq!(r2.disk_ns, 0);
-        let (_, r3) = f.read_at(48, 16);
+        let (_, r3) = f.read_at(48, 16).unwrap();
         assert_eq!(r3.cache.hit_blocks, 1);
     }
 
@@ -350,22 +403,43 @@ mod tests {
         let mut cfg = CacheConfig::tiny(64);
         cfg.readahead_blocks = 4;
         let mut f = LocalFile::new(cfg, DiskModel::paper_default());
-        f.read_at(1000, 16);
-        let (_, r) = f.read_at(0, 16); // jump: random
+        f.read_at(1000, 16).unwrap();
+        let (_, r) = f.read_at(0, 16).unwrap(); // jump: random
         assert_eq!(r.cache.miss_blocks, 1);
         // A block near neither access was not prefetched.
-        let (_, r2) = f.read_at(512, 16);
+        let (_, r2) = f.read_at(512, 16).unwrap();
         assert_eq!(r2.cache.miss_blocks, 1);
     }
 
     #[test]
     fn truncate_zeroes_tail() {
         let mut f = LocalFile::with_defaults();
-        f.write_at(0, &[5u8; 100]);
-        f.truncate(50);
+        f.write_at(0, &[5u8; 100]).unwrap();
+        f.truncate(50).unwrap();
         assert_eq!(f.size(), 50);
-        let (d, _) = f.read_at(40, 20);
+        let (d, _) = f.read_at(40, 20).unwrap();
         assert_eq!(&d[..10], &[5u8; 10]);
         assert_eq!(&d[10..], &[0u8; 10]);
+    }
+
+    #[test]
+    fn write_batch_merges_per_run_costs() {
+        let mut f = small_file();
+        let r = f.write_batch(&[(0, &[1u8; 16]), (64, &[2u8; 32])]).unwrap();
+        assert_eq!(r.bytes_written, 48);
+        assert_eq!(f.size(), 96);
+        assert_eq!(f.peek_vec(0, 16), vec![1u8; 16]);
+        assert_eq!(f.peek_vec(64, 32), vec![2u8; 32]);
+    }
+
+    #[test]
+    fn memory_backend_sync_reports_nothing_durable() {
+        let mut f = small_file();
+        f.write_at(0, &[1u8; 64]).unwrap();
+        let (durable, report) = f.sync().unwrap();
+        assert_eq!(durable, 0);
+        assert!(report.disk_ns > 0, "sync flushes dirty cache blocks");
+        assert_eq!(f.backend().durable_bytes(), 0);
+        assert!(f.backend().resident_bytes() > 0);
     }
 }

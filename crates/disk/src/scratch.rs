@@ -1,0 +1,56 @@
+//! Self-cleaning scratch directories for storage tests.
+//!
+//! The container has no `tempfile` crate, so durability tests (here and
+//! in the server/net/client crates) use this tiny RAII guard: a unique
+//! directory under the system temp dir, removed recursively on drop.
+//! CI's durability job asserts no `pvfs-*` scratch directories survive
+//! `cargo test` — a leaked directory is a failed Drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named scratch directory, deleted (recursively) on drop.
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    /// Create `TMPDIR/pvfs-<tag>-<pid>-<n>`.
+    pub fn new(tag: &str) -> ScratchDir {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("pvfs-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_unique_and_cleaned() {
+        let a = ScratchDir::new("unit");
+        let b = ScratchDir::new("unit");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        std::fs::write(a.path().join("x"), b"leftover").unwrap();
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists(), "drop must remove the tree");
+    }
+}

@@ -5,6 +5,8 @@
 //! costs only the chunks actually written; unwritten holes read back as
 //! zeros, like a sparse Unix file.
 
+use crate::backend::StorageBackend;
+use pvfs_types::PvfsResult;
 use std::collections::BTreeMap;
 
 /// Chunk granularity. 64 KiB balances per-chunk overhead against
@@ -129,6 +131,44 @@ impl SparseStore {
     }
 }
 
+/// The memory side of the storage-engine seam: applies batches in
+/// order, cannot fail, and promises nothing across a crash.
+impl StorageBackend for SparseStore {
+    fn size(&self) -> u64 {
+        SparseStore::size(self)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> PvfsResult<()> {
+        SparseStore::read_at(self, offset, buf);
+        Ok(())
+    }
+
+    fn write_batch(&mut self, runs: &[(u64, &[u8])]) -> PvfsResult<()> {
+        for (offset, data) in runs {
+            self.write_at(*offset, data);
+        }
+        Ok(())
+    }
+
+    fn truncate(&mut self, size: u64) -> PvfsResult<()> {
+        SparseStore::truncate(self, size);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> PvfsResult<u64> {
+        // Nothing survives a crash: a barrier on memory is a no-op.
+        Ok(0)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        SparseStore::resident_bytes(self)
+    }
+
+    fn durable_bytes(&self) -> u64 {
+        0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +282,19 @@ mod tests {
         // A write starting past the last writable offset is a no-op.
         s.write_at(u64::MAX, b"Z");
         assert_eq!(s.size(), u64::MAX);
+    }
+
+    #[test]
+    fn reads_past_the_tail_return_zeros_not_stale_bytes() {
+        // Same guarantee the durable backend makes after journal
+        // replay: the bytes past the logical size are holes, even when
+        // the chunk that used to hold them is still resident.
+        let mut s = SparseStore::new();
+        s.write_at(0, &[3u8; 100]);
+        s.truncate(40);
+        assert_eq!(s.size(), 40);
+        assert_eq!(s.read_vec(40, 60), vec![0u8; 60]);
+        assert_eq!(s.read_vec(30, 20), [vec![3u8; 10], vec![0u8; 10]].concat());
     }
 }
 

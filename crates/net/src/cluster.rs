@@ -43,12 +43,14 @@
 //! yields [`PvfsError::Timeout`] instead of hanging the client.
 
 use bytes::Bytes;
+use pvfs_disk::StorageConfig;
 use pvfs_proto::{
     decode_response, encode_message, encode_response, frame_is_stats_scrape, Message, Request,
     Response,
 };
 use pvfs_server::{IoDaemon, IodConfig, Manager, ServerStats};
 use pvfs_types::{ClientId, Histogram, PvfsError, PvfsResult, RequestId, ServerId, StatsSnapshot};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -90,7 +92,27 @@ pub struct LiveCluster {
     backend: Backend,
     next_client: AtomicU32,
     gate: Arc<SerialGate>,
+    /// Data directory this cluster created for itself from
+    /// `PVFS_STORAGE` (deleted when the guard drops — last field, so
+    /// removal happens after both transport backends have joined their
+    /// threads). Clusters given an explicit [`StorageConfig`] own
+    /// nothing: their directories outlive them, which is what lets
+    /// restart tests recover a predecessor's data.
+    _scratch_storage: Option<StorageScratch>,
 }
+
+/// Removes an env-derived storage directory on drop.
+struct StorageScratch(PathBuf);
+
+impl Drop for StorageScratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Distinguishes the data directories of concurrently-spawned clusters
+/// within one process (env-derived storage only).
+static NEXT_STORAGE_RUN: AtomicU64 = AtomicU64::new(0);
 
 impl LiveCluster {
     /// Spawn a cluster with `n_servers` I/O daemons (ids `0..n`) using
@@ -106,11 +128,62 @@ impl LiveCluster {
         LiveCluster::spawn_transport(n_servers, config, TransportKind::from_env())
     }
 
-    /// Spawn with an explicit transport.
+    /// Spawn with an explicit transport. The storage backend comes from
+    /// `PVFS_STORAGE`/`PVFS_SYNC` (default: memory); a `file:<dir>`
+    /// selection gets a per-cluster unique subdirectory of `<dir>` that
+    /// is deleted when the cluster drops, so concurrent test clusters
+    /// never collide on handle numbers and leave nothing behind.
     pub fn spawn_transport(n_servers: u32, config: IodConfig, kind: TransportKind) -> LiveCluster {
+        let storage = StorageConfig::from_env().expect("PVFS_STORAGE/PVFS_SYNC");
+        let (storage, scratch) = match storage {
+            StorageConfig::File { dir, sync } => {
+                let unique = dir.join(format!(
+                    "run-{}-{}",
+                    std::process::id(),
+                    NEXT_STORAGE_RUN.fetch_add(1, Ordering::Relaxed)
+                ));
+                (
+                    StorageConfig::File {
+                        dir: unique.clone(),
+                        sync,
+                    },
+                    Some(StorageScratch(unique)),
+                )
+            }
+            mem => (mem, None),
+        };
+        LiveCluster::spawn_inner(n_servers, config, kind, storage, scratch)
+    }
+
+    /// Spawn with an explicit transport *and* storage backend. The file
+    /// backend's directory is used exactly as given and is NOT deleted
+    /// at Drop — spawn a second cluster over the same directory to
+    /// exercise crash recovery.
+    pub fn spawn_storage(
+        n_servers: u32,
+        config: IodConfig,
+        kind: TransportKind,
+        storage: StorageConfig,
+    ) -> LiveCluster {
+        LiveCluster::spawn_inner(n_servers, config, kind, storage, None)
+    }
+
+    fn spawn_inner(
+        n_servers: u32,
+        config: IodConfig,
+        kind: TransportKind,
+        storage: StorageConfig,
+        scratch_storage: Option<StorageScratch>,
+    ) -> LiveCluster {
         assert!(n_servers > 0, "need at least one I/O server");
         let daemons: Vec<Arc<IoDaemon>> = (0..n_servers)
-            .map(|i| Arc::new(IoDaemon::new(ServerId(i), config)))
+            .map(|i| {
+                Arc::new(IoDaemon::with_storage(
+                    ServerId(i),
+                    config,
+                    storage.for_daemon(i),
+                ))
+            })
             .collect();
         let (transport, backend): (Arc<dyn Transport>, Backend) = match kind {
             TransportKind::Chan => {
@@ -190,6 +263,7 @@ impl LiveCluster {
             backend,
             next_client: AtomicU32::new(0),
             gate: Arc::new(SerialGate::new()),
+            _scratch_storage: scratch_storage,
         }
     }
 
@@ -238,6 +312,12 @@ impl LiveCluster {
     /// Statistics snapshot of one I/O daemon.
     pub fn server_stats(&self, server: ServerId) -> Option<ServerStats> {
         self.daemons.get(server.index()).map(|d| d.stats())
+    }
+
+    /// Direct handle on one I/O daemon (verification oracles and storage
+    /// crash injection in tests).
+    pub fn daemon(&self, server: ServerId) -> Option<Arc<IoDaemon>> {
+        self.daemons.get(server.index()).cloned()
     }
 
     /// Full in-process statistics snapshot of one I/O daemon — the same

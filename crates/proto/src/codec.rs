@@ -47,6 +47,8 @@ const OP_WRITE_VECTORS: u8 = 11;
 const OP_LIST_DIR: u8 = 12;
 const OP_GET_STATS: u8 = 13;
 const OP_RESET_STATS: u8 = 14;
+const OP_SYNC: u8 = 15;
+const OP_FLUSH: u8 = 16;
 
 // Response opcodes.
 const RESP_CREATED: u8 = 1;
@@ -59,6 +61,8 @@ const RESP_WRITTEN: u8 = 7;
 const RESP_ERROR: u8 = 8;
 const RESP_LISTING: u8 = 9;
 const RESP_STATS: u8 = 10;
+const RESP_SYNCED: u8 = 11;
+const RESP_FLUSHED: u8 = 12;
 
 // Error variant tags.
 const ERR_INVALID_ARGUMENT: u8 = 1;
@@ -159,6 +163,8 @@ pub fn encode_message(m: &Message) -> PvfsResult<Bytes> {
             buf.put_u64_le(data.len() as u64);
             buf.put_slice(data);
         }
+        Request::Sync { handle } => buf.put_u64_le(handle.0),
+        Request::Flush => {}
         Request::GetStats | Request::ResetStats => {}
     }
     Ok(buf.freeze())
@@ -287,6 +293,10 @@ pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
                 data,
             }
         }
+        OP_SYNC => Request::Sync {
+            handle: FileHandle(get_u64(&mut buf)?),
+        },
+        OP_FLUSH => Request::Flush,
         OP_GET_STATS => Request::GetStats,
         OP_RESET_STATS => Request::ResetStats,
         other => return Err(PvfsError::protocol(format!("unknown opcode {other}"))),
@@ -341,6 +351,14 @@ pub fn encode_response(id: RequestId, resp: &Response) -> Bytes {
         Response::Written { bytes } => {
             buf.put_u8(RESP_WRITTEN);
             buf.put_u64_le(*bytes);
+        }
+        Response::Synced { durable } => {
+            buf.put_u8(RESP_SYNCED);
+            buf.put_u64_le(*durable);
+        }
+        Response::Flushed { files } => {
+            buf.put_u8(RESP_FLUSHED);
+            buf.put_u64_le(*files);
         }
         Response::Stats(snap) => {
             buf.put_u8(RESP_STATS);
@@ -398,6 +416,12 @@ pub fn decode_response(mut buf: Bytes) -> PvfsResult<(RequestId, Response)> {
         },
         RESP_WRITTEN => Response::Written {
             bytes: get_u64(&mut buf)?,
+        },
+        RESP_SYNCED => Response::Synced {
+            durable: get_u64(&mut buf)?,
+        },
+        RESP_FLUSHED => Response::Flushed {
+            files: get_u64(&mut buf)?,
         },
         RESP_STATS => Response::Stats(Box::new(get_stats(&mut buf)?)),
         RESP_ERROR => Response::Error(get_error(&mut buf)?),
@@ -484,6 +508,8 @@ fn opcode(r: &Request) -> u8 {
         Request::WriteList { .. } => OP_WRITE_LIST,
         Request::ReadVectors { .. } => OP_READ_VECTORS,
         Request::WriteVectors { .. } => OP_WRITE_VECTORS,
+        Request::Sync { .. } => OP_SYNC,
+        Request::Flush => OP_FLUSH,
         Request::GetStats => OP_GET_STATS,
         Request::ResetStats => OP_RESET_STATS,
     }
@@ -575,8 +601,10 @@ fn put_stats(buf: &mut BytesMut, s: &StatsSnapshot) {
     buf.put_u64_le(s.workers);
     buf.put_u64_le(s.busy_workers);
     buf.put_u64_le(s.queue_depth);
+    buf.put_u64_le(s.journal_depth);
     put_histogram(buf, &s.queue_wait);
     put_histogram(buf, &s.service_time);
+    put_histogram(buf, &s.fsync_time);
 }
 
 fn get_stats(buf: &mut Bytes) -> PvfsResult<StatsSnapshot> {
@@ -592,11 +620,18 @@ fn get_stats(buf: &mut Bytes) -> PvfsResult<StatsSnapshot> {
         bytes_rx: get_u64(buf)?,
         bytes_tx: get_u64(buf)?,
         frames_rx: get_u64(buf)?,
+        journal_appends: get_u64(buf)?,
+        journal_bytes: get_u64(buf)?,
+        journal_replays: get_u64(buf)?,
+        flushes: get_u64(buf)?,
+        fsyncs: get_u64(buf)?,
         workers: get_u64(buf)?,
         busy_workers: get_u64(buf)?,
         queue_depth: get_u64(buf)?,
+        journal_depth: get_u64(buf)?,
         queue_wait: get_histogram(buf)?,
         service_time: get_histogram(buf)?,
+        fsync_time: get_histogram(buf)?,
     })
 }
 
@@ -799,6 +834,14 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_durability_ops() {
+        roundtrip(Request::Sync {
+            handle: FileHandle(42),
+        });
+        roundtrip(Request::Flush);
+    }
+
+    #[test]
     fn stats_response_roundtrips_exactly() {
         let mut snap = StatsSnapshot {
             requests: 1_000_003,
@@ -811,15 +854,22 @@ mod tests {
             bytes_rx: 1 << 40,
             bytes_tx: (1 << 40) + 1,
             frames_rx: 2_000_000,
+            journal_appends: 512,
+            journal_bytes: 9_999_999,
+            journal_replays: 2,
+            flushes: 31,
+            fsyncs: 77,
             workers: 8,
             busy_workers: 3,
             queue_depth: 12,
+            journal_depth: 5,
             ..Default::default()
         };
         for v in [0u64, 900, 1_000_000, 30_000_000_000] {
             snap.queue_wait.record(v);
         }
         snap.service_time.record(123_456_789);
+        snap.fsync_time.record(4_000_000);
         let encoded = encode_response(RequestId(5), &Response::Stats(Box::new(snap.clone())));
         let (id, decoded) = decode_response(encoded).unwrap();
         assert_eq!(id, RequestId(5));
@@ -844,6 +894,14 @@ mod tests {
             (Request::ResetStats, true),
             (Request::ListDir, false),
             (Request::Open { path: "/a".into() }, false),
+            // Sync/Flush do real work — they are accounted ops, not scrapes.
+            (
+                Request::Sync {
+                    handle: FileHandle(1),
+                },
+                false,
+            ),
+            (Request::Flush, false),
         ] {
             let frame = encode_message(&msg(req.clone())).unwrap();
             assert_eq!(
@@ -1061,6 +1119,8 @@ mod tests {
                 data: Bytes::from(vec![0xab; 300]),
             },
             Response::Written { bytes: 300 },
+            Response::Synced { durable: 1 << 33 },
+            Response::Flushed { files: 12 },
             Response::Error(PvfsError::BadHandle(9)),
             Response::Error(PvfsError::NoSuchFile("/x".into())),
             Response::Error(PvfsError::NoSuchServer(3)),
@@ -1246,6 +1306,10 @@ mod tests {
                 runs,
                 data: Bytes::from(vec![0u8; 2400]),
             },
+            Request::Sync {
+                handle: FileHandle(1),
+            },
+            Request::Flush,
             Request::GetStats,
             Request::ResetStats,
         ];

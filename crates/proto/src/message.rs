@@ -164,6 +164,16 @@ pub enum Request {
         data: Bytes,
     },
 
+    /// Durability barrier for one handle on this I/O daemon: flush the
+    /// storage engine (fsync data, checkpoint the journal) and answer
+    /// [`Response::Synced`] with the bytes now crash-proof. A no-op
+    /// answer (`durable: 0`) when the daemon has no state for the
+    /// handle or runs the memory backend.
+    Sync { handle: FileHandle },
+    /// Durability barrier for *every* handle on this I/O daemon;
+    /// answered with [`Response::Flushed`].
+    Flush,
+
     // ---- control operations (any daemon, manager included) ----
     /// Scrape the daemon's counters, gauges and latency histograms.
     /// Answered with [`Response::Stats`]; the snapshot excludes the
@@ -254,6 +264,8 @@ impl Request {
             Request::WriteList { regions, .. } => 8 + LAYOUT + 4 + 16 * regions.count() as u64 + 8,
             Request::ReadVectors { runs, .. } => 8 + LAYOUT + 4 + 32 * runs.len() as u64,
             Request::WriteVectors { runs, .. } => 8 + LAYOUT + 4 + 32 * runs.len() as u64 + 8,
+            Request::Sync { .. } => 8,
+            Request::Flush => 0,
             Request::GetStats | Request::ResetStats => 0,
         };
         ENVELOPE + body
@@ -304,6 +316,8 @@ impl Request {
             Request::WriteList { .. } => "write_list",
             Request::ReadVectors { .. } => "read_vectors",
             Request::WriteVectors { .. } => "write_vectors",
+            Request::Sync { .. } => "sync",
+            Request::Flush => "flush",
             Request::GetStats => "get_stats",
             Request::ResetStats => "reset_stats",
         }
@@ -398,6 +412,11 @@ pub enum Response {
     /// Write acknowledged; `bytes` is the number of payload bytes
     /// applied.
     Written { bytes: u64 },
+    /// Sync barrier done; `durable` is the handle's crash-proof byte
+    /// count on this server (0 on the memory backend).
+    Synced { durable: u64 },
+    /// Daemon-wide flush done; `files` local files were synced.
+    Flushed { files: u64 },
     /// Counters, gauges and latency histograms scraped by
     /// [`Request::GetStats`] / [`Request::ResetStats`].
     Stats(Box<pvfs_types::StatsSnapshot>),
@@ -571,6 +590,30 @@ mod tests {
         }
         assert_eq!(Request::GetStats.op_name(), "get_stats");
         assert_eq!(Request::ResetStats.op_name(), "reset_stats");
+    }
+
+    #[test]
+    fn durability_ops_are_idempotent_daemon_control() {
+        let sync = Request::Sync {
+            handle: FileHandle(9),
+        };
+        for r in [sync, Request::Flush] {
+            assert!(!r.is_metadata(), "{:?} is servable by I/O daemons", r);
+            assert!(r.is_idempotent(), "{:?} is safe to replay", r);
+            assert!(!r.is_write());
+            assert_eq!(r.region_count(), 0);
+            assert_eq!(r.bulk_len(), 0);
+            assert_eq!(r.server_share(ServerId(0)), 0);
+            assert_eq!(r.op_class(), OpClass::Meta);
+        }
+        assert_eq!(
+            Request::Sync {
+                handle: FileHandle(9)
+            }
+            .op_name(),
+            "sync"
+        );
+        assert_eq!(Request::Flush.op_name(), "flush");
     }
 
     #[test]

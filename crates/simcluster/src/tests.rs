@@ -81,8 +81,7 @@ fn simulated_write_lands_correct_bytes() {
                 let d = sim.daemon(seg.server);
                 let got = d
                     .with_local_file(FH, |f| {
-                        f.store()
-                            .read_vec(seg.local_offset, seg.logical.len as usize)
+                        f.peek_vec(seg.local_offset, seg.logical.len as usize)
                     })
                     .expect("file exists");
                 assert_eq!(

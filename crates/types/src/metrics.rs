@@ -343,18 +343,33 @@ pub struct StatsSnapshot {
     /// Frames received but not yet fully served (gauge: queued + in
     /// service).
     pub queue_depth: u64,
+    /// Journal records appended by the storage engine (write batches +
+    /// truncates; 0 on the memory backend).
+    pub journal_appends: u64,
+    /// Bytes appended to storage journals.
+    pub journal_bytes: u64,
+    /// Journal records replayed at daemon recovery.
+    pub journal_replays: u64,
+    /// Durability flushes (checkpoints + explicit sync barriers).
+    pub flushes: u64,
+    /// `fsync` syscalls issued by the storage engine.
+    pub fsyncs: u64,
+    /// Journal records committed but not yet checkpointed (gauge).
+    pub journal_depth: u64,
     /// Time from frame arrival to a worker picking it up.
     pub queue_wait: Histogram,
     /// Time a worker spent serving the request (decode + execute +
     /// encode).
     pub service_time: Histogram,
+    /// Latency of each storage-engine `fsync` syscall.
+    pub fsync_time: Histogram,
 }
 
 impl StatsSnapshot {
     /// The counter fields in `ServerStats` order, paired with their
     /// names — the unit the byte-for-byte equivalence tests compare and
     /// the tables print.
-    pub fn counters(&self) -> [(&'static str, u64); 10] {
+    pub fn counters(&self) -> [(&'static str, u64); 15] {
         [
             ("requests", self.requests),
             ("contiguous_requests", self.contiguous_requests),
@@ -366,6 +381,11 @@ impl StatsSnapshot {
             ("bytes_rx", self.bytes_rx),
             ("bytes_tx", self.bytes_tx),
             ("frames_rx", self.frames_rx),
+            ("journal_appends", self.journal_appends),
+            ("journal_bytes", self.journal_bytes),
+            ("journal_replays", self.journal_replays),
+            ("flushes", self.flushes),
+            ("fsyncs", self.fsyncs),
         ]
     }
 
@@ -377,12 +397,14 @@ impl StatsSnapshot {
             out.push_str(&format!("\"{name}\":{v},"));
         }
         out.push_str(&format!(
-            "\"workers\":{},\"busy_workers\":{},\"queue_depth\":{},\"queue_wait\":{},\"service_time\":{}}}",
+            "\"workers\":{},\"busy_workers\":{},\"queue_depth\":{},\"journal_depth\":{},\"queue_wait\":{},\"service_time\":{},\"fsync_time\":{}}}",
             self.workers,
             self.busy_workers,
             self.queue_depth,
+            self.journal_depth,
             self.queue_wait.to_json(),
             self.service_time.to_json(),
+            self.fsync_time.to_json(),
         ));
         out
     }
@@ -571,9 +593,13 @@ mod tests {
         assert!(json.contains("\"requests\":7"), "{json}");
         assert!(json.contains("\"bytes_rx\":123"), "{json}");
         assert!(json.contains("\"service_time\":{\"count\":1"), "{json}");
+        assert!(json.contains("\"fsync_time\":{\"count\":0"), "{json}");
+        assert!(json.contains("\"journal_depth\":0"), "{json}");
         // Counter order is the ServerStats field order.
         let names: Vec<&str> = s.counters().iter().map(|(n, _)| *n).collect();
         assert_eq!(names[0], "requests");
         assert_eq!(names[9], "frames_rx");
+        assert_eq!(names[10], "journal_appends");
+        assert_eq!(names[14], "fsyncs");
     }
 }

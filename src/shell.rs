@@ -67,6 +67,7 @@ impl Shell {
             "writep" => self.cmd_writep(&args),
             "readp" => self.cmd_readp(&args),
             "method" => self.cmd_method(&args),
+            "sync" => self.cmd_sync(&args),
             "bench" => self.cmd_bench(&args),
             "stats" => self.cmd_stats(&args),
             other => Err(PvfsError::invalid(format!(
@@ -245,6 +246,38 @@ impl Shell {
         }
     }
 
+    /// Durability barrier. `sync PATH` fsyncs one open file on every
+    /// daemon in its layout; bare `sync` flushes every open file on
+    /// every daemon. On the memory backend both are cheap no-ops that
+    /// report zero durable bytes — only `PVFS_STORAGE=file:<dir>`
+    /// clusters have anything to persist.
+    fn cmd_sync(&mut self, args: &[&str]) -> PvfsResult<String> {
+        match args.first() {
+            Some(&path) => {
+                let durable = self.file_mut(path)?.sync()?;
+                Ok(format!("synced {path}: {durable} bytes durable"))
+            }
+            None => {
+                let client = self.cluster.client();
+                let mut files = 0u64;
+                for i in 0..self.cluster.n_servers() {
+                    match client.call(RpcTarget::Server(ServerId(i)), Request::Flush)? {
+                        Response::Flushed { files: n } => files += n,
+                        other => {
+                            return Err(PvfsError::protocol(format!(
+                                "unexpected response to Flush: {other:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(format!(
+                    "flushed {files} open files across {} daemons",
+                    self.cluster.n_servers()
+                ))
+            }
+        }
+    }
+
     /// Compare all five methods on a strided pattern against an open
     /// file, with wall-clock timing on the live cluster.
     fn cmd_bench(&mut self, args: &[&str]) -> PvfsResult<String> {
@@ -327,11 +360,31 @@ impl Shell {
         );
         let _ = writeln!(
             out,
+            "\nstorage    jrnl-app  jrnl-depth  replays  flushes  fsyncs"
+        );
+        for (i, s) in snaps.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8} {:>11} {:>8} {:>8} {:>7}",
+                format!("iod{i}"),
+                s.journal_appends,
+                s.journal_depth,
+                s.journal_replays,
+                s.flushes,
+                s.fsyncs
+            );
+        }
+        let _ = writeln!(
+            out,
             "\nlatency (µs)            p50      p95      p99  samples"
         );
         let us = |ns: u64| ns as f64 / 1000.0;
         for (i, s) in snaps.iter().enumerate() {
-            for (what, h) in [("queue-wait", &s.queue_wait), ("service", &s.service_time)] {
+            for (what, h) in [
+                ("queue-wait", &s.queue_wait),
+                ("service", &s.service_time),
+                ("fsync", &s.fsync_time),
+            ] {
                 let _ = writeln!(
                     out,
                     "{:<18} {:>8.1} {:>8.1} {:>8.1} {:>8}",
@@ -366,6 +419,7 @@ const HELP: &str = "commands:
   writep PATH OFFSET COUNT LEN STRIDE BYTE   strided noncontiguous write
   readp PATH OFFSET COUNT LEN STRIDE    strided noncontiguous read
   method [multiple|sieve|list|hybrid|datatype]   select the access method
+  sync [PATH]                           durability barrier: one open file, or every daemon
   bench PATH OFFSET COUNT LEN STRIDE    compare all methods on a pattern
   stats [json]                          per-server statistics scraped over the GetStats RPC
   help                                  this text";
@@ -559,6 +613,30 @@ mod tests {
         // Scraping must not perturb the counters it reports.
         let again = sh.execute("stats json").unwrap();
         assert_eq!(again, out, "a scrape perturbed the stats");
+    }
+
+    #[test]
+    fn sync_command_barriers_one_file_or_the_cluster() {
+        let mut sh = shell();
+        sh.execute("create /d 4 64").unwrap();
+        sh.execute("write /d 0 make-it-durable").unwrap();
+        // The default shell cluster is memory-backed: the barrier runs
+        // the full RPC fan-out but has nothing to persist.
+        let out = sh.execute("sync /d").unwrap();
+        assert_eq!(out, "synced /d: 0 bytes durable");
+        let out = sh.execute("sync").unwrap();
+        assert!(out.contains("flushed"), "{out}");
+        assert!(sh.execute("sync /missing").is_err());
+    }
+
+    #[test]
+    fn stats_show_storage_counters() {
+        let mut sh = shell();
+        sh.execute("create /s 2 64").unwrap();
+        sh.execute("write /s 0 bytes").unwrap();
+        let out = sh.execute("stats").unwrap();
+        assert!(out.contains("jrnl-app"), "{out}");
+        assert!(out.contains("iod0 fsync"), "{out}");
     }
 
     #[test]

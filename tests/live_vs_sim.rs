@@ -134,8 +134,7 @@ fn flash_checkpoints_agree_between_live_and_sim() {
     for seg in layout.segments(pvfs::types::Region::new(0, file_size as u64)) {
         let daemon = sim.daemon(seg.server);
         if let Some(piece) = daemon.with_local_file(FH, |f| {
-            f.store()
-                .read_vec(seg.local_offset, seg.logical.len as usize)
+            f.peek_vec(seg.local_offset, seg.logical.len as usize)
         }) {
             sim_file[seg.logical.offset as usize..seg.logical.end() as usize]
                 .copy_from_slice(&piece);
