@@ -3,7 +3,7 @@
 //! ```text
 //! figures [FIGURE ...] [--scale quick|mid|paper] [--out DIR] [--transport chan|tcp]
 //!
-//! FIGURE: fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos durability collective all
+//! FIGURE: fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos brownout durability collective all
 //! ```
 //!
 //! Writes one CSV per figure into `--out` (default `results/`) and
@@ -18,7 +18,7 @@
 
 use pvfs_bench::figures::{ext_datatype, ext_hybrid};
 use pvfs_bench::{
-    chaos, collective, durability, fig10, fig11, fig12, fig15, fig17, fig9, render_bars,
+    brownout, chaos, collective, durability, fig10, fig11, fig12, fig15, fig17, fig9, render_bars,
     render_table, wire, write_csv, Row, Scale,
 };
 use pvfs_net::TransportKind;
@@ -52,10 +52,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos durability collective | all] \
+                    "usage: figures [fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos brownout durability collective | all] \
                      [--scale quick|mid|paper] [--out DIR] [--transport chan|tcp]\n\
-                     (--transport selects the live cluster's transport for the `wire`, `chaos`, `durability`, and\n\
-                      `collective` figures; the fig* figures run on the calibrated simulator)"
+                     (--transport selects the live cluster's transport for the `wire`, `chaos`, `brownout`, `durability`,\n\
+                      and `collective` figures; the fig* figures run on the calibrated simulator)"
                 );
                 return;
             }
@@ -74,6 +74,7 @@ fn main() {
             "ext-hybrid",
             "wire",
             "chaos",
+            "brownout",
             "durability",
             "collective",
         ]
@@ -95,6 +96,7 @@ fn main() {
             "ext-hybrid" => ext_hybrid(scale),
             "wire" => wire(scale, transport),
             "chaos" => chaos(scale, transport),
+            "brownout" => brownout(scale, transport),
             "durability" => durability(scale, transport),
             "collective" => collective(scale, transport),
             other => {

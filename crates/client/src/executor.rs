@@ -42,6 +42,19 @@ pub struct ExecReport {
     /// Faults injected by the transport's fault plan (zero unless
     /// `PVFS_FAULTS` or [`pvfs_net::FaultyTransport`] is in play).
     pub faults_injected: u64,
+    /// Hedged duplicate reads shipped (`PVFS_HEDGE`; zero when hedging
+    /// is off).
+    pub hedges_sent: u64,
+    /// Hedged reads where the duplicate beat the primary — the tail
+    /// this execution actually dodged.
+    pub hedge_wins: u64,
+    /// RPCs rejected client-side by an open circuit breaker
+    /// (`PVFS_BREAKER`): the op failed in microseconds instead of
+    /// burning a deadline against a sick daemon.
+    pub breaker_rejections: u64,
+    /// `Overloaded` refusals witnessed from shedding daemons; each one
+    /// was absorbed by a retry or surfaced as the op's error.
+    pub sheds_seen: u64,
     /// Wire requests this client issued, broken down per I/O daemon
     /// (indexed by `ServerId`; the vector grows to the highest daemon
     /// addressed). The per-daemon fan-in is the collective-I/O claim:
@@ -90,6 +103,10 @@ impl ExecReport {
         self.retries += other.retries;
         self.backoff_ms += other.backoff_ms;
         self.faults_injected += other.faults_injected;
+        self.hedges_sent += other.hedges_sent;
+        self.hedge_wins += other.hedge_wins;
+        self.breaker_rejections += other.breaker_rejections;
+        self.sheds_seen += other.sheds_seen;
         self.exchange_bytes += other.exchange_bytes;
         self.exchange_msgs += other.exchange_msgs;
         self.rpc_latency.merge(&other.rpc_latency);
@@ -206,6 +223,10 @@ pub fn execute_plan(
     report.retries = retry.retries;
     report.backoff_ms = retry.backoff_ms;
     report.faults_injected = retry.faults_injected;
+    report.hedges_sent = retry.hedges_sent;
+    report.hedge_wins = retry.hedge_wins;
+    report.breaker_rejections = retry.breaker_rejections;
+    report.sheds_seen = retry.sheds_seen;
     // The endpoint tracker is shared across clones and plans; the delta
     // isolates exactly the RPCs this execution issued.
     report.rpc_latency = client.latency_snapshot().since(&latency_before);

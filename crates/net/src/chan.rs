@@ -22,6 +22,26 @@ use std::time::{Duration, Instant};
 #[derive(Debug, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
 
+/// Error returned by [`Sender::try_send`]; carries the unsent message
+/// back either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity right now (load-shed candidate).
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+/// Error returned by [`Sender::send_timeout`]; carries the unsent
+/// message back either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The queue stayed full for the whole timeout.
+    Timeout(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and
 /// all senders are gone.
 #[derive(Debug, PartialEq, Eq)]
@@ -98,6 +118,69 @@ impl<T> Sender<T> {
             }
             state = self.shared.not_full.wait(state).unwrap();
         }
+    }
+
+    /// Enqueue without blocking: fail immediately when the queue is at
+    /// capacity (the load-shedding primitive) or every receiver is
+    /// gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue, blocking at most `timeout` while the channel is full —
+    /// the bounded-wait middle ground between [`Sender::send`] (block
+    /// forever) and [`Sender::try_send`] (never block). A wedged
+    /// consumer yields `Timeout` instead of hanging the sender.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(value);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            let (guard, _) = self
+                .shared
+                .not_full
+                .wait_timeout(state, deadline - now)
+                .unwrap();
+            state = guard;
+        }
+    }
+
+    /// Messages queued right now (racy by nature; a shed decision
+    /// reading this is advisory).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// True when no message is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
     }
 }
 
@@ -257,6 +340,48 @@ mod tests {
         t.join().unwrap();
         assert_eq!(rx.recv(), Ok(2));
         assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn try_send_fails_fast_on_full_or_disconnected() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(tx.capacity(), 2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn send_timeout_bounds_the_wait_then_succeeds_after_drain() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let started = Instant::now();
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(2))
+        );
+        assert!(started.elapsed() >= Duration::from_millis(20));
+        // A concurrent drain unblocks a parked send_timeout.
+        let t = std::thread::spawn(move || tx.send_timeout(2, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(t.join().unwrap(), Ok(()));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn send_timeout_observes_disconnect() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(7, Duration::from_millis(5)),
+            Err(SendTimeoutError::Disconnected(7))
+        );
     }
 
     #[test]

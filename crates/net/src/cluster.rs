@@ -45,8 +45,8 @@
 use bytes::Bytes;
 use pvfs_disk::StorageConfig;
 use pvfs_proto::{
-    decode_response, encode_message, encode_response, frame_is_stats_scrape, Message, Request,
-    Response,
+    decode_response, encode_message, encode_response, frame_is_stats_scrape, Message, OpClass,
+    Request, Response,
 };
 use pvfs_server::{IoDaemon, IodConfig, Manager, ServerStats};
 use pvfs_types::{ClientId, Histogram, PvfsError, PvfsResult, RequestId, ServerId, StatsSnapshot};
@@ -56,9 +56,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::chan::{bounded, Sender};
+use crate::chan::{bounded, RecvTimeoutError, Sender};
 use crate::fault::{FaultPlan, FaultyTransport};
 use crate::gate::SerialGate;
+use crate::health::{BreakerPolicy, HealthTracker, HedgePolicy};
 use crate::latency::RpcLatency;
 use crate::pool::WorkerPool;
 use crate::retry::{AtomicClientStats, Backoff, ClientStats, RetryPolicy};
@@ -228,10 +229,18 @@ impl LiveCluster {
                         Arc::new(move || d.note_queued()) as Arc<dyn Fn() + Send + Sync>
                     })
                     .collect();
+                let shed_marks: Vec<Arc<dyn Fn() + Send + Sync>> = daemons
+                    .iter()
+                    .map(|d| {
+                        let d = d.clone();
+                        Arc::new(move || d.note_shed()) as Arc<dyn Fn() + Send + Sync>
+                    })
+                    .collect();
                 (
                     Arc::new(
                         ChanTransport::new(server_txs.clone(), mgr_tx.clone())
-                            .with_queue_marks(queue_marks),
+                            .with_queue_marks(queue_marks)
+                            .with_shed_marks(shed_marks),
                     ),
                     Backend::Chan {
                         server_txs,
@@ -425,6 +434,10 @@ pub struct ClusterClient {
     retry: RetryPolicy,
     stats: Arc<AtomicClientStats>,
     latency: Arc<RpcLatency>,
+    /// Per-daemon failure detector + circuit breakers, shared by every
+    /// clone: all of an endpoint's traffic contributes health signal.
+    health: Arc<HealthTracker>,
+    hedge: HedgePolicy,
 }
 
 impl ClusterClient {
@@ -437,6 +450,10 @@ impl ClusterClient {
         gate: Arc<SerialGate>,
     ) -> ClusterClient {
         let latency = Arc::new(RpcLatency::new(transport.n_servers()));
+        let health = Arc::new(HealthTracker::new(
+            transport.n_servers(),
+            BreakerPolicy::from_env(),
+        ));
         ClusterClient {
             id,
             transport,
@@ -447,6 +464,8 @@ impl ClusterClient {
             retry: RetryPolicy::from_env(),
             stats: Arc::new(AtomicClientStats::default()),
             latency,
+            health,
+            hedge: HedgePolicy::from_env(),
         }
     }
 
@@ -488,6 +507,51 @@ impl ClusterClient {
         self.retry
     }
 
+    /// This endpoint with a fresh [`HealthTracker`] under a different
+    /// breaker policy ([`BreakerPolicy::off`] disables breakers).
+    /// Existing clones keep the tracker they were built with; clones
+    /// taken *after* this call share the new one.
+    pub fn with_breaker_policy(mut self, policy: BreakerPolicy) -> ClusterClient {
+        self.health = Arc::new(HealthTracker::new(self.transport.n_servers(), policy));
+        self
+    }
+
+    /// This endpoint with a different hedging policy
+    /// ([`HedgePolicy::on`] enables hedged reads).
+    pub fn with_hedge_policy(mut self, hedge: HedgePolicy) -> ClusterClient {
+        self.hedge = hedge;
+        self
+    }
+
+    /// The per-daemon failure detector (breaker states, EWMA latency)
+    /// of this endpoint and all its clones.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The hedging policy currently in force.
+    pub fn hedge_policy(&self) -> HedgePolicy {
+        self.hedge
+    }
+
+    /// Probe one daemon's liveness with the cheap [`Request::Ping`] RPC
+    /// and return its current queue depth. The probe rides the ordinary
+    /// call path on purpose: its round-trip feeds the same
+    /// [`HealthTracker`] EWMA and breaker as real traffic, so a
+    /// background pinger doubles as a failure detector. A ping to an
+    /// open-circuit daemon fails fast with `Unavailable` — use
+    /// [`ClusterClient::health`] to watch for the half-open window if
+    /// you are probing for recovery.
+    pub fn ping(&self, server: ServerId) -> PvfsResult<u64> {
+        match self.call(RpcTarget::Server(server), Request::Ping)? {
+            Response::Pong { queue_depth } => Ok(queue_depth),
+            other => Err(PvfsError::Protocol(format!(
+                "ping to server {} answered {other:?}",
+                server.0
+            ))),
+        }
+    }
+
     /// Reliability counters of this endpoint and all its clones:
     /// attempts, retries, backoff slept, faults the transport injected.
     pub fn stats(&self) -> ClientStats {
@@ -521,9 +585,15 @@ impl ClusterClient {
     /// One synchronous RPC. Errors returned by the server come back as
     /// `Err`; no reply within the deadline is [`PvfsError::Timeout`].
     ///
-    /// Transient failures ([`PvfsError::is_retryable`]) of idempotent
-    /// requests ([`Request::is_idempotent`]) are retried under this
-    /// endpoint's [`RetryPolicy`], each attempt on a fresh request id.
+    /// Transient failures ([`PvfsError::is_retryable`]) are retried
+    /// under this endpoint's [`RetryPolicy`], each attempt on a fresh
+    /// request id — when the request is idempotent
+    /// ([`Request::is_idempotent`]), or when the failure proves the
+    /// request never executed ([`PvfsError::is_definitely_not_executed`],
+    /// e.g. a server-side shed): replaying an op that never ran cannot
+    /// duplicate its effect. Backoff sleeps are clamped to the
+    /// remaining per-op budget, so the error surfaces at the budget
+    /// boundary instead of after one last full-length sleep.
     pub fn call(&self, target: RpcTarget, request: Request) -> PvfsResult<Response> {
         let started = Instant::now();
         let mut backoff: Option<Backoff> = None;
@@ -534,8 +604,9 @@ impl ClusterClient {
                 Ok(response) => return Ok(response),
                 Err(e) => e,
             };
+            let replayable = request.is_idempotent() || err.is_definitely_not_executed();
             if !err.is_retryable()
-                || !request.is_idempotent()
+                || !replayable
                 || attempt >= self.retry.max_attempts
                 || started.elapsed() >= self.retry.budget
             {
@@ -543,19 +614,66 @@ impl ClusterClient {
             }
             let delay = backoff
                 .get_or_insert_with(|| self.new_backoff())
-                .next_delay();
+                .next_delay()
+                .min(self.retry.budget.saturating_sub(started.elapsed()));
             self.stats.record_retries(1, delay);
             std::thread::sleep(delay);
             attempt += 1;
         }
     }
 
-    /// One attempt of one RPC: ship, wait, decode, attribute.
+    /// One attempt of one RPC: breaker admission, ship, wait, decode,
+    /// attribute, and feed the outcome back to the failure detector.
     fn call_once(&self, target: RpcTarget, request: Request) -> PvfsResult<Response> {
+        if let RpcTarget::Server(server) = target {
+            // An open breaker fails fast before touching the wire; the
+            // manager is never gated (metadata is rare and precious).
+            if let Err(e) = self.health.admit(server) {
+                self.stats.record_breaker_rejection();
+                return Err(e);
+            }
+            if self.hedge.enabled && request.op_class() == OpClass::Read {
+                return self.call_hedged(server, request);
+            }
+        }
         let class = request.op_class();
         let shipped_at = Instant::now();
         let (id, frame) = self.encode(request)?;
-        let pending = self.transport.start(target, frame)?;
+        let outcome = self
+            .transport
+            .start(target, frame)
+            .and_then(|pending| self.await_reply(target, id, pending));
+        match outcome {
+            Ok(response) => {
+                self.latency.record(target, class, shipped_at.elapsed());
+                if let RpcTarget::Server(server) = target {
+                    // Any decoded response — server errors included —
+                    // proves the daemon is alive and timely.
+                    self.health.record_success(server, shipped_at.elapsed());
+                }
+                let result = response.into_result();
+                if let Err(e) = &result {
+                    self.note_shed(e);
+                }
+                result
+            }
+            Err(e) => {
+                if let RpcTarget::Server(server) = target {
+                    self.observe_failure(server, &e);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Wait for, decode, and attribute the reply to one single RPC
+    /// (`id` is the only request awaiting this handle).
+    fn await_reply(
+        &self,
+        target: RpcTarget,
+        id: RequestId,
+        pending: Box<dyn crate::transport::PendingReply>,
+    ) -> PvfsResult<Response> {
         let raw = pending.wait(self.rpc_timeout).map_err(|e| match e {
             WaitError::Timeout => PvfsError::timeout(format!(
                 "no reply to request {id} from {target:?} within {:?}",
@@ -565,8 +683,7 @@ impl ClusterClient {
         })?;
         let (rid, response) = decode_response(raw)?;
         if rid == id {
-            self.latency.record(target, class, shipped_at.elapsed());
-            return response.into_result();
+            return Ok(response);
         }
         if rid == RequestId(0) {
             // Unattributable error response: only this request awaited
@@ -582,6 +699,141 @@ impl ClusterClient {
         Err(PvfsError::protocol(format!(
             "response id {rid} does not match request id {id}"
         )))
+    }
+
+    /// One *hedged* read attempt: ship the RPC, and if no reply lands
+    /// within a percentile of this daemon's observed read latency
+    /// ([`HedgePolicy`]), ship an identical duplicate on a second
+    /// connection and take whichever response arrives first. The loser
+    /// drains in a background thread (bounded by the RPC deadline) so
+    /// a late reply never crosses wires with a later request. Only
+    /// read-class RPCs come through here — they are idempotent, so the
+    /// duplicate is harmless by construction.
+    fn call_hedged(&self, server: ServerId, request: Request) -> PvfsResult<Response> {
+        let target = RpcTarget::Server(server);
+        let class = request.op_class();
+        let observed = {
+            let snap = self.latency.snapshot(target, class);
+            (snap.count() > 0)
+                .then(|| Duration::from_nanos(snap.percentile_ns(self.hedge.percentile)))
+        };
+        let hedge_after = self.hedge.delay(observed).min(self.rpc_timeout);
+        let shipped_at = Instant::now();
+        let deadline = shipped_at + self.rpc_timeout;
+        let (id, frame) = self.encode(request.clone())?;
+        // Both replies race into one channel, tagged by origin; each
+        // waiter ships and owns its own pending handle and dies with
+        // the deadline. Shipping on the waiter thread matters: a
+        // stalled connect/send (an injected delay fault, a jammed
+        // socket buffer) must not hold the hedge clock hostage.
+        let (tx, rx) = bounded::<(bool, Result<Bytes, WaitError>)>(2);
+        let timeout = self.rpc_timeout;
+        {
+            let tx = tx.clone();
+            let transport = self.transport.clone();
+            std::thread::spawn(move || {
+                let outcome = match transport.start(target, frame) {
+                    Ok(pending) => pending.wait(timeout),
+                    Err(e) => Err(WaitError::Failed(e)),
+                };
+                let _ = tx.send((false, outcome));
+            });
+        }
+        let mut outcomes: Vec<(bool, Result<Bytes, WaitError>)> = Vec::new();
+        let mut hedge_id: Option<RequestId> = None;
+        match rx.recv_timeout(hedge_after) {
+            Ok(first) => outcomes.push(first),
+            Err(RecvTimeoutError::Disconnected) => {}
+            Err(RecvTimeoutError::Timeout) => {
+                // The primary is slower than the hedge trigger: fire
+                // the duplicate. A failure to even ship it (full
+                // queue, dead transport) falls back to the primary
+                // alone rather than failing the op.
+                let (hid, hframe) = self.encode(request)?;
+                if let Ok(hedge_pending) = self.transport.start(target, hframe) {
+                    hedge_id = Some(hid);
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        let _ = tx.send((true, hedge_pending.wait(timeout)));
+                    });
+                }
+            }
+        }
+        let expected = 1 + usize::from(hedge_id.is_some());
+        let winner = loop {
+            if let Some(pos) = outcomes.iter().position(|(_, r)| r.is_ok()) {
+                break Some(outcomes.swap_remove(pos));
+            }
+            if outcomes.len() >= expected {
+                break None;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break None;
+            }
+            match rx.recv_timeout(remaining) {
+                Ok(m) => outcomes.push(m),
+                Err(_) => break None,
+            }
+        };
+        if hedge_id.is_some() {
+            self.stats.record_hedge(matches!(&winner, Some((true, _))));
+        }
+        match winner {
+            Some((from_hedge, Ok(raw))) => {
+                let expect = if from_hedge { hedge_id.unwrap() } else { id };
+                let (rid, response) = decode_response(raw)?;
+                if rid != expect {
+                    // With two requests in flight even an id-0 error is
+                    // ambiguous; reject anything misattributed.
+                    return Err(PvfsError::protocol(format!(
+                        "hedged response id {rid} does not match request id {expect}"
+                    )));
+                }
+                self.latency.record(target, class, shipped_at.elapsed());
+                self.health.record_success(server, shipped_at.elapsed());
+                let result = response.into_result();
+                if let Err(e) = &result {
+                    self.note_shed(e);
+                }
+                result
+            }
+            _ => {
+                let err = outcomes
+                    .into_iter()
+                    .find_map(|(_, r)| match r {
+                        Err(WaitError::Failed(e)) => Some(e),
+                        _ => None,
+                    })
+                    .unwrap_or_else(|| {
+                        PvfsError::timeout(format!(
+                            "no reply to hedged request {id} from server {server} within {:?}",
+                            self.rpc_timeout
+                        ))
+                    });
+                self.observe_failure(server, &err);
+                Err(err)
+            }
+        }
+    }
+
+    /// Feed one failed server RPC to the failure detector. Only
+    /// transport-class failures (connection loss, timeout) count
+    /// toward tripping a breaker; a shed ([`PvfsError::Overloaded`])
+    /// proves the daemon's acceptor is alive, so it only bumps the
+    /// client's shed counter, and logical server errors are neutral.
+    fn observe_failure(&self, server: ServerId, e: &PvfsError) {
+        match e {
+            PvfsError::Transport(_) | PvfsError::Timeout(_) => self.health.record_failure(server),
+            _ => self.note_shed(e),
+        }
+    }
+
+    /// Count a witnessed server-side shed.
+    fn note_shed(&self, e: &PvfsError) {
+        if matches!(e, PvfsError::Overloaded { .. }) {
+            self.stats.record_shed_seen();
+        }
     }
 
     /// Issue several requests in parallel (the fan-out of one plan
@@ -602,6 +854,17 @@ impl ClusterClient {
     /// the failed subset cannot corrupt regions whose writes already
     /// applied. A deterministic error (or an exhausted
     /// [`RetryPolicy`]) aborts the round with that error.
+    ///
+    /// # Brown-out behavior
+    ///
+    /// A daemon whose circuit breaker is open fails its ops *at ship
+    /// time* with [`PvfsError::Unavailable`] — no queueing, no
+    /// timeout wait — while every other daemon's ops in the same
+    /// round ship, execute, and land in `results` as usual. The round
+    /// then surfaces the `Unavailable` (it is deliberately
+    /// non-retryable: spinning against an open breaker would defeat
+    /// it), so a round touching one dead daemon costs microseconds,
+    /// not an RPC timeout per attempt.
     pub fn round(&self, requests: Vec<(ServerId, Request)>) -> PvfsResult<Vec<Response>> {
         let mut results: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
         let mut pending: Vec<usize> = (0..requests.len()).collect();
@@ -617,10 +880,10 @@ impl ClusterClient {
                     .map(|r| r.expect("every op resolved"))
                     .collect());
             }
-            if let Some((_, e)) = failures
-                .iter()
-                .find(|(i, e)| !e.is_retryable() || !requests[*i].1.is_idempotent())
-            {
+            if let Some((_, e)) = failures.iter().find(|(i, e)| {
+                !e.is_retryable()
+                    || !(requests[*i].1.is_idempotent() || e.is_definitely_not_executed())
+            }) {
                 return Err(e.clone());
             }
             if attempt >= self.retry.max_attempts || started.elapsed() >= self.retry.budget {
@@ -628,7 +891,8 @@ impl ClusterClient {
             }
             let delay = backoff
                 .get_or_insert_with(|| self.new_backoff())
-                .next_delay();
+                .next_delay()
+                .min(self.retry.budget.saturating_sub(started.elapsed()));
             self.stats.record_retries(failures.len() as u64, delay);
             std::thread::sleep(delay);
             pending = failures.into_iter().map(|(i, _)| i).collect();
@@ -651,12 +915,23 @@ impl ClusterClient {
         for &i in pending {
             let (server, request) = &requests[i];
             let class = request.op_class();
+            // Breaker admission before spending any work on the op: an
+            // open breaker fails this op fast without blocking the
+            // round's other ops.
+            if let Err(e) = self.health.admit(*server) {
+                self.stats.record_breaker_rejection();
+                failures.push((i, e));
+                continue;
+            }
             match self.encode(request.clone()) {
                 Err(e) => failures.push((i, e)),
                 Ok((id, frame)) => {
                     let shipped_at = Instant::now();
                     match self.transport.start(RpcTarget::Server(*server), frame) {
-                        Err(e) => failures.push((i, annotate_round_error(*server, id, e))),
+                        Err(e) => {
+                            self.observe_failure(*server, &e);
+                            failures.push((i, annotate_round_error(*server, id, e)));
+                        }
                         Ok(handle) => inflight.push((i, *server, id, class, shipped_at, handle)),
                     }
                 }
@@ -670,9 +945,13 @@ impl ClusterClient {
                     // fan-out concurrency.
                     self.latency
                         .record(RpcTarget::Server(server), class, shipped_at.elapsed());
+                    self.health.record_success(server, shipped_at.elapsed());
                     results[i] = Some(response);
                 }
-                Err(e) => failures.push((i, e)),
+                Err(e) => {
+                    self.observe_failure(server, &e);
+                    failures.push((i, e));
+                }
             }
         }
         failures
@@ -1072,9 +1351,14 @@ mod tests {
     /// hang.
     #[test]
     fn wedged_server_rpc_times_out() {
-        // A "server" that accepts requests and never answers.
+        // A "server" that accepts requests and never answers. Breaker
+        // off: this test pins the *timeout* path; with the default
+        // breaker the retries' timeouts would open the circuit and the
+        // second call would surface `Unavailable` instead.
         let (wedged_tx, wedged_rx) = bounded::<NodeMsg>(8);
-        let c = client_over(wedged_tx).with_rpc_timeout(Duration::from_millis(50));
+        let c = client_over(wedged_tx)
+            .with_rpc_timeout(Duration::from_millis(50))
+            .with_breaker_policy(BreakerPolicy::off());
         let err = c
             .call(
                 RpcTarget::Server(ServerId(0)),

@@ -1,0 +1,630 @@
+//! Per-daemon health tracking and circuit breaking: the client-side
+//! failure detector behind brown-out resilience.
+//!
+//! A PVFS list-I/O round is only as fast as the slowest daemon it
+//! touches, so one wedged or dying daemon browns out the whole
+//! cluster: every client blocks its full RPC timeout, retries, and
+//! blocks again. The [`HealthTracker`] breaks that loop. Every RPC
+//! outcome — not just dedicated `Ping` probes — feeds a per-daemon
+//! record of EWMA latency and consecutive failures; once failures
+//! cross [`BreakerPolicy::threshold`], the daemon's circuit breaker
+//! opens and further RPCs to it fail fast with
+//! [`PvfsError::Unavailable`] instead of queueing behind a timeout.
+//! After [`BreakerPolicy::open_for`], the breaker admits a half-open
+//! probe: one success re-closes it, one failure re-opens it.
+//!
+//! The state machine is the classic three-state breaker:
+//!
+//! ```text
+//!            threshold consecutive failures
+//!   Closed ────────────────────────────────▶ Open
+//!     ▲                                       │ open_for elapses
+//!     │  probe succeeds                       ▼
+//!     └───────────────────────────────── HalfOpen
+//!                probe fails: back to Open
+//! ```
+//!
+//! Only *transport-class* failures (connection loss, timeout) trip
+//! the breaker. A shed ([`PvfsError::Overloaded`]) is explicitly a
+//! sign of life — the daemon answered quickly, just with "not now" —
+//! so the caller records it as neither success nor failure.
+//!
+//! [`HedgePolicy`] is the complementary tail-latency tool: instead of
+//! waiting for a slow daemon to cross into failure, a hedged read
+//! re-issues the RPC on a second connection once the first has been
+//! outstanding longer than a percentile of that daemon's observed
+//! latency, and takes whichever response lands first. Hedging is
+//! restricted to idempotent read-class RPCs and is off by default
+//! (`PVFS_HEDGE`).
+
+use pvfs_types::{PvfsError, ServerId};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// When a per-daemon circuit breaker opens and for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive transport-class failures that open the breaker.
+    pub threshold: u32,
+    /// How long an open breaker rejects before admitting a half-open
+    /// probe.
+    pub open_for: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            threshold: 3,
+            open_for: Duration::from_millis(250),
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// A breaker that never opens: every RPC goes to the wire.
+    pub fn off() -> BreakerPolicy {
+        BreakerPolicy {
+            threshold: u32::MAX,
+            ..BreakerPolicy::default()
+        }
+    }
+
+    /// Whether this policy can ever open a breaker.
+    pub fn enabled(&self) -> bool {
+        self.threshold != u32::MAX
+    }
+
+    /// The policy selected by the `PVFS_BREAKER` environment variable.
+    ///
+    /// * unset — [`BreakerPolicy::default`] (breakers on);
+    /// * `off` — breakers never open;
+    /// * `threshold=5,open=500ms` — explicit knobs, each optional.
+    ///
+    /// Panics on a malformed spec, like the other `PVFS_*` variables.
+    pub fn from_env() -> BreakerPolicy {
+        match std::env::var("PVFS_BREAKER") {
+            Ok(v) => BreakerPolicy::parse(&v)
+                .unwrap_or_else(|e| panic!("PVFS_BREAKER={v:?} is not a breaker policy: {e}")),
+            Err(_) => BreakerPolicy::default(),
+        }
+    }
+
+    /// Parse a `PVFS_BREAKER` spec (see [`BreakerPolicy::from_env`]).
+    pub fn parse(spec: &str) -> Result<BreakerPolicy, String> {
+        let spec = spec.trim();
+        if spec == "off" || spec == "0" {
+            return Ok(BreakerPolicy::off());
+        }
+        let mut policy = BreakerPolicy::default();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {token:?}"))?;
+            match key.trim() {
+                "threshold" => {
+                    policy.threshold = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("threshold {value:?} is not a count"))?;
+                    if policy.threshold == 0 {
+                        return Err("threshold must be at least 1".into());
+                    }
+                }
+                "open" => policy.open_for = parse_duration(value)?,
+                other => return Err(format!("unknown breaker option {other:?}")),
+            }
+        }
+        Ok(policy)
+    }
+}
+
+/// When a read RPC gets a hedged duplicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgePolicy {
+    /// Whether hedging is on at all.
+    pub enabled: bool,
+    /// The per-daemon read-latency percentile after which the hedge
+    /// fires (`0.95` = hedge once the RPC is slower than 95% of its
+    /// predecessors).
+    pub percentile: f64,
+    /// Lower bound on the hedge delay — also the delay used before a
+    /// daemon has any latency history. Keeps cold-start hedges from
+    /// firing instantly and doubling load.
+    pub floor: Duration,
+}
+
+impl Default for HedgePolicy {
+    /// Hedging defaults **off**: it duplicates work by design, so it
+    /// must be an explicit opt-in (`PVFS_HEDGE=on`).
+    fn default() -> HedgePolicy {
+        HedgePolicy {
+            enabled: false,
+            percentile: 0.95,
+            floor: Duration::from_millis(2),
+        }
+    }
+}
+
+impl HedgePolicy {
+    /// Hedging on with the default percentile and floor.
+    pub fn on() -> HedgePolicy {
+        HedgePolicy {
+            enabled: true,
+            ..HedgePolicy::default()
+        }
+    }
+
+    /// The policy selected by the `PVFS_HEDGE` environment variable.
+    ///
+    /// * unset / `off` — hedging disabled (the default);
+    /// * `on` — hedge at p95 with the default floor;
+    /// * `p=99,floor=5ms` — explicit knobs (implies on).
+    ///
+    /// Panics on a malformed spec, like the other `PVFS_*` variables.
+    pub fn from_env() -> HedgePolicy {
+        match std::env::var("PVFS_HEDGE") {
+            Ok(v) => HedgePolicy::parse(&v)
+                .unwrap_or_else(|e| panic!("PVFS_HEDGE={v:?} is not a hedge policy: {e}")),
+            Err(_) => HedgePolicy::default(),
+        }
+    }
+
+    /// Parse a `PVFS_HEDGE` spec (see [`HedgePolicy::from_env`]).
+    pub fn parse(spec: &str) -> Result<HedgePolicy, String> {
+        let spec = spec.trim();
+        if spec == "off" || spec == "0" {
+            return Ok(HedgePolicy::default());
+        }
+        if spec == "on" || spec == "1" {
+            return Ok(HedgePolicy::on());
+        }
+        let mut policy = HedgePolicy::on();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {token:?}"))?;
+            match key.trim() {
+                "p" => {
+                    let pct: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("percentile {value:?} is not a number"))?;
+                    if !(50.0..=100.0).contains(&pct) {
+                        return Err(format!("percentile {pct} must be in [50, 100]"));
+                    }
+                    policy.percentile = pct / 100.0;
+                }
+                "floor" => policy.floor = parse_duration(value)?,
+                other => return Err(format!("unknown hedge option {other:?}")),
+            }
+        }
+        Ok(policy)
+    }
+
+    /// How long to let an RPC run before hedging it, given the
+    /// daemon's observed percentile latency (`None` / zero before any
+    /// history exists).
+    pub fn delay(&self, observed_percentile: Option<Duration>) -> Duration {
+        observed_percentile
+            .unwrap_or(Duration::ZERO)
+            .max(self.floor)
+    }
+}
+
+/// Parse `"250ms"` / `"2s"` / bare milliseconds.
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let (digits, scale) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1000)
+    } else {
+        (s, 1)
+    };
+    digits
+        .parse::<u64>()
+        .map(|n| Duration::from_millis(n * scale))
+        .map_err(|_| format!("duration {s:?} is malformed (try 250ms or 2s)"))
+}
+
+/// A breaker's observable state (diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: RPCs flow.
+    Closed,
+    /// Tripped: RPCs fail fast until the open window elapses.
+    Open,
+    /// Probing: one window has elapsed; RPCs flow, but the first
+    /// failure re-opens immediately.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// EWMA smoothing factor for per-daemon latency: each sample moves
+/// the estimate 20% of the way toward itself — smooth enough to ride
+/// out one outlier, fast enough to notice a daemon going slow within
+/// a handful of RPCs.
+const EWMA_ALPHA: f64 = 0.2;
+
+#[derive(Debug)]
+enum Circuit {
+    Closed,
+    Open { until: Instant },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct ServerHealth {
+    /// Smoothed RPC latency in nanoseconds; 0.0 until the first sample.
+    ewma_ns: f64,
+    samples: u64,
+    consecutive_failures: u32,
+    circuit: Circuit,
+    /// Lifetime count of closed→open transitions (diagnostics).
+    trips: u64,
+}
+
+impl ServerHealth {
+    fn new() -> ServerHealth {
+        ServerHealth {
+            ewma_ns: 0.0,
+            samples: 0,
+            consecutive_failures: 0,
+            circuit: Circuit::Closed,
+            trips: 0,
+        }
+    }
+}
+
+/// One health snapshot row (a daemon as the tracker sees it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerHealthSnapshot {
+    /// Breaker state at snapshot time.
+    pub state: BreakerState,
+    /// Smoothed RPC latency, `None` before the first success.
+    pub ewma: Option<Duration>,
+    /// Failures since the last success.
+    pub consecutive_failures: u32,
+    /// Lifetime closed→open transitions.
+    pub trips: u64,
+}
+
+/// The per-daemon failure detector: one breaker + EWMA latency per
+/// I/O daemon, fed from every RPC outcome. Shared (behind an `Arc`)
+/// by every clone of a [`ClusterClient`](crate::ClusterClient), so
+/// all of an endpoint's traffic contributes signal.
+#[derive(Debug)]
+pub struct HealthTracker {
+    servers: Vec<Mutex<ServerHealth>>,
+    policy: BreakerPolicy,
+}
+
+impl HealthTracker {
+    /// A tracker for `n_servers` daemons under `policy`.
+    pub fn new(n_servers: u32, policy: BreakerPolicy) -> HealthTracker {
+        HealthTracker {
+            servers: (0..n_servers)
+                .map(|_| Mutex::new(ServerHealth::new()))
+                .collect(),
+            policy,
+        }
+    }
+
+    /// The policy this tracker enforces.
+    pub fn policy(&self) -> BreakerPolicy {
+        self.policy
+    }
+
+    /// Gate an RPC to `server`: `Ok` admits it to the wire, `Err` is
+    /// the fail-fast [`PvfsError::Unavailable`] carrying how long
+    /// until the breaker will admit a probe. An open breaker whose
+    /// window has elapsed flips to half-open *here* and admits the
+    /// caller as the probe.
+    pub fn admit(&self, server: ServerId) -> Result<(), PvfsError> {
+        let Some(lock) = self.servers.get(server.index()) else {
+            return Ok(());
+        };
+        let mut h = lock.lock().unwrap();
+        match h.circuit {
+            Circuit::Closed | Circuit::HalfOpen => Ok(()),
+            Circuit::Open { until } => {
+                let now = Instant::now();
+                if now >= until {
+                    h.circuit = Circuit::HalfOpen;
+                    Ok(())
+                } else {
+                    Err(PvfsError::Unavailable {
+                        server: server.0,
+                        retry_after_ms: (until - now).as_millis().max(1) as u64,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Feed a successful RPC to `server` that took `latency`: updates
+    /// the EWMA, clears the failure streak, and closes the breaker
+    /// (a half-open probe succeeding is exactly this path).
+    pub fn record_success(&self, server: ServerId, latency: Duration) {
+        let Some(lock) = self.servers.get(server.index()) else {
+            return;
+        };
+        let mut h = lock.lock().unwrap();
+        let sample = latency.as_nanos() as f64;
+        h.ewma_ns = if h.samples == 0 {
+            sample
+        } else {
+            EWMA_ALPHA * sample + (1.0 - EWMA_ALPHA) * h.ewma_ns
+        };
+        h.samples += 1;
+        h.consecutive_failures = 0;
+        h.circuit = Circuit::Closed;
+    }
+
+    /// Feed a transport-class failure (connection loss, timeout) to
+    /// `server`. Opens the breaker when the streak reaches the
+    /// threshold, and re-opens immediately on a failed half-open
+    /// probe. Sheds ([`PvfsError::Overloaded`]) must **not** be fed
+    /// here — a shed proves the daemon is alive.
+    pub fn record_failure(&self, server: ServerId) {
+        let Some(lock) = self.servers.get(server.index()) else {
+            return;
+        };
+        let mut h = lock.lock().unwrap();
+        h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+        let trip = match h.circuit {
+            // A failed probe re-opens without waiting for a new streak.
+            Circuit::HalfOpen => true,
+            Circuit::Closed => h.consecutive_failures >= self.policy.threshold,
+            Circuit::Open { .. } => false,
+        };
+        if trip {
+            h.circuit = Circuit::Open {
+                until: Instant::now() + self.policy.open_for,
+            };
+            h.trips += 1;
+        }
+    }
+
+    /// The breaker state of `server` right now. An open breaker whose
+    /// window has elapsed reads as [`BreakerState::HalfOpen`] — that
+    /// is what the next [`admit`](HealthTracker::admit) will see.
+    pub fn state(&self, server: ServerId) -> BreakerState {
+        let Some(lock) = self.servers.get(server.index()) else {
+            return BreakerState::Closed;
+        };
+        match lock.lock().unwrap().circuit {
+            Circuit::Closed => BreakerState::Closed,
+            Circuit::HalfOpen => BreakerState::HalfOpen,
+            Circuit::Open { until } => {
+                if Instant::now() >= until {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+        }
+    }
+
+    /// Smoothed latency of `server`, `None` before the first success.
+    pub fn ewma(&self, server: ServerId) -> Option<Duration> {
+        let lock = self.servers.get(server.index())?;
+        let h = lock.lock().unwrap();
+        (h.samples > 0).then(|| Duration::from_nanos(h.ewma_ns as u64))
+    }
+
+    /// Snapshot every daemon's health (shell `stats`, diagnostics).
+    pub fn snapshot(&self) -> Vec<ServerHealthSnapshot> {
+        self.servers
+            .iter()
+            .map(|lock| {
+                let h = lock.lock().unwrap();
+                let state = match h.circuit {
+                    Circuit::Closed => BreakerState::Closed,
+                    Circuit::HalfOpen => BreakerState::HalfOpen,
+                    Circuit::Open { until } => {
+                        if Instant::now() >= until {
+                            BreakerState::HalfOpen
+                        } else {
+                            BreakerState::Open
+                        }
+                    }
+                };
+                ServerHealthSnapshot {
+                    state,
+                    ewma: (h.samples > 0).then(|| Duration::from_nanos(h.ewma_ns as u64)),
+                    consecutive_failures: h.consecutive_failures,
+                    trips: h.trips,
+                }
+            })
+            .collect()
+    }
+
+    /// Lifetime closed→open transitions summed over all daemons.
+    pub fn total_trips(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|lock| lock.lock().unwrap().trips)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S0: ServerId = ServerId(0);
+
+    fn fast_policy() -> BreakerPolicy {
+        BreakerPolicy {
+            threshold: 3,
+            open_for: Duration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let t = HealthTracker::new(1, fast_policy());
+        assert_eq!(t.state(S0), BreakerState::Closed);
+
+        // Two failures: still closed (threshold is 3).
+        t.record_failure(S0);
+        t.record_failure(S0);
+        assert_eq!(t.state(S0), BreakerState::Closed);
+        assert!(t.admit(S0).is_ok());
+
+        // Third failure trips it: admissions fail fast with a typed
+        // Unavailable carrying a retry hint.
+        t.record_failure(S0);
+        assert_eq!(t.state(S0), BreakerState::Open);
+        match t.admit(S0) {
+            Err(PvfsError::Unavailable {
+                server,
+                retry_after_ms,
+            }) => {
+                assert_eq!(server, 0);
+                assert!((1..=30).contains(&retry_after_ms));
+            }
+            other => panic!("open breaker must reject with Unavailable, got {other:?}"),
+        }
+        assert_eq!(t.total_trips(), 1);
+
+        // After the open window, the next admit is the half-open probe.
+        std::thread::sleep(Duration::from_millis(35));
+        assert_eq!(t.state(S0), BreakerState::HalfOpen);
+        assert!(t.admit(S0).is_ok());
+
+        // Probe succeeds: closed again, streak cleared.
+        t.record_success(S0, Duration::from_micros(100));
+        assert_eq!(t.state(S0), BreakerState::Closed);
+        assert_eq!(t.snapshot()[0].consecutive_failures, 0);
+    }
+
+    #[test]
+    fn failed_halfopen_probe_reopens_immediately() {
+        let t = HealthTracker::new(1, fast_policy());
+        for _ in 0..3 {
+            t.record_failure(S0);
+        }
+        std::thread::sleep(Duration::from_millis(35));
+        assert!(t.admit(S0).is_ok(), "window elapsed: probe admitted");
+        // One failure — not a fresh threshold-long streak — re-opens.
+        t.record_failure(S0);
+        assert_eq!(t.state(S0), BreakerState::Open);
+        assert!(t.admit(S0).is_err());
+        assert_eq!(t.total_trips(), 2);
+    }
+
+    #[test]
+    fn successes_interrupt_the_failure_streak() {
+        let t = HealthTracker::new(1, fast_policy());
+        t.record_failure(S0);
+        t.record_failure(S0);
+        t.record_success(S0, Duration::from_micros(50));
+        t.record_failure(S0);
+        t.record_failure(S0);
+        assert_eq!(
+            t.state(S0),
+            BreakerState::Closed,
+            "streak reset by success: 2+2 failures must not trip a threshold of 3"
+        );
+    }
+
+    #[test]
+    fn ewma_tracks_latency_and_smooths() {
+        let t = HealthTracker::new(1, BreakerPolicy::default());
+        assert_eq!(t.ewma(S0), None, "no samples yet");
+        t.record_success(S0, Duration::from_micros(100));
+        assert_eq!(t.ewma(S0), Some(Duration::from_micros(100)));
+        // One 10x outlier moves the estimate only alpha of the way.
+        t.record_success(S0, Duration::from_micros(1000));
+        let e = t.ewma(S0).unwrap();
+        assert!(e > Duration::from_micros(150) && e < Duration::from_micros(400));
+    }
+
+    #[test]
+    fn off_policy_never_opens() {
+        let t = HealthTracker::new(1, BreakerPolicy::off());
+        for _ in 0..1000 {
+            t.record_failure(S0);
+        }
+        assert_eq!(t.state(S0), BreakerState::Closed);
+        assert!(t.admit(S0).is_ok());
+    }
+
+    #[test]
+    fn unknown_servers_are_inert() {
+        let t = HealthTracker::new(1, fast_policy());
+        let ghost = ServerId(7);
+        t.record_failure(ghost);
+        t.record_success(ghost, Duration::from_micros(1));
+        assert!(t.admit(ghost).is_ok());
+        assert_eq!(t.state(ghost), BreakerState::Closed);
+        assert_eq!(t.ewma(ghost), None);
+    }
+
+    #[test]
+    fn breaker_policy_parses_and_rejects() {
+        assert_eq!(BreakerPolicy::parse("off").unwrap(), BreakerPolicy::off());
+        assert!(!BreakerPolicy::off().enabled());
+        let p = BreakerPolicy::parse("threshold=5,open=500ms").unwrap();
+        assert_eq!(p.threshold, 5);
+        assert_eq!(p.open_for, Duration::from_millis(500));
+        assert!(p.enabled());
+        assert!(BreakerPolicy::parse("threshold=0").is_err());
+        assert!(BreakerPolicy::parse("threshold=soon").is_err());
+        assert!(BreakerPolicy::parse("open=never").is_err());
+        assert!(BreakerPolicy::parse("banana=1").is_err());
+        assert!(BreakerPolicy::parse("threshold").is_err());
+    }
+
+    #[test]
+    fn hedge_policy_parses_and_rejects() {
+        assert!(!HedgePolicy::default().enabled, "hedging is opt-in");
+        assert_eq!(HedgePolicy::parse("off").unwrap(), HedgePolicy::default());
+        let on = HedgePolicy::parse("on").unwrap();
+        assert!(on.enabled);
+        assert_eq!(on.percentile, 0.95);
+        let p = HedgePolicy::parse("p=99,floor=5ms").unwrap();
+        assert!(p.enabled, "knobs imply on");
+        assert_eq!(p.percentile, 0.99);
+        assert_eq!(p.floor, Duration::from_millis(5));
+        assert!(HedgePolicy::parse("p=40").is_err(), "p below 50 rejected");
+        assert!(HedgePolicy::parse("p=101").is_err());
+        assert!(HedgePolicy::parse("floor=soon").is_err());
+        assert!(HedgePolicy::parse("banana=1").is_err());
+    }
+
+    #[test]
+    fn hedge_delay_floors_cold_starts() {
+        let p = HedgePolicy::on();
+        assert_eq!(p.delay(None), p.floor, "no history: wait the floor");
+        assert_eq!(
+            p.delay(Some(Duration::from_micros(10))),
+            p.floor,
+            "tiny observed latency still floors"
+        );
+        assert_eq!(
+            p.delay(Some(Duration::from_millis(40))),
+            Duration::from_millis(40),
+            "real history wins over the floor"
+        );
+    }
+}

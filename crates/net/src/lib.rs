@@ -51,11 +51,33 @@
 //! * the TCP connection pool self-heals: a stale parked connection
 //!   (server closed it while idle) is evicted and transparently
 //!   re-dialed, replaying the in-flight idempotent request once.
+//!
+//! # Brown-out resilience
+//!
+//! A list-I/O round is only as fast as the slowest daemon it touches,
+//! so one sick daemon browns out the whole cluster. Four layers keep a
+//! brown-out local ([`health`] has the model):
+//!
+//! * **failure detection** — every RPC outcome (plus the cheap `Ping`
+//!   probe) feeds a per-daemon [`HealthTracker`]: EWMA latency and
+//!   consecutive-failure streaks;
+//! * **circuit breakers** — `PVFS_BREAKER`: a daemon past its failure
+//!   threshold fails fast with `PvfsError::Unavailable` (closed →
+//!   open → half-open probe → closed), so retries stop hammering a
+//!   corpse and rounds touching it cost microseconds, not timeouts;
+//! * **hedged reads** — `PVFS_HEDGE` (off by default): a read slower
+//!   than a percentile of its daemon's history is duplicated on a
+//!   second connection, first response wins — the p99 under transient
+//!   stalls collapses to the hedge delay;
+//! * **load shedding** — a daemon whose bounded queue is full answers
+//!   `PvfsError::Overloaded` (retryable, provably unexecuted)
+//!   immediately instead of stalling the client into its timeout.
 
 pub mod chan;
 pub mod cluster;
 pub mod fault;
 pub mod gate;
+pub mod health;
 pub mod latency;
 pub mod pool;
 pub mod retry;
@@ -65,6 +87,7 @@ pub mod transport;
 pub use cluster::{ClusterClient, LiveCluster, DEFAULT_RPC_TIMEOUT};
 pub use fault::{FaultCounts, FaultKind, FaultPlan, FaultyTransport};
 pub use gate::SerialGate;
+pub use health::{BreakerPolicy, BreakerState, HealthTracker, HedgePolicy, ServerHealthSnapshot};
 pub use latency::RpcLatency;
 pub use pool::WorkerPool;
 pub use retry::{ClientStats, RetryPolicy};

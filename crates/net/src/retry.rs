@@ -175,6 +175,16 @@ pub struct ClientStats {
     pub backoff_ms: u64,
     /// Faults the transport injected (0 on a clean transport).
     pub faults_injected: u64,
+    /// Hedged duplicates issued for slow reads (`PVFS_HEDGE`).
+    pub hedges_sent: u64,
+    /// Hedged reads where the duplicate answered before the original.
+    pub hedge_wins: u64,
+    /// RPCs rejected client-side by an open circuit breaker
+    /// (`PvfsError::Unavailable`) without touching the wire.
+    pub breaker_rejections: u64,
+    /// `PvfsError::Overloaded` responses observed (server-side sheds
+    /// this endpoint ran into).
+    pub sheds_seen: u64,
 }
 
 impl ClientStats {
@@ -186,6 +196,10 @@ impl ClientStats {
             retries: self.retries - earlier.retries,
             backoff_ms: self.backoff_ms - earlier.backoff_ms,
             faults_injected: self.faults_injected - earlier.faults_injected,
+            hedges_sent: self.hedges_sent - earlier.hedges_sent,
+            hedge_wins: self.hedge_wins - earlier.hedge_wins,
+            breaker_rejections: self.breaker_rejections - earlier.breaker_rejections,
+            sheds_seen: self.sheds_seen - earlier.sheds_seen,
         }
     }
 }
@@ -196,6 +210,10 @@ pub(crate) struct AtomicClientStats {
     attempts: AtomicU64,
     retries: AtomicU64,
     backoff_ms: AtomicU64,
+    hedges_sent: AtomicU64,
+    hedge_wins: AtomicU64,
+    breaker_rejections: AtomicU64,
+    sheds_seen: AtomicU64,
 }
 
 impl AtomicClientStats {
@@ -209,12 +227,31 @@ impl AtomicClientStats {
             .fetch_add(backoff.as_millis() as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_hedge(&self, won: bool) {
+        self.hedges_sent.fetch_add(1, Ordering::Relaxed);
+        if won {
+            self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_breaker_rejection(&self) {
+        self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed_seen(&self) {
+        self.sheds_seen.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self, faults_injected: u64) -> ClientStats {
         ClientStats {
             attempts: self.attempts.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             backoff_ms: self.backoff_ms.load(Ordering::Relaxed),
             faults_injected,
+            hedges_sent: self.hedges_sent.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            sheds_seen: self.sheds_seen.load(Ordering::Relaxed),
         }
     }
 }
@@ -243,6 +280,38 @@ mod tests {
         assert!(RetryPolicy::parse("attempts=0").is_err());
         assert!(RetryPolicy::parse("banana=1").is_err());
         assert!(RetryPolicy::parse("base=soon").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        // Zero attempts would mean "never even try".
+        assert!(RetryPolicy::parse("attempts=0").is_err());
+        assert!(RetryPolicy::parse("attempts=-1").is_err());
+        assert!(RetryPolicy::parse("attempts=four").is_err());
+        // Junk durations in every duration knob.
+        assert!(RetryPolicy::parse("base=soon").is_err());
+        assert!(RetryPolicy::parse("cap=1h").is_err());
+        assert!(RetryPolicy::parse("budget=").is_err());
+        assert!(RetryPolicy::parse("base=2ms2ms").is_err());
+        // Unknown keys and shapeless tokens must not be skipped: a
+        // typo'd chaos run must fail loudly, not silently use defaults.
+        assert!(RetryPolicy::parse("atempts=3").is_err());
+        assert!(RetryPolicy::parse("attempts").is_err());
+        assert!(RetryPolicy::parse("=3").is_err());
+        assert!(RetryPolicy::parse("attempts=3,junk=1").is_err());
+        // And the valid spellings nearby still parse.
+        assert_eq!(
+            RetryPolicy::parse("attempts=1").unwrap().max_attempts,
+            1,
+            "attempts=1 is retries-off, not an error"
+        );
+        assert_eq!(
+            RetryPolicy::parse(" attempts = 3 , base = 5ms ")
+                .unwrap()
+                .base_backoff,
+            Duration::from_millis(5),
+            "whitespace around keys and values is tolerated"
+        );
     }
 
     #[test]
@@ -276,12 +345,20 @@ mod tests {
             retries: 2,
             backoff_ms: 5,
             faults_injected: 1,
+            hedges_sent: 3,
+            hedge_wins: 1,
+            breaker_rejections: 2,
+            sheds_seen: 1,
         };
         let late = ClientStats {
             attempts: 25,
             retries: 6,
             backoff_ms: 30,
             faults_injected: 4,
+            hedges_sent: 8,
+            hedge_wins: 3,
+            breaker_rejections: 7,
+            sheds_seen: 5,
         };
         assert_eq!(
             late.since(&early),
@@ -290,7 +367,27 @@ mod tests {
                 retries: 4,
                 backoff_ms: 25,
                 faults_injected: 3,
+                hedges_sent: 5,
+                hedge_wins: 2,
+                breaker_rejections: 5,
+                sheds_seen: 4,
             }
         );
+    }
+
+    #[test]
+    fn resilience_counters_accumulate_atomically() {
+        let stats = AtomicClientStats::default();
+        stats.record_hedge(true);
+        stats.record_hedge(false);
+        stats.record_hedge(true);
+        stats.record_breaker_rejection();
+        stats.record_shed_seen();
+        stats.record_shed_seen();
+        let snap = stats.snapshot(0);
+        assert_eq!(snap.hedges_sent, 3);
+        assert_eq!(snap.hedge_wins, 2);
+        assert_eq!(snap.breaker_rejections, 1);
+        assert_eq!(snap.sheds_seen, 2);
     }
 }

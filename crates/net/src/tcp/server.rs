@@ -4,10 +4,12 @@
 //! One daemon = one `TcpListener` on loopback + one acceptor thread +
 //! one reader thread per accepted connection + the daemon's worker
 //! pool. Readers do nothing but reassemble length-prefixed frames and
-//! push them into the pool's **bounded** queue — the bound is still the
-//! backpressure: when workers fall behind, readers block in `send`,
-//! stop draining their sockets, and TCP flow control pushes back on the
-//! clients.
+//! push them into the pool's **bounded** queue. When workers fall
+//! behind, daemon readers **load-shed**: a frame meeting a full queue
+//! is answered immediately with `PvfsError::Overloaded` instead of
+//! being parked (see [`ServeHooks::shed`]). The manager and stats
+//! scrapes keep the old behavior — readers block in `send`, stop
+//! draining their sockets, and TCP flow control pushes back.
 //!
 //! Responses go back over the connection the request arrived on. The
 //! write half is wrapped in a mutex so workers finishing out of order
@@ -24,9 +26,9 @@
 //! request is served and its response written before the pool exits.
 
 use bytes::Bytes;
-use pvfs_proto::{encode_response, frame_is_stats_scrape, Response};
+use pvfs_proto::{decode_frame_id, encode_response, frame_is_stats_scrape, Response};
 use pvfs_server::{IoDaemon, IodConfig, Manager};
-use pvfs_types::RequestId;
+use pvfs_types::{PvfsError, RequestId};
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::ops::ControlFlow;
@@ -36,6 +38,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use super::frame::{read_frame, wire_len, write_frame, FrameError};
+use crate::chan::TrySendError;
 use crate::pool::WorkerPool;
 use crate::transport::serve_frame;
 
@@ -56,6 +59,13 @@ struct ServeHooks {
     on_begin: Box<dyn Fn(Duration) + Send + Sync>,
     /// Called with the service time when a worker finishes a request.
     on_end: Box<dyn Fn(Duration) + Send + Sync>,
+    /// Load shedding: when set, a request arriving at a full worker
+    /// queue is **not** queued — the hook accounts the shed (undoing
+    /// `on_queued`) and returns the typed `Overloaded` error the
+    /// reader writes straight back. `None` (the manager) keeps the
+    /// block-in-`send` backpressure: metadata ops are rare and
+    /// non-idempotent, so waiting beats shedding them.
+    shed: Option<Box<dyn Fn() -> PvfsError + Send + Sync>>,
 }
 
 enum TcpMsg {
@@ -224,15 +234,47 @@ fn spawn_reader(
             loop {
                 match read_frame(&mut stream) {
                     Ok(frame) => {
-                        if !frame_is_stats_scrape(&frame) {
+                        let scrape = frame_is_stats_scrape(&frame);
+                        if !scrape {
                             (hooks.on_rx)(wire_len(&frame));
                             (hooks.on_queued)();
                         }
-                        if pool_tx
-                            .send(TcpMsg::Rpc(frame, writer.clone(), Instant::now()))
-                            .is_err()
-                        {
-                            break;
+                        let msg = TcpMsg::Rpc(frame, writer.clone(), Instant::now());
+                        if scrape || hooks.shed.is_none() {
+                            // Scrapes must observe, not perturb, and the
+                            // manager never sheds: block until the queue
+                            // drains — TCP flow control is the
+                            // backpressure.
+                            if pool_tx.send(msg).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                        match pool_tx.try_send(msg) {
+                            Ok(()) => {}
+                            Err(TrySendError::Disconnected(_)) => break,
+                            Err(TrySendError::Full(TcpMsg::Rpc(frame, writer, _))) => {
+                                // Load shed: answer `Overloaded` from the
+                                // reader itself instead of parking the
+                                // frame behind a full queue. The request
+                                // provably never executed, so the client
+                                // may replay it — even a write. The
+                                // connection stays healthy; only this
+                                // request is refused.
+                                let err = hooks.shed.as_ref().expect("checked above")();
+                                let id = decode_frame_id(&frame).unwrap_or(RequestId(0));
+                                let reply = encode_response(id, &Response::Error(err));
+                                let mut w = writer.lock().unwrap();
+                                if write_frame(&mut *w, &reply)
+                                    .and_then(|()| w.flush())
+                                    .is_ok()
+                                {
+                                    (hooks.on_tx)(wire_len(&reply));
+                                }
+                            }
+                            Err(TrySendError::Full(TcpMsg::Shutdown)) => {
+                                unreachable!("reader only sends Rpc frames")
+                            }
                         }
                     }
                     Err(FrameError::TooLarge(e)) => {
@@ -277,6 +319,9 @@ impl TcpCluster {
                 let queued_daemon = daemon.clone();
                 let begin_daemon = daemon.clone();
                 let end_daemon = daemon.clone();
+                let shed_daemon = daemon.clone();
+                let shed_id = daemon.id().0;
+                let shed_depth = config.queue_depth.max(1) as u64;
                 let name = format!("iod{}", daemon.id().0);
                 TcpServer::spawn(
                     &name,
@@ -298,6 +343,13 @@ impl TcpCluster {
                         on_queued: Box::new(move || queued_daemon.note_queued()),
                         on_begin: Box::new(move |waited| begin_daemon.begin_service(waited)),
                         on_end: Box::new(move |took| end_daemon.end_service(took)),
+                        shed: Some(Box::new(move || {
+                            shed_daemon.note_shed();
+                            PvfsError::Overloaded {
+                                server: shed_id,
+                                queue_depth: shed_depth,
+                            }
+                        })),
                     },
                 )
                 .expect("bind tcp i/o daemon")
@@ -328,6 +380,7 @@ impl TcpCluster {
                 on_queued: Box::new(|| {}),
                 on_begin: Box::new(|_| {}),
                 on_end: Box::new(move |took| end_mgr.lock().unwrap().record_service(took)),
+                shed: None,
             },
         )
         .expect("bind tcp manager");

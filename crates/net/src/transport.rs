@@ -23,7 +23,7 @@ use pvfs_types::{PvfsError, PvfsResult, RequestId, ServerId};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::chan::{bounded, Receiver, RecvTimeoutError, Sender};
+use crate::chan::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError};
 
 /// Where an RPC is addressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +143,15 @@ pub(crate) enum NodeMsg {
 
 /// The in-process transport: every daemon is a bounded channel feeding
 /// its worker pool, every reply comes back on a per-request channel.
+/// A full daemon queue **sheds** instead of blocking: the enqueue
+/// fast-fails with [`PvfsError::Overloaded`] (retryable, provably
+/// unexecuted), mirroring what the TCP acceptor does on the socket
+/// path. Manager enqueues are bounded by [`DEFAULT_RPC_TIMEOUT`]
+/// instead — metadata ops are rare and non-idempotent, so waiting
+/// briefly beats shedding them, but a wedged manager must still yield
+/// [`PvfsError::Timeout`] rather than hang the sender forever.
+///
+/// [`DEFAULT_RPC_TIMEOUT`]: crate::DEFAULT_RPC_TIMEOUT
 pub struct ChanTransport {
     server_txs: Vec<Sender<NodeMsg>>,
     mgr_tx: Sender<NodeMsg>,
@@ -150,6 +159,10 @@ pub struct ChanTransport {
     /// queue ([`IoDaemon::note_queued`](pvfs_server::IoDaemon::note_queued)
     /// behind a closure). Empty for bare transports built in tests.
     queue_marks: Vec<Arc<dyn Fn() + Send + Sync>>,
+    /// Per-server shed marks, called when a full queue fast-fails an
+    /// enqueue ([`IoDaemon::note_shed`](pvfs_server::IoDaemon::note_shed)):
+    /// undoes the queued gauge and counts the shed.
+    shed_marks: Vec<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl ChanTransport {
@@ -158,6 +171,7 @@ impl ChanTransport {
             server_txs,
             mgr_tx,
             queue_marks: Vec::new(),
+            shed_marks: Vec::new(),
         }
     }
 
@@ -167,6 +181,15 @@ impl ChanTransport {
         marks: Vec<Arc<dyn Fn() + Send + Sync>>,
     ) -> ChanTransport {
         self.queue_marks = marks;
+        self
+    }
+
+    /// Attach per-server shed marks (index = server id).
+    pub(crate) fn with_shed_marks(
+        mut self,
+        marks: Vec<Arc<dyn Fn() + Send + Sync>>,
+    ) -> ChanTransport {
+        self.shed_marks = marks;
         self
     }
 
@@ -188,19 +211,61 @@ impl Transport for ChanTransport {
 
     fn start(&self, target: RpcTarget, frame: Bytes) -> PvfsResult<Box<dyn PendingReply>> {
         let (reply_tx, reply_rx) = bounded(1);
-        // Stats scrapes are observers: they skip the queue-depth gauge
-        // (and all daemon-side accounting) so the snapshot they fetch
-        // equals the in-process one.
-        if let RpcTarget::Server(s) = target {
-            if !frame_is_stats_scrape(&frame) {
+        let tx = self.tx_for(target)?;
+        match target {
+            RpcTarget::Server(s) => {
+                // Stats scrapes are observers: they skip the queue-depth
+                // gauge (and all daemon-side accounting) so the snapshot
+                // they fetch equals the in-process one — and they wait
+                // out a full queue instead of shedding, so observation
+                // never perturbs the shed counter either.
+                if frame_is_stats_scrape(&frame) {
+                    tx.send(NodeMsg::Rpc(frame, reply_tx, Instant::now()))
+                        .map_err(|_| PvfsError::Transport("server thread gone".into()))?;
+                    return Ok(Box::new(ChanPending { reply_rx }));
+                }
                 if let Some(mark) = self.queue_marks.get(s.index()) {
                     mark();
                 }
+                match tx.try_send(NodeMsg::Rpc(frame, reply_tx, Instant::now())) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        // Undo the queued gauge and count the shed on the
+                        // daemon, then fast-fail the sender.
+                        if let Some(shed) = self.shed_marks.get(s.index()) {
+                            shed();
+                        }
+                        return Err(PvfsError::Overloaded {
+                            server: s.0,
+                            queue_depth: tx.capacity() as u64,
+                        });
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        return Err(PvfsError::Transport("server thread gone".into()));
+                    }
+                }
+            }
+            RpcTarget::Manager => {
+                // Bounded wait instead of shed: manager ops are rare and
+                // non-idempotent, but a wedged manager must not hang the
+                // sending thread forever.
+                match tx.send_timeout(
+                    NodeMsg::Rpc(frame, reply_tx, Instant::now()),
+                    crate::DEFAULT_RPC_TIMEOUT,
+                ) {
+                    Ok(()) => {}
+                    Err(SendTimeoutError::Timeout(_)) => {
+                        return Err(PvfsError::timeout(format!(
+                            "manager queue stayed full for {:?}",
+                            crate::DEFAULT_RPC_TIMEOUT
+                        )))
+                    }
+                    Err(SendTimeoutError::Disconnected(_)) => {
+                        return Err(PvfsError::Transport("server thread gone".into()))
+                    }
+                }
             }
         }
-        self.tx_for(target)?
-            .send(NodeMsg::Rpc(frame, reply_tx, Instant::now()))
-            .map_err(|_| PvfsError::Transport("server thread gone".into()))?;
         Ok(Box::new(ChanPending { reply_rx }))
     }
 

@@ -6,7 +6,10 @@
 //! reproduces exactly.
 
 use bytes::Bytes;
-use pvfs_net::{FaultPlan, LiveCluster, RetryPolicy, RpcTarget, TransportKind};
+use pvfs_net::{
+    BreakerPolicy, BreakerState, FaultPlan, HedgePolicy, LiveCluster, RetryPolicy, RpcTarget,
+    TransportKind,
+};
 use pvfs_proto::{Request, Response};
 use pvfs_server::IodConfig;
 use pvfs_types::{FileHandle, PvfsError, Region, ServerId, StripeLayout};
@@ -270,7 +273,12 @@ fn wedge_times_out_then_retry_succeeds_with_backoff() {
 }
 
 /// The retry budget is a hard wall: a permanently dead target stops
-/// costing attempts once the budget is spent, even with attempts left.
+/// costing attempts once the budget is spent, even with attempts left —
+/// and the backoff sleeps themselves are **clamped to the remaining
+/// budget**, so one jittered sleep cannot blow past the wall. Breaker
+/// off: with the default policy the endless drops would open the
+/// circuit and end the loop early with `Unavailable` instead of letting
+/// the budget do the cutting.
 #[test]
 fn retry_budget_bounds_total_time() {
     let mut cluster = LiveCluster::spawn_with(1, IodConfig::default());
@@ -278,12 +286,19 @@ fn retry_budget_bounds_total_time() {
         drop: 1.0,
         ..FaultPlan::default()
     });
-    let c = cluster.client().with_retry_policy(RetryPolicy {
-        max_attempts: u32::MAX,
-        base_backoff: Duration::from_millis(20),
-        max_backoff: Duration::from_millis(20),
-        budget: Duration::from_millis(100),
-    });
+    let budget = Duration::from_millis(100);
+    // base_backoff far beyond the budget: the decorrelated-jitter delay
+    // after the first failure is at least 400 ms, so only the clamp can
+    // keep the total anywhere near 100 ms.
+    let c = cluster
+        .client()
+        .with_breaker_policy(BreakerPolicy::off())
+        .with_retry_policy(RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: Duration::from_millis(400),
+            max_backoff: Duration::from_secs(5),
+            budget,
+        });
     let started = Instant::now();
     let err = c
         .call(
@@ -296,8 +311,8 @@ fn retry_budget_bounds_total_time() {
     let elapsed = started.elapsed();
     assert!(err.is_retryable());
     assert!(
-        elapsed < Duration::from_secs(5),
-        "budget must cut the loop (took {elapsed:?})"
+        elapsed < budget + Duration::from_millis(150),
+        "sleeps must be clamped to the remaining budget (took {elapsed:?})"
     );
     let stats = c.stats();
     assert!(stats.attempts >= 2, "the budget allows a few attempts");
@@ -421,4 +436,365 @@ fn file_backend_survives_chaos_then_restart() {
             other => panic!("unexpected {other:?}"),
         }
     }
+}
+
+/// The brown-out tentpole, end to end: one daemon of four wedges solid.
+/// The client's failure detector trips that daemon's breaker, after
+/// which a full fan-out round fails FAST on the wedged server (an open
+/// breaker costs microseconds, not a burned deadline) while the three
+/// healthy daemons keep executing their ops byte-exactly. Once the
+/// wedge clears and the open window elapses, the half-open probe closes
+/// the circuit and the daemon serves real I/O again.
+fn brownout_survives_a_wedged_daemon(kind: TransportKind) {
+    let mut cluster = LiveCluster::spawn_transport(4, IodConfig::default(), kind);
+    // Server 2 swallows exactly two responses, then heals.
+    cluster.inject_faults(FaultPlan {
+        wedge: 1.0,
+        target: Some(2),
+        limit: Some(2),
+        ..FaultPlan::default()
+    });
+    let c = cluster
+        .client()
+        .with_rpc_timeout(Duration::from_millis(40))
+        .with_retry_policy(RetryPolicy::none())
+        .with_breaker_policy(BreakerPolicy {
+            threshold: 2,
+            open_for: Duration::from_millis(150),
+        });
+    let l = layout(4);
+    let fh = FileHandle(31);
+    let write = |s: u32| Request::Write {
+        handle: fh,
+        layout: l,
+        region: Region::new(u64::from(s) * 16, 16),
+        data: Bytes::from(vec![s as u8; 16]),
+    };
+
+    // Two burned deadlines trip the breaker on server 2.
+    for _ in 0..2 {
+        let err = c
+            .call(RpcTarget::Server(ServerId(2)), write(2))
+            .unwrap_err();
+        assert!(matches!(err, PvfsError::Timeout(_)), "got {err:?}");
+    }
+    assert_eq!(c.health().state(ServerId(2)), BreakerState::Open);
+
+    // A fan-out round across all four: the wedged server is rejected at
+    // admission — in microseconds — while the healthy daemons execute.
+    let rx_before: Vec<u64> = [0u32, 1, 3]
+        .iter()
+        .map(|&s| frames_rx(&cluster, s))
+        .collect();
+    let started = Instant::now();
+    let err = c
+        .round((0..4u32).map(|s| (ServerId(s), write(s))).collect())
+        .unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(err, PvfsError::Unavailable { server: 2, .. }),
+        "got {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(30),
+        "an open breaker must fail fast, not burn the 40 ms deadline (took {elapsed:?})"
+    );
+    for (k, &s) in [0u32, 1, 3].iter().enumerate() {
+        assert_eq!(
+            frames_rx(&cluster, s),
+            rx_before[k] + 1,
+            "healthy daemon {s} must still have served its op"
+        );
+    }
+    assert!(c.stats().breaker_rejections >= 1);
+
+    // The healthy daemons' bytes of that degraded round are intact.
+    for s in [0u32, 1, 3] {
+        let resp = c
+            .call(
+                RpcTarget::Server(ServerId(s)),
+                Request::Read {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(u64::from(s) * 16, 16),
+                },
+            )
+            .unwrap();
+        match resp {
+            Response::Data { data } => assert_eq!(data.as_ref(), &[s as u8; 16][..]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // The wedge burned its fault limit; once the open window elapses,
+    // the half-open probe sails through and the circuit closes.
+    std::thread::sleep(Duration::from_millis(160));
+    assert_eq!(c.health().state(ServerId(2)), BreakerState::HalfOpen);
+    c.ping(ServerId(2)).unwrap();
+    assert_eq!(c.health().state(ServerId(2)), BreakerState::Closed);
+    assert_eq!(c.health().total_trips(), 1);
+    let resp = c.call(RpcTarget::Server(ServerId(2)), write(2)).unwrap();
+    assert_eq!(resp, Response::Written { bytes: 16 });
+}
+
+#[test]
+fn brownout_survives_a_wedged_daemon_over_chan() {
+    brownout_survives_a_wedged_daemon(TransportKind::Chan);
+}
+
+#[test]
+fn brownout_survives_a_wedged_daemon_over_tcp() {
+    brownout_survives_a_wedged_daemon(TransportKind::Tcp);
+}
+
+/// Breaker state transitions under seeded disconnect faults, pinned on
+/// both transports: closed → (threshold failures) → open (fast-fail
+/// `Unavailable`) → half-open after the window → closed on a good
+/// probe. The other daemon's circuit never moves.
+fn breaker_trips_and_recovers_on_disconnects(kind: TransportKind) {
+    let mut cluster = LiveCluster::spawn_transport(2, IodConfig::default(), kind);
+    cluster.inject_faults(FaultPlan {
+        disconnect: 1.0,
+        target: Some(0),
+        limit: Some(3),
+        ..FaultPlan::default()
+    });
+    let c = cluster
+        .client()
+        .with_retry_policy(RetryPolicy::none())
+        .with_breaker_policy(BreakerPolicy {
+            threshold: 3,
+            open_for: Duration::from_millis(120),
+        });
+
+    // Three consecutive disconnects: closed all the way to the trip.
+    for i in 0..3 {
+        assert_eq!(c.health().state(ServerId(0)), BreakerState::Closed);
+        let err = c.ping(ServerId(0)).unwrap_err();
+        assert!(matches!(err, PvfsError::Transport(_)), "probe {i}: {err:?}");
+    }
+    assert_eq!(c.health().state(ServerId(0)), BreakerState::Open);
+
+    // Open: rejected at admission, typed and attributed.
+    let started = Instant::now();
+    let err = c.ping(ServerId(0)).unwrap_err();
+    assert!(
+        matches!(err, PvfsError::Unavailable { server: 0, .. }),
+        "got {err:?}"
+    );
+    assert!(started.elapsed() < Duration::from_millis(20));
+    assert_eq!(c.stats().breaker_rejections, 1);
+
+    // The sibling daemon is untouched throughout.
+    assert_eq!(c.health().state(ServerId(1)), BreakerState::Closed);
+    c.ping(ServerId(1)).unwrap();
+
+    // Recovery: window elapses, the half-open probe (faults are spent)
+    // closes the circuit.
+    std::thread::sleep(Duration::from_millis(130));
+    assert_eq!(c.health().state(ServerId(0)), BreakerState::HalfOpen);
+    c.ping(ServerId(0)).unwrap();
+    assert_eq!(c.health().state(ServerId(0)), BreakerState::Closed);
+    assert_eq!(c.health().total_trips(), 1);
+    let snap = c.health().snapshot();
+    assert_eq!(snap[0].trips, 1);
+    assert_eq!(snap[1].trips, 0);
+}
+
+#[test]
+fn breaker_trips_and_recovers_on_disconnects_over_chan() {
+    breaker_trips_and_recovers_on_disconnects(TransportKind::Chan);
+}
+
+#[test]
+fn breaker_trips_and_recovers_on_disconnects_over_tcp() {
+    breaker_trips_and_recovers_on_disconnects(TransportKind::Tcp);
+}
+
+/// Hedged reads collapse the latency tail under delay faults: 5% of
+/// requests are stalled 30 ms in flight; the unhedged client's p99 eats
+/// the stall, the hedged client's duplicate (fired after a 5 ms floor)
+/// wins long before it. Both clients read identical bytes throughout.
+fn hedged_reads_cut_the_tail(kind: TransportKind) {
+    let mut cluster = LiveCluster::spawn_transport(2, IodConfig::default(), kind);
+    let l = layout(2);
+    let fh = FileHandle(41);
+    // Seed the stripes before any faults are armed.
+    let seeder = cluster.client();
+    for s in 0..2u32 {
+        let resp = seeder
+            .call(
+                RpcTarget::Server(ServerId(s)),
+                Request::Write {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(u64::from(s) * 16, 16),
+                    data: Bytes::from(vec![0xC0 | s as u8; 16]),
+                },
+            )
+            .unwrap();
+        assert_eq!(resp, Response::Written { bytes: 16 });
+    }
+    cluster.inject_faults(FaultPlan {
+        delay: 0.05,
+        delay_for: Duration::from_millis(30),
+        seed: 4242,
+        ..FaultPlan::default()
+    });
+
+    let plain = cluster.client();
+    // Trigger at p90: with 5% of requests stalled, a p95 trigger would
+    // sit on the fault boundary and the observed percentile could
+    // drift into the stall itself, quietly disabling the hedge
+    // mid-run.
+    let hedged = cluster.client().with_hedge_policy(HedgePolicy {
+        enabled: true,
+        percentile: 0.90,
+        floor: Duration::from_millis(5),
+    });
+
+    let p99_of = |c: &pvfs_net::ClusterClient| -> Duration {
+        let mut took: Vec<Duration> = (0..400u64)
+            .map(|i| {
+                let s = (i % 2) as u32;
+                let started = Instant::now();
+                let resp = c
+                    .call(
+                        RpcTarget::Server(ServerId(s)),
+                        Request::Read {
+                            handle: fh,
+                            layout: l,
+                            region: Region::new(u64::from(s) * 16, 16),
+                        },
+                    )
+                    .unwrap();
+                match resp {
+                    Response::Data { data } => {
+                        assert_eq!(data.as_ref(), &[0xC0 | s as u8; 16][..])
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                started.elapsed()
+            })
+            .collect();
+        took.sort();
+        took[395] // p99 of 400 samples
+    };
+
+    let plain_p99 = p99_of(&plain);
+    let hedged_p99 = p99_of(&hedged);
+    assert!(
+        plain_p99 >= Duration::from_millis(25),
+        "the delay faults must actually bite the unhedged tail (p99 {plain_p99:?})"
+    );
+    assert!(
+        hedged_p99 < plain_p99,
+        "hedging must cut the p99 ({hedged_p99:?} vs unhedged {plain_p99:?})"
+    );
+    assert!(
+        hedged_p99 < Duration::from_millis(25),
+        "a hedged stall completes near the hedge delay, got {hedged_p99:?}"
+    );
+    let hs = hedged.stats();
+    assert!(hs.hedges_sent > 0, "stalls must have triggered hedges");
+    assert!(hs.hedge_wins > 0, "some hedges must have beaten the stall");
+    assert_eq!(plain.stats().hedges_sent, 0, "hedging defaults to off");
+}
+
+#[test]
+fn hedged_reads_cut_the_tail_over_chan() {
+    hedged_reads_cut_the_tail(TransportKind::Chan);
+}
+
+#[test]
+fn hedged_reads_cut_the_tail_over_tcp() {
+    hedged_reads_cut_the_tail(TransportKind::Tcp);
+}
+
+/// Server-side load shedding, on both transports: a daemon with one
+/// slow worker and a queue of one answers overflow with a typed
+/// `Overloaded` refusal instead of stalling clients into their
+/// deadline. The refusal is retryable *and* provably unexecuted, so
+/// retrying clients all complete byte-exactly — and both sides count
+/// the sheds.
+fn full_queue_sheds_and_retries_absorb(kind: TransportKind) {
+    let config = IodConfig {
+        workers: 1,
+        queue_depth: 1,
+        emulated_latency: Some(Duration::from_millis(20)),
+        ..IodConfig::default()
+    };
+    let cluster = LiveCluster::spawn_transport(1, config, kind);
+    let l = layout(1);
+    let fh = FileHandle(51);
+    let n = 8u64;
+
+    let sheds_seen: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let c = cluster.client().with_retry_policy(RetryPolicy {
+                    max_attempts: 1000,
+                    base_backoff: Duration::from_millis(2),
+                    max_backoff: Duration::from_millis(50),
+                    budget: Duration::from_secs(10),
+                });
+                scope.spawn(move || {
+                    let resp = c
+                        .call(
+                            RpcTarget::Server(ServerId(0)),
+                            Request::Write {
+                                handle: fh,
+                                layout: l,
+                                region: Region::new(i * 16, 16),
+                                data: Bytes::from(vec![i as u8; 16]),
+                            },
+                        )
+                        .unwrap();
+                    assert_eq!(resp, Response::Written { bytes: 16 });
+                    c.stats().sheds_seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    let snap = cluster.stats_snapshot(ServerId(0)).unwrap();
+    assert!(
+        snap.requests_shed > 0,
+        "8 writers against a queue of 1 must shed (shed {})",
+        snap.requests_shed
+    );
+    assert_eq!(
+        sheds_seen, snap.requests_shed,
+        "every server-side shed surfaces as a client-side Overloaded"
+    );
+
+    // Every write landed exactly once despite the refusals.
+    let c = cluster.client();
+    for i in 0..n {
+        let resp = c
+            .call(
+                RpcTarget::Server(ServerId(0)),
+                Request::Read {
+                    handle: fh,
+                    layout: l,
+                    region: Region::new(i * 16, 16),
+                },
+            )
+            .unwrap();
+        match resp {
+            Response::Data { data } => assert_eq!(data.as_ref(), &[i as u8; 16][..]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn full_queue_sheds_and_retries_absorb_over_chan() {
+    full_queue_sheds_and_retries_absorb(TransportKind::Chan);
+}
+
+#[test]
+fn full_queue_sheds_and_retries_absorb_over_tcp() {
+    full_queue_sheds_and_retries_absorb(TransportKind::Tcp);
 }

@@ -49,6 +49,7 @@ const OP_GET_STATS: u8 = 13;
 const OP_RESET_STATS: u8 = 14;
 const OP_SYNC: u8 = 15;
 const OP_FLUSH: u8 = 16;
+const OP_PING: u8 = 17;
 
 // Response opcodes.
 const RESP_CREATED: u8 = 1;
@@ -63,6 +64,7 @@ const RESP_LISTING: u8 = 9;
 const RESP_STATS: u8 = 10;
 const RESP_SYNCED: u8 = 11;
 const RESP_FLUSHED: u8 = 12;
+const RESP_PONG: u8 = 13;
 
 // Error variant tags.
 const ERR_INVALID_ARGUMENT: u8 = 1;
@@ -76,6 +78,8 @@ const ERR_NO_SUCH_SERVER: u8 = 8;
 const ERR_TIMEOUT: u8 = 9;
 const ERR_FRAME_TOO_LARGE: u8 = 10;
 const ERR_CONFIG: u8 = 11;
+const ERR_UNAVAILABLE: u8 = 12;
+const ERR_OVERLOADED: u8 = 13;
 
 /// Encode a request message to its wire frame (header + trailing data +
 /// bulk payload).
@@ -165,7 +169,7 @@ pub fn encode_message(m: &Message) -> PvfsResult<Bytes> {
         }
         Request::Sync { handle } => buf.put_u64_le(handle.0),
         Request::Flush => {}
-        Request::GetStats | Request::ResetStats => {}
+        Request::GetStats | Request::ResetStats | Request::Ping => {}
     }
     Ok(buf.freeze())
 }
@@ -299,6 +303,7 @@ pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
         OP_FLUSH => Request::Flush,
         OP_GET_STATS => Request::GetStats,
         OP_RESET_STATS => Request::ResetStats,
+        OP_PING => Request::Ping,
         other => return Err(PvfsError::protocol(format!("unknown opcode {other}"))),
     };
     if buf.has_remaining() {
@@ -359,6 +364,10 @@ pub fn encode_response(id: RequestId, resp: &Response) -> Bytes {
         Response::Flushed { files } => {
             buf.put_u8(RESP_FLUSHED);
             buf.put_u64_le(*files);
+        }
+        Response::Pong { queue_depth } => {
+            buf.put_u8(RESP_PONG);
+            buf.put_u64_le(*queue_depth);
         }
         Response::Stats(snap) => {
             buf.put_u8(RESP_STATS);
@@ -422,6 +431,9 @@ pub fn decode_response(mut buf: Bytes) -> PvfsResult<(RequestId, Response)> {
         },
         RESP_FLUSHED => Response::Flushed {
             files: get_u64(&mut buf)?,
+        },
+        RESP_PONG => Response::Pong {
+            queue_depth: get_u64(&mut buf)?,
         },
         RESP_STATS => Response::Stats(Box::new(get_stats(&mut buf)?)),
         RESP_ERROR => Response::Error(get_error(&mut buf)?),
@@ -512,6 +524,7 @@ fn opcode(r: &Request) -> u8 {
         Request::Flush => OP_FLUSH,
         Request::GetStats => OP_GET_STATS,
         Request::ResetStats => OP_RESET_STATS,
+        Request::Ping => OP_PING,
     }
 }
 
@@ -625,6 +638,7 @@ fn get_stats(buf: &mut Bytes) -> PvfsResult<StatsSnapshot> {
         journal_replays: get_u64(buf)?,
         flushes: get_u64(buf)?,
         fsyncs: get_u64(buf)?,
+        requests_shed: get_u64(buf)?,
         workers: get_u64(buf)?,
         busy_workers: get_u64(buf)?,
         queue_depth: get_u64(buf)?,
@@ -725,6 +739,22 @@ fn put_error(buf: &mut BytesMut, e: &PvfsError) {
             buf.put_u8(ERR_CONFIG);
             put_string_mut(buf, m);
         }
+        PvfsError::Unavailable {
+            server,
+            retry_after_ms,
+        } => {
+            buf.put_u8(ERR_UNAVAILABLE);
+            buf.put_u32_le(*server);
+            buf.put_u64_le(*retry_after_ms);
+        }
+        PvfsError::Overloaded {
+            server,
+            queue_depth,
+        } => {
+            buf.put_u8(ERR_OVERLOADED);
+            buf.put_u32_le(*server);
+            buf.put_u64_le(*queue_depth);
+        }
     }
 }
 
@@ -750,6 +780,14 @@ fn get_error(buf: &mut Bytes) -> PvfsResult<PvfsError> {
             max: get_u64(buf)?,
         },
         ERR_CONFIG => PvfsError::Config(get_string(buf)?),
+        ERR_UNAVAILABLE => PvfsError::Unavailable {
+            server: get_u32(buf)?,
+            retry_after_ms: get_u64(buf)?,
+        },
+        ERR_OVERLOADED => PvfsError::Overloaded {
+            server: get_u32(buf)?,
+            queue_depth: get_u64(buf)?,
+        },
         other => return Err(PvfsError::protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -831,6 +869,7 @@ mod tests {
     fn roundtrip_stats_ops() {
         roundtrip(Request::GetStats);
         roundtrip(Request::ResetStats);
+        roundtrip(Request::Ping);
     }
 
     #[test]
@@ -859,6 +898,7 @@ mod tests {
             journal_replays: 2,
             flushes: 31,
             fsyncs: 77,
+            requests_shed: 13,
             workers: 8,
             busy_workers: 3,
             queue_depth: 12,
@@ -902,6 +942,9 @@ mod tests {
                 false,
             ),
             (Request::Flush, false),
+            // Pings are accounted requests: their latency is the health
+            // signal, so they must perturb the stats they ride past.
+            (Request::Ping, false),
         ] {
             let frame = encode_message(&msg(req.clone())).unwrap();
             assert_eq!(
@@ -1130,6 +1173,15 @@ mod tests {
                 max: 1 << 20,
             }),
             Response::Error(PvfsError::Config("PVFS_CB_BUFFER: junk".into())),
+            Response::Error(PvfsError::Unavailable {
+                server: 3,
+                retry_after_ms: 250,
+            }),
+            Response::Error(PvfsError::Overloaded {
+                server: 1,
+                queue_depth: 64,
+            }),
+            Response::Pong { queue_depth: 9 },
             Response::Listing {
                 paths: vec!["/pvfs/a".into(), "/pvfs/b".into()],
             },
@@ -1312,6 +1364,7 @@ mod tests {
             Request::Flush,
             Request::GetStats,
             Request::ResetStats,
+            Request::Ping,
         ];
         for request in cases {
             let m = msg(request);

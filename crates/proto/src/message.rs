@@ -184,6 +184,12 @@ pub enum Request {
     /// snapshot taken just before the reset (so no sample is ever
     /// unobservable).
     ResetStats,
+    /// Liveness probe: the cheapest possible round trip, answered with
+    /// [`Response::Pong`]. Unlike stats scrapes it *is* accounted as a
+    /// normal request — its measured latency is the health signal the
+    /// client's failure detector feeds on, so it must travel the same
+    /// queue and worker path as data traffic.
+    Ping,
 }
 
 impl Request {
@@ -266,7 +272,7 @@ impl Request {
             Request::WriteVectors { runs, .. } => 8 + LAYOUT + 4 + 32 * runs.len() as u64 + 8,
             Request::Sync { .. } => 8,
             Request::Flush => 0,
-            Request::GetStats | Request::ResetStats => 0,
+            Request::GetStats | Request::ResetStats | Request::Ping => 0,
         };
         ENVELOPE + body
     }
@@ -320,6 +326,7 @@ impl Request {
             Request::Flush => "flush",
             Request::GetStats => "get_stats",
             Request::ResetStats => "reset_stats",
+            Request::Ping => "ping",
         }
     }
 
@@ -417,6 +424,10 @@ pub enum Response {
     Synced { durable: u64 },
     /// Daemon-wide flush done; `files` local files were synced.
     Flushed { files: u64 },
+    /// Liveness probe answered: the daemon is alive and draining its
+    /// queue; `queue_depth` is its inflight gauge at answer time (a
+    /// free overload signal riding on every probe).
+    Pong { queue_depth: u64 },
     /// Counters, gauges and latency histograms scraped by
     /// [`Request::GetStats`] / [`Request::ResetStats`].
     Stats(Box<pvfs_types::StatsSnapshot>),
@@ -590,6 +601,20 @@ mod tests {
         }
         assert_eq!(Request::GetStats.op_name(), "get_stats");
         assert_eq!(Request::ResetStats.op_name(), "reset_stats");
+    }
+
+    #[test]
+    fn ping_is_an_idempotent_daemon_control_op() {
+        let p = Request::Ping;
+        assert!(!p.is_metadata(), "pings are servable by I/O daemons");
+        assert!(p.is_idempotent(), "probes are safe to replay");
+        assert!(!p.is_write());
+        assert_eq!(p.region_count(), 0);
+        assert_eq!(p.bulk_len(), 0);
+        assert_eq!(p.server_share(ServerId(0)), 0);
+        assert_eq!(p.op_class(), OpClass::Meta);
+        assert_eq!(p.op_name(), "ping");
+        assert_eq!(Response::Pong { queue_depth: 3 }.bulk_len(), 0);
     }
 
     #[test]

@@ -126,6 +126,9 @@ pub struct ServerStats {
     pub flushes: u64,
     /// `fsync` syscalls issued.
     pub fsyncs: u64,
+    /// Requests shed off a full queue with [`PvfsError::Overloaded`]
+    /// before any worker saw them (load shedding under brown-out).
+    pub requests_shed: u64,
 }
 
 /// [`ServerStats`] as relaxed atomics, so concurrently served requests
@@ -142,6 +145,7 @@ struct AtomicStats {
     bytes_rx: AtomicU64,
     bytes_tx: AtomicU64,
     frames_rx: AtomicU64,
+    requests_shed: AtomicU64,
 }
 
 impl AtomicStats {
@@ -157,6 +161,7 @@ impl AtomicStats {
             bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
             bytes_tx: self.bytes_tx.load(Ordering::Relaxed),
             frames_rx: self.frames_rx.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
             // Storage-engine counters live in the daemon's shared
             // StorageMetrics; IoDaemon::stats fills them in.
             journal_appends: 0,
@@ -329,6 +334,14 @@ impl IoDaemon {
         self.inflight.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The transport shed a request off a full queue (fast-failed with
+    /// `Overloaded` before any worker saw it). Undoes the
+    /// [`IoDaemon::note_queued`] gauge bump and counts the shed.
+    pub fn note_shed(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.stats.requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A worker dequeued a request after it `waited` in the queue.
     /// Records queue wait and moves the request from the queue gauge to
     /// the busy-worker gauge; paired with [`IoDaemon::end_service`].
@@ -365,6 +378,7 @@ impl IoDaemon {
             journal_replays: s.journal_replays,
             flushes: s.flushes,
             fsyncs: s.fsyncs,
+            requests_shed: s.requests_shed,
             workers: self.config.workers as u64,
             busy_workers: self.busy_workers.load(Ordering::Relaxed),
             queue_depth: self.inflight.load(Ordering::Relaxed),
@@ -390,6 +404,7 @@ impl IoDaemon {
             &self.stats.bytes_rx,
             &self.stats.bytes_tx,
             &self.stats.frames_rx,
+            &self.stats.requests_shed,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -710,6 +725,19 @@ impl IoDaemon {
                     }
                 }
                 Ok((Response::Flushed { files }, cost))
+            }
+            Request::Ping => {
+                // The cheapest possible round trip, and deliberately an
+                // *accounted* request (unlike GetStats): its latency and
+                // success are the health signal the client's failure
+                // detector feeds on. The reply carries the live
+                // queue-depth gauge so a prober sees congestion build.
+                Ok((
+                    Response::Pong {
+                        queue_depth: self.inflight.load(Ordering::Relaxed),
+                    },
+                    ServeCost::default(),
+                ))
             }
             other if other.is_metadata() => Err(PvfsError::protocol(format!(
                 "metadata operation {} sent to an I/O daemon",
@@ -1209,9 +1237,38 @@ mod tests {
             in_process.journal_replays,
             in_process.flushes,
             in_process.fsyncs,
+            in_process.requests_shed,
         ]) {
             assert_eq!(*scraped, direct, "{name} diverged");
         }
+    }
+
+    #[test]
+    fn ping_answers_pong_and_counts_as_a_request() {
+        let d = IoDaemon::with_defaults(ServerId(0));
+        d.note_queued();
+        let (resp, cost) = d.handle(&Request::Ping);
+        assert_eq!(resp, Response::Pong { queue_depth: 1 });
+        assert_eq!(cost, ServeCost::default());
+        // Unlike a stats scrape, a ping is an accounted request: its
+        // latency is the health signal, so it must be visible.
+        assert_eq!(d.stats().requests, 1);
+        assert_eq!(d.stats().errors, 0);
+    }
+
+    #[test]
+    fn shed_requests_undo_the_queue_gauge_and_count() {
+        let d = IoDaemon::with_defaults(ServerId(0));
+        d.note_queued();
+        d.note_queued();
+        d.note_shed();
+        let snap = d.stats_snapshot();
+        assert_eq!(snap.queue_depth, 1, "shed undoes the queued bump");
+        assert_eq!(snap.requests_shed, 1);
+        assert_eq!(d.stats().requests_shed, 1);
+        // ResetStats zeroes the shed counter with the rest.
+        d.handle(&Request::ResetStats);
+        assert_eq!(d.stats().requests_shed, 0);
     }
 
     #[test]

@@ -201,6 +201,10 @@ impl Manager {
                 self.by_handle.remove(&entry.handle);
                 Ok(Response::Removed)
             }
+            // Liveness probe: an accounted request (its latency is the
+            // health signal). The manager has no request queue gauge —
+            // its dispatch loop is single-threaded — so depth is 0.
+            Request::Ping => Ok(Response::Pong { queue_depth: 0 }),
             other => Err(PvfsError::protocol(format!(
                 "manager cannot serve data operation {}",
                 other.op_name()
@@ -399,6 +403,17 @@ mod tests {
             Response::Listing { paths } => assert!(paths.is_empty()),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn ping_answers_pong_and_counts() {
+        let mut m = Manager::new();
+        assert_eq!(m.handle(&Request::Ping), Response::Pong { queue_depth: 0 });
+        assert_eq!(
+            m.stats_snapshot().requests,
+            1,
+            "pings are accounted requests, not invisible scrapes"
+        );
     }
 
     #[test]

@@ -51,6 +51,30 @@ pub enum PvfsError {
     /// required, an overflowing size. Surfaced as a typed error so
     /// library callers can report it instead of aborting the process.
     Config(String),
+    /// The client's circuit breaker for this server is open: recent
+    /// RPCs failed consecutively, so the request was rejected *before*
+    /// transmission instead of hammering a daemon that is provably
+    /// down. `retry_after_ms` is how long until the breaker admits a
+    /// half-open probe. Not retryable — the whole point is to fail
+    /// fast; callers that want to wait should do so above the RPC
+    /// layer.
+    Unavailable {
+        /// The I/O server whose breaker is open.
+        server: u32,
+        /// Milliseconds until the breaker will admit a probe.
+        retry_after_ms: u64,
+    },
+    /// The server shed this request because its bounded queue was full
+    /// (load shedding instead of backpressure-by-blocking). Retryable
+    /// with backoff, and — uniquely among retryable errors — the shed
+    /// provably happened *before* execution, so even non-idempotent
+    /// requests may be replayed after it.
+    Overloaded {
+        /// The I/O server that shed the request.
+        server: u32,
+        /// The server's queue depth at the moment it shed.
+        queue_depth: u64,
+    },
 }
 
 impl fmt::Display for PvfsError {
@@ -69,6 +93,24 @@ impl fmt::Display for PvfsError {
                 write!(f, "wire frame of {len} bytes exceeds the {max}-byte cap")
             }
             PvfsError::Config(m) => write!(f, "bad configuration: {m}"),
+            PvfsError::Unavailable {
+                server,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "server {server} unavailable (circuit open, retry after {retry_after_ms}ms)"
+                )
+            }
+            PvfsError::Overloaded {
+                server,
+                queue_depth,
+            } => {
+                write!(
+                    f,
+                    "server {server} overloaded (shed at queue depth {queue_depth})"
+                )
+            }
         }
     }
 }
@@ -108,6 +150,8 @@ impl PvfsError {
     /// * [`PvfsError::Protocol`] — a corrupt frame (either direction)
     ///   or an unattributable/mismatched response id; the next attempt
     ///   travels on clean frames with a fresh request id.
+    /// * [`PvfsError::Overloaded`] — the server shed the request off a
+    ///   full queue; after backoff the queue may have drained.
     ///
     /// Everything else is *deterministic*: the server looked at a
     /// well-formed request and said no ([`PvfsError::NoSuchFile`],
@@ -117,7 +161,10 @@ impl PvfsError {
     /// exceeds the hard cap ([`PvfsError::FrameTooLarge`]), or local
     /// configuration was malformed before any request left the process
     /// ([`PvfsError::Config`]). Replaying those yields the same answer
-    /// and only masks bugs.
+    /// and only masks bugs. [`PvfsError::Unavailable`] is deliberately
+    /// in the non-retryable camp even though the server might recover:
+    /// the circuit breaker already *decided* to fail fast, and an RPC
+    /// retry loop spinning against an open breaker would defeat it.
     ///
     /// Replaying a retryable data op is safe even though the original
     /// attempt *may* have executed server-side
@@ -128,7 +175,10 @@ impl PvfsError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            PvfsError::Transport(_) | PvfsError::Timeout(_) | PvfsError::Protocol(_)
+            PvfsError::Transport(_)
+                | PvfsError::Timeout(_)
+                | PvfsError::Protocol(_)
+                | PvfsError::Overloaded { .. }
         )
     }
 
@@ -146,6 +196,11 @@ impl PvfsError {
     /// the reply lost, and on [`PvfsError::Protocol`] the *response*
     /// may have been the mangled half. Only idempotent operations may
     /// be replayed after these.
+    ///
+    /// [`PvfsError::Overloaded`] is the one error that is retryable
+    /// *and* proves non-execution: the server shed the frame off a full
+    /// queue before any worker decoded it, so even non-idempotent
+    /// requests may be replayed after backoff.
     pub fn is_definitely_not_executed(&self) -> bool {
         !matches!(
             self,
@@ -175,6 +230,22 @@ mod tests {
         assert_eq!(
             PvfsError::NoSuchServer(9).to_string(),
             "no such I/O server: 9"
+        );
+        assert_eq!(
+            PvfsError::Unavailable {
+                server: 2,
+                retry_after_ms: 250
+            }
+            .to_string(),
+            "server 2 unavailable (circuit open, retry after 250ms)"
+        );
+        assert_eq!(
+            PvfsError::Overloaded {
+                server: 1,
+                queue_depth: 64
+            }
+            .to_string(),
+            "server 1 overloaded (shed at queue depth 64)"
         );
     }
 
@@ -207,6 +278,17 @@ mod tests {
                 "{e} may have executed server-side"
             );
         }
+        // Overloaded is retryable *and* proves non-execution: the shed
+        // happened before any worker touched the request.
+        let shed = PvfsError::Overloaded {
+            server: 2,
+            queue_depth: 64,
+        };
+        assert!(shed.is_retryable(), "{shed} must be retryable");
+        assert!(
+            shed.is_definitely_not_executed(),
+            "{shed} happened before execution"
+        );
         let deterministic = [
             PvfsError::invalid("zero stripe"),
             PvfsError::NoSuchFile("/pvfs/x".into()),
@@ -219,6 +301,10 @@ mod tests {
                 max: 1 << 20,
             },
             PvfsError::config("PVFS_CB_BUFFER: junk"),
+            PvfsError::Unavailable {
+                server: 3,
+                retry_after_ms: 250,
+            },
         ];
         for e in &deterministic {
             assert!(!e.is_retryable(), "{e} must not be retryable");
@@ -226,10 +312,12 @@ mod tests {
         }
     }
 
-    /// The two classifications partition the error space: an error is
-    /// retryable exactly when it might have executed anyway — the
-    /// combination a retry policy must treat as "replay only if
-    /// idempotent".
+    /// The two classifications partition the error space — an error is
+    /// retryable exactly when it might have executed anyway — with one
+    /// deliberate exception: [`PvfsError::Overloaded`] is retryable
+    /// *and* proves non-execution (the server shed it before a worker
+    /// ever decoded it), which is what makes replaying non-idempotent
+    /// requests after a shed safe.
     #[test]
     fn retryable_iff_execution_is_ambiguous() {
         let all = [
@@ -244,9 +332,18 @@ mod tests {
             PvfsError::timeout("x"),
             PvfsError::FrameTooLarge { len: 2, max: 1 },
             PvfsError::config("x"),
+            PvfsError::Unavailable {
+                server: 1,
+                retry_after_ms: 1,
+            },
         ];
         for e in &all {
             assert_eq!(e.is_retryable(), !e.is_definitely_not_executed(), "{e}");
         }
+        let shed = PvfsError::Overloaded {
+            server: 1,
+            queue_depth: 1,
+        };
+        assert!(shed.is_retryable() && shed.is_definitely_not_executed());
     }
 }

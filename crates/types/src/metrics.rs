@@ -354,6 +354,11 @@ pub struct StatsSnapshot {
     pub flushes: u64,
     /// `fsync` syscalls issued by the storage engine.
     pub fsyncs: u64,
+    /// Requests shed off a full queue with [`Overloaded`] before any
+    /// worker saw them (load shedding; see DESIGN §4i).
+    ///
+    /// [`Overloaded`]: crate::PvfsError::Overloaded
+    pub requests_shed: u64,
     /// Journal records committed but not yet checkpointed (gauge).
     pub journal_depth: u64,
     /// Time from frame arrival to a worker picking it up.
@@ -369,7 +374,7 @@ impl StatsSnapshot {
     /// The counter fields in `ServerStats` order, paired with their
     /// names — the unit the byte-for-byte equivalence tests compare and
     /// the tables print.
-    pub fn counters(&self) -> [(&'static str, u64); 15] {
+    pub fn counters(&self) -> [(&'static str, u64); 16] {
         [
             ("requests", self.requests),
             ("contiguous_requests", self.contiguous_requests),
@@ -386,6 +391,7 @@ impl StatsSnapshot {
             ("journal_replays", self.journal_replays),
             ("flushes", self.flushes),
             ("fsyncs", self.fsyncs),
+            ("requests_shed", self.requests_shed),
         ]
     }
 
@@ -601,5 +607,6 @@ mod tests {
         assert_eq!(names[9], "frames_rx");
         assert_eq!(names[10], "journal_appends");
         assert_eq!(names[14], "fsyncs");
+        assert_eq!(names[15], "requests_shed");
     }
 }

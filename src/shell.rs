@@ -70,6 +70,7 @@ impl Shell {
             "sync" => self.cmd_sync(&args),
             "bench" => self.cmd_bench(&args),
             "stats" => self.cmd_stats(&args),
+            "health" => self.cmd_health(),
             other => Err(PvfsError::invalid(format!(
                 "unknown command '{other}' (try 'help')"
             ))),
@@ -360,18 +361,19 @@ impl Shell {
         );
         let _ = writeln!(
             out,
-            "\nstorage    jrnl-app  jrnl-depth  replays  flushes  fsyncs"
+            "\nstorage    jrnl-app  jrnl-depth  replays  flushes  fsyncs    shed"
         );
         for (i, s) in snaps.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "{:<10} {:>8} {:>11} {:>8} {:>8} {:>7}",
+                "{:<10} {:>8} {:>11} {:>8} {:>8} {:>7} {:>7}",
                 format!("iod{i}"),
                 s.journal_appends,
                 s.journal_depth,
                 s.journal_replays,
                 s.flushes,
-                s.fsyncs
+                s.fsyncs,
+                s.requests_shed
             );
         }
         let _ = writeln!(
@@ -407,6 +409,35 @@ impl Shell {
         );
         Ok(out)
     }
+
+    /// Ping every daemon over the wire — the same cheap probe a
+    /// background failure detector would run — and report round-trip
+    /// time and live queue depth. A daemon that cannot answer within
+    /// the RPC deadline shows as `down` with the error it produced.
+    fn cmd_health(&mut self) -> PvfsResult<String> {
+        let client = self.cluster.client();
+        let mut out = String::from("server     status    rtt µs  queue\n");
+        for i in 0..self.cluster.n_servers() {
+            let started = std::time::Instant::now();
+            match client.ping(ServerId(i)) {
+                Ok(depth) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:<8} {:>8.1} {:>6}",
+                        format!("iod{i}"),
+                        "up",
+                        started.elapsed().as_secs_f64() * 1e6,
+                        depth
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{:<10} {:<8} {e}", format!("iod{i}"), "down");
+                }
+            }
+        }
+        out.pop();
+        Ok(out)
+    }
 }
 
 const HELP: &str = "commands:
@@ -422,6 +453,7 @@ const HELP: &str = "commands:
   sync [PATH]                           durability barrier: one open file, or every daemon
   bench PATH OFFSET COUNT LEN STRIDE    compare all methods on a pattern
   stats [json]                          per-server statistics scraped over the GetStats RPC
+  health                                ping every daemon: liveness, RTT, queue depth
   help                                  this text";
 
 fn parse<T: std::str::FromStr>(arg: Option<&&str>, name: &str) -> PvfsResult<T> {
@@ -636,7 +668,22 @@ mod tests {
         sh.execute("write /s 0 bytes").unwrap();
         let out = sh.execute("stats").unwrap();
         assert!(out.contains("jrnl-app"), "{out}");
+        assert!(out.contains("shed"), "{out}");
         assert!(out.contains("iod0 fsync"), "{out}");
+    }
+
+    #[test]
+    fn health_pings_every_daemon() {
+        let mut sh = shell();
+        let out = sh.execute("health").unwrap();
+        for i in 0..sh.n_servers() {
+            assert!(out.contains(&format!("iod{i}")), "{out}");
+        }
+        assert!(out.contains("up"), "{out}");
+        assert!(!out.contains("down"), "{out}");
+        // The probes are accounted requests on the daemons they hit.
+        let stats = sh.execute("stats json").unwrap();
+        assert!(stats.contains("\"requests\":1"), "{stats}");
     }
 
     #[test]
