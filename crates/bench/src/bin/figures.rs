@@ -3,7 +3,7 @@
 //! ```text
 //! figures [FIGURE ...] [--scale quick|mid|paper] [--out DIR] [--transport chan|tcp]
 //!
-//! FIGURE: fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos brownout durability collective all
+//! FIGURE: fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos brownout durability collective replica all
 //! ```
 //!
 //! Writes one CSV per figure into `--out` (default `results/`) and
@@ -19,7 +19,7 @@
 use pvfs_bench::figures::{ext_datatype, ext_hybrid};
 use pvfs_bench::{
     brownout, chaos, collective, durability, fig10, fig11, fig12, fig15, fig17, fig9, render_bars,
-    render_table, wire, write_csv, Row, Scale,
+    render_table, replica, wire, write_csv, Row, Scale,
 };
 use pvfs_net::TransportKind;
 use std::path::PathBuf;
@@ -52,10 +52,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos brownout durability collective | all] \
+                    "usage: figures [fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos brownout durability collective replica | all] \
                      [--scale quick|mid|paper] [--out DIR] [--transport chan|tcp]\n\
                      (--transport selects the live cluster's transport for the `wire`, `chaos`, `brownout`, `durability`,\n\
-                      and `collective` figures; the fig* figures run on the calibrated simulator)"
+                      `collective`, and `replica` figures; the fig* figures run on the calibrated simulator)"
                 );
                 return;
             }
@@ -77,6 +77,7 @@ fn main() {
             "brownout",
             "durability",
             "collective",
+            "replica",
         ]
         .map(String::from)
         .to_vec();
@@ -99,6 +100,7 @@ fn main() {
             "brownout" => brownout(scale, transport),
             "durability" => durability(scale, transport),
             "collective" => collective(scale, transport),
+            "replica" => replica(scale, transport),
             other => {
                 eprintln!("unknown figure '{other}'");
                 std::process::exit(2);

@@ -13,7 +13,7 @@
 use pvfs_client::PvfsFile;
 use pvfs_core::Method;
 use pvfs_disk::{ScratchDir, StorageConfig, SyncPolicy};
-use pvfs_net::{FaultPlan, LiveCluster, RetryPolicy, TransportKind};
+use pvfs_net::{FaultPlan, LiveCluster, ReplicaPolicy, RetryPolicy, TransportKind, WriteQuorum};
 use pvfs_server::IodConfig;
 use pvfs_types::{RegionList, ServerId, StripeLayout};
 use std::time::{Duration, Instant};
@@ -260,6 +260,115 @@ pub fn chaos(scale: Scale, kind: TransportKind) -> Vec<Row> {
                     seconds,
                     requests: client.stats().attempts - attempts_before,
                     wire_bytes: verified_bytes,
+                    ..Row::default()
+                }
+                .with_latency(&client.latency_snapshot().since(&latency_before)),
+            );
+        }
+    }
+    rows
+}
+
+/// The `replica` figure: what r-way mirroring costs and what it buys.
+///
+/// Two panels on a live cluster. The *write* panel runs the strided
+/// list write at `PVFS_REPLICAS` r = 1, 2, 3 (quorum `all`):
+/// `wire_bytes` scales ~r× — replication's bandwidth bill, paid by the
+/// client fan-out — while `seconds` grows less than r× because the
+/// copies ship in the same round-trip wave. The *read* panel runs
+/// byte-verified strided list reads at r = 2, healthy vs with one
+/// daemon dead (total frame drop): the degraded series must keep full
+/// goodput by failing over to the mirrors, with `requests` counting the
+/// RPC attempts the rescue cost.
+pub fn replica(scale: Scale, kind: TransportKind) -> Vec<Row> {
+    let region_counts: &[u64] = match scale {
+        Scale::Quick => &[64],
+        Scale::Mid => &[64, 256],
+        Scale::Paper => &[64, 256, 1024],
+    };
+    let mut rows = Vec::new();
+    // Write panel: replication overhead, r = 1..3.
+    for &n in region_counts {
+        for r in [1u32, 2, 3] {
+            let cluster = LiveCluster::spawn_transport(SERVERS, IodConfig::default(), kind);
+            let policy = ReplicaPolicy::new(r, WriteQuorum::All, SERVERS).unwrap();
+            let client = cluster.client().with_replica_policy(policy);
+            let layout = StripeLayout::new(0, SERVERS, STRIPE).unwrap();
+            let mut f = PvfsFile::create(&client, "/pvfs/replica", layout).unwrap();
+            let file: RegionList =
+                RegionList::from_pairs((0..n).map(|i| (i * STRIDE, REGION_BYTES))).unwrap();
+            let mem = RegionList::contiguous(0, n * REGION_BYTES);
+            let buf = vec![0x2eu8; (n * REGION_BYTES) as usize];
+            let (frames_before, bytes_before) = wire_totals(&cluster);
+            let started = Instant::now();
+            let report = f.write_list(&mem, &file, &buf, Method::List).unwrap();
+            let seconds = started.elapsed().as_secs_f64();
+            let (frames_after, bytes_after) = wire_totals(&cluster);
+            rows.push(
+                Row {
+                    figure: "replica",
+                    panel: format!("write fan-out ({kind})"),
+                    series: format!("r={r}"),
+                    x: n,
+                    seconds,
+                    requests: frames_after - frames_before,
+                    wire_bytes: bytes_after - bytes_before,
+                    ..Row::default()
+                }
+                .with_latency(&report.rpc_latency),
+            );
+        }
+    }
+    // Read panel: failover goodput at r = 2 with one daemon killed.
+    for &n in region_counts {
+        for (series, kill) in [("healthy", false), ("one daemon dead", true)] {
+            let mut cluster = LiveCluster::spawn_transport(SERVERS, IodConfig::default(), kind);
+            let policy = ReplicaPolicy::new(2, WriteQuorum::All, SERVERS).unwrap();
+            let layout = StripeLayout::new(0, SERVERS, STRIPE).unwrap();
+            let file: RegionList =
+                RegionList::from_pairs((0..n).map(|i| (i * STRIDE, REGION_BYTES))).unwrap();
+            let mem = RegionList::contiguous(0, n * REGION_BYTES);
+            let buf = vec![0x51u8; (n * REGION_BYTES) as usize];
+            {
+                let writer = cluster.client().with_replica_policy(policy);
+                let mut f = PvfsFile::create(&writer, "/pvfs/replica", layout).unwrap();
+                f.write_list(&mem, &file, &buf, Method::List).unwrap();
+            }
+            if kill {
+                cluster.inject_faults(FaultPlan {
+                    drop: 1.0,
+                    target: Some(0),
+                    seed: 4200 + n,
+                    ..FaultPlan::default()
+                });
+            }
+            let client = cluster
+                .client()
+                .with_replica_policy(policy)
+                .with_rpc_timeout(Duration::from_millis(500));
+            let mut f = PvfsFile::open(&client, "/pvfs/replica").unwrap();
+            let attempts_before = client.stats().attempts;
+            let latency_before = client.latency_snapshot();
+            let mut back = vec![0u8; buf.len()];
+            let started = Instant::now();
+            f.read_list(&mem, &file, &mut back, Method::List).unwrap();
+            let seconds = started.elapsed().as_secs_f64();
+            assert_eq!(back, buf, "replica figure: degraded read diverged");
+            if kill {
+                assert!(
+                    client.stats().replica_failovers > 0,
+                    "reads with a dead daemon must fail over"
+                );
+            }
+            rows.push(
+                Row {
+                    figure: "replica",
+                    panel: format!("failover reads, r=2 ({kind})"),
+                    series: series.into(),
+                    x: n,
+                    seconds,
+                    requests: client.stats().attempts - attempts_before,
+                    wire_bytes: buf.len() as u64,
                     ..Row::default()
                 }
                 .with_latency(&client.latency_snapshot().since(&latency_before)),

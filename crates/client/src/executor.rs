@@ -55,6 +55,12 @@ pub struct ExecReport {
     /// `Overloaded` refusals witnessed from shedding daemons; each one
     /// was absorbed by a retry or surfaced as the op's error.
     pub sheds_seen: u64,
+    /// Reads re-aimed at a mirror copy after the preferred replica
+    /// failed (`PVFS_REPLICAS` ≥ 2; zero without replication).
+    pub replica_failovers: u64,
+    /// Replicated writes that met their quorum with at least one copy
+    /// missing — each is divergence that `scrub` will later repair.
+    pub quorum_shortfalls: u64,
     /// Wire requests this client issued, broken down per I/O daemon
     /// (indexed by `ServerId`; the vector grows to the highest daemon
     /// addressed). The per-daemon fan-in is the collective-I/O claim:
@@ -107,6 +113,8 @@ impl ExecReport {
         self.hedge_wins += other.hedge_wins;
         self.breaker_rejections += other.breaker_rejections;
         self.sheds_seen += other.sheds_seen;
+        self.replica_failovers += other.replica_failovers;
+        self.quorum_shortfalls += other.quorum_shortfalls;
         self.exchange_bytes += other.exchange_bytes;
         self.exchange_msgs += other.exchange_msgs;
         self.rpc_latency.merge(&other.rpc_latency);
@@ -227,6 +235,8 @@ pub fn execute_plan(
     report.hedge_wins = retry.hedge_wins;
     report.breaker_rejections = retry.breaker_rejections;
     report.sheds_seen = retry.sheds_seen;
+    report.replica_failovers = retry.replica_failovers;
+    report.quorum_shortfalls = retry.quorum_shortfalls;
     // The endpoint tracker is shared across clones and plans; the delta
     // isolates exactly the RPCs this execution issued.
     report.rpc_latency = client.latency_snapshot().since(&latency_before);

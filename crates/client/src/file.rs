@@ -148,22 +148,36 @@ impl PvfsFile {
 
     /// The logical file size, computed from the I/O daemons' local file
     /// sizes — the manager stays off the data path.
+    ///
+    /// With replication (`PVFS_REPLICAS` ≥ 2) every copy of each slot is
+    /// consulted and the largest local size wins: a daemon that missed a
+    /// quorum write or restarted empty under-reports, and any surviving
+    /// copy is enough to answer — the call only fails when every copy of
+    /// some slot is unreachable.
     pub fn size(&self) -> PvfsResult<u64> {
+        let replica = self.client.replica_map().clone();
         let mut size = 0u64;
         for slot in 0..self.layout.pcount {
-            let server = self.layout.server_at_slot(slot);
-            match self.client.call(
-                RpcTarget::Server(server),
-                Request::GetLocalSize {
-                    handle: self.handle,
-                },
-            )? {
-                Response::LocalSize { size: local } => {
-                    if local > 0 {
-                        size = size.max(self.layout.to_logical(slot, local - 1) + 1);
+            let mut local = None;
+            let mut last_err = None;
+            for target in replica.copies(&self.layout, slot) {
+                let request = Request::GetLocalSize {
+                    handle: pvfs_replica::replica_handle(self.handle, target.copy),
+                };
+                match self.client.call(RpcTarget::Server(target.server), request) {
+                    Ok(Response::LocalSize { size: s }) => {
+                        local = Some(local.unwrap_or(0).max(s));
                     }
+                    Ok(other) => return Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+                    Err(e) => last_err = Some(e),
                 }
-                other => return Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+            }
+            match local {
+                Some(local) if local > 0 => {
+                    size = size.max(self.layout.to_logical(slot, local - 1) + 1);
+                }
+                Some(_) => {}
+                None => return Err(last_err.expect("no copies answered without an error")),
             }
         }
         Ok(size)
@@ -177,21 +191,46 @@ impl PvfsFile {
     /// journal; the return value is the total number of bytes made
     /// durable by this call, summed across servers. Memory-backed
     /// daemons answer immediately with 0 — there is nothing to persist.
+    /// With replication every copy of each slot is barriered; the call
+    /// succeeds when at least the write quorum's worth of copies per
+    /// slot acknowledged, so a single dead daemon does not block a
+    /// majority-quorum sync (its copy is healed by `scrub` later).
     pub fn sync(&self) -> PvfsResult<u64> {
+        let replica = self.client.replica_map().clone();
+        let required = replica.policy().required();
         let mut durable = 0u64;
         for slot in 0..self.layout.pcount {
-            let server = self.layout.server_at_slot(slot);
-            match self.client.call(
-                RpcTarget::Server(server),
-                Request::Sync {
-                    handle: self.handle,
-                },
-            )? {
-                Response::Synced { durable: local } => durable += local,
-                other => return Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+            let mut acked = 0u32;
+            let mut last_err = None;
+            for target in replica.copies(&self.layout, slot) {
+                let request = Request::Sync {
+                    handle: pvfs_replica::replica_handle(self.handle, target.copy),
+                };
+                match self.client.call(RpcTarget::Server(target.server), request) {
+                    Ok(Response::Synced { durable: local }) => {
+                        durable += local;
+                        acked += 1;
+                    }
+                    Ok(other) => return Err(PvfsError::protocol(format!("unexpected {other:?}"))),
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if acked < required {
+                return Err(last_err.expect("missed quorum without an error"));
             }
         }
         Ok(durable)
+    }
+
+    /// Anti-entropy pass over this file: fetch [`StripeDigest`]
+    /// checksums from every copy of every stripe slot, compare them,
+    /// and rewrite divergent spans (and truncate overlong tails) on
+    /// stale copies from the freshest reachable copy. A no-op reporting
+    /// all-clean when replication is off.
+    ///
+    /// [`StripeDigest`]: pvfs_proto::Request::StripeDigest
+    pub fn scrub(&self) -> PvfsResult<pvfs_types::ScrubReport> {
+        crate::scrub::scrub_file(&self.client, self.handle, &self.layout)
     }
 
     /// Contiguous write at `offset`.

@@ -71,6 +71,7 @@ impl FileStore {
         std::fs::create_dir_all(dir).map_err(|e| storage_err("create data dir", dir, e))?;
         let data_path = dir.join(format!("h{handle}.data"));
         let journal_path = dir.join(format!("h{handle}.journal"));
+        let fresh = !data_path.exists() || !journal_path.exists();
         let data = OpenOptions::new()
             .read(true)
             .write(true)
@@ -80,6 +81,18 @@ impl FileStore {
             .map_err(|e| storage_err("open data file", &data_path, e))?;
         let (mut journal, replay) = Journal::open(&journal_path)
             .map_err(|e| storage_err("open journal", &journal_path, e))?;
+        if fresh {
+            // Durability gap: creating h<N>.{data,journal} only stages
+            // directory entries in the parent's page cache. A power cut
+            // before the kernel writes them back would orphan the very
+            // journal a post-crash replay needs, so make the entries
+            // durable before acknowledging any write against this store.
+            let t = Instant::now();
+            File::open(dir)
+                .and_then(|d| d.sync_all())
+                .map_err(|e| storage_err("fsync data dir", dir, e))?;
+            metrics.record_fsync(t.elapsed());
+        }
         let mut size = data
             .metadata()
             .map_err(|e| storage_err("stat data file", &data_path, e))?
@@ -531,6 +544,44 @@ mod tests {
         }
         assert!(s.journal_depth() < JOURNAL_CHECKPOINT_RECORDS);
         assert!(m.flushes.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn fresh_create_fsyncs_parent_dir_and_reopen_does_not() {
+        let dir = ScratchDir::new("fs-dirsync");
+        let (s, m) = open(dir.path(), SyncPolicy::Never);
+        assert_eq!(
+            m.fsyncs.load(Ordering::Relaxed),
+            1,
+            "a fresh create must fsync the parent directory"
+        );
+        drop(s);
+        let metrics2 = Arc::new(StorageMetrics::default());
+        let s2 = FileStore::open(dir.path(), 1, SyncPolicy::Never, metrics2.clone()).unwrap();
+        assert_eq!(
+            metrics2.fsyncs.load(Ordering::Relaxed),
+            0,
+            "reopening existing files pays no directory fsync"
+        );
+        drop(s2);
+    }
+
+    #[test]
+    fn crash_on_the_first_ever_write_still_replays_after_reopen() {
+        // Regression for the create-durability gap: the very first
+        // write against a brand-new store commits to the journal and
+        // crashes mid-apply. Recovery depends on the journal's
+        // directory entry having been made durable at create time.
+        let dir = ScratchDir::new("fs-dirsync-crash");
+        let (mut s, _) = open(dir.path(), SyncPolicy::Always);
+        s.inject_crash(CrashPoint::AfterCommit { applied: 0 });
+        let err = s.write_batch(&[(5, &[3u8; 20])]).unwrap_err();
+        assert!(matches!(err, PvfsError::Storage(_)));
+        drop(s);
+        let (s2, m2) = open(dir.path(), SyncPolicy::Always);
+        assert!(m2.journal_replays.load(Ordering::Relaxed) >= 1);
+        assert_eq!(s2.read_vec(5, 20).unwrap(), vec![3u8; 20]);
+        assert_eq!(s2.size(), 25);
     }
 
     #[test]

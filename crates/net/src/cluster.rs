@@ -48,8 +48,12 @@ use pvfs_proto::{
     decode_response, encode_message, encode_response, frame_is_stats_scrape, Message, OpClass,
     Request, Response,
 };
+use pvfs_replica::{ReplicaMap, ReplicaPolicy, ReplicaTarget};
 use pvfs_server::{IoDaemon, IodConfig, Manager, ServerStats};
-use pvfs_types::{ClientId, Histogram, PvfsError, PvfsResult, RequestId, ServerId, StatsSnapshot};
+use pvfs_types::{
+    ClientId, Histogram, PvfsError, PvfsResult, RequestId, ServerId, StatsSnapshot, StripeLayout,
+};
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -59,7 +63,7 @@ use std::time::{Duration, Instant};
 use crate::chan::{bounded, RecvTimeoutError, Sender};
 use crate::fault::{FaultPlan, FaultyTransport};
 use crate::gate::SerialGate;
-use crate::health::{BreakerPolicy, HealthTracker, HedgePolicy};
+use crate::health::{BreakerPolicy, BreakerState, HealthTracker, HedgePolicy};
 use crate::latency::RpcLatency;
 use crate::pool::WorkerPool;
 use crate::retry::{AtomicClientStats, Backoff, ClientStats, RetryPolicy};
@@ -438,6 +442,9 @@ pub struct ClusterClient {
     /// clone: all of an endpoint's traffic contributes health signal.
     health: Arc<HealthTracker>,
     hedge: HedgePolicy,
+    /// Stripe replication placement (`PVFS_REPLICAS`); one copy per
+    /// slot (today's behavior) unless mirroring is configured.
+    replica: Arc<ReplicaMap>,
 }
 
 impl ClusterClient {
@@ -454,6 +461,11 @@ impl ClusterClient {
             transport.n_servers(),
             BreakerPolicy::from_env(),
         ));
+        // Malformed replication env panics like the other PVFS_*
+        // variables: a typo'd run must not silently change placement.
+        let policy = ReplicaPolicy::from_env(transport.n_servers())
+            .unwrap_or_else(|e| panic!("replica configuration rejected: {e}"));
+        let replica = Arc::new(ReplicaMap::new(transport.n_servers(), policy));
         ClusterClient {
             id,
             transport,
@@ -466,6 +478,7 @@ impl ClusterClient {
             latency,
             health,
             hedge: HedgePolicy::from_env(),
+            replica,
         }
     }
 
@@ -521,6 +534,23 @@ impl ClusterClient {
     pub fn with_hedge_policy(mut self, hedge: HedgePolicy) -> ClusterClient {
         self.hedge = hedge;
         self
+    }
+
+    /// This endpoint with an explicit replication policy (tests and
+    /// tools; the usual way in is `PVFS_REPLICAS`).
+    pub fn with_replica_policy(mut self, policy: ReplicaPolicy) -> ClusterClient {
+        self.replica = Arc::new(ReplicaMap::new(self.transport.n_servers(), policy));
+        self
+    }
+
+    /// The stripe replication placement map in force.
+    pub fn replica_map(&self) -> &ReplicaMap {
+        &self.replica
+    }
+
+    /// The replication policy in force.
+    pub fn replica_policy(&self) -> ReplicaPolicy {
+        self.replica.policy()
     }
 
     /// The per-daemon failure detector (breaker states, EWMA latency)
@@ -865,7 +895,24 @@ impl ClusterClient {
     /// non-retryable: spinning against an open breaker would defeat
     /// it), so a round touching one dead daemon costs microseconds,
     /// not an RPC timeout per attempt.
+    /// # Replication
+    ///
+    /// With `PVFS_REPLICAS` > 1 every data op expands transparently:
+    /// writes fan out to all `r` copies of their stripe slot and
+    /// succeed once the configured quorum acknowledges; reads go to the
+    /// healthiest copy (breaker state, then latency EWMA) and *fail
+    /// over* to the next mirror on breaker-open/timeout instead of
+    /// erroring the round. `r = 1` (the default) takes the unreplicated
+    /// fast path below, byte-for-byte today's behavior.
     pub fn round(&self, requests: Vec<(ServerId, Request)>) -> PvfsResult<Vec<Response>> {
+        if self.replica.policy().enabled() {
+            self.round_replicated(requests)
+        } else {
+            self.round_single(requests)
+        }
+    }
+
+    fn round_single(&self, requests: Vec<(ServerId, Request)>) -> PvfsResult<Vec<Response>> {
         let mut results: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
         let mut pending: Vec<usize> = (0..requests.len()).collect();
         let started = Instant::now();
@@ -899,6 +946,183 @@ impl ClusterClient {
             pending.sort_unstable();
             attempt += 1;
         }
+    }
+
+    /// The replicated fan-out: expand each data op into per-copy
+    /// sub-ops, ship them in waves over the ordinary round-attempt
+    /// machinery, fail reads over along their mirror chain, and
+    /// assemble per-op results under the write quorum.
+    ///
+    /// Failover waves re-ship immediately and consume no retry
+    /// attempts — abandoning a dead copy is progress, not a retry —
+    /// so a round that loses one daemon costs one timeout (or one
+    /// fast breaker rejection), never a retry storm.
+    fn round_replicated(&self, requests: Vec<(ServerId, Request)>) -> PvfsResult<Vec<Response>> {
+        struct SubMeta {
+            /// Remaining read mirrors, next-preferred first.
+            fallbacks: VecDeque<(ServerId, Request)>,
+            /// One copy of a replicated write (quorum-assembled).
+            write_copy: bool,
+        }
+        let map = Arc::clone(&self.replica);
+        let mut sub_reqs: Vec<(ServerId, Request)> = Vec::new();
+        let mut sub_meta: Vec<SubMeta> = Vec::new();
+        let mut orig_subs: Vec<Vec<usize>> = vec![Vec::new(); requests.len()];
+        for (oi, (server, request)) in requests.iter().enumerate() {
+            let Some(layout) = request_layout(request) else {
+                // Placement-free ops (pings, barriers, scrapes) pass
+                // through to their original target untouched.
+                orig_subs[oi].push(sub_reqs.len());
+                sub_meta.push(SubMeta {
+                    fallbacks: VecDeque::new(),
+                    write_copy: false,
+                });
+                sub_reqs.push((*server, request.clone()));
+                continue;
+            };
+            let slot = pvfs_replica::slot_of_server(layout, *server);
+            debug_assert!(slot < layout.pcount, "round target is not in the layout");
+            if request.op_class() == OpClass::Write {
+                // Writes fan out to every copy; the quorum decides
+                // success at assembly below.
+                for target in map.copies(layout, slot) {
+                    orig_subs[oi].push(sub_reqs.len());
+                    sub_meta.push(SubMeta {
+                        fallbacks: VecDeque::new(),
+                        write_copy: true,
+                    });
+                    sub_reqs.push((
+                        target.server,
+                        map.rewrite_request(request, slot, target.copy),
+                    ));
+                }
+            } else {
+                // Reads go to the healthiest copy; the others queue up
+                // as an ordered failover chain.
+                let mut targets = map.copies(layout, slot);
+                targets.sort_by_key(|t| self.read_copy_key(*t));
+                let mut chain: VecDeque<(ServerId, Request)> = targets
+                    .iter()
+                    .map(|t| (t.server, map.rewrite_request(request, slot, t.copy)))
+                    .collect();
+                let first = chain.pop_front().expect("at least one copy");
+                orig_subs[oi].push(sub_reqs.len());
+                sub_meta.push(SubMeta {
+                    fallbacks: chain,
+                    write_copy: false,
+                });
+                sub_reqs.push(first);
+            }
+        }
+
+        let mut results: Vec<Option<Response>> = (0..sub_reqs.len()).map(|_| None).collect();
+        let mut errors: Vec<Option<PvfsError>> = (0..sub_reqs.len()).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..sub_reqs.len()).collect();
+        let started = Instant::now();
+        let mut backoff: Option<Backoff> = None;
+        let mut attempt = 1u32;
+        loop {
+            self.stats.record_attempts(pending.len() as u64);
+            let failures = self.round_attempt(&sub_reqs, &pending, &mut results);
+            let mut immediate: Vec<usize> = Vec::new();
+            let mut retriable: Vec<(usize, PvfsError)> = Vec::new();
+            for (si, e) in failures {
+                let meta = &mut sub_meta[si];
+                if !meta.fallbacks.is_empty() && failover_worthy(&e) {
+                    // This replica is unreachable, gated, or shedding:
+                    // abandon it and re-aim the sub-op at the next
+                    // mirror. The op itself has not failed.
+                    sub_reqs[si] = meta.fallbacks.pop_front().expect("nonempty chain");
+                    self.stats.record_replica_failover();
+                    immediate.push(si);
+                    continue;
+                }
+                let replayable = sub_reqs[si].1.is_idempotent() || e.is_definitely_not_executed();
+                if e.is_retryable() && replayable {
+                    retriable.push((si, e));
+                } else {
+                    // Terminal for this sub-op. A failed write *copy*
+                    // does not abort the round — its siblings may still
+                    // make quorum — so park the error for assembly.
+                    errors[si] = Some(e);
+                }
+            }
+            if immediate.is_empty() && retriable.is_empty() {
+                break;
+            }
+            if immediate.is_empty() {
+                if attempt >= self.retry.max_attempts || started.elapsed() >= self.retry.budget {
+                    for (si, e) in retriable {
+                        errors[si] = Some(e);
+                    }
+                    break;
+                }
+                let delay = backoff
+                    .get_or_insert_with(|| self.new_backoff())
+                    .next_delay()
+                    .min(self.retry.budget.saturating_sub(started.elapsed()));
+                self.stats.record_retries(retriable.len() as u64, delay);
+                std::thread::sleep(delay);
+                attempt += 1;
+            }
+            pending = immediate
+                .into_iter()
+                .chain(retriable.iter().map(|(si, _)| *si))
+                .collect();
+            pending.sort_unstable();
+        }
+
+        // Assemble per original op, in order. Reads and passthroughs
+        // resolved to one sub-op; writes need `required()` of their
+        // copies to have acknowledged.
+        let required = map.policy().required();
+        let expected = map.replicas();
+        let mut out = Vec::with_capacity(requests.len());
+        for subs in &orig_subs {
+            if !sub_meta[subs[0]].write_copy {
+                let si = subs[0];
+                match results[si].take() {
+                    Some(r) => out.push(r),
+                    None => return Err(errors[si].take().expect("unresolved sub-op has an error")),
+                }
+                continue;
+            }
+            let oks = subs.iter().filter(|&&si| results[si].is_some()).count() as u32;
+            if oks < required {
+                let e = subs
+                    .iter()
+                    .find_map(|&si| errors[si].clone())
+                    .expect("failed quorum has a copy error");
+                return Err(e);
+            }
+            if oks < expected {
+                // Quorum met but a copy missed the write: divergence
+                // for a later scrub to repair.
+                self.stats.record_quorum_shortfall();
+            }
+            // Copies apply identical local runs, so any acknowledged
+            // copy's reply stands for the op; take the first in copy
+            // order for determinism.
+            let si = *subs
+                .iter()
+                .find(|&&si| results[si].is_some())
+                .expect("quorum met");
+            out.push(results[si].take().expect("just checked"));
+        }
+        Ok(out)
+    }
+
+    /// Read-preference sort key for one copy: closed breakers first,
+    /// then fastest observed latency EWMA (untried copies count as
+    /// fast — worth probing), primary first on ties.
+    fn read_copy_key(&self, t: ReplicaTarget) -> (bool, u128, u32) {
+        let open = self.health.state(t.server) == BreakerState::Open;
+        let ewma = self
+            .health
+            .ewma(t.server)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        (open, ewma, t.copy)
     }
 
     /// One fan-out attempt over the `pending` subset of `requests`:
@@ -1000,6 +1224,36 @@ impl ClusterClient {
             self.retry,
             RequestId(self.next_request.load(Ordering::Relaxed)),
         )
+    }
+}
+
+/// Is this error a reason to abandon one replica and try a mirror?
+/// Covers the copy being unreachable (transport/timeout), breaker-gated,
+/// or shedding load — conditions where a sibling copy can still serve
+/// the read. Data errors (bad offsets, protocol faults) would repeat on
+/// every copy and are not worth failing over.
+fn failover_worthy(e: &PvfsError) -> bool {
+    matches!(
+        e,
+        PvfsError::Transport(_)
+            | PvfsError::Timeout(_)
+            | PvfsError::Unavailable { .. }
+            | PvfsError::Overloaded { .. }
+    )
+}
+
+/// The stripe layout a data request routes by, if it carries one.
+/// Placement-free requests (metadata, stats, sync) return None and are
+/// not expanded across replicas.
+fn request_layout(request: &Request) -> Option<&StripeLayout> {
+    match request {
+        Request::Read { layout, .. }
+        | Request::Write { layout, .. }
+        | Request::ReadList { layout, .. }
+        | Request::WriteList { layout, .. }
+        | Request::ReadVectors { layout, .. }
+        | Request::WriteVectors { layout, .. } => Some(layout),
+        _ => None,
     }
 }
 

@@ -90,6 +90,7 @@ pub use gate::SerialGate;
 pub use health::{BreakerPolicy, BreakerState, HealthTracker, HedgePolicy, ServerHealthSnapshot};
 pub use latency::RpcLatency;
 pub use pool::WorkerPool;
+pub use pvfs_replica::{ReplicaMap, ReplicaPolicy, ReplicaTarget, WriteQuorum};
 pub use retry::{ClientStats, RetryPolicy};
 pub use tcp::TcpTransport;
 pub use transport::{PendingReply, RpcTarget, Transport, TransportKind, WaitError};

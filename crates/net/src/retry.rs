@@ -185,6 +185,12 @@ pub struct ClientStats {
     /// `PvfsError::Overloaded` responses observed (server-side sheds
     /// this endpoint ran into).
     pub sheds_seen: u64,
+    /// Replicated reads that abandoned one copy and moved to the next
+    /// mirror instead of erroring the round (`PVFS_REPLICAS` > 1).
+    pub replica_failovers: u64,
+    /// Replicated writes that met their quorum while at least one copy
+    /// failed — divergence a later `scrub` will repair.
+    pub quorum_shortfalls: u64,
 }
 
 impl ClientStats {
@@ -200,6 +206,8 @@ impl ClientStats {
             hedge_wins: self.hedge_wins - earlier.hedge_wins,
             breaker_rejections: self.breaker_rejections - earlier.breaker_rejections,
             sheds_seen: self.sheds_seen - earlier.sheds_seen,
+            replica_failovers: self.replica_failovers - earlier.replica_failovers,
+            quorum_shortfalls: self.quorum_shortfalls - earlier.quorum_shortfalls,
         }
     }
 }
@@ -214,6 +222,8 @@ pub(crate) struct AtomicClientStats {
     hedge_wins: AtomicU64,
     breaker_rejections: AtomicU64,
     sheds_seen: AtomicU64,
+    replica_failovers: AtomicU64,
+    quorum_shortfalls: AtomicU64,
 }
 
 impl AtomicClientStats {
@@ -242,6 +252,14 @@ impl AtomicClientStats {
         self.sheds_seen.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_replica_failover(&self) {
+        self.replica_failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_quorum_shortfall(&self) {
+        self.quorum_shortfalls.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self, faults_injected: u64) -> ClientStats {
         ClientStats {
             attempts: self.attempts.load(Ordering::Relaxed),
@@ -252,6 +270,8 @@ impl AtomicClientStats {
             hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
             breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
             sheds_seen: self.sheds_seen.load(Ordering::Relaxed),
+            replica_failovers: self.replica_failovers.load(Ordering::Relaxed),
+            quorum_shortfalls: self.quorum_shortfalls.load(Ordering::Relaxed),
         }
     }
 }
@@ -349,6 +369,8 @@ mod tests {
             hedge_wins: 1,
             breaker_rejections: 2,
             sheds_seen: 1,
+            replica_failovers: 1,
+            quorum_shortfalls: 0,
         };
         let late = ClientStats {
             attempts: 25,
@@ -359,6 +381,8 @@ mod tests {
             hedge_wins: 3,
             breaker_rejections: 7,
             sheds_seen: 5,
+            replica_failovers: 4,
+            quorum_shortfalls: 2,
         };
         assert_eq!(
             late.since(&early),
@@ -371,6 +395,8 @@ mod tests {
                 hedge_wins: 2,
                 breaker_rejections: 5,
                 sheds_seen: 4,
+                replica_failovers: 3,
+                quorum_shortfalls: 2,
             }
         );
     }

@@ -50,6 +50,8 @@ const OP_RESET_STATS: u8 = 14;
 const OP_SYNC: u8 = 15;
 const OP_FLUSH: u8 = 16;
 const OP_PING: u8 = 17;
+const OP_STRIPE_DIGEST: u8 = 18;
+const OP_TRUNCATE: u8 = 19;
 
 // Response opcodes.
 const RESP_CREATED: u8 = 1;
@@ -65,6 +67,7 @@ const RESP_STATS: u8 = 10;
 const RESP_SYNCED: u8 = 11;
 const RESP_FLUSHED: u8 = 12;
 const RESP_PONG: u8 = 13;
+const RESP_DIGESTS: u8 = 14;
 
 // Error variant tags.
 const ERR_INVALID_ARGUMENT: u8 = 1;
@@ -170,6 +173,14 @@ pub fn encode_message(m: &Message) -> PvfsResult<Bytes> {
         Request::Sync { handle } => buf.put_u64_le(handle.0),
         Request::Flush => {}
         Request::GetStats | Request::ResetStats | Request::Ping => {}
+        Request::StripeDigest { handle, chunk } => {
+            buf.put_u64_le(handle.0);
+            buf.put_u64_le(*chunk);
+        }
+        Request::Truncate { handle, size } => {
+            buf.put_u64_le(handle.0);
+            buf.put_u64_le(*size);
+        }
     }
     Ok(buf.freeze())
 }
@@ -304,6 +315,14 @@ pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
         OP_GET_STATS => Request::GetStats,
         OP_RESET_STATS => Request::ResetStats,
         OP_PING => Request::Ping,
+        OP_STRIPE_DIGEST => Request::StripeDigest {
+            handle: FileHandle(get_u64(&mut buf)?),
+            chunk: get_u64(&mut buf)?,
+        },
+        OP_TRUNCATE => Request::Truncate {
+            handle: FileHandle(get_u64(&mut buf)?),
+            size: get_u64(&mut buf)?,
+        },
         other => return Err(PvfsError::protocol(format!("unknown opcode {other}"))),
     };
     if buf.has_remaining() {
@@ -368,6 +387,19 @@ pub fn encode_response(id: RequestId, resp: &Response) -> Bytes {
         Response::Pong { queue_depth } => {
             buf.put_u8(RESP_PONG);
             buf.put_u64_le(*queue_depth);
+        }
+        Response::Digests {
+            version,
+            size,
+            chunks,
+        } => {
+            buf.put_u8(RESP_DIGESTS);
+            buf.put_u64_le(*version);
+            buf.put_u64_le(*size);
+            buf.put_u32_le(chunks.len() as u32);
+            for c in chunks {
+                buf.put_u64_le(*c);
+            }
         }
         Response::Stats(snap) => {
             buf.put_u8(RESP_STATS);
@@ -435,6 +467,28 @@ pub fn decode_response(mut buf: Bytes) -> PvfsResult<(RequestId, Response)> {
         RESP_PONG => Response::Pong {
             queue_depth: get_u64(&mut buf)?,
         },
+        RESP_DIGESTS => {
+            let version = get_u64(&mut buf)?;
+            let size = get_u64(&mut buf)?;
+            let n = get_u32(&mut buf)? as usize;
+            // Bound the allocation by the bytes actually present, so a
+            // forged count cannot balloon memory before the reads fail.
+            if buf.remaining() < n * 8 {
+                return Err(PvfsError::protocol(format!(
+                    "digest response claims {n} chunks but only {} bytes remain",
+                    buf.remaining()
+                )));
+            }
+            let mut chunks = Vec::with_capacity(n);
+            for _ in 0..n {
+                chunks.push(get_u64(&mut buf)?);
+            }
+            Response::Digests {
+                version,
+                size,
+                chunks,
+            }
+        }
         RESP_STATS => Response::Stats(Box::new(get_stats(&mut buf)?)),
         RESP_ERROR => Response::Error(get_error(&mut buf)?),
         other => return Err(PvfsError::protocol(format!("unknown response tag {other}"))),
@@ -525,6 +579,8 @@ fn opcode(r: &Request) -> u8 {
         Request::GetStats => OP_GET_STATS,
         Request::ResetStats => OP_RESET_STATS,
         Request::Ping => OP_PING,
+        Request::StripeDigest { .. } => OP_STRIPE_DIGEST,
+        Request::Truncate { .. } => OP_TRUNCATE,
     }
 }
 
@@ -873,6 +929,68 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_truncate() {
+        roundtrip(Request::Truncate {
+            handle: FileHandle(42),
+            size: 1 << 20,
+        });
+        roundtrip(Request::Truncate {
+            handle: FileHandle(7 | 2 << 56),
+            size: 0,
+        });
+    }
+
+    #[test]
+    fn roundtrip_stripe_digest() {
+        roundtrip(Request::StripeDigest {
+            handle: FileHandle(42),
+            chunk: 16 * 1024,
+        });
+        roundtrip(Request::StripeDigest {
+            handle: FileHandle(0),
+            chunk: 1,
+        });
+    }
+
+    #[test]
+    fn digest_responses_roundtrip_and_reject_forged_counts() {
+        for resp in [
+            Response::Digests {
+                version: 0,
+                size: 0,
+                chunks: vec![],
+            },
+            Response::Digests {
+                version: 17,
+                size: 70_000,
+                chunks: vec![0xcbf2_9ce4_8422_2325, 0, u64::MAX, 12345],
+            },
+        ] {
+            let encoded = encode_response(RequestId(5), &resp);
+            let (id, decoded) = decode_response(encoded).unwrap();
+            assert_eq!(id, RequestId(5));
+            assert_eq!(decoded, resp);
+        }
+        // A forged count larger than the trailing bytes must fail the
+        // decode, not balloon the allocation.
+        let mut frame = encode_response(
+            RequestId(5),
+            &Response::Digests {
+                version: 1,
+                size: 8,
+                chunks: vec![7],
+            },
+        )
+        .to_vec();
+        // The count field sits after the 11-byte response header
+        // (magic, version, id), the tag byte, and two u64s; patch it to
+        // a huge value.
+        let count_at = 2 + 1 + 8 + 1 + 8 + 8;
+        frame[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_response(Bytes::from(frame)).is_err());
+    }
+
+    #[test]
     fn roundtrip_durability_ops() {
         roundtrip(Request::Sync {
             handle: FileHandle(42),
@@ -945,6 +1063,15 @@ mod tests {
             // Pings are accounted requests: their latency is the health
             // signal, so they must perturb the stats they ride past.
             (Request::Ping, false),
+            // Digest scrapes read the whole local file — real work,
+            // accounted like any other request.
+            (
+                Request::StripeDigest {
+                    handle: FileHandle(1),
+                    chunk: 4096,
+                },
+                false,
+            ),
         ] {
             let frame = encode_message(&msg(req.clone())).unwrap();
             assert_eq!(
@@ -1365,6 +1492,14 @@ mod tests {
             Request::GetStats,
             Request::ResetStats,
             Request::Ping,
+            Request::StripeDigest {
+                handle: FileHandle(9),
+                chunk: 16 * 1024,
+            },
+            Request::Truncate {
+                handle: FileHandle(9),
+                size: 4096,
+            },
         ];
         for request in cases {
             let m = msg(request);

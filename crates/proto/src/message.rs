@@ -190,6 +190,21 @@ pub enum Request {
     /// client's failure detector feeds on, so it must travel the same
     /// queue and worker path as data traffic.
     Ping,
+    /// Anti-entropy digest scrape for one handle: the daemon answers
+    /// [`Response::Digests`] with an fnv1a64 checksum of each
+    /// `chunk`-sized run of its local file. Replicas holding identical
+    /// local files answer identically, so a client can find divergence
+    /// between mirrors by comparing digest vectors instead of moving
+    /// data. Accounted as a normal request (it reads the whole local
+    /// file), unlike stats scrapes.
+    StripeDigest { handle: FileHandle, chunk: u64 },
+    /// Set one handle's local file on this daemon to exactly `size`
+    /// bytes, discarding any tail beyond it — anti-entropy repair's
+    /// tool for a stale replica that is *longer* than its repair
+    /// source (it missed a truncate). Idempotent: the target size is
+    /// absolute. Answered with [`Response::LocalSize`] reporting the
+    /// post-truncate size.
+    Truncate { handle: FileHandle, size: u64 },
 }
 
 impl Request {
@@ -273,6 +288,8 @@ impl Request {
             Request::Sync { .. } => 8,
             Request::Flush => 0,
             Request::GetStats | Request::ResetStats | Request::Ping => 0,
+            Request::StripeDigest { .. } => 8 + 8,
+            Request::Truncate { .. } => 8 + 8,
         };
         ENVELOPE + body
     }
@@ -327,6 +344,8 @@ impl Request {
             Request::GetStats => "get_stats",
             Request::ResetStats => "reset_stats",
             Request::Ping => "ping",
+            Request::StripeDigest { .. } => "stripe_digest",
+            Request::Truncate { .. } => "truncate",
         }
     }
 
@@ -431,6 +450,18 @@ pub enum Response {
     /// Counters, gauges and latency histograms scraped by
     /// [`Request::GetStats`] / [`Request::ResetStats`].
     Stats(Box<pvfs_types::StatsSnapshot>),
+    /// Per-chunk checksums of this server's local file for one handle
+    /// ([`Request::StripeDigest`]). `version` counts the write
+    /// operations this daemon has applied to the handle since *it*
+    /// started — a freshly restarted daemon answers 0 and is therefore
+    /// never mistaken for the freshest replica by a scrub. `size` is
+    /// the local file size; `chunks[i]` is the fnv1a64 of local bytes
+    /// `[i * chunk, min((i + 1) * chunk, size))`.
+    Digests {
+        version: u64,
+        size: u64,
+        chunks: Vec<u64>,
+    },
     /// The operation failed server-side.
     Error(PvfsError),
 }
@@ -615,6 +646,31 @@ mod tests {
         assert_eq!(p.op_class(), OpClass::Meta);
         assert_eq!(p.op_name(), "ping");
         assert_eq!(Response::Pong { queue_depth: 3 }.bulk_len(), 0);
+    }
+
+    #[test]
+    fn stripe_digest_is_an_idempotent_daemon_control_op() {
+        let d = Request::StripeDigest {
+            handle: FileHandle(7),
+            chunk: 16 * 1024,
+        };
+        assert!(!d.is_metadata(), "digests are served by I/O daemons");
+        assert!(d.is_idempotent(), "digest scrapes are safe to replay");
+        assert!(!d.is_write());
+        assert_eq!(d.region_count(), 0);
+        assert_eq!(d.bulk_len(), 0);
+        assert_eq!(d.server_share(ServerId(0)), 0);
+        assert_eq!(d.op_class(), OpClass::Meta);
+        assert_eq!(d.op_name(), "stripe_digest");
+        assert_eq!(
+            Response::Digests {
+                version: 3,
+                size: 64,
+                chunks: vec![1, 2, 3, 4]
+            }
+            .bulk_len(),
+            0
+        );
     }
 
     #[test]

@@ -726,6 +726,63 @@ impl IoDaemon {
                 }
                 Ok((Response::Flushed { files }, cost))
             }
+            Request::StripeDigest { handle, chunk } => {
+                // Anti-entropy: checksum this daemon's local bytes for
+                // the handle so a scrubbing client can compare replicas.
+                // Version 0 means "nothing applied this incarnation" —
+                // a freshly restarted daemon is never mistaken for the
+                // freshest copy.
+                if *chunk == 0 {
+                    return Err(PvfsError::protocol("stripe digest chunk must be nonzero"));
+                }
+                let mut shard = self.shard(*handle).lock().unwrap();
+                let (version, size, chunks) = match shard.get(handle) {
+                    Some(f) => {
+                        let (version, chunks) = f.digest_chunks(*chunk)?;
+                        (version, f.size(), chunks)
+                    }
+                    // Restarted file-backed daemon: the bytes live on
+                    // disk even though no in-memory entry exists yet.
+                    None if self.handle_on_disk(*handle) => {
+                        let f = self.file_entry(&mut shard, *handle)?;
+                        let (version, chunks) = f.digest_chunks(*chunk)?;
+                        (version, f.size(), chunks)
+                    }
+                    // Never-touched handle: an authoritative empty
+                    // answer, without creating local state.
+                    None => (0, 0, Vec::new()),
+                };
+                drop(shard);
+                Ok((
+                    Response::Digests {
+                        version,
+                        size,
+                        chunks,
+                    },
+                    ServeCost::default(),
+                ))
+            }
+            Request::Truncate { handle, size } => {
+                // Repair shrink: cut a stale replica back to its source's
+                // length. A handle this daemon has never touched is
+                // already "truncated" to any size ≥ 0 — answer without
+                // creating local state.
+                let mut shard = self.shard(*handle).lock().unwrap();
+                let local = match shard.get_mut(handle) {
+                    Some(file) => {
+                        file.truncate(*size)?;
+                        file.size()
+                    }
+                    None if self.handle_on_disk(*handle) => {
+                        let file = self.file_entry(&mut shard, *handle)?;
+                        file.truncate(*size)?;
+                        file.size()
+                    }
+                    None => 0,
+                };
+                drop(shard);
+                Ok((Response::LocalSize { size: local }, ServeCost::default()))
+            }
             Request::Ping => {
                 // The cheapest possible round trip, and deliberately an
                 // *accounted* request (unlike GetStats): its latency and
@@ -752,15 +809,21 @@ impl IoDaemon {
 
     /// Which slot this server occupies in `layout`, or an error if the
     /// request was misrouted.
+    ///
+    /// Wrapping: replica-rewritten layouts address a mirror as
+    /// `base = server - slot` in wrapping u32 arithmetic, so the slot
+    /// is recovered the same way. Primary layouts have plain bases and
+    /// behave exactly as before.
     fn slot_in(&self, layout: &StripeLayout) -> Result<u32, PvfsError> {
         layout.validate()?;
-        if self.id.0 < layout.base || self.id.0 >= layout.base + layout.pcount {
+        let slot = self.id.0.wrapping_sub(layout.base);
+        if slot >= layout.pcount {
             return Err(PvfsError::protocol(format!(
                 "server {} is not part of stripe layout base={} pcount={}",
                 self.id, layout.base, layout.pcount
             )));
         }
-        Ok(self.id.0 - layout.base)
+        Ok(slot)
     }
 
     /// Whether a durable store for `handle` survives in this daemon's

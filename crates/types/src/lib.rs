@@ -31,6 +31,6 @@ pub mod striping;
 pub use datatype::Datatype;
 pub use error::{PvfsError, PvfsResult};
 pub use ids::{ClientId, FileHandle, RequestId, ServerId};
-pub use metrics::{Histogram, SharedHistogram, StatsSnapshot};
+pub use metrics::{Histogram, ScrubReport, SharedHistogram, StatsSnapshot};
 pub use region::{align_lists, Region, RegionList, TransferPiece};
 pub use striping::{StripeLayout, StripeSegment};

@@ -122,20 +122,28 @@ impl Histogram {
     }
 
     /// Approximate percentile (0.0..=1.0) in nanoseconds, resolved to
-    /// bucket granularity (~±20%).
-    pub fn percentile_ns(&self, p: f64) -> u64 {
+    /// bucket granularity (~±20%). Returns `None` when the histogram is
+    /// empty — including one produced by merging empties — so callers
+    /// can distinguish "no samples" from a genuine 0 ns measurement.
+    pub fn try_percentile_ns(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target {
-                return Self::bucket_value(i).clamp(self.min, self.max);
+                return Some(Self::bucket_value(i).clamp(self.min, self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// Like [`try_percentile_ns`](Self::try_percentile_ns) but flattens
+    /// the empty case to 0, matching `mean_ns`/`min_ns`.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        self.try_percentile_ns(p).unwrap_or(0)
     }
 
     /// One-line summary for reports.
@@ -416,6 +424,44 @@ impl StatsSnapshot {
     }
 }
 
+/// What an anti-entropy scrub pass over one file observed and repaired
+/// (see DESIGN §4j). Client-driven: the scrubber fetches `StripeDigest`
+/// checksums from every copy of every stripe slot, compares them, and
+/// rewrites divergent spans from the freshest copy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Stripe slots examined (one per daemon in the file's layout).
+    pub slots_scanned: u64,
+    /// Per-chunk digest comparisons made across copies.
+    pub digests_compared: u64,
+    /// Copies whose digest probe failed (daemon down); they are skipped,
+    /// not repaired, and a later scrub picks them up.
+    pub copies_unreachable: u64,
+    /// Copies found divergent from their slot's repair source.
+    pub copies_divergent: u64,
+    /// Payload bytes rewritten onto stale copies.
+    pub repair_bytes: u64,
+    /// Stale copies truncated because they were longer than the source.
+    pub copies_truncated: u64,
+}
+
+impl ScrubReport {
+    /// Accumulate another report into this one (multi-file scrubs).
+    pub fn absorb(&mut self, other: &ScrubReport) {
+        self.slots_scanned += other.slots_scanned;
+        self.digests_compared += other.digests_compared;
+        self.copies_unreachable += other.copies_unreachable;
+        self.copies_divergent += other.copies_divergent;
+        self.repair_bytes += other.repair_bytes;
+        self.copies_truncated += other.copies_truncated;
+    }
+
+    /// True when every reachable copy agreed and nothing was rewritten.
+    pub fn clean(&self) -> bool {
+        self.copies_divergent == 0 && self.repair_bytes == 0 && self.copies_truncated == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +473,40 @@ mod tests {
         assert_eq!(h.mean_ns(), 0);
         assert_eq!(h.percentile_ns(0.5), 0);
         assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn empty_percentiles_are_typed_none_at_every_boundary() {
+        let h = Histogram::new();
+        for p in [0.0, 0.5, 1.0, -1.0, 2.0] {
+            assert_eq!(h.try_percentile_ns(p), None, "p={p}");
+            assert_eq!(h.percentile_ns(p), 0, "p={p}");
+        }
+        // One sample flips it to Some at every clamped percentile.
+        let mut h = h;
+        h.record(42);
+        for p in [0.0, 0.5, 1.0, -1.0, 2.0] {
+            assert_eq!(h.try_percentile_ns(p), Some(42), "p={p}");
+        }
+    }
+
+    #[test]
+    fn merge_of_empties_stays_empty() {
+        let mut a = Histogram::new();
+        let b = Histogram::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.try_percentile_ns(0.5), None);
+        assert_eq!(a.percentile_ns(0.99), 0);
+        assert_eq!(a.min_ns(), 0);
+        // Merging a real histogram afterwards recovers normal behavior:
+        // the sentinel min from the empty merge must not leak out.
+        let mut c = Histogram::new();
+        c.record(1_000);
+        a.merge(&c);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.try_percentile_ns(0.5), Some(1_000));
+        assert_eq!(a.min_ns(), 1_000);
     }
 
     #[test]

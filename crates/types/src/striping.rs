@@ -83,16 +83,21 @@ impl StripeLayout {
     }
 
     /// Which server owns the byte at `offset`.
+    ///
+    /// Wrapping: replica-rewritten layouts (see `pvfs-replica`) encode a
+    /// mirror's placement as `base = mirror_server - slot` in wrapping
+    /// u32 arithmetic, so `base + slot` must wrap back rather than
+    /// overflow. Slot arithmetic and local offsets are unaffected.
     #[inline]
     pub fn server_of(&self, offset: u64) -> ServerId {
-        ServerId(self.base + self.slot_of(offset))
+        ServerId(self.base.wrapping_add(self.slot_of(offset)))
     }
 
-    /// The server occupying `slot`.
+    /// The server occupying `slot` (wrapping; see [`server_of`](Self::server_of)).
     #[inline]
     pub fn server_at_slot(&self, slot: u32) -> ServerId {
         debug_assert!(slot < self.pcount);
-        ServerId(self.base + slot)
+        ServerId(self.base.wrapping_add(slot))
     }
 
     /// All servers this layout can touch.
@@ -338,6 +343,29 @@ mod tests {
         assert_eq!(total, 97);
         assert_eq!(l.bytes_on_slot(Region::new(0, 10), 0), 10);
         assert_eq!(l.bytes_on_slot(Region::new(0, 10), 1), 0);
+    }
+
+    #[test]
+    fn wrapped_base_keeps_slot_math_intact() {
+        // A replica-rewritten layout addressing mirror server 2 for
+        // slot 3 carries base = 2 - 3 (wrapping). Server arithmetic
+        // wraps back and slot/local math is untouched.
+        let mirrored = StripeLayout {
+            base: 2u32.wrapping_sub(3),
+            pcount: 4,
+            ssize: 10,
+        };
+        assert_eq!(mirrored.server_at_slot(3), ServerId(2));
+        let plain = StripeLayout::new(0, 4, 10).unwrap();
+        for off in [0u64, 9, 10, 35, 79, 123] {
+            assert_eq!(mirrored.slot_of(off), plain.slot_of(off));
+            assert_eq!(mirrored.to_local(off).1, plain.to_local(off).1);
+            let slot = plain.slot_of(off);
+            assert_eq!(mirrored.to_logical(slot, plain.to_local(off).1), off);
+        }
+        // bytes_on_slot walks segments, which call server_at_slot on
+        // every stripe — must not overflow in debug builds.
+        assert_eq!(mirrored.bytes_on_slot(Region::new(0, 40), 3), 10);
     }
 }
 

@@ -15,6 +15,12 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
+    // Surface a bad replica configuration as a clean startup error
+    // instead of a panic at the first command that builds a client.
+    if let Err(e) = pvfs::replica::ReplicaPolicy::from_env(n_servers) {
+        eprintln!("pvfs-shell: {e}");
+        std::process::exit(2);
+    }
     let mut shell = Shell::new(n_servers);
     let interactive = std::io::IsTerminal::is_terminal(&std::io::stdin());
     if interactive {

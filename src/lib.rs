@@ -12,6 +12,8 @@
 //! * [`core`] — the noncontiguous access planners (multiple I/O, data
 //!   sieving I/O, list I/O, hybrid, datatype I/O).
 //! * [`net`] — the live in-process threaded cluster.
+//! * [`replica`] — r-way stripe mirroring: rotated replica placement,
+//!   write quorums, and the anti-entropy repair math behind `scrub`.
 //! * [`client`] — the PVFS client library (`open`/`read_list`/...).
 //! * [`collective`] — collective two-phase I/O: an in-process
 //!   communicator, stripe-aligned file domains, and aggregator
@@ -56,6 +58,7 @@ pub use pvfs_core as core;
 pub use pvfs_disk as disk;
 pub use pvfs_net as net;
 pub use pvfs_proto as proto;
+pub use pvfs_replica as replica;
 pub use pvfs_server as server;
 pub use pvfs_sim as sim;
 pub use pvfs_simcluster as simcluster;

@@ -68,6 +68,7 @@ impl Shell {
             "readp" => self.cmd_readp(&args),
             "method" => self.cmd_method(&args),
             "sync" => self.cmd_sync(&args),
+            "scrub" => self.cmd_scrub(&args),
             "bench" => self.cmd_bench(&args),
             "stats" => self.cmd_stats(&args),
             "health" => self.cmd_health(),
@@ -279,6 +280,43 @@ impl Shell {
         }
     }
 
+    /// Anti-entropy repair. `scrub PATH` digests and heals one open
+    /// file; bare `scrub` walks every open file. With `PVFS_REPLICAS`
+    /// unset (r=1) there is nothing to compare and the pass reports
+    /// clean without touching any daemon.
+    fn cmd_scrub(&mut self, args: &[&str]) -> PvfsResult<String> {
+        let paths: Vec<String> = match args.first() {
+            Some(&path) => {
+                self.file_mut(path)?;
+                vec![path.to_string()]
+            }
+            None => {
+                let mut open: Vec<String> = self.files.keys().cloned().collect();
+                open.sort();
+                open
+            }
+        };
+        if paths.is_empty() {
+            return Ok("nothing open to scrub".into());
+        }
+        let mut total = crate::types::ScrubReport::default();
+        for path in &paths {
+            let file = self.file_mut(path)?;
+            total.absorb(&file.scrub()?);
+        }
+        Ok(format!(
+            "scrubbed {} file(s): {} slots, {} digests compared, {} divergent copies, \
+             {} bytes repaired, {} truncated, {} unreachable",
+            paths.len(),
+            total.slots_scanned,
+            total.digests_compared,
+            total.copies_divergent,
+            total.repair_bytes,
+            total.copies_truncated,
+            total.copies_unreachable
+        ))
+    }
+
     /// Compare all five methods on a strided pattern against an open
     /// file, with wall-clock timing on the live cluster.
     fn cmd_bench(&mut self, args: &[&str]) -> PvfsResult<String> {
@@ -451,6 +489,7 @@ const HELP: &str = "commands:
   readp PATH OFFSET COUNT LEN STRIDE    strided noncontiguous read
   method [multiple|sieve|list|hybrid|datatype]   select the access method
   sync [PATH]                           durability barrier: one open file, or every daemon
+  scrub [PATH]                          anti-entropy repair across replicas (PVFS_REPLICAS)
   bench PATH OFFSET COUNT LEN STRIDE    compare all methods on a pattern
   stats [json]                          per-server statistics scraped over the GetStats RPC
   health                                ping every daemon: liveness, RTT, queue depth
@@ -684,6 +723,23 @@ mod tests {
         // The probes are accounted requests on the daemons they hit.
         let stats = sh.execute("stats json").unwrap();
         assert!(stats.contains("\"requests\":1"), "{stats}");
+    }
+
+    #[test]
+    fn scrub_command_reports_clean_without_replication() {
+        let mut sh = shell();
+        assert_eq!(sh.execute("scrub").unwrap(), "nothing open to scrub");
+        sh.execute("create /r 4 64").unwrap();
+        sh.execute("write /r 0 replicated-bytes").unwrap();
+        // The default shell cluster runs r=1: a scrub has nothing to
+        // compare and reports clean without touching any daemon.
+        let out = sh.execute("scrub /r").unwrap();
+        assert!(out.contains("scrubbed 1 file(s)"), "{out}");
+        assert!(out.contains("0 divergent copies"), "{out}");
+        assert!(out.contains("0 bytes repaired"), "{out}");
+        let all = sh.execute("scrub").unwrap();
+        assert!(all.contains("scrubbed 1 file(s)"), "{all}");
+        assert!(sh.execute("scrub /missing").is_err());
     }
 
     #[test]
