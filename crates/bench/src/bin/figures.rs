@@ -3,7 +3,7 @@
 //! ```text
 //! figures [FIGURE ...] [--scale quick|mid|paper] [--out DIR] [--transport chan|tcp]
 //!
-//! FIGURE: fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos brownout durability collective replica all
+//! FIGURE: fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos brownout durability collective replica trace all
 //! ```
 //!
 //! Writes one CSV per figure into `--out` (default `results/`) and
@@ -19,7 +19,7 @@
 use pvfs_bench::figures::{ext_datatype, ext_hybrid};
 use pvfs_bench::{
     brownout, chaos, collective, durability, fig10, fig11, fig12, fig15, fig17, fig9, render_bars,
-    render_table, replica, wire, write_csv, Row, Scale,
+    render_table, replica, trace, wire, write_csv, Row, Scale,
 };
 use pvfs_net::TransportKind;
 use std::path::PathBuf;
@@ -52,10 +52,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos brownout durability collective replica | all] \
+                    "usage: figures [fig9 fig10 fig11 fig12 fig15 fig17 ext-datatype ext-hybrid wire chaos brownout durability collective replica trace | all] \
                      [--scale quick|mid|paper] [--out DIR] [--transport chan|tcp]\n\
                      (--transport selects the live cluster's transport for the `wire`, `chaos`, `brownout`, `durability`,\n\
-                      `collective`, and `replica` figures; the fig* figures run on the calibrated simulator)"
+                      `collective`, `replica`, and `trace` figures; the fig* figures run on the calibrated simulator)"
                 );
                 return;
             }
@@ -78,6 +78,7 @@ fn main() {
             "durability",
             "collective",
             "replica",
+            "trace",
         ]
         .map(String::from)
         .to_vec();
@@ -101,6 +102,7 @@ fn main() {
             "durability" => durability(scale, transport),
             "collective" => collective(scale, transport),
             "replica" => replica(scale, transport),
+            "trace" => trace(scale, transport),
             other => {
                 eprintln!("unknown figure '{other}'");
                 std::process::exit(2);

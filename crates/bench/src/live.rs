@@ -497,3 +497,79 @@ pub fn brownout(scale: Scale, kind: TransportKind) -> Vec<Row> {
     }
     rows
 }
+
+/// The `trace` figure: where a cyclic list-I/O request actually spends
+/// its time, hop by hop. Runs a traced (TraceMode::All) strided
+/// write+read workload, assembles every retained waterfall, and buckets
+/// span durations by hop — client attempt (`rpc`), transport
+/// `send`/`recv`, daemon `queue`/`service`, and the storage layer under
+/// it — reporting each hop's p50/p95/p99 as one series. `requests`
+/// counts the spans behind the percentiles.
+pub fn trace(scale: Scale, kind: TransportKind) -> Vec<Row> {
+    use pvfs_types::{Histogram, TraceMode};
+    use std::collections::BTreeMap;
+
+    let region_counts: &[u64] = match scale {
+        Scale::Quick => &[64],
+        Scale::Mid => &[64, 256],
+        Scale::Paper => &[64, 256, 1024],
+    };
+    let mut rows = Vec::new();
+    for &n in region_counts {
+        let cluster = LiveCluster::spawn_transport(SERVERS, IodConfig::default(), kind);
+        let client = cluster.client().with_trace_mode(TraceMode::All);
+        let layout = StripeLayout::new(0, SERVERS, STRIPE).unwrap();
+        let mut f = PvfsFile::create(&client, "/pvfs/trace", layout).unwrap();
+        let file: RegionList =
+            RegionList::from_pairs((0..n).map(|i| (i * STRIDE, REGION_BYTES))).unwrap();
+        let mem = RegionList::contiguous(0, n * REGION_BYTES);
+        let buf = vec![0x5au8; (n * REGION_BYTES) as usize];
+        let mut back = vec![0u8; buf.len()];
+        let started = Instant::now();
+        // Few enough iterations that every trace stays in the recent
+        // index (bounded at 64) — nothing sampled away, nothing lost.
+        for _ in 0..8 {
+            f.write_list(&mem, &file, &buf, Method::List).unwrap();
+            f.read_list(&mem, &file, &mut back, Method::List).unwrap();
+        }
+        let seconds = started.elapsed().as_secs_f64();
+        assert_eq!(back, buf, "traced readback must stay byte-exact");
+
+        let mut hops: BTreeMap<&'static str, (Histogram, u64)> = BTreeMap::new();
+        for t in client.tracer().recent() {
+            for s in client.fetch_trace(t).spans() {
+                let hop: &'static str = if s.op.starts_with("rpc:") {
+                    "rpc"
+                } else {
+                    match s.op.as_str() {
+                        "send" => "send",
+                        "recv" => "recv",
+                        "queue" => "queue",
+                        "service" => "service",
+                        "storage:read" => "storage:read",
+                        "storage:write" => "storage:write",
+                        _ => continue, // roots and phase markers
+                    }
+                };
+                let e = hops.entry(hop).or_default();
+                e.0.record(s.dur_ns);
+                e.1 += 1;
+            }
+        }
+        for (hop, (hist, count)) in hops {
+            rows.push(
+                Row {
+                    figure: "trace",
+                    panel: format!("{kind} transport"),
+                    series: hop.into(),
+                    x: n,
+                    seconds,
+                    requests: count,
+                    ..Row::default()
+                }
+                .with_latency(&hist),
+            );
+        }
+    }
+    rows
+}

@@ -98,39 +98,66 @@ impl ExecReport {
     /// Accumulate another report into this one, counter by counter —
     /// used by multi-plan operations (a collective op runs one plan per
     /// aggregator window) to report a single total.
+    ///
+    /// The destructuring is deliberately exhaustive: a field added to
+    /// [`ExecReport`] without a merge rule here is a compile error, not
+    /// a counter that silently vanishes from aggregated reports (the
+    /// fate the resilience counters narrowly escaped when they were
+    /// bolted on after this method was first written).
     pub fn absorb(&mut self, other: &ExecReport) {
-        self.rounds += other.rounds;
-        self.requests += other.requests;
-        self.bytes_sent += other.bytes_sent;
-        self.bytes_received += other.bytes_received;
-        self.copy_bytes += other.copy_bytes;
-        self.serial_sections += other.serial_sections;
-        self.attempts += other.attempts;
-        self.retries += other.retries;
-        self.backoff_ms += other.backoff_ms;
-        self.faults_injected += other.faults_injected;
-        self.hedges_sent += other.hedges_sent;
-        self.hedge_wins += other.hedge_wins;
-        self.breaker_rejections += other.breaker_rejections;
-        self.sheds_seen += other.sheds_seen;
-        self.replica_failovers += other.replica_failovers;
-        self.quorum_shortfalls += other.quorum_shortfalls;
-        self.exchange_bytes += other.exchange_bytes;
-        self.exchange_msgs += other.exchange_msgs;
-        self.rpc_latency.merge(&other.rpc_latency);
-        self.phase_plan_ns += other.phase_plan_ns;
-        self.phase_exchange_ns += other.phase_exchange_ns;
-        self.phase_wire_ns += other.phase_wire_ns;
-        self.phase_merge_ns += other.phase_merge_ns;
-        if self.requests_by_server.len() < other.requests_by_server.len() {
-            self.requests_by_server
-                .resize(other.requests_by_server.len(), 0);
+        let ExecReport {
+            rounds,
+            requests,
+            bytes_sent,
+            bytes_received,
+            copy_bytes,
+            serial_sections,
+            attempts,
+            retries,
+            backoff_ms,
+            faults_injected,
+            hedges_sent,
+            hedge_wins,
+            breaker_rejections,
+            sheds_seen,
+            replica_failovers,
+            quorum_shortfalls,
+            requests_by_server,
+            exchange_bytes,
+            exchange_msgs,
+            rpc_latency,
+            phase_plan_ns,
+            phase_exchange_ns,
+            phase_wire_ns,
+            phase_merge_ns,
+        } = other;
+        self.rounds += rounds;
+        self.requests += requests;
+        self.bytes_sent += bytes_sent;
+        self.bytes_received += bytes_received;
+        self.copy_bytes += copy_bytes;
+        self.serial_sections += serial_sections;
+        self.attempts += attempts;
+        self.retries += retries;
+        self.backoff_ms += backoff_ms;
+        self.faults_injected += faults_injected;
+        self.hedges_sent += hedges_sent;
+        self.hedge_wins += hedge_wins;
+        self.breaker_rejections += breaker_rejections;
+        self.sheds_seen += sheds_seen;
+        self.replica_failovers += replica_failovers;
+        self.quorum_shortfalls += quorum_shortfalls;
+        self.exchange_bytes += exchange_bytes;
+        self.exchange_msgs += exchange_msgs;
+        self.rpc_latency.merge(rpc_latency);
+        self.phase_plan_ns += phase_plan_ns;
+        self.phase_exchange_ns += phase_exchange_ns;
+        self.phase_wire_ns += phase_wire_ns;
+        self.phase_merge_ns += phase_merge_ns;
+        if self.requests_by_server.len() < requests_by_server.len() {
+            self.requests_by_server.resize(requests_by_server.len(), 0);
         }
-        for (mine, theirs) in self
-            .requests_by_server
-            .iter_mut()
-            .zip(&other.requests_by_server)
-        {
+        for (mine, theirs) in self.requests_by_server.iter_mut().zip(requests_by_server) {
             *mine += theirs;
         }
     }
@@ -161,6 +188,9 @@ pub fn execute_plan(
     let mut report = ExecReport::default();
     let stats_before = client.stats();
     let latency_before = client.latency_snapshot();
+    // One trace per plan execution: every round's RPC attempts and
+    // every merge/copy phase land in a single tree under this root.
+    let active = client.tracer().begin("execute");
     let mut holding_gate = false;
     let result = (|| -> PvfsResult<()> {
         while let Some(step) = plan.next_step() {
@@ -180,7 +210,7 @@ pub fn execute_plan(
                         })
                         .collect();
                     let round_started = Instant::now();
-                    let responses = client.round(requests)?;
+                    let responses = client.round_in(requests, active.as_ref())?;
                     report.phase_wire_ns += round_started.elapsed().as_nanos() as u64;
                     for (wire, response) in ops.iter().zip(responses) {
                         match response {
@@ -207,8 +237,12 @@ pub fn execute_plan(
                 Step::Copy(pairs) => {
                     report.copy_bytes += copy_bytes(&pairs);
                     let copy_started = Instant::now();
+                    let copy_ns = pvfs_types::trace::now_ns();
                     apply_copies(&pairs, &mut bufs);
                     report.phase_merge_ns += copy_started.elapsed().as_nanos() as u64;
+                    if let Some(a) = &active {
+                        a.span(a.root(), "phase_merge", copy_ns, Vec::new());
+                    }
                 }
                 Step::SerialBegin => {
                     client.gate().acquire();
@@ -226,17 +260,34 @@ pub fn execute_plan(
     if holding_gate {
         client.gate().release();
     }
-    let retry = client.stats().since(&stats_before);
-    report.attempts = retry.attempts;
-    report.retries = retry.retries;
-    report.backoff_ms = retry.backoff_ms;
-    report.faults_injected = retry.faults_injected;
-    report.hedges_sent = retry.hedges_sent;
-    report.hedge_wins = retry.hedge_wins;
-    report.breaker_rejections = retry.breaker_rejections;
-    report.sheds_seen = retry.sheds_seen;
-    report.replica_failovers = retry.replica_failovers;
-    report.quorum_shortfalls = retry.quorum_shortfalls;
+    if let Some(a) = active {
+        client.tracer().finish(a);
+    }
+    // Exhaustive destructuring, like `absorb`: a counter added to
+    // `ClientStats` must be carried into the report (or consciously
+    // dropped here) before this compiles again.
+    let pvfs_net::ClientStats {
+        attempts,
+        retries,
+        backoff_ms,
+        faults_injected,
+        hedges_sent,
+        hedge_wins,
+        breaker_rejections,
+        sheds_seen,
+        replica_failovers,
+        quorum_shortfalls,
+    } = client.stats().since(&stats_before);
+    report.attempts = attempts;
+    report.retries = retries;
+    report.backoff_ms = backoff_ms;
+    report.faults_injected = faults_injected;
+    report.hedges_sent = hedges_sent;
+    report.hedge_wins = hedge_wins;
+    report.breaker_rejections = breaker_rejections;
+    report.sheds_seen = sheds_seen;
+    report.replica_failovers = replica_failovers;
+    report.quorum_shortfalls = quorum_shortfalls;
     // The endpoint tracker is shared across clones and plans; the delta
     // isolates exactly the RPCs this execution issued.
     report.rpc_latency = client.latency_snapshot().since(&latency_before);

@@ -113,6 +113,12 @@ impl PvfsFile {
         self.layout
     }
 
+    /// The client endpoint this file's RPCs go through (its tracer,
+    /// health tracker, and counters are this handle's diagnostics).
+    pub fn client(&self) -> &ClusterClient {
+        &self.client
+    }
+
     /// Tune the noncontiguous method parameters (sieve buffer size,
     /// trailing-data limit, ...).
     pub fn set_method_config(&mut self, config: MethodConfig) {

@@ -364,3 +364,51 @@ fn rpc_timeout_is_inherited_and_tunable_per_file() {
     f.read_at(0, &mut buf).unwrap();
     assert_eq!(&buf, b"still alive");
 }
+
+/// Tracing must never touch the data path: the same strided list
+/// workload through a fully-traced client and an untraced one leaves
+/// byte-identical file contents and reads back byte-identical buffers —
+/// while only the traced run retains a waterfall.
+#[test]
+fn traced_and_untraced_runs_are_byte_identical() {
+    use pvfs_types::TraceMode;
+
+    let run = |mode: TraceMode| -> (Vec<u8>, Option<String>) {
+        let cluster = LiveCluster::spawn(4);
+        let client = cluster.client().with_trace_mode(mode);
+        let layout = StripeLayout::new(0, 4, 64).unwrap();
+        let mut f = PvfsFile::create(&client, "/pvfs/traced", layout).unwrap();
+        // Strided noncontiguous write + full readback, list method.
+        let file_list = RegionList::from_pairs((0..32u64).map(|i| (i * 96, 48))).unwrap();
+        let mem = RegionList::contiguous(0, file_list.total_len());
+        let data = pattern(file_list.total_len() as usize, 11);
+        f.write_list(&mem, &file_list, &data, Method::List).unwrap();
+        let mut strided = vec![0u8; file_list.total_len() as usize];
+        f.read_list(&mem, &file_list, &mut strided, Method::List)
+            .unwrap();
+        assert_eq!(strided, data, "list readback");
+        // Full contiguous image of the file, gaps included.
+        let size = f.size().unwrap();
+        let mut image = vec![0u8; size as usize];
+        f.read_at(0, &mut image).unwrap();
+        let waterfall = client
+            .tracer()
+            .last()
+            .map(|t| client.fetch_trace(t).render());
+        (image, waterfall)
+    };
+
+    let (traced_image, waterfall) = run(TraceMode::All);
+    let (plain_image, no_waterfall) = run(TraceMode::Off);
+    assert_eq!(
+        traced_image, plain_image,
+        "tracing changed the bytes on disk"
+    );
+    let waterfall = waterfall.expect("TraceMode::All retains every execution");
+    assert!(waterfall.contains("execute"), "{waterfall}");
+    assert!(waterfall.contains("rpc:"), "{waterfall}");
+    assert!(
+        no_waterfall.is_none(),
+        "TraceMode::Off must retain nothing: {no_waterfall:?}"
+    );
+}

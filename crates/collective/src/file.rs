@@ -42,7 +42,8 @@ use crate::config::CollectiveConfig;
 use crate::domain::{windows, DomainMap};
 use pvfs_client::{ExecReport, PvfsFile};
 use pvfs_core::{Method, PieceMap};
-use pvfs_net::ClusterClient;
+use pvfs_net::{ActiveTrace, ClusterClient};
+use pvfs_types::trace::now_ns;
 use pvfs_types::{PvfsError, PvfsResult, Region, RegionList, StripeLayout};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -174,15 +175,23 @@ impl CollectiveFile {
         buf: &[u8],
     ) -> PvfsResult<ExecReport> {
         let comm_before = self.comm.stats();
+        // One trace per collective call: the two-phase segments land as
+        // phase_* spans under this root, alongside the separate
+        // "execute" trees the inner list plans open for their rounds.
+        let active = self.file.client().tracer().begin("write_all");
         let plan_started = Instant::now();
+        let plan_ns0 = now_ns();
         let local = validate_local(mem, file, buf.len());
         let mut plan_ns = plan_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_plan", plan_ns0);
         // First collective: share every rank's file list (and argument
         // validity, so a bad rank aborts the group instead of hanging
         // it).
         let exchange_started = Instant::now();
+        let exchange_ns0 = now_ns();
         let shared: Vec<(RegionList, bool)> = self.comm.allgather((file.clone(), local.is_ok()));
         let mut exchange_ns = exchange_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_exchange", exchange_ns0);
         if shared.iter().any(|(_, ok)| !ok) {
             local?;
             return Err(PvfsError::invalid(
@@ -190,6 +199,7 @@ impl CollectiveFile {
             ));
         }
         let plan_started = Instant::now();
+        let plan_ns0 = now_ns();
         let pieces = local.expect("checked above");
         let all_files: Vec<RegionList> = shared.into_iter().map(|(f, _)| f).collect();
         let dmap = DomainMap::new(self.file.layout(), self.comm.size(), &self.config)?;
@@ -218,25 +228,34 @@ impl CollectiveFile {
             })
             .collect();
         plan_ns += plan_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_plan", plan_ns0);
         let exchange_started = Instant::now();
+        let exchange_ns0 = now_ns();
         let inbox = self.comm.exchange::<PieceBatch>(outbox);
         exchange_ns += exchange_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_exchange", exchange_ns0);
 
         // I/O phase (aggregator ranks only): merge received pieces per
         // stripe slot, stage one cb_buffer window at a time, write each
         // window with one single-daemon list plan.
         let mut report = ExecReport::default();
+        let wire_ns0 = now_ns();
         let result = if self.comm.rank() < dmap.aggregators() {
             self.aggregate_write(&dmap, &all_files, &inbox, &mut report)
         } else {
             Ok(())
         };
+        if self.comm.rank() < dmap.aggregators() {
+            phase_span(&active, "phase_wire", wire_ns0);
+        }
 
         // Completion collective: every rank learns whether every domain
         // landed (and no rank outruns the writes).
         let exchange_started = Instant::now();
+        let exchange_ns0 = now_ns();
         let flags = self.comm.allgather(result.is_ok());
         exchange_ns += exchange_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_exchange", exchange_ns0);
         result?;
         if !flags.iter().all(|ok| *ok) {
             return Err(PvfsError::protocol(
@@ -248,6 +267,9 @@ impl CollectiveFile {
         report.exchange_msgs = comm_delta.msgs_sent;
         report.phase_plan_ns += plan_ns;
         report.phase_exchange_ns += exchange_ns;
+        if let Some(a) = active {
+            self.file.client().tracer().finish(a);
+        }
         Ok(report)
     }
 
@@ -261,12 +283,17 @@ impl CollectiveFile {
         buf: &mut [u8],
     ) -> PvfsResult<ExecReport> {
         let comm_before = self.comm.stats();
+        let active = self.file.client().tracer().begin("read_all");
         let plan_started = Instant::now();
+        let plan_ns0 = now_ns();
         let local = validate_local(mem, file, buf.len());
         let mut plan_ns = plan_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_plan", plan_ns0);
         let exchange_started = Instant::now();
+        let exchange_ns0 = now_ns();
         let shared: Vec<(RegionList, bool)> = self.comm.allgather((file.clone(), local.is_ok()));
         let mut exchange_ns = exchange_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_exchange", exchange_ns0);
         if shared.iter().any(|(_, ok)| !ok) {
             local?;
             return Err(PvfsError::invalid(
@@ -274,10 +301,12 @@ impl CollectiveFile {
             ));
         }
         let plan_started = Instant::now();
+        let plan_ns0 = now_ns();
         let pieces = local.expect("checked above");
         let all_files: Vec<RegionList> = shared.into_iter().map(|(f, _)| f).collect();
         let dmap = DomainMap::new(self.file.layout(), self.comm.size(), &self.config)?;
         plan_ns += plan_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_plan", plan_ns0);
 
         // I/O phase (aggregators): read each domain window once, carve
         // the staging buffer into per-rank batches.
@@ -285,18 +314,24 @@ impl CollectiveFile {
         let mut outbound: Vec<PieceBatch> = (0..self.comm.size())
             .map(|_| PieceBatch::default())
             .collect();
+        let wire_ns0 = now_ns();
         let result = if self.comm.rank() < dmap.aggregators() {
             self.aggregate_read(&dmap, &all_files, &mut outbound, &mut report)
         } else {
             Ok(())
         };
+        if self.comm.rank() < dmap.aggregators() {
+            phase_span(&active, "phase_wire", wire_ns0);
+        }
 
         // Outcome collective *before* the scatter: if any domain read
         // failed no rank enters the exchange, and every rank returns an
         // error instead of scattering partial data.
         let exchange_started = Instant::now();
+        let exchange_ns0 = now_ns();
         let flags = self.comm.allgather(result.is_ok());
         exchange_ns += exchange_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_exchange", exchange_ns0);
         result?;
         if !flags.iter().all(|ok| *ok) {
             return Err(PvfsError::protocol(
@@ -317,9 +352,12 @@ impl CollectiveFile {
             })
             .collect();
         let exchange_started = Instant::now();
+        let exchange_ns0 = now_ns();
         let inbox = self.comm.exchange::<PieceBatch>(outbox);
         exchange_ns += exchange_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_exchange", exchange_ns0);
         let merge_started = Instant::now();
+        let merge_ns0 = now_ns();
         let map = PieceMap::new(pieces);
         let mut slices = Vec::new();
         for env in inbox {
@@ -336,11 +374,15 @@ impl CollectiveFile {
             }
         }
         report.phase_merge_ns += merge_started.elapsed().as_nanos() as u64;
+        phase_span(&active, "phase_merge", merge_ns0);
         let comm_delta = self.comm.stats().since(&comm_before);
         report.exchange_bytes = comm_delta.bytes_sent;
         report.exchange_msgs = comm_delta.msgs_sent;
         report.phase_plan_ns += plan_ns;
         report.phase_exchange_ns += exchange_ns;
+        if let Some(a) = active {
+            self.file.client().tracer().finish(a);
+        }
         Ok(report)
     }
 
@@ -451,6 +493,14 @@ impl CollectiveFile {
             }
         }
         Ok(())
+    }
+}
+
+/// Close out one two-phase segment as a span under the collective
+/// call's root — a no-op when the call is untraced.
+fn phase_span(active: &Option<ActiveTrace>, op: &str, started_ns: u64) {
+    if let Some(a) = active {
+        a.span(a.root(), op, started_ns, Vec::new());
     }
 }
 

@@ -170,10 +170,13 @@ pub struct StorageMetrics {
 }
 
 impl StorageMetrics {
-    /// Record one fsync of `took` wall time.
+    /// Record one fsync of `took` wall time. Also feeds the serving
+    /// daemon's trace sink, if one is active on this thread, so traced
+    /// requests show their `journal:fsync` hop.
     pub fn record_fsync(&self, took: Duration) {
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         self.fsync_time.record_duration(took);
+        pvfs_types::trace::sink_add("journal:fsync", took);
     }
 
     /// Zero the counters and the fsync histogram. The journal-depth

@@ -45,13 +45,15 @@
 use bytes::Bytes;
 use pvfs_disk::StorageConfig;
 use pvfs_proto::{
-    decode_response, encode_message, encode_response, frame_is_stats_scrape, Message, OpClass,
-    Request, Response,
+    decode_response, encode_message_traced, encode_response, frame_is_stats_scrape, Message,
+    OpClass, Request, Response,
 };
 use pvfs_replica::{ReplicaMap, ReplicaPolicy, ReplicaTarget};
 use pvfs_server::{IoDaemon, IodConfig, Manager, ServerStats};
+use pvfs_types::trace::now_ns;
 use pvfs_types::{
-    ClientId, Histogram, PvfsError, PvfsResult, RequestId, ServerId, StatsSnapshot, StripeLayout,
+    ClientId, Histogram, PvfsError, PvfsResult, RequestId, ServerId, SpanId, StatsSnapshot,
+    StripeLayout, TraceContext, TraceId, TraceMode, TraceTree,
 };
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -68,6 +70,7 @@ use crate::latency::RpcLatency;
 use crate::pool::WorkerPool;
 use crate::retry::{AtomicClientStats, Backoff, ClientStats, RetryPolicy};
 use crate::tcp::{TcpCluster, TcpTransport};
+use crate::trace::{ActiveTrace, Tracer};
 use crate::transport::{
     serve_frame, ChanTransport, NodeMsg, RpcTarget, Transport, TransportKind, WaitError,
 };
@@ -203,7 +206,7 @@ impl LiveCluster {
                         let mut manager = Manager::new();
                         while let Ok(msg) = mgr_rx.recv() {
                             match msg {
-                                NodeMsg::Rpc(frame, reply, _queued_at) => {
+                                NodeMsg::Rpc(frame, reply, queued_at) => {
                                     // Stats scrapes observe without
                                     // perturbing: no wire or timing
                                     // accounting for their own frames.
@@ -211,9 +214,11 @@ impl LiveCluster {
                                     if !scrape {
                                         manager.record_wire_rx(frame.len() as u64);
                                     }
+                                    let waited = queued_at.elapsed();
                                     let served_at = Instant::now();
-                                    let (id, response) =
-                                        serve_frame(frame, |req| manager.handle(req));
+                                    let (id, response) = serve_frame(frame, |req, ctx| {
+                                        manager.handle_traced(req, ctx, waited)
+                                    });
                                     let encoded = encode_response(id, &response);
                                     if !scrape {
                                         manager.record_service(served_at.elapsed());
@@ -359,14 +364,16 @@ fn spawn_chan_server(daemon: Arc<IoDaemon>, config: IodConfig) -> (Sender<NodeMs
                 // no queue/service samples, so the snapshot they carry
                 // back equals the in-process one byte for byte.
                 let scrape = frame_is_stats_scrape(&frame);
+                let waited = queued_at.elapsed();
                 if !scrape {
                     // The channel transport has no length prefix; its
                     // wire size is the frame itself.
                     daemon.record_wire_rx(frame.len() as u64);
-                    daemon.begin_service(queued_at.elapsed());
+                    daemon.begin_service(waited);
                 }
                 let served_at = Instant::now();
-                let (id, response) = serve_frame(frame, |req| daemon.handle(req).0);
+                let (id, response) =
+                    serve_frame(frame, |req, ctx| daemon.handle_traced(req, ctx, waited).0);
                 // Emulated service time occupies the worker, the way a
                 // blocking disk access would; replies only after the
                 // stall.
@@ -445,6 +452,9 @@ pub struct ClusterClient {
     /// Stripe replication placement (`PVFS_REPLICAS`); one copy per
     /// slot (today's behavior) unless mirroring is configured.
     replica: Arc<ReplicaMap>,
+    /// Trace origin (`PVFS_TRACE`): sampling decisions, the client-side
+    /// flight recorder, and the retained-trace index. Shared by clones.
+    tracer: Arc<Tracer>,
 }
 
 impl ClusterClient {
@@ -479,6 +489,7 @@ impl ClusterClient {
             health,
             hedge: HedgePolicy::from_env(),
             replica,
+            tracer: Arc::new(Tracer::from_env(format!("client{}", id.0))),
         }
     }
 
@@ -553,6 +564,43 @@ impl ClusterClient {
         self.replica.policy()
     }
 
+    /// This endpoint with an explicit trace mode (the usual way in is
+    /// `PVFS_TRACE`). Existing clones keep the tracer they were built
+    /// with; clones taken after this call share the new one.
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> ClusterClient {
+        self.tracer = Arc::new(Tracer::new(mode, format!("client{}", self.id.0)));
+        self
+    }
+
+    /// This endpoint's trace origin: sampling mode, client flight
+    /// recorder, and the retained-trace index behind `trace last`.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Assemble the full cross-node tree of one trace: this endpoint's
+    /// retained client spans plus a best-effort `GetTrace` scrape of
+    /// every I/O daemon and the manager. Scrapes are control operations
+    /// under the observer-effect guarantee — they perturb no counters
+    /// and record no spans — so assembling a waterfall never changes
+    /// what the next waterfall shows. A daemon that cannot answer
+    /// (down, breaker-open) simply contributes nothing; its spans
+    /// surface as orphans if its children made it back.
+    pub fn fetch_trace(&self, trace: TraceId) -> TraceTree {
+        let mut spans = self.tracer.recorder().for_trace(trace);
+        for s in 0..self.transport.n_servers() {
+            if let Ok(Response::Spans(v)) =
+                self.call(RpcTarget::Server(ServerId(s)), Request::GetTrace { trace })
+            {
+                spans.extend(v);
+            }
+        }
+        if let Ok(Response::Spans(v)) = self.call(RpcTarget::Manager, Request::GetTrace { trace }) {
+            spans.extend(v);
+        }
+        TraceTree::assemble(trace, spans)
+    }
+
     /// The per-daemon failure detector (breaker states, EWMA latency)
     /// of this endpoint and all its clones.
     pub fn health(&self) -> &HealthTracker {
@@ -602,13 +650,24 @@ impl ClusterClient {
         self.latency.snapshot_all()
     }
 
-    fn encode(&self, request: Request) -> PvfsResult<(RequestId, Bytes)> {
+    /// Encode one request, stamping `ctx` into a version-2 frame when
+    /// the operation is traced. Untraced requests (`ctx == None`)
+    /// encode byte-identical version-1 frames — `PVFS_TRACE=off` sends
+    /// exactly the bytes an untraced build sends.
+    fn encode(
+        &self,
+        request: Request,
+        ctx: Option<TraceContext>,
+    ) -> PvfsResult<(RequestId, Bytes)> {
         let id = RequestId(self.next_request.fetch_add(1, Ordering::Relaxed));
-        let frame = encode_message(&Message {
-            client: self.id,
-            id,
-            request,
-        })?;
+        let frame = encode_message_traced(
+            &Message {
+                client: self.id,
+                id,
+                request,
+            },
+            ctx,
+        )?;
         Ok((id, frame))
     }
 
@@ -625,12 +684,38 @@ impl ClusterClient {
     /// remaining per-op budget, so the error surfaces at the budget
     /// boundary instead of after one last full-length sleep.
     pub fn call(&self, target: RpcTarget, request: Request) -> PvfsResult<Response> {
+        // Control scrapes are never traced: tracing the collection of
+        // traces would perturb the very rings being observed.
+        let active = if request.is_control_scrape() {
+            None
+        } else {
+            self.tracer.begin("call")
+        };
+        let result = self.call_traced(target, request, active.as_ref());
+        if let Some(a) = active {
+            self.tracer.finish(a);
+        }
+        result
+    }
+
+    fn call_traced(
+        &self,
+        target: RpcTarget,
+        request: Request,
+        trace: Option<&ActiveTrace>,
+    ) -> PvfsResult<Response> {
         let started = Instant::now();
         let mut backoff: Option<Backoff> = None;
         let mut attempt = 1u32;
+        // Control scrapes stay off the books on this side of the wire
+        // too (the daemons already exclude them): scraping `stats` or a
+        // trace must not advance the very counters being read.
+        let scrape = request.is_control_scrape();
         loop {
-            self.stats.record_attempts(1);
-            let err = match self.call_once(target, request.clone()) {
+            if !scrape {
+                self.stats.record_attempts(1);
+            }
+            let err = match self.call_once(target, request.clone(), trace.map(|a| (a, attempt))) {
                 Ok(response) => return Ok(response),
                 Err(e) => e,
             };
@@ -646,7 +731,9 @@ impl ClusterClient {
                 .get_or_insert_with(|| self.new_backoff())
                 .next_delay()
                 .min(self.retry.budget.saturating_sub(started.elapsed()));
-            self.stats.record_retries(1, delay);
+            if !scrape {
+                self.stats.record_retries(1, delay);
+            }
             std::thread::sleep(delay);
             attempt += 1;
         }
@@ -654,7 +741,16 @@ impl ClusterClient {
 
     /// One attempt of one RPC: breaker admission, ship, wait, decode,
     /// attribute, and feed the outcome back to the failure detector.
-    fn call_once(&self, target: RpcTarget, request: Request) -> PvfsResult<Response> {
+    /// With a trace attached, the attempt records an `rpc:<op>` span
+    /// (noted `retry#n` past the first attempt) with `send`/`recv`
+    /// children, and stamps its context into the frame so server-side
+    /// spans parent under the attempt.
+    fn call_once(
+        &self,
+        target: RpcTarget,
+        request: Request,
+        trace: Option<(&ActiveTrace, u32)>,
+    ) -> PvfsResult<Response> {
         if let RpcTarget::Server(server) = target {
             // An open breaker fails fast before touching the wire; the
             // manager is never gated (metadata is rare and precious).
@@ -663,16 +759,35 @@ impl ClusterClient {
                 return Err(e);
             }
             if self.hedge.enabled && request.op_class() == OpClass::Read {
-                return self.call_hedged(server, request);
+                return self.call_hedged(server, request, trace);
             }
         }
         let class = request.op_class();
+        let op = request.op_name();
         let shipped_at = Instant::now();
-        let (id, frame) = self.encode(request)?;
-        let outcome = self
-            .transport
-            .start(target, frame)
-            .and_then(|pending| self.await_reply(target, id, pending));
+        let rpc_span = trace.map(|(a, attempt)| (a, SpanId::next(), now_ns(), attempt));
+        let ctx = rpc_span.as_ref().map(|(a, sid, _, _)| a.ctx(*sid));
+        let (id, frame) = self.encode(request, ctx)?;
+        let outcome = self.transport.start(target, frame).and_then(|pending| {
+            if let Some((a, sid, sent_ns, _)) = &rpc_span {
+                a.span(*sid, "send", *sent_ns, Vec::new());
+            }
+            let recv_ns = now_ns();
+            let reply = self.await_reply(target, id, pending);
+            if let Some((a, sid, _, _)) = &rpc_span {
+                a.span(*sid, "recv", recv_ns, Vec::new());
+            }
+            reply
+        });
+        if let Some((a, sid, start_ns, attempt)) = rpc_span {
+            let notes = if attempt > 1 {
+                vec![format!("retry#{attempt}")]
+            } else {
+                Vec::new()
+            };
+            let dur = now_ns().saturating_sub(start_ns);
+            a.span_with_id(sid, a.root(), format!("rpc:{op}"), start_ns, dur, notes);
+        }
         match outcome {
             Ok(response) => {
                 self.latency.record(target, class, shipped_at.elapsed());
@@ -739,9 +854,15 @@ impl ClusterClient {
     /// a late reply never crosses wires with a later request. Only
     /// read-class RPCs come through here — they are idempotent, so the
     /// duplicate is harmless by construction.
-    fn call_hedged(&self, server: ServerId, request: Request) -> PvfsResult<Response> {
+    fn call_hedged(
+        &self,
+        server: ServerId,
+        request: Request,
+        trace: Option<(&ActiveTrace, u32)>,
+    ) -> PvfsResult<Response> {
         let target = RpcTarget::Server(server);
         let class = request.op_class();
+        let op = request.op_name();
         let observed = {
             let snap = self.latency.snapshot(target, class);
             (snap.count() > 0)
@@ -750,7 +871,11 @@ impl ClusterClient {
         let hedge_after = self.hedge.delay(observed).min(self.rpc_timeout);
         let shipped_at = Instant::now();
         let deadline = shipped_at + self.rpc_timeout;
-        let (id, frame) = self.encode(request.clone())?;
+        // The primary and its hedge are sibling attempt spans; server
+        // spans parent under whichever frame carried their context.
+        let primary_span = trace.map(|(a, attempt)| (a, SpanId::next(), now_ns(), attempt));
+        let primary_ctx = primary_span.as_ref().map(|(a, sid, _, _)| a.ctx(*sid));
+        let (id, frame) = self.encode(request.clone(), primary_ctx)?;
         // Both replies race into one channel, tagged by origin; each
         // waiter ships and owns its own pending handle and dies with
         // the deadline. Shipping on the waiter thread matters: a
@@ -771,6 +896,7 @@ impl ClusterClient {
         }
         let mut outcomes: Vec<(bool, Result<Bytes, WaitError>)> = Vec::new();
         let mut hedge_id: Option<RequestId> = None;
+        let mut hedge_span: Option<(SpanId, u64)> = None;
         match rx.recv_timeout(hedge_after) {
             Ok(first) => outcomes.push(first),
             Err(RecvTimeoutError::Disconnected) => {}
@@ -779,13 +905,20 @@ impl ClusterClient {
                 // the duplicate. A failure to even ship it (full
                 // queue, dead transport) falls back to the primary
                 // alone rather than failing the op.
-                let (hid, hframe) = self.encode(request)?;
+                let hctx = primary_span.as_ref().map(|(a, _, _, _)| {
+                    let sid = SpanId::next();
+                    hedge_span = Some((sid, now_ns()));
+                    a.ctx(sid)
+                });
+                let (hid, hframe) = self.encode(request, hctx)?;
                 if let Ok(hedge_pending) = self.transport.start(target, hframe) {
                     hedge_id = Some(hid);
                     let tx = tx.clone();
                     std::thread::spawn(move || {
                         let _ = tx.send((true, hedge_pending.wait(timeout)));
                     });
+                } else {
+                    hedge_span = None;
                 }
             }
         }
@@ -808,6 +941,40 @@ impl ClusterClient {
         };
         if hedge_id.is_some() {
             self.stats.record_hedge(matches!(&winner, Some((true, _))));
+        }
+        if let Some((a, sid, start_ns, attempt)) = primary_span {
+            let hedge_won = matches!(&winner, Some((true, _)));
+            let end = now_ns();
+            let mut notes = if attempt > 1 {
+                vec![format!("retry#{attempt}")]
+            } else {
+                Vec::new()
+            };
+            if !hedge_won && hedge_span.is_some() {
+                notes.push("win".into());
+            }
+            a.span_with_id(
+                sid,
+                a.root(),
+                format!("rpc:{op}"),
+                start_ns,
+                end.saturating_sub(start_ns),
+                notes,
+            );
+            if let Some((hsid, hstart)) = hedge_span {
+                let mut hnotes = vec!["hedge".to_string()];
+                if hedge_won {
+                    hnotes.push("win".into());
+                }
+                a.span_with_id(
+                    hsid,
+                    a.root(),
+                    format!("rpc:{op}"),
+                    hstart,
+                    end.saturating_sub(hstart),
+                    hnotes,
+                );
+            }
         }
         match winner {
             Some((from_hedge, Ok(raw))) => {
@@ -905,14 +1072,35 @@ impl ClusterClient {
     /// erroring the round. `r = 1` (the default) takes the unreplicated
     /// fast path below, byte-for-byte today's behavior.
     pub fn round(&self, requests: Vec<(ServerId, Request)>) -> PvfsResult<Vec<Response>> {
+        let active = self.tracer.begin("round");
+        let result = self.round_in(requests, active.as_ref());
+        if let Some(a) = active {
+            self.tracer.finish(a);
+        }
+        result
+    }
+
+    /// [`ClusterClient::round`] under a caller-owned trace — the seam
+    /// for higher layers (the plan executor, the collective engines)
+    /// that open their own root span and want the round's RPC attempts
+    /// recorded inside it. `None` runs the round untraced.
+    pub fn round_in(
+        &self,
+        requests: Vec<(ServerId, Request)>,
+        trace: Option<&ActiveTrace>,
+    ) -> PvfsResult<Vec<Response>> {
         if self.replica.policy().enabled() {
-            self.round_replicated(requests)
+            self.round_replicated(requests, trace)
         } else {
-            self.round_single(requests)
+            self.round_single(requests, trace)
         }
     }
 
-    fn round_single(&self, requests: Vec<(ServerId, Request)>) -> PvfsResult<Vec<Response>> {
+    fn round_single(
+        &self,
+        requests: Vec<(ServerId, Request)>,
+        trace: Option<&ActiveTrace>,
+    ) -> PvfsResult<Vec<Response>> {
         let mut results: Vec<Option<Response>> = (0..requests.len()).map(|_| None).collect();
         let mut pending: Vec<usize> = (0..requests.len()).collect();
         let started = Instant::now();
@@ -920,7 +1108,13 @@ impl ClusterClient {
         let mut attempt = 1u32;
         loop {
             self.stats.record_attempts(pending.len() as u64);
-            let mut failures = self.round_attempt(&requests, &pending, &mut results);
+            let notes: Vec<String> = if attempt > 1 {
+                vec![format!("retry#{attempt}")]
+            } else {
+                Vec::new()
+            };
+            let mut failures =
+                self.round_attempt(&requests, &pending, &mut results, trace, &|_| notes.clone());
             if failures.is_empty() {
                 return Ok(results
                     .into_iter()
@@ -957,7 +1151,11 @@ impl ClusterClient {
     /// attempts — abandoning a dead copy is progress, not a retry —
     /// so a round that loses one daemon costs one timeout (or one
     /// fast breaker rejection), never a retry storm.
-    fn round_replicated(&self, requests: Vec<(ServerId, Request)>) -> PvfsResult<Vec<Response>> {
+    fn round_replicated(
+        &self,
+        requests: Vec<(ServerId, Request)>,
+        trace: Option<&ActiveTrace>,
+    ) -> PvfsResult<Vec<Response>> {
         struct SubMeta {
             /// Remaining read mirrors, next-preferred first.
             fallbacks: VecDeque<(ServerId, Request)>,
@@ -1018,12 +1216,29 @@ impl ClusterClient {
         let mut results: Vec<Option<Response>> = (0..sub_reqs.len()).map(|_| None).collect();
         let mut errors: Vec<Option<PvfsError>> = (0..sub_reqs.len()).map(|_| None).collect();
         let mut pending: Vec<usize> = (0..sub_reqs.len()).collect();
+        // Sub-ops re-aimed at a mirror carry a `failover` note on their
+        // next attempt's span, so the waterfall shows the abandonment.
+        let mut failed_over: Vec<bool> = vec![false; sub_reqs.len()];
         let started = Instant::now();
         let mut backoff: Option<Backoff> = None;
         let mut attempt = 1u32;
         loop {
             self.stats.record_attempts(pending.len() as u64);
-            let failures = self.round_attempt(&sub_reqs, &pending, &mut results);
+            let failures = {
+                let wave = attempt;
+                let failed_over = &failed_over;
+                let notes_for = move |si: usize| {
+                    let mut notes = Vec::new();
+                    if wave > 1 {
+                        notes.push(format!("retry#{wave}"));
+                    }
+                    if failed_over[si] {
+                        notes.push("failover".into());
+                    }
+                    notes
+                };
+                self.round_attempt(&sub_reqs, &pending, &mut results, trace, &notes_for)
+            };
             let mut immediate: Vec<usize> = Vec::new();
             let mut retriable: Vec<(usize, PvfsError)> = Vec::new();
             for (si, e) in failures {
@@ -1034,6 +1249,7 @@ impl ClusterClient {
                     // mirror. The op itself has not failed.
                     sub_reqs[si] = meta.fallbacks.pop_front().expect("nonempty chain");
                     self.stats.record_replica_failover();
+                    failed_over[si] = true;
                     immediate.push(si);
                     continue;
                 }
@@ -1100,6 +1316,9 @@ impl ClusterClient {
                 // for a later scrub to repair.
                 self.stats.record_quorum_shortfall();
             }
+            if let Some(a) = trace {
+                a.annotate(format!("quorum_ack:{oks}/{expected}"));
+            }
             // Copies apply identical local runs, so any acknowledged
             // copy's reply stands for the op; take the first in copy
             // order for determinism.
@@ -1128,11 +1347,18 @@ impl ClusterClient {
     /// One fan-out attempt over the `pending` subset of `requests`:
     /// ship every op first, then wait on every reply, filling `results`
     /// and returning the `(index, error)` of each op that failed.
+    ///
+    /// With a trace attached, every shipped op records an `rpc:<op>`
+    /// span (annotated by `notes_for`, e.g. `retry#2` / `failover`)
+    /// with `send`/`recv` children, and its frame carries the span's
+    /// context so daemon-side spans land under the right attempt.
     fn round_attempt(
         &self,
         requests: &[(ServerId, Request)],
         pending: &[usize],
         results: &mut [Option<Response>],
+        trace: Option<&ActiveTrace>,
+        notes_for: &dyn Fn(usize) -> Vec<String>,
     ) -> Vec<(usize, PvfsError)> {
         let mut failures = Vec::new();
         let mut inflight = Vec::with_capacity(pending.len());
@@ -1147,22 +1373,60 @@ impl ClusterClient {
                 failures.push((i, e));
                 continue;
             }
-            match self.encode(request.clone()) {
+            let rpc_span = trace.map(|_| (SpanId::next(), now_ns()));
+            let ctx = trace.zip(rpc_span).map(|(a, (sid, _))| a.ctx(sid));
+            match self.encode(request.clone(), ctx) {
                 Err(e) => failures.push((i, e)),
                 Ok((id, frame)) => {
                     let shipped_at = Instant::now();
+                    let op = request.op_name();
                     match self.transport.start(RpcTarget::Server(*server), frame) {
                         Err(e) => {
+                            if let (Some(a), Some((sid, t0))) = (trace, rpc_span) {
+                                let mut notes = notes_for(i);
+                                notes.push("error".into());
+                                a.span_with_id(
+                                    sid,
+                                    a.root(),
+                                    format!("rpc:{op}"),
+                                    t0,
+                                    now_ns().saturating_sub(t0),
+                                    notes,
+                                );
+                            }
                             self.observe_failure(*server, &e);
                             failures.push((i, annotate_round_error(*server, id, e)));
                         }
-                        Ok(handle) => inflight.push((i, *server, id, class, shipped_at, handle)),
+                        Ok(handle) => {
+                            if let (Some(a), Some((sid, t0))) = (trace, rpc_span) {
+                                a.span(sid, "send", t0, Vec::new());
+                            }
+                            inflight
+                                .push((i, *server, id, class, shipped_at, handle, rpc_span, op));
+                        }
                     }
                 }
             }
         }
-        for (i, server, id, class, shipped_at, handle) in inflight {
-            match self.collect_reply(server, id, handle) {
+        for (i, server, id, class, shipped_at, handle, rpc_span, op) in inflight {
+            let recv_ns = now_ns();
+            let outcome = self.collect_reply(server, id, handle);
+            if let (Some(a), Some((sid, t0))) = (trace, rpc_span) {
+                a.span(sid, "recv", recv_ns, Vec::new());
+                let mut notes = notes_for(i);
+                if outcome.is_err() {
+                    notes.push("error".into());
+                }
+                a.span_with_id(
+                    sid,
+                    a.root(),
+                    format!("rpc:{op}"),
+                    t0,
+                    now_ns().saturating_sub(t0),
+                    notes,
+                );
+            }
+            match outcome {
                 Ok(response) => {
                     // Latency is measured from each op's own ship time:
                     // the client-perceived completion latency under
@@ -1499,11 +1763,14 @@ mod tests {
         let cluster = LiveCluster::spawn(1);
         let c = cluster.client();
         let (id, frame) = c
-            .encode(Request::Read {
-                handle: FileHandle(1),
-                layout: layout(1),
-                region: Region::new(0, 16),
-            })
+            .encode(
+                Request::Read {
+                    handle: FileHandle(1),
+                    layout: layout(1),
+                    region: Region::new(0, 16),
+                },
+                None,
+            )
             .unwrap();
         assert_ne!(id, RequestId(0), "request ids must never be 0");
         // Truncate the body (keep the 16-byte header + a few bytes) so

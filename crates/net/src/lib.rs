@@ -82,6 +82,7 @@ pub mod latency;
 pub mod pool;
 pub mod retry;
 pub mod tcp;
+pub mod trace;
 pub mod transport;
 
 pub use cluster::{ClusterClient, LiveCluster, DEFAULT_RPC_TIMEOUT};
@@ -93,4 +94,5 @@ pub use pool::WorkerPool;
 pub use pvfs_replica::{ReplicaMap, ReplicaPolicy, ReplicaTarget, WriteQuorum};
 pub use retry::{ClientStats, RetryPolicy};
 pub use tcp::TcpTransport;
+pub use trace::{ActiveTrace, Tracer};
 pub use transport::{PendingReply, RpcTarget, Transport, TransportKind, WaitError};

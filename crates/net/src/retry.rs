@@ -194,6 +194,39 @@ pub struct ClientStats {
 }
 
 impl ClientStats {
+    /// Every counter, named, in declaration order. The destructuring is
+    /// deliberately exhaustive: adding a field to [`ClientStats`]
+    /// without listing it here fails to compile, so a new counter can
+    /// never again be silently absent from `stats` renderings (that is
+    /// exactly how `hedges_sent`..`quorum_shortfalls` went missing from
+    /// the shell before this existed).
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let ClientStats {
+            attempts,
+            retries,
+            backoff_ms,
+            faults_injected,
+            hedges_sent,
+            hedge_wins,
+            breaker_rejections,
+            sheds_seen,
+            replica_failovers,
+            quorum_shortfalls,
+        } = *self;
+        vec![
+            ("attempts", attempts),
+            ("retries", retries),
+            ("backoff_ms", backoff_ms),
+            ("faults_injected", faults_injected),
+            ("hedges_sent", hedges_sent),
+            ("hedge_wins", hedge_wins),
+            ("breaker_rejections", breaker_rejections),
+            ("sheds_seen", sheds_seen),
+            ("replica_failovers", replica_failovers),
+            ("quorum_shortfalls", quorum_shortfalls),
+        ]
+    }
+
     /// Counter-wise difference (`self - earlier`): what happened
     /// between two snapshots.
     pub fn since(&self, earlier: &ClientStats) -> ClientStats {
@@ -399,6 +432,31 @@ mod tests {
                 quorum_shortfalls: 2,
             }
         );
+    }
+
+    #[test]
+    fn counters_cover_every_field() {
+        let snap = ClientStats {
+            attempts: 1,
+            retries: 2,
+            backoff_ms: 3,
+            faults_injected: 4,
+            hedges_sent: 5,
+            hedge_wins: 6,
+            breaker_rejections: 7,
+            sheds_seen: 8,
+            replica_failovers: 9,
+            quorum_shortfalls: 10,
+        };
+        let counters = snap.counters();
+        // Distinct values 1..=10 in every slot: any dropped, duplicated
+        // or reordered field shows up as a mismatch.
+        assert_eq!(
+            counters.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            (1..=10).collect::<Vec<u64>>()
+        );
+        let names: std::collections::HashSet<_> = counters.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), counters.len(), "counter names are unique");
     }
 
     #[test]

@@ -47,8 +47,10 @@ use crate::transport::serve_frame;
 /// frames (`GetStats`/`ResetStats`) bypass every hook except `serve`,
 /// so a scraped snapshot equals the in-process one byte for byte.
 struct ServeHooks {
-    /// Request frame in, encoded response frame out.
-    serve: Box<dyn Fn(Bytes) -> Bytes + Send + Sync>,
+    /// Request frame in (plus how long it waited queued — traced
+    /// requests record the wait as a `queue` span), encoded response
+    /// frame out.
+    serve: Box<dyn Fn(Bytes, Duration) -> Bytes + Send + Sync>,
     /// Called with the wire size of every request frame read.
     on_rx: Box<dyn Fn(u64) + Send + Sync>,
     /// Called with the wire size of every response frame written.
@@ -106,11 +108,12 @@ impl TcpServer {
             match msg {
                 TcpMsg::Rpc(frame, writer, queued_at) => {
                     let scrape = frame_is_stats_scrape(&frame);
+                    let waited = queued_at.elapsed();
                     if !scrape {
-                        (worker_hooks.on_begin)(queued_at.elapsed());
+                        (worker_hooks.on_begin)(waited);
                     }
                     let served_at = Instant::now();
-                    let reply = (worker_hooks.serve)(frame);
+                    let reply = (worker_hooks.serve)(frame, waited);
                     if !scrape {
                         (worker_hooks.on_end)(served_at.elapsed());
                     }
@@ -328,9 +331,10 @@ impl TcpCluster {
                     config.workers.max(1),
                     config.queue_depth.max(1),
                     ServeHooks {
-                        serve: Box::new(move |frame| {
-                            let (id, response) =
-                                serve_frame(frame, |req| serve_daemon.handle(req).0);
+                        serve: Box::new(move |frame, waited| {
+                            let (id, response) = serve_frame(frame, |req, ctx| {
+                                serve_daemon.handle_traced(req, ctx, waited).0
+                            });
                             // Emulated service time occupies the worker,
                             // the way a blocking disk access would.
                             if let Some(stall) = config.emulated_latency {
@@ -368,9 +372,10 @@ impl TcpCluster {
             1,
             config.queue_depth.max(1),
             ServeHooks {
-                serve: Box::new(move |frame| {
-                    let (id, response) =
-                        serve_frame(frame, |req| serve_mgr.lock().unwrap().handle(req));
+                serve: Box::new(move |frame, waited| {
+                    let (id, response) = serve_frame(frame, |req, ctx| {
+                        serve_mgr.lock().unwrap().handle_traced(req, ctx, waited)
+                    });
                     encode_response(id, &response)
                 }),
                 on_rx: Box::new(move |n| rx_mgr.lock().unwrap().record_wire_rx(n)),

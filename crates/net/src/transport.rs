@@ -17,9 +17,9 @@
 
 use bytes::Bytes;
 use pvfs_proto::{
-    decode_frame_id, decode_message, frame_is_stats_scrape, Message, Request, Response,
+    decode_frame_id, decode_message_traced, frame_is_stats_scrape, Message, Request, Response,
 };
-use pvfs_types::{PvfsError, PvfsResult, RequestId, ServerId};
+use pvfs_types::{PvfsError, PvfsResult, RequestId, ServerId, TraceContext};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -121,13 +121,17 @@ pub trait Transport: Send + Sync {
 /// decode but the fixed header is readable, the error response carries
 /// the *real* request id so the client can attribute it; only a frame
 /// with an unreadable header falls back to the reserved id 0.
+///
+/// The serve closure receives the trace context a version-2 frame
+/// carried (None for untraced version-1 frames), so daemons can record
+/// spans parented to the client's RPC span.
 pub(crate) fn serve_frame(
     frame: Bytes,
-    serve: impl FnOnce(&Request) -> Response,
+    serve: impl FnOnce(&Request, Option<TraceContext>) -> Response,
 ) -> (RequestId, Response) {
     let header_id = decode_frame_id(&frame);
-    match decode_message(frame) {
-        Ok(Message { id, request, .. }) => (id, serve(&request)),
+    match decode_message_traced(frame) {
+        Ok((Message { id, request, .. }, ctx)) => (id, serve(&request, ctx)),
         Err(e) => (header_id.unwrap_or(RequestId(0)), Response::Error(e)),
     }
 }

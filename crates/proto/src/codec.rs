@@ -19,18 +19,31 @@
 //!
 //! The simulator charges network time for exactly `encode_message(m).len()`
 //! bytes, so frame layout is load-bearing for the reproduced figures.
+//!
+//! # Trace context (version 2 frames)
+//!
+//! A traced request carries its [`TraceContext`] — trace id (8B) and
+//! parent span id (8B) — immediately after the request id, signalled by
+//! version byte [`VERSION_TRACED`]. Untraced requests keep version
+//! [`VERSION`] and the original layout, so `PVFS_TRACE=off` produces
+//! frames byte-identical to a pre-tracing build, and old-format frames
+//! decode unchanged ([`decode_message_traced`] accepts both).
 
 use crate::limits::{list_request_fits_frame, MAX_LIST_REGIONS, MAX_VECTOR_RUNS};
 
 use crate::message::{Message, Request, Response, VectorRun};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pvfs_types::{
-    ClientId, FileHandle, Histogram, PvfsError, PvfsResult, Region, RegionList, RequestId,
-    StatsSnapshot, StripeLayout,
+    ClientId, FileHandle, Histogram, PvfsError, PvfsResult, Region, RegionList, RequestId, Span,
+    SpanId, StatsSnapshot, StripeLayout, TraceContext, TraceId,
 };
 
 const MAGIC: u16 = 0x5056; // "PV"
 const VERSION: u8 = 1;
+/// Version byte of frames carrying a 16-byte trace context after the
+/// request id. Everything else about the layout is identical to
+/// [`VERSION`] frames.
+pub const VERSION_TRACED: u8 = 2;
 
 // Request opcodes.
 const OP_CREATE: u8 = 1;
@@ -52,6 +65,7 @@ const OP_FLUSH: u8 = 16;
 const OP_PING: u8 = 17;
 const OP_STRIPE_DIGEST: u8 = 18;
 const OP_TRUNCATE: u8 = 19;
+const OP_GET_TRACE: u8 = 20;
 
 // Response opcodes.
 const RESP_CREATED: u8 = 1;
@@ -68,6 +82,7 @@ const RESP_SYNCED: u8 = 11;
 const RESP_FLUSHED: u8 = 12;
 const RESP_PONG: u8 = 13;
 const RESP_DIGESTS: u8 = 14;
+const RESP_SPANS: u8 = 15;
 
 // Error variant tags.
 const ERR_INVALID_ARGUMENT: u8 = 1;
@@ -85,14 +100,30 @@ const ERR_UNAVAILABLE: u8 = 12;
 const ERR_OVERLOADED: u8 = 13;
 
 /// Encode a request message to its wire frame (header + trailing data +
-/// bulk payload).
+/// bulk payload). Always an untraced [`VERSION`] frame — the historical
+/// layout, byte for byte.
 pub fn encode_message(m: &Message) -> PvfsResult<Bytes> {
-    let mut buf = BytesMut::with_capacity(64 + m.request.bulk_len() as usize);
+    encode_message_traced(m, None)
+}
+
+/// Encode a request, attaching `ctx` as a [`VERSION_TRACED`] frame when
+/// present. `ctx: None` is byte-identical to [`encode_message`], which
+/// is what pins `PVFS_TRACE=off` to zero wire overhead.
+pub fn encode_message_traced(m: &Message, ctx: Option<TraceContext>) -> PvfsResult<Bytes> {
+    let mut buf = BytesMut::with_capacity(80 + m.request.bulk_len() as usize);
     buf.put_u16_le(MAGIC);
-    buf.put_u8(VERSION);
+    buf.put_u8(if ctx.is_some() {
+        VERSION_TRACED
+    } else {
+        VERSION
+    });
     buf.put_u8(opcode(&m.request));
     buf.put_u32_le(m.client.0);
     buf.put_u64_le(m.id.0);
+    if let Some(ctx) = ctx {
+        buf.put_u64_le(ctx.trace.0);
+        buf.put_u64_le(ctx.parent.0);
+    }
     match &m.request {
         Request::Create { path, layout } => {
             put_string(&mut buf, path);
@@ -181,20 +212,23 @@ pub fn encode_message(m: &Message) -> PvfsResult<Bytes> {
             buf.put_u64_le(handle.0);
             buf.put_u64_le(*size);
         }
+        Request::GetTrace { trace } => buf.put_u64_le(trace.0),
     }
     Ok(buf.freeze())
 }
 
-/// True when `frame` is a well-formed header whose opcode is a stats
-/// scrape (`GetStats`/`ResetStats`). Transports use this to keep the
-/// observer out of the observation: scrape frames are excluded from a
-/// daemon's `bytes_rx`/`bytes_tx`/`frames_rx` accounting, so a scraped
-/// snapshot equals an in-process snapshot taken at the same moment.
+/// True when `frame` is a well-formed header whose opcode is a control
+/// scrape (`GetStats`/`ResetStats`/`GetTrace`). Transports use this to
+/// keep the observer out of the observation: scrape frames are excluded
+/// from a daemon's `bytes_rx`/`bytes_tx`/`frames_rx` accounting and its
+/// queue/service histograms, so a scraped snapshot equals an in-process
+/// snapshot taken at the same moment — and scraping traces never adds
+/// spans to the traces being scraped.
 pub fn frame_is_stats_scrape(frame: &Bytes) -> bool {
     frame.len() >= 4
         && frame[0..2] == MAGIC.to_le_bytes()
-        && frame[2] == VERSION
-        && (frame[3] == OP_GET_STATS || frame[3] == OP_RESET_STATS)
+        && (frame[2] == VERSION || frame[2] == VERSION_TRACED)
+        && (frame[3] == OP_GET_STATS || frame[3] == OP_RESET_STATS || frame[3] == OP_GET_TRACE)
 }
 
 /// Extract the request id from a frame's fixed header without decoding
@@ -210,7 +244,11 @@ pub fn decode_frame_id(frame: &Bytes) -> Option<RequestId> {
     if buf.remaining() < 16 {
         return None;
     }
-    if buf.get_u16_le() != MAGIC || buf.get_u8() != VERSION {
+    if buf.get_u16_le() != MAGIC {
+        return None;
+    }
+    let version = buf.get_u8();
+    if version != VERSION && version != VERSION_TRACED {
         return None;
     }
     let _opcode = buf.get_u8();
@@ -218,14 +256,23 @@ pub fn decode_frame_id(frame: &Bytes) -> Option<RequestId> {
     Some(RequestId(buf.get_u64_le()))
 }
 
-/// Decode a request frame produced by [`encode_message`].
-pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
+/// Decode a request frame produced by [`encode_message`] or
+/// [`encode_message_traced`], dropping any trace context.
+pub fn decode_message(buf: Bytes) -> PvfsResult<Message> {
+    decode_message_traced(buf).map(|(m, _)| m)
+}
+
+/// Decode a request frame, returning the trace context when the frame
+/// is a [`VERSION_TRACED`] one. Old-format ([`VERSION`]) frames decode
+/// exactly as before with `None` — backward compatibility is pinned by
+/// the codec regression and fuzz tests.
+pub fn decode_message_traced(mut buf: Bytes) -> PvfsResult<(Message, Option<TraceContext>)> {
     let magic = get_u16(&mut buf)?;
     if magic != MAGIC {
         return Err(PvfsError::protocol(format!("bad magic {magic:#06x}")));
     }
     let version = get_u8(&mut buf)?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_TRACED {
         return Err(PvfsError::protocol(format!(
             "unsupported version {version}"
         )));
@@ -233,6 +280,14 @@ pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
     let op = get_u8(&mut buf)?;
     let client = ClientId(get_u32(&mut buf)?);
     let id = RequestId(get_u64(&mut buf)?);
+    let ctx = if version == VERSION_TRACED {
+        Some(TraceContext {
+            trace: TraceId(get_u64(&mut buf)?),
+            parent: SpanId(get_u64(&mut buf)?),
+        })
+    } else {
+        None
+    };
     let request = match op {
         OP_CREATE => {
             let path = get_string(&mut buf)?;
@@ -323,6 +378,9 @@ pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
             handle: FileHandle(get_u64(&mut buf)?),
             size: get_u64(&mut buf)?,
         },
+        OP_GET_TRACE => Request::GetTrace {
+            trace: TraceId(get_u64(&mut buf)?),
+        },
         other => return Err(PvfsError::protocol(format!("unknown opcode {other}"))),
     };
     if buf.has_remaining() {
@@ -331,11 +389,14 @@ pub fn decode_message(mut buf: Bytes) -> PvfsResult<Message> {
             buf.remaining()
         )));
     }
-    Ok(Message {
-        client,
-        id,
-        request,
-    })
+    Ok((
+        Message {
+            client,
+            id,
+            request,
+        },
+        ctx,
+    ))
 }
 
 /// Encode a response frame (echoing the request id).
@@ -404,6 +465,13 @@ pub fn encode_response(id: RequestId, resp: &Response) -> Bytes {
         Response::Stats(snap) => {
             buf.put_u8(RESP_STATS);
             put_stats(&mut buf, snap);
+        }
+        Response::Spans(spans) => {
+            buf.put_u8(RESP_SPANS);
+            buf.put_u32_le(spans.len() as u32);
+            for s in spans {
+                put_span(&mut buf, s);
+            }
         }
         Response::Error(e) => {
             buf.put_u8(RESP_ERROR);
@@ -490,6 +558,22 @@ pub fn decode_response(mut buf: Bytes) -> PvfsResult<(RequestId, Response)> {
             }
         }
         RESP_STATS => Response::Stats(Box::new(get_stats(&mut buf)?)),
+        RESP_SPANS => {
+            let n = get_u32(&mut buf)? as usize;
+            // A span is at least 52 bytes on the wire; bound the
+            // allocation by the bytes actually present, as for digests.
+            if buf.remaining() < n * 52 {
+                return Err(PvfsError::protocol(format!(
+                    "span response claims {n} spans but only {} bytes remain",
+                    buf.remaining()
+                )));
+            }
+            let mut spans = Vec::with_capacity(n);
+            for _ in 0..n {
+                spans.push(get_span(&mut buf)?);
+            }
+            Response::Spans(spans)
+        }
         RESP_ERROR => Response::Error(get_error(&mut buf)?),
         other => return Err(PvfsError::protocol(format!("unknown response tag {other}"))),
     };
@@ -581,7 +665,57 @@ fn opcode(r: &Request) -> u8 {
         Request::Ping => OP_PING,
         Request::StripeDigest { .. } => OP_STRIPE_DIGEST,
         Request::Truncate { .. } => OP_TRUNCATE,
+        Request::GetTrace { .. } => OP_GET_TRACE,
     }
+}
+
+/// Spans ship as `trace (8B) | id (8B) | parent (8B) | node string |
+/// op string | start_ns (8B) | dur_ns (8B) | note count (4B) | notes` —
+/// 52 bytes plus the strings.
+fn put_span(buf: &mut BytesMut, s: &Span) {
+    buf.put_u64_le(s.trace.0);
+    buf.put_u64_le(s.id.0);
+    buf.put_u64_le(s.parent.0);
+    put_string_mut(buf, &s.node);
+    put_string_mut(buf, &s.op);
+    buf.put_u64_le(s.start_ns);
+    buf.put_u64_le(s.dur_ns);
+    buf.put_u32_le(s.notes.len() as u32);
+    for n in &s.notes {
+        put_string_mut(buf, n);
+    }
+}
+
+fn get_span(buf: &mut Bytes) -> PvfsResult<Span> {
+    let trace = TraceId(get_u64(buf)?);
+    let id = SpanId(get_u64(buf)?);
+    let parent = SpanId(get_u64(buf)?);
+    let node = get_string(buf)?;
+    let op = get_string(buf)?;
+    let start_ns = get_u64(buf)?;
+    let dur_ns = get_u64(buf)?;
+    let n = get_u32(buf)? as usize;
+    // Each note is at least a 4-byte length prefix.
+    if buf.remaining() < n * 4 {
+        return Err(PvfsError::protocol(format!(
+            "span claims {n} notes but only {} bytes remain",
+            buf.remaining()
+        )));
+    }
+    let mut notes = Vec::with_capacity(n);
+    for _ in 0..n {
+        notes.push(get_string(buf)?);
+    }
+    Ok(Span {
+        trace,
+        id,
+        parent,
+        node,
+        op,
+        start_ns,
+        dur_ns,
+        notes,
+    })
 }
 
 fn check_list(regions: &RegionList) -> PvfsResult<()> {
@@ -926,6 +1060,158 @@ mod tests {
         roundtrip(Request::GetStats);
         roundtrip(Request::ResetStats);
         roundtrip(Request::Ping);
+        roundtrip(Request::GetTrace {
+            trace: TraceId(0xfeed),
+        });
+    }
+
+    fn sample_span(trace: u64, id: u64, parent: u64) -> Span {
+        Span {
+            trace: TraceId(trace),
+            id: SpanId(id),
+            parent: SpanId(parent),
+            node: "iod2".into(),
+            op: "storage:read".into(),
+            start_ns: 123_456_789,
+            dur_ns: 42_000,
+            notes: vec!["retry#2".into(), "hedge".into()],
+        }
+    }
+
+    #[test]
+    fn span_responses_roundtrip_and_reject_forged_counts() {
+        for resp in [
+            Response::Spans(vec![]),
+            Response::Spans(vec![
+                sample_span(9, 1, 0),
+                sample_span(9, 2, 1),
+                Span {
+                    notes: vec![],
+                    ..sample_span(9, 3, 1)
+                },
+            ]),
+        ] {
+            let encoded = encode_response(RequestId(5), &resp);
+            let (id, decoded) = decode_response(encoded).unwrap();
+            assert_eq!(id, RequestId(5));
+            assert_eq!(decoded, resp);
+        }
+        // A forged span count must fail the decode, not balloon memory.
+        let mut frame =
+            encode_response(RequestId(5), &Response::Spans(vec![sample_span(9, 1, 0)])).to_vec();
+        let count_at = 2 + 1 + 8 + 1; // magic, version, id, tag
+        frame[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_response(Bytes::from(frame)).is_err());
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_with_context() {
+        let ctx = TraceContext {
+            trace: TraceId(0xabcd),
+            parent: SpanId(0x1234),
+        };
+        for request in [
+            Request::Open { path: "/a".into() },
+            Request::Read {
+                handle: FileHandle(1),
+                layout: layout(),
+                region: Region::new(1000, 5000),
+            },
+            Request::WriteList {
+                handle: FileHandle(1),
+                layout: layout(),
+                regions: RegionList::from_pairs([(0, 4), (20, 4)]).unwrap(),
+                data: Bytes::from(vec![9u8; 8]),
+            },
+        ] {
+            let m = msg(request);
+            let frame = encode_message_traced(&m, Some(ctx)).unwrap();
+            assert_eq!(frame[2], VERSION_TRACED);
+            let (decoded, got) = decode_message_traced(frame).unwrap();
+            assert_eq!(decoded, m);
+            assert_eq!(got, Some(ctx));
+        }
+    }
+
+    /// `PVFS_TRACE=off` must cost zero wire bytes: the no-context path
+    /// is byte-identical to the historical encoder, and old-format
+    /// frames still decode (with no context).
+    #[test]
+    fn untraced_frames_are_byte_identical_to_version_one() {
+        for request in [
+            Request::Open { path: "/a".into() },
+            Request::GetStats,
+            Request::Write {
+                handle: FileHandle(1),
+                layout: layout(),
+                region: Region::new(0, 5),
+                data: Bytes::from(vec![1, 2, 3, 4, 5]),
+            },
+        ] {
+            let m = msg(request);
+            let legacy = encode_message(&m).unwrap();
+            let untraced = encode_message_traced(&m, None).unwrap();
+            assert_eq!(legacy, untraced, "{}", m.request.op_name());
+            assert_eq!(legacy[2], VERSION);
+            let (decoded, ctx) = decode_message_traced(legacy).unwrap();
+            assert_eq!(decoded, m);
+            assert_eq!(ctx, None, "old frames must carry no context");
+        }
+    }
+
+    #[test]
+    fn traced_frame_costs_exactly_sixteen_bytes() {
+        let m = msg(Request::Read {
+            handle: FileHandle(1),
+            layout: layout(),
+            region: Region::new(0, 8),
+        });
+        let ctx = TraceContext {
+            trace: TraceId(1),
+            parent: SpanId(2),
+        };
+        let plain = encode_message(&m).unwrap();
+        let traced = encode_message_traced(&m, Some(ctx)).unwrap();
+        assert_eq!(traced.len(), plain.len() + 16);
+    }
+
+    #[test]
+    fn truncated_traced_frames_are_rejected_not_panicking() {
+        let ctx = TraceContext {
+            trace: TraceId(7),
+            parent: SpanId(8),
+        };
+        let full = encode_message_traced(
+            &msg(Request::Read {
+                handle: FileHandle(1),
+                layout: layout(),
+                region: Region::new(0, 8),
+            }),
+            Some(ctx),
+        )
+        .unwrap();
+        for cut in 0..full.len() {
+            assert!(
+                decode_message_traced(full.slice(0..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_id_readable_on_traced_frames() {
+        let ctx = TraceContext {
+            trace: TraceId(7),
+            parent: SpanId(8),
+        };
+        let full = encode_message_traced(
+            &msg(Request::Close {
+                handle: FileHandle(1),
+            }),
+            Some(ctx),
+        )
+        .unwrap();
+        assert_eq!(decode_frame_id(&full), Some(RequestId(77)));
     }
 
     #[test]
@@ -1050,6 +1336,7 @@ mod tests {
         for (req, is_scrape) in [
             (Request::GetStats, true),
             (Request::ResetStats, true),
+            (Request::GetTrace { trace: TraceId(3) }, true),
             (Request::ListDir, false),
             (Request::Open { path: "/a".into() }, false),
             // Sync/Flush do real work — they are accounted ops, not scrapes.
@@ -1086,6 +1373,17 @@ mod tests {
         assert!(!frame_is_stats_scrape(&Bytes::copy_from_slice(
             b"\xff\xff\x01\x0d_____________"
         )));
+        // Version-2 headers are recognized too (a traced client's
+        // scrape frame must not sneak into the wire accounting).
+        let traced = encode_message_traced(
+            &msg(Request::GetStats),
+            Some(TraceContext {
+                trace: TraceId(1),
+                parent: SpanId(2),
+            }),
+        )
+        .unwrap();
+        assert!(frame_is_stats_scrape(&traced));
     }
 
     #[test]
@@ -1500,6 +1798,9 @@ mod tests {
                 handle: FileHandle(9),
                 size: 4096,
             },
+            Request::GetTrace {
+                trace: TraceId(0xbeef),
+            },
         ];
         for request in cases {
             let m = msg(request);
@@ -1625,6 +1926,27 @@ mod proptests {
         fn decode_never_panics_on_random_bytes(raw in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = decode_message(Bytes::from(raw.clone()));
             let _ = decode_response(Bytes::from(raw));
+        }
+
+        #[test]
+        fn any_request_roundtrips_with_trace_context(
+            request in arb_request(),
+            trace in 1u64..u64::MAX,
+            parent in 0u64..u64::MAX,
+        ) {
+            let m = Message {
+                client: ClientId(3),
+                id: RequestId(11),
+                request,
+            };
+            let ctx = TraceContext {
+                trace: TraceId(trace),
+                parent: SpanId(parent),
+            };
+            let encoded = encode_message_traced(&m, Some(ctx)).unwrap();
+            let (decoded, got) = decode_message_traced(encoded).unwrap();
+            prop_assert_eq!(decoded, m);
+            prop_assert_eq!(got, Some(ctx));
         }
     }
 }

@@ -27,8 +27,8 @@ pub mod limits;
 pub mod message;
 
 pub use codec::{
-    decode_frame_id, decode_message, decode_response, encode_message, encode_response,
-    frame_is_stats_scrape,
+    decode_frame_id, decode_message, decode_message_traced, decode_response, encode_message,
+    encode_message_traced, encode_response, frame_is_stats_scrape, VERSION_TRACED,
 };
 pub use limits::{
     list_request_fits_frame, max_regions_per_frame, ETHERNET_MTU, MAX_BULK_BYTES, MAX_LIST_REGIONS,

@@ -16,7 +16,9 @@
 //! concatenation convention is defined by [`Request::server_share`].
 
 use bytes::Bytes;
-use pvfs_types::{FileHandle, PvfsError, Region, RegionList, RequestId, ServerId, StripeLayout};
+use pvfs_types::{
+    FileHandle, PvfsError, Region, RegionList, RequestId, ServerId, Span, StripeLayout, TraceId,
+};
 
 /// A strided run of file regions: `count` blocks of `blocklen` bytes
 /// starting `stride` bytes apart, the first at `base`.
@@ -205,6 +207,12 @@ pub enum Request {
     /// absolute. Answered with [`Response::LocalSize`] reporting the
     /// post-truncate size.
     Truncate { handle: FileHandle, size: u64 },
+    /// Scrape every span of one trace from the daemon's flight
+    /// recorder, answered with [`Response::Spans`]. Joins `GetStats`
+    /// under the observer-effect guarantee: the scrape itself is never
+    /// counted, traced, or allowed to perturb the recorder (reading a
+    /// ring clones it).
+    GetTrace { trace: TraceId },
 }
 
 impl Request {
@@ -290,8 +298,23 @@ impl Request {
             Request::GetStats | Request::ResetStats | Request::Ping => 0,
             Request::StripeDigest { .. } => 8 + 8,
             Request::Truncate { .. } => 8 + 8,
+            Request::GetTrace { .. } => 8,
         };
         ENVELOPE + body
+    }
+
+    /// True for the control scrapes excluded from *all* observability
+    /// accounting (wire counters, queue/service histograms, traces):
+    /// `GetStats`, `ResetStats`, and `GetTrace`. The observer must not
+    /// perturb the observed — a monitoring loop polling every daemon
+    /// must leave the numbers it reads unchanged. `Ping` is
+    /// deliberately *not* a scrape: its measured latency is the health
+    /// signal, so it travels the accounted path.
+    pub fn is_control_scrape(&self) -> bool {
+        matches!(
+            self,
+            Request::GetStats | Request::ResetStats | Request::GetTrace { .. }
+        )
     }
 
     /// How many bytes of the regions named by this request live on
@@ -346,6 +369,7 @@ impl Request {
             Request::Ping => "ping",
             Request::StripeDigest { .. } => "stripe_digest",
             Request::Truncate { .. } => "truncate",
+            Request::GetTrace { .. } => "get_trace",
         }
     }
 
@@ -450,6 +474,10 @@ pub enum Response {
     /// Counters, gauges and latency histograms scraped by
     /// [`Request::GetStats`] / [`Request::ResetStats`].
     Stats(Box<pvfs_types::StatsSnapshot>),
+    /// The spans of one trace retained by this daemon's flight
+    /// recorder ([`Request::GetTrace`]), oldest first. Empty when the
+    /// trace is unknown or already evicted.
+    Spans(Vec<Span>),
     /// Per-chunk checksums of this server's local file for one handle
     /// ([`Request::StripeDigest`]). `version` counts the write
     /// operations this daemon has applied to the handle since *it*
@@ -632,6 +660,31 @@ mod tests {
         }
         assert_eq!(Request::GetStats.op_name(), "get_stats");
         assert_eq!(Request::ResetStats.op_name(), "reset_stats");
+    }
+
+    #[test]
+    fn trace_scrape_is_an_unaccounted_control_op() {
+        let t = Request::GetTrace { trace: TraceId(5) };
+        assert!(!t.is_metadata(), "any daemon serves trace scrapes");
+        assert!(t.is_idempotent(), "scrapes are safe to replay");
+        assert!(!t.is_write());
+        assert_eq!(t.region_count(), 0);
+        assert_eq!(t.bulk_len(), 0);
+        assert_eq!(t.server_share(ServerId(0)), 0);
+        assert_eq!(t.op_class(), OpClass::Meta);
+        assert_eq!(t.op_name(), "get_trace");
+        assert_eq!(Response::Spans(Vec::new()).bulk_len(), 0);
+    }
+
+    #[test]
+    fn control_scrape_set_is_exactly_the_unaccounted_ops() {
+        assert!(Request::GetStats.is_control_scrape());
+        assert!(Request::ResetStats.is_control_scrape());
+        assert!(Request::GetTrace { trace: TraceId(1) }.is_control_scrape());
+        // Ping is accounted on purpose: its latency is the health signal.
+        assert!(!Request::Ping.is_control_scrape());
+        assert!(!Request::Flush.is_control_scrape());
+        assert!(!Request::ListDir.is_control_scrape());
     }
 
     #[test]

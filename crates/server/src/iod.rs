@@ -19,6 +19,7 @@ use pvfs_disk::{
     StorageMetrics,
 };
 use pvfs_proto::{Request, Response};
+use pvfs_types::trace::{self, FlightRecorder, Span, SpanId, TraceContext};
 use pvfs_types::{
     FileHandle, PvfsError, PvfsResult, Region, RegionList, ServerId, SharedHistogram,
     StatsSnapshot, StripeLayout,
@@ -211,6 +212,11 @@ pub struct IoDaemon {
     /// Requests accepted by the transport but not yet picked up by a
     /// worker (live queue-depth gauge).
     inflight: AtomicU64,
+    /// This daemon's trace ring buffer: spans recorded while serving
+    /// traced requests, scraped by `GetTrace`. Bounded by
+    /// `PVFS_TRACE_CAP`; costs nothing while no request carries trace
+    /// context.
+    recorder: Arc<FlightRecorder>,
 }
 
 impl IoDaemon {
@@ -238,6 +244,7 @@ impl IoDaemon {
             service_time: SharedHistogram::new(),
             busy_workers: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
+            recorder: Arc::new(FlightRecorder::from_env()),
         }
     }
 
@@ -264,6 +271,11 @@ impl IoDaemon {
     /// The storage-engine counters this daemon's files report into.
     pub fn storage_metrics(&self) -> Arc<StorageMetrics> {
         Arc::clone(&self.smetrics)
+    }
+
+    /// This daemon's flight recorder (span ring buffer).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// Lifetime statistics (a consistent-enough snapshot: each counter
@@ -441,6 +453,16 @@ impl IoDaemon {
                 self.reset_stats();
                 return (Response::Stats(Box::new(snap)), ServeCost::default());
             }
+            Request::GetTrace { trace } => {
+                // Same contract as GetStats: answer before any counter
+                // moves, and reading the ring clones spans without
+                // consuming or reordering them — scraping a trace never
+                // perturbs it.
+                return (
+                    Response::Spans(self.recorder.for_trace(*trace)),
+                    ServeCost::default(),
+                );
+            }
             _ => {}
         }
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -452,6 +474,58 @@ impl IoDaemon {
                 (Response::Error(e), ServeCost::default())
             }
         }
+    }
+
+    /// Serve one request that arrived on a transport, recording its
+    /// server-side spans when the frame carried trace context: a
+    /// `queue` span covering the `waited` time before a worker picked
+    /// it up, a `service` span around the actual work, and — via the
+    /// thread-local sink — `storage:read`/`storage:write`/
+    /// `journal:fsync` children contributed by the storage engine.
+    /// Without context (or for control scrapes) this is exactly
+    /// [`IoDaemon::handle`].
+    pub fn handle_traced(
+        &self,
+        request: &Request,
+        ctx: Option<TraceContext>,
+        waited: Duration,
+    ) -> (Response, ServeCost) {
+        let Some(ctx) = ctx else {
+            return self.handle(request);
+        };
+        if request.is_control_scrape() {
+            return self.handle(request);
+        }
+        let node = format!("iod{}", self.id.0);
+        let svc_start = trace::now_ns();
+        let queue_ns = waited.as_nanos() as u64;
+        self.recorder.push(Span {
+            trace: ctx.trace,
+            id: SpanId::next(),
+            parent: ctx.parent,
+            node: node.clone(),
+            op: "queue".into(),
+            start_ns: svc_start.saturating_sub(queue_ns),
+            dur_ns: queue_ns,
+            notes: Vec::new(),
+        });
+        let service_id = SpanId::next();
+        let child = TraceContext {
+            trace: ctx.trace,
+            parent: service_id,
+        };
+        let result = trace::with_span_sink(child, &node, &self.recorder, || self.handle(request));
+        self.recorder.push(Span {
+            trace: ctx.trace,
+            id: service_id,
+            parent: ctx.parent,
+            node,
+            op: "service".into(),
+            start_ns: svc_start,
+            dur_ns: trace::now_ns().saturating_sub(svc_start),
+            notes: vec![request.op_name().into()],
+        });
+        result
     }
 
     fn dispatch(&self, request: &Request) -> Result<(Response, ServeCost), PvfsError> {
@@ -898,6 +972,7 @@ fn read_region(
     region: Region,
     cost: &mut ServeCost,
 ) -> PvfsResult<Vec<u8>> {
+    let started = std::time::Instant::now();
     let mut out = Vec::with_capacity(layout.bytes_on_slot(region, slot) as usize);
     let mut run: Option<(u64, u64)> = None; // (local offset, len)
     for seg in layout.segments(region) {
@@ -922,6 +997,9 @@ fn read_region(
         cost.merge_disk(report);
         out.extend_from_slice(&piece);
     }
+    // Per-region calls aggregate into one storage:read span per traced
+    // request; a no-op when no sink is active on this thread.
+    trace::sink_add("storage:read", started.elapsed());
     Ok(out)
 }
 
@@ -970,10 +1048,12 @@ fn apply_batch(
     if runs.is_empty() {
         return Ok(());
     }
+    let started = std::time::Instant::now();
     let refs: Vec<(u64, &[u8])> = runs.iter().map(|(o, d)| (*o, d.as_ref())).collect();
     let report = file.write_batch(&refs)?;
     cost.disk.merge(report);
     cost.local_accesses += runs.len() as u64;
+    trace::sink_add("storage:write", started.elapsed());
     Ok(())
 }
 
@@ -1304,6 +1384,111 @@ mod tests {
         ]) {
             assert_eq!(*scraped, direct, "{name} diverged");
         }
+    }
+
+    #[test]
+    fn traced_write_records_queue_service_and_storage_spans() {
+        use pvfs_types::TraceId;
+        let l = layout();
+        let d = IoDaemon::with_defaults(ServerId(0));
+        let ctx = TraceContext {
+            trace: TraceId::next(),
+            parent: SpanId(999),
+        };
+        let (resp, _) = d.handle_traced(
+            &Request::Write {
+                handle: fh(),
+                layout: l,
+                region: Region::new(0, 5),
+                data: Bytes::from(vec![1u8; 5]),
+            },
+            Some(ctx),
+            Duration::from_micros(40),
+        );
+        assert_eq!(resp, Response::Written { bytes: 5 });
+        let spans = d.recorder().for_trace(ctx.trace);
+        let ops: Vec<&str> = spans.iter().map(|s| s.op.as_str()).collect();
+        assert!(ops.contains(&"queue"), "{ops:?}");
+        assert!(ops.contains(&"service"), "{ops:?}");
+        assert!(ops.contains(&"storage:write"), "{ops:?}");
+        let queue = spans.iter().find(|s| s.op == "queue").unwrap();
+        assert_eq!(queue.dur_ns, 40_000);
+        assert_eq!(queue.parent, SpanId(999));
+        assert_eq!(queue.node, "iod0");
+        let service = spans.iter().find(|s| s.op == "service").unwrap();
+        assert_eq!(service.parent, SpanId(999));
+        assert_eq!(service.notes, vec!["write".to_string()]);
+        let storage = spans.iter().find(|s| s.op == "storage:write").unwrap();
+        assert_eq!(storage.parent, service.id, "storage nests under service");
+        // Child work is contained in the service window.
+        assert!(storage.start_ns >= service.start_ns);
+        assert!(storage.dur_ns <= service.dur_ns);
+    }
+
+    #[test]
+    fn untraced_requests_leave_the_recorder_empty() {
+        let l = layout();
+        let d = IoDaemon::with_defaults(ServerId(0));
+        let (resp, _) = d.handle_traced(
+            &Request::Read {
+                handle: fh(),
+                layout: l,
+                region: Region::new(0, 5),
+            },
+            None,
+            Duration::from_micros(10),
+        );
+        assert!(matches!(resp, Response::Data { .. }));
+        assert!(d.recorder().is_empty(), "no context, no spans");
+    }
+
+    #[test]
+    fn get_trace_scrape_is_unaccounted_and_pure() {
+        use pvfs_types::TraceId;
+        let l = layout();
+        let d = IoDaemon::with_defaults(ServerId(0));
+        let ctx = TraceContext {
+            trace: TraceId::next(),
+            parent: SpanId(7),
+        };
+        d.handle_traced(
+            &Request::Read {
+                handle: fh(),
+                layout: l,
+                region: Region::new(0, 5),
+            },
+            Some(ctx),
+            Duration::ZERO,
+        );
+        let before = d.stats();
+        let (resp, cost) = d.handle(&Request::GetTrace { trace: ctx.trace });
+        assert_eq!(cost, ServeCost::default());
+        let spans = match resp {
+            Response::Spans(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(!spans.is_empty());
+        // The scrape moved no counters and perturbed no traces: a second
+        // scrape sees the identical span set, and even a scrape carrying
+        // trace context records nothing.
+        assert_eq!(d.stats(), before, "GetTrace must not count");
+        let (resp2, _) = d.handle_traced(
+            &Request::GetTrace { trace: ctx.trace },
+            Some(TraceContext {
+                trace: TraceId::next(),
+                parent: SpanId(1),
+            }),
+            Duration::from_micros(3),
+        );
+        match resp2 {
+            Response::Spans(s2) => assert_eq!(s2, spans, "scrape perturbed the trace"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unknown traces answer empty, not an error.
+        let (resp3, _) = d.handle(&Request::GetTrace {
+            trace: TraceId(u64::MAX),
+        });
+        assert_eq!(resp3, Response::Spans(vec![]));
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! manager off the data path exactly as PVFS does.
 
 use pvfs_proto::{Request, Response};
+use pvfs_types::trace::{self, FlightRecorder, Span, SpanId, TraceContext};
 use pvfs_types::{FileHandle, PvfsError, SharedHistogram, StatsSnapshot, StripeLayout};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 #[derive(Debug, Clone)]
@@ -33,13 +35,22 @@ struct ManagerStats {
 }
 
 /// The PVFS manager daemon.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Manager {
     next_handle: u64,
     by_path: HashMap<String, MetaEntry>,
     by_handle: HashMap<FileHandle, String>,
     stats: ManagerStats,
     service_time: SharedHistogram,
+    /// Trace ring buffer for metadata requests that carry trace
+    /// context, scraped by `GetTrace`.
+    recorder: Arc<FlightRecorder>,
+}
+
+impl Default for Manager {
+    fn default() -> Manager {
+        Manager::new()
+    }
 }
 
 impl Manager {
@@ -51,7 +62,13 @@ impl Manager {
             by_handle: HashMap::new(),
             stats: ManagerStats::default(),
             service_time: SharedHistogram::new(),
+            recorder: Arc::new(FlightRecorder::from_env()),
         }
+    }
+
+    /// The manager's flight recorder (span ring buffer).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
     }
 
     /// Number of files in the namespace.
@@ -123,6 +140,11 @@ impl Manager {
                 self.reset_stats();
                 return Response::Stats(Box::new(snap));
             }
+            Request::GetTrace { trace } => {
+                // Joins GetStats under the observer-effect guarantee:
+                // unaccounted, and reading the ring is a pure clone.
+                return Response::Spans(self.recorder.for_trace(*trace));
+            }
             _ => {}
         }
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -133,6 +155,50 @@ impl Manager {
                 Response::Error(e)
             }
         }
+    }
+
+    /// Serve one metadata request, recording a `service` span (node
+    /// `mgr`) when the frame carried trace context. Control scrapes are
+    /// never traced. `waited` is the time the request sat queued before
+    /// the dispatch loop picked it up.
+    pub fn handle_traced(
+        &mut self,
+        request: &Request,
+        ctx: Option<TraceContext>,
+        waited: Duration,
+    ) -> Response {
+        let Some(ctx) = ctx else {
+            return self.handle(request);
+        };
+        if request.is_control_scrape() {
+            return self.handle(request);
+        }
+        let svc_start = trace::now_ns();
+        let queue_ns = waited.as_nanos() as u64;
+        if queue_ns > 0 {
+            self.recorder.push(Span {
+                trace: ctx.trace,
+                id: SpanId::next(),
+                parent: ctx.parent,
+                node: "mgr".into(),
+                op: "queue".into(),
+                start_ns: svc_start.saturating_sub(queue_ns),
+                dur_ns: queue_ns,
+                notes: Vec::new(),
+            });
+        }
+        let resp = self.handle(request);
+        self.recorder.push(Span {
+            trace: ctx.trace,
+            id: SpanId::next(),
+            parent: ctx.parent,
+            node: "mgr".into(),
+            op: "service".into(),
+            start_ns: svc_start,
+            dur_ns: trace::now_ns().saturating_sub(svc_start),
+            notes: vec![request.op_name().into()],
+        });
+        resp
     }
 
     fn dispatch(&mut self, request: &Request) -> Result<Response, PvfsError> {
@@ -358,6 +424,57 @@ mod tests {
         };
         assert_eq!(pre.requests, 2);
         assert_eq!(m.stats_snapshot().requests, 0);
+    }
+
+    #[test]
+    fn traced_metadata_request_records_a_service_span() {
+        let mut m = Manager::new();
+        let ctx = TraceContext {
+            trace: pvfs_types::TraceId::next(),
+            parent: SpanId::next(),
+        };
+        let resp = m.handle_traced(
+            &Request::Create {
+                path: "/a".into(),
+                layout: layout(),
+            },
+            Some(ctx),
+            Duration::from_micros(25),
+        );
+        assert!(matches!(resp, Response::Created { .. }));
+        let spans = m.recorder().for_trace(ctx.trace);
+        let queue = spans.iter().find(|s| s.op == "queue").expect("queue span");
+        assert_eq!(queue.dur_ns, 25_000);
+        assert_eq!(queue.parent, ctx.parent);
+        let svc = spans
+            .iter()
+            .find(|s| s.op == "service")
+            .expect("service span");
+        assert_eq!(svc.node, "mgr");
+        assert_eq!(svc.parent, ctx.parent);
+        assert_eq!(svc.notes, vec!["create".to_string()]);
+    }
+
+    #[test]
+    fn untraced_and_scrape_requests_leave_the_manager_recorder_empty() {
+        let mut m = Manager::new();
+        let ctx = TraceContext {
+            trace: pvfs_types::TraceId::next(),
+            parent: SpanId::next(),
+        };
+        // No context: nothing recorded.
+        m.handle_traced(&Request::ListDir, None, Duration::ZERO);
+        // Scrape with context: still nothing — traces must never trace
+        // their own collection.
+        let before = m.stats_snapshot();
+        let resp = m.handle_traced(
+            &Request::GetTrace { trace: ctx.trace },
+            Some(ctx),
+            Duration::ZERO,
+        );
+        assert_eq!(resp, Response::Spans(Vec::new()));
+        assert_eq!(m.stats_snapshot().requests, before.requests);
+        assert!(m.recorder().is_empty());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`Histogram`] / [`SharedHistogram`] / [`StatsSnapshot`] — the
 //!   latency-metrics vocabulary shared by the simulator, the live
 //!   transports and the `GetStats` control RPC.
+//! * [`trace`] — distributed request tracing: `TraceId`/`SpanId`,
+//!   compact [`Span`] records, the per-daemon [`FlightRecorder`] ring
+//!   buffer, and the [`TraceTree`] waterfall assembler.
 //! * ids and error types used across the wire protocol, servers and
 //!   clients.
 //!
@@ -27,6 +30,7 @@ pub mod ids;
 pub mod metrics;
 pub mod region;
 pub mod striping;
+pub mod trace;
 
 pub use datatype::Datatype;
 pub use error::{PvfsError, PvfsResult};
@@ -34,3 +38,6 @@ pub use ids::{ClientId, FileHandle, RequestId, ServerId};
 pub use metrics::{Histogram, ScrubReport, SharedHistogram, StatsSnapshot};
 pub use region::{align_lists, Region, RegionList, TransferPiece};
 pub use striping::{StripeLayout, StripeSegment};
+pub use trace::{
+    FlightRecorder, Span, SpanId, TraceContext, TraceId, TraceMode, TraceTree, DEFAULT_TRACE_CAP,
+};

@@ -18,9 +18,11 @@
 
 use crate::client::PvfsFile;
 use crate::core::Method;
-use crate::net::{LiveCluster, RpcTarget};
+use crate::net::{ClusterClient, LiveCluster, RpcTarget};
 use crate::proto::{Request, Response};
-use crate::types::{PvfsError, PvfsResult, RegionList, ServerId, StatsSnapshot, StripeLayout};
+use crate::types::{
+    PvfsError, PvfsResult, RegionList, ServerId, StatsSnapshot, StripeLayout, TraceId,
+};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -28,6 +30,10 @@ use std::fmt::Write as _;
 /// method.
 pub struct Shell {
     cluster: LiveCluster,
+    /// The shell's one client endpoint. Every open file clones it, so
+    /// all commands share one tracer (`trace last` sees every op) and
+    /// one set of resilience counters (the `stats` client section).
+    client: ClusterClient,
     files: HashMap<String, PvfsFile>,
     method: Method,
 }
@@ -35,8 +41,11 @@ pub struct Shell {
 impl Shell {
     /// Start a shell over a fresh cluster with `n_servers` I/O daemons.
     pub fn new(n_servers: u32) -> Shell {
+        let cluster = LiveCluster::spawn(n_servers);
+        let client = cluster.client();
         Shell {
-            cluster: LiveCluster::spawn(n_servers),
+            cluster,
+            client,
             files: HashMap::new(),
             method: Method::List,
         }
@@ -45,6 +54,14 @@ impl Shell {
     /// Number of I/O servers behind this shell.
     pub fn n_servers(&self) -> u32 {
         self.cluster.n_servers()
+    }
+
+    /// Switch this shell's trace mode without touching the process
+    /// environment (the binary reads `PVFS_TRACE` into the initial
+    /// client; tests and embedders use this). Files already open keep
+    /// tracing under the mode they were opened with.
+    pub fn set_trace_mode(&mut self, mode: crate::types::TraceMode) {
+        self.client = self.cluster.client().with_trace_mode(mode);
     }
 
     /// Execute one command line; returns the text to print.
@@ -71,6 +88,7 @@ impl Shell {
             "scrub" => self.cmd_scrub(&args),
             "bench" => self.cmd_bench(&args),
             "stats" => self.cmd_stats(&args),
+            "trace" => self.cmd_trace(&args),
             "health" => self.cmd_health(),
             other => Err(PvfsError::invalid(format!(
                 "unknown command '{other}' (try 'help')"
@@ -92,7 +110,7 @@ impl Shell {
         let ssize: u64 = parse_or(args.get(2), pvfs_types::striping::DEFAULT_STRIPE_SIZE)?;
         let base: u32 = parse_or(args.get(3), 0)?;
         let layout = StripeLayout::new(base, pcount, ssize)?;
-        let file = PvfsFile::create(&self.cluster.client(), path, layout)?;
+        let file = PvfsFile::create(&self.client, path, layout)?;
         self.files.insert(path.to_string(), file);
         Ok(format!(
             "created {path}: {pcount}-way striped from node {base}, {ssize} B stripes"
@@ -103,7 +121,7 @@ impl Shell {
         let path = *args
             .first()
             .ok_or_else(|| PvfsError::invalid("open PATH"))?;
-        let file = PvfsFile::open(&self.cluster.client(), path)?;
+        let file = PvfsFile::open(&self.client, path)?;
         let l = file.layout();
         self.files.insert(path.to_string(), file);
         Ok(format!(
@@ -129,12 +147,12 @@ impl Shell {
     fn cmd_rm(&mut self, args: &[&str]) -> PvfsResult<String> {
         let path = *args.first().ok_or_else(|| PvfsError::invalid("rm PATH"))?;
         self.files.remove(path);
-        PvfsFile::remove(&self.cluster.client(), path)?;
+        PvfsFile::remove(&self.client, path)?;
         Ok(format!("removed {path}"))
     }
 
     fn cmd_ls(&mut self) -> PvfsResult<String> {
-        let paths = PvfsFile::list(&self.cluster.client())?;
+        let paths = PvfsFile::list(&self.client)?;
         if paths.is_empty() {
             return Ok("(empty namespace)".into());
         }
@@ -260,7 +278,7 @@ impl Shell {
                 Ok(format!("synced {path}: {durable} bytes durable"))
             }
             None => {
-                let client = self.cluster.client();
+                let client = &self.client;
                 let mut files = 0u64;
                 for i in 0..self.cluster.n_servers() {
                     match client.call(RpcTarget::Server(ServerId(i)), Request::Flush)? {
@@ -354,7 +372,7 @@ impl Shell {
     /// counters plus queue-wait/service-time percentiles. `stats json`
     /// emits the machine-readable form instead.
     fn cmd_stats(&mut self, args: &[&str]) -> PvfsResult<String> {
-        let client = self.cluster.client();
+        let client = &self.client;
         let scrape = |target: RpcTarget| -> PvfsResult<StatsSnapshot> {
             match client.call(target, Request::GetStats)? {
                 Response::Stats(s) => Ok(*s),
@@ -373,7 +391,18 @@ impl Shell {
             for (i, s) in snaps.iter().enumerate() {
                 let _ = write!(out, "{{\"daemon\":\"iod{i}\",\"stats\":{}}},", s.to_json());
             }
-            let _ = write!(out, "{{\"daemon\":\"mgr\",\"stats\":{}}}]", mgr.to_json());
+            let _ = write!(out, "{{\"daemon\":\"mgr\",\"stats\":{}}},", mgr.to_json());
+            let fields: Vec<String> = client
+                .stats()
+                .counters()
+                .iter()
+                .map(|(name, value)| format!("\"{name}\":{value}"))
+                .collect();
+            let _ = write!(
+                out,
+                "{{\"daemon\":\"client\",\"stats\":{{{}}}}}]",
+                fields.join(",")
+            );
             return Ok(out);
         }
 
@@ -445,7 +474,42 @@ impl Shell {
             us(mgr.service_time.percentile_ns(0.99)),
             mgr.service_time.count()
         );
+        // Client-side resilience counters — rendered from the same
+        // exhaustive `ClientStats::counters()` listing the completeness
+        // test checks, so a counter added to `ClientStats` shows up
+        // here without a second edit (and can never silently vanish).
+        let _ = writeln!(out, "\nclient counters");
+        for (name, value) in client.stats().counters() {
+            let _ = writeln!(out, "  {name:<20} {value:>10}");
+        }
+        out.pop();
         Ok(out)
+    }
+
+    /// Render the waterfall of one retained distributed trace. Bare
+    /// `trace` (or `trace last`) shows the most recently retained
+    /// trace; `trace ID` looks one up by the hex id a waterfall header
+    /// prints. Requires `PVFS_TRACE` (off by default: zero overhead,
+    /// nothing retained).
+    fn cmd_trace(&mut self, args: &[&str]) -> PvfsResult<String> {
+        if !self.client.tracer().enabled() {
+            return Ok(
+                "tracing is off — restart with PVFS_TRACE=all|slow:<ms>|sample:<1/n>".into(),
+            );
+        }
+        let trace = match args.first() {
+            None | Some(&"last") => self.client.tracer().last().ok_or_else(|| {
+                PvfsError::invalid("no trace retained yet (run an I/O command first)")
+            })?,
+            Some(&id) => TraceId::parse(id)?,
+        };
+        let tree = self.client.fetch_trace(trace);
+        if tree.spans().is_empty() {
+            return Err(PvfsError::invalid(format!(
+                "no spans retained for trace {trace} (evicted from a ring, or never sampled?)"
+            )));
+        }
+        Ok(tree.render())
     }
 
     /// Ping every daemon over the wire — the same cheap probe a
@@ -453,7 +517,7 @@ impl Shell {
     /// time and live queue depth. A daemon that cannot answer within
     /// the RPC deadline shows as `down` with the error it produced.
     fn cmd_health(&mut self) -> PvfsResult<String> {
-        let client = self.cluster.client();
+        let client = &self.client;
         let mut out = String::from("server     status    rtt µs  queue\n");
         for i in 0..self.cluster.n_servers() {
             let started = std::time::Instant::now();
@@ -492,6 +556,7 @@ const HELP: &str = "commands:
   scrub [PATH]                          anti-entropy repair across replicas (PVFS_REPLICAS)
   bench PATH OFFSET COUNT LEN STRIDE    compare all methods on a pattern
   stats [json]                          per-server statistics scraped over the GetStats RPC
+  trace [last|ID]                       waterfall of a retained trace (needs PVFS_TRACE)
   health                                ping every daemon: liveness, RTT, queue depth
   help                                  this text";
 
@@ -740,6 +805,52 @@ mod tests {
         let all = sh.execute("scrub").unwrap();
         assert!(all.contains("scrubbed 1 file(s)"), "{all}");
         assert!(sh.execute("scrub /missing").is_err());
+    }
+
+    #[test]
+    fn stats_render_every_client_counter() {
+        let mut sh = shell();
+        sh.execute("create /c 2 64").unwrap();
+        sh.execute("write /c 0 counters").unwrap();
+        let text = sh.execute("stats").unwrap();
+        let json = sh.execute("stats json").unwrap();
+        assert!(text.contains("client counters"), "{text}");
+        assert!(json.contains("\"daemon\":\"client\""), "{json}");
+        // Every ClientStats counter must surface in both renderings —
+        // `counters()` destructures the struct exhaustively, so a field
+        // added to ClientStats reaches this loop automatically and
+        // cannot be silently dropped from the shell's reports.
+        for (name, _) in sh.client.stats().counters() {
+            assert!(text.contains(name), "stats text is missing {name}: {text}");
+            assert!(
+                json.contains(&format!("\"{name}\":")),
+                "stats json is missing {name}: {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_command_renders_a_waterfall() {
+        let mut sh = shell();
+        // Off by default: the command explains how to turn tracing on.
+        assert!(sh.execute("trace").unwrap().contains("tracing is off"));
+        sh.set_trace_mode(crate::types::TraceMode::All);
+        sh.execute("create /t 4 64").unwrap();
+        sh.execute("writep /t 0 8 4 32 0xab").unwrap();
+        let out = sh.execute("trace last").unwrap();
+        // The waterfall stitches client spans to the server-side spans
+        // fetched over GetTrace: plan execution, per-attempt RPCs, and
+        // the daemons' queue/service/storage segments.
+        assert!(out.starts_with("trace "), "{out}");
+        assert!(out.contains("execute"), "{out}");
+        assert!(out.contains("rpc:"), "{out}");
+        assert!(out.contains("service"), "{out}");
+        assert!(out.contains("queue"), "{out}");
+        // The header's hex id looks the same trace up again.
+        let id = out.split_whitespace().nth(1).unwrap();
+        let by_id = sh.execute(&format!("trace {id}")).unwrap();
+        assert_eq!(by_id, out, "fetching a waterfall changed the waterfall");
+        assert!(sh.execute("trace not-hex").is_err());
     }
 
     #[test]
